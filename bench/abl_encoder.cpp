@@ -1,0 +1,63 @@
+// Ablation (paper §I, Motivation 2) — Transformer encoder vs LSTM baseline.
+// The paper argues Transformers beat recurrent encoders on long
+// inter-arrival sequences (vanishing gradients, no parallelism). Both
+// encoders are trained on identical data with identical budgets; we report
+// validation MAPE and per-sequence inference time.
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+using namespace deepbat;
+
+int main() {
+  bench::preamble("Ablation — Transformer vs LSTM sequence encoder",
+                  "identical data and training budget; val MAPE + encode "
+                  "time per sequence");
+  bench::Fixture fx;
+  const workload::Trace& trace = fx.azure(2.0);
+
+  core::DatasetBuilderOptions dopt;
+  dopt.sequence_length = 128;
+  dopt.samples = 300;
+  dopt.seed = 23;
+  const nn::Dataset ds =
+      core::build_dataset(trace, fx.grid(), fx.model(), dopt);
+
+  Table t({"encoder", "val_mape_pct", "encode_ms_per_seq", "params"});
+  for (const auto encoder :
+       {core::EncoderType::kTransformer, core::EncoderType::kLstm}) {
+    core::SurrogateConfig scfg;
+    scfg.sequence_length = 128;
+    scfg.encoder = encoder;
+    core::Surrogate model(scfg, fx.grid());
+    core::TrainOptions topt;
+    topt.epochs = 10;
+    const auto result = core::train(model, ds, topt);
+
+    model.set_training(false);
+    nn::Tensor seq({1, 128, 1});
+    for (float& x : seq.flat()) x = 1.0F;
+    const int reps = 20;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) model.encode_sequence(seq);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        1e3 * std::chrono::duration<double>(t1 - t0).count() / reps;
+
+    t.add_row({encoder == core::EncoderType::kTransformer ? "transformer"
+                                                          : "lstm",
+               fmt(result.final_validation_mape, 2), fmt(ms, 3),
+               std::to_string(model.parameter_count())});
+    std::printf("[ablation] %s done\n",
+                encoder == core::EncoderType::kTransformer ? "transformer"
+                                                           : "lstm");
+  }
+  t.print(std::cout);
+  std::printf("\nReading: paper §I motivation 2 — the Transformer encodes "
+              "the whole window in parallel and captures long-range burst "
+              "structure; the sequential LSTM is slower per sequence and "
+              "tends to need more epochs for the same accuracy.\n");
+  return 0;
+}

@@ -1,0 +1,218 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "nn/serialize.hpp"
+
+namespace deepbat::bench {
+
+namespace {
+
+std::filesystem::path cache_dir_from_env() {
+  if (const char* dir = std::getenv("DEEPBAT_CACHE_DIR")) {
+    return dir;
+  }
+  return "deepbat_cache";
+}
+
+}  // namespace
+
+Fixture::Fixture()
+    : grid_(lambda::ConfigGrid::standard()), cache_dir_(cache_dir_from_env()) {
+  std::filesystem::create_directories(cache_dir_);
+  spec_ = core::bench_spec(cache_dir_);
+  if (const char* f = std::getenv("DEEPBAT_FORCE_RETRAIN")) {
+    spec_.force_retrain = std::string(f) == "1";
+  }
+}
+
+const workload::Trace& Fixture::azure(double hours) {
+  const std::string key = "azure:" + std::to_string(hours);
+  auto it = traces_.find(key);
+  if (it == traces_.end()) {
+    it = traces_.emplace(key, workload::azure_like({.hours = hours},
+                                                   kAzureSeed))
+             .first;
+  }
+  return it->second;
+}
+
+const workload::Trace& Fixture::twitter(double hours) {
+  const std::string key = "twitter:" + std::to_string(hours);
+  auto it = traces_.find(key);
+  if (it == traces_.end()) {
+    it = traces_.emplace(key, workload::twitter_like({.hours = hours},
+                                                     kTwitterSeed))
+             .first;
+  }
+  return it->second;
+}
+
+const workload::Trace& Fixture::alibaba(double hours) {
+  const std::string key = "alibaba:" + std::to_string(hours);
+  auto it = traces_.find(key);
+  if (it == traces_.end()) {
+    it = traces_.emplace(key, workload::alibaba_like({.hours = hours},
+                                                     kAlibabaSeed))
+             .first;
+  }
+  return it->second;
+}
+
+const workload::Trace& Fixture::synthetic(double hours) {
+  const std::string key = "synthetic:" + std::to_string(hours);
+  auto it = traces_.find(key);
+  if (it == traces_.end()) {
+    it = traces_.emplace(key, workload::synthetic_map({.hours = hours},
+                                                      kSyntheticSeed))
+             .first;
+  }
+  return it->second;
+}
+
+const workload::Trace& Fixture::by_name(const std::string& name,
+                                        double hours) {
+  if (name == "azure") return azure(hours);
+  if (name == "twitter") return twitter(hours);
+  if (name == "alibaba") return alibaba(hours);
+  if (name == "synthetic") return synthetic(hours);
+  DEEPBAT_FAIL("unknown workload: " + name);
+}
+
+core::Surrogate& Fixture::pretrained() {
+  if (!pretrained_) {
+    // Paper §IV-B: "We train the model using the first 12-hour Azure data."
+    auto result = core::ensure_pretrained(azure(12.0), grid_, model_, spec_);
+    pretrained_ = std::move(result.surrogate);
+    if (!result.loaded_from_cache) {
+      std::printf("[fixture] pretrained surrogate: val MAPE %.2f%% in %.0f s\n",
+                  result.train_result.final_validation_mape,
+                  result.train_result.seconds);
+    }
+    pretrained_->set_training(false);
+  }
+  return *pretrained_;
+}
+
+double Fixture::pretrained_gamma() {
+  const std::string key = "__pretrained";
+  const auto it = gammas_.find(key);
+  if (it != gammas_.end()) return it->second;
+  const auto gamma_path = cache_dir_ / "deepbat_gamma_pretrained.txt";
+  double gamma = 0.0;
+  if (!spec_.force_retrain && std::filesystem::exists(gamma_path)) {
+    FILE* f = std::fopen(gamma_path.string().c_str(), "r");
+    if (f != nullptr) {
+      if (std::fscanf(f, "%lf", &gamma) != 1) gamma = 0.0;
+      std::fclose(f);
+    }
+  } else {
+    core::Surrogate& model = pretrained();
+    core::DatasetBuilderOptions dopt = spec_.dataset;
+    dopt.samples = 150;
+    dopt.seed = spec_.dataset.seed + 99;
+    const nn::Dataset held_out =
+        core::build_dataset(azure(12.0), grid_, model_, dopt);
+    gamma = std::min(0.5, core::estimate_gamma(model, held_out));
+    std::printf("[fixture] pretrained gamma = %.3f\n", gamma);
+    FILE* f = std::fopen(gamma_path.string().c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f, "%.6f\n", gamma);
+      std::fclose(f);
+    }
+  }
+  gammas_[key] = gamma;
+  return gamma;
+}
+
+Fixture::Finetuned Fixture::finetuned(const std::string& name,
+                                      const workload::Trace& ood_trace) {
+  auto it = finetuned_.find(name);
+  if (it == finetuned_.end()) {
+    auto model_ptr =
+        std::make_unique<core::Surrogate>(spec_.surrogate, grid_);
+    const auto path = cache_dir_ / ("deepbat_surrogate_" + name + ".bin");
+    const auto gamma_path =
+        cache_dir_ / ("deepbat_gamma_" + name + ".txt");
+
+    // The fine-tuning / gamma-estimation dataset: first hour of the OOD
+    // trace (paper §IV-C: "we fine-tuned DeepBAT using data from the first
+    // hour of the Alibaba trace").
+    const workload::Trace first_hour =
+        ood_trace.slice(ood_trace.start_time(), ood_trace.start_time() + 3600.0);
+    core::DatasetBuilderOptions dopt = spec_.dataset;
+    dopt.samples = std::max<std::size_t>(200, spec_.dataset.samples / 4);
+    dopt.seed = spec_.dataset.seed + 77;
+
+    double gamma = 0.0;
+    if (!spec_.force_retrain && std::filesystem::exists(path) &&
+        std::filesystem::exists(gamma_path)) {
+      nn::load_module(path.string(), *model_ptr);
+      FILE* f = std::fopen(gamma_path.string().c_str(), "r");
+      if (f != nullptr) {
+        if (std::fscanf(f, "%lf", &gamma) != 1) gamma = 0.0;
+        std::fclose(f);
+      }
+    } else {
+      // Start from the pretrained weights.
+      const auto pre_path = spec_.cache_path;
+      pretrained();  // ensure the cache file exists
+      nn::load_module(pre_path.string(), *model_ptr);
+      const nn::Dataset ood_set =
+          core::build_dataset(first_hour, grid_, model_, dopt);
+      const auto ft = core::fine_tune(*model_ptr, ood_set, /*epochs=*/12);
+      gamma = std::min(0.5, core::estimate_gamma(*model_ptr, ood_set));
+      std::printf(
+          "[fixture] fine-tuned '%s': val MAPE %.2f%%, gamma %.3f (%.0f s)\n",
+          name.c_str(), ft.final_validation_mape, gamma, ft.seconds);
+      nn::save_module(path.string(), *model_ptr);
+      FILE* f = std::fopen(gamma_path.string().c_str(), "w");
+      if (f != nullptr) {
+        std::fprintf(f, "%.6f\n", gamma);
+        std::fclose(f);
+      }
+    }
+    model_ptr->set_training(false);
+    gammas_[name] = gamma;
+    it = finetuned_.emplace(name, std::move(model_ptr)).first;
+  }
+  return Finetuned{it->second.get(), gammas_[name]};
+}
+
+std::int64_t Fixture::sequence_length() const {
+  return spec_.surrogate.sequence_length;
+}
+
+batchlib::AnalyticOptions Fixture::replay_analytic_options() const {
+  batchlib::AnalyticOptions opts;
+  opts.grid_points = 96;
+  opts.bisection_iterations = 30;
+  return opts;
+}
+
+core::DeepBatControllerOptions Fixture::controller_options(
+    double slo_s, double gamma) const {
+  core::DeepBatControllerOptions opts;
+  opts.slo_s = slo_s;
+  opts.gamma = gamma;
+  opts.grid = grid_;
+  return opts;
+}
+
+batchlib::BatchControllerOptions Fixture::batch_options(double slo_s) const {
+  batchlib::BatchControllerOptions opts;
+  opts.slo_s = slo_s;
+  opts.grid = grid_;
+  opts.analytic_options = replay_analytic_options();
+  return opts;
+}
+
+void preamble(const std::string& figure, const std::string& description) {
+  std::printf("=====================================================\n");
+  std::printf("%s\n%s\n", figure.c_str(), description.c_str());
+  std::printf("=====================================================\n");
+}
+
+}  // namespace deepbat::bench

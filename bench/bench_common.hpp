@@ -1,0 +1,89 @@
+#pragma once
+// Shared fixtures for the figure-reproduction benches: canonical traces
+// (one seed per workload, matching DESIGN.md), the Lambda model, the config
+// grid, and the cached pretrained / fine-tuned surrogates.
+//
+// Caching: the surrogate is trained once (first 12 h of the Azure-like
+// trace, as in paper §IV-B) and written to $DEEPBAT_CACHE_DIR
+// (default ./deepbat_cache). Fine-tuned variants (paper §III-D: first hour
+// of each OOD trace) are cached per workload. Delete the cache directory or
+// set DEEPBAT_FORCE_RETRAIN=1 to retrain; set DEEPBAT_TRAIN_EPOCHS /
+// DEEPBAT_TRAIN_SAMPLES for a paper-scale run.
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/deepbat.hpp"
+
+namespace deepbat::bench {
+
+inline constexpr std::uint64_t kAzureSeed = 101;
+inline constexpr std::uint64_t kTwitterSeed = 202;
+inline constexpr std::uint64_t kAlibabaSeed = 303;
+inline constexpr std::uint64_t kSyntheticSeed = 404;
+
+class Fixture {
+ public:
+  Fixture();
+
+  const lambda::LambdaModel& model() const { return model_; }
+  const lambda::ConfigGrid& grid() const { return grid_; }
+  const std::filesystem::path& cache_dir() const { return cache_dir_; }
+
+  /// Canonical traces (memoized; `hours` is part of the key).
+  const workload::Trace& azure(double hours);
+  const workload::Trace& twitter(double hours);
+  const workload::Trace& alibaba(double hours);
+  const workload::Trace& synthetic(double hours);
+  const workload::Trace& by_name(const std::string& name, double hours);
+
+  /// The shared pretrained surrogate (Azure-trained). Eval mode.
+  core::Surrogate& pretrained();
+
+  /// Penalty factor gamma of the pretrained model on held-out Azure data
+  /// (paper §III-D). The scaled-down bench model needs this margin even in
+  /// distribution; cached alongside the weights.
+  double pretrained_gamma();
+
+  /// Fine-tuned variant for an OOD workload: starts from the pretrained
+  /// weights and fine-tunes on the first hour of `ood_trace` (cached under
+  /// `name`). Returns the model and the estimated penalty factor gamma.
+  struct Finetuned {
+    core::Surrogate* surrogate;
+    double gamma;
+  };
+  Finetuned finetuned(const std::string& name,
+                      const workload::Trace& ood_trace);
+
+  /// Sequence length of the cached surrogates.
+  std::int64_t sequence_length() const;
+
+  /// Analytic options used for BATCH inside long replays (reduced grid
+  /// resolution so 12-hour experiments finish in minutes; tab_speedup uses
+  /// the full-fidelity defaults).
+  batchlib::AnalyticOptions replay_analytic_options() const;
+
+  /// Build a DeepBAT controller around a surrogate.
+  core::DeepBatControllerOptions controller_options(double slo_s,
+                                                    double gamma) const;
+
+  /// Build BATCH controller options for replays.
+  batchlib::BatchControllerOptions batch_options(double slo_s) const;
+
+ private:
+  lambda::LambdaModel model_;
+  lambda::ConfigGrid grid_;
+  std::filesystem::path cache_dir_;
+  core::PretrainSpec spec_;
+  std::map<std::string, workload::Trace> traces_;
+  std::unique_ptr<core::Surrogate> pretrained_;
+  std::map<std::string, std::unique_ptr<core::Surrogate>> finetuned_;
+  std::map<std::string, double> gammas_;
+};
+
+/// Print the standard bench preamble (what is being reproduced).
+void preamble(const std::string& figure, const std::string& description);
+
+}  // namespace deepbat::bench

@@ -1,0 +1,60 @@
+// Fig. 1 — Impact of memory size, batch size, and timeout on latency and
+// cost (the paper's motivating sweeps). One knob is swept per table while
+// the others stay fixed; every point is a full simulation of a 10-minute
+// Azure-like segment.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+using namespace deepbat;
+
+int main() {
+  bench::preamble("Fig. 1 — motivation sweeps",
+                  "latency (P95) and cost per request vs M, B, T; "
+                  "10-minute Azure-like segment");
+  bench::Fixture fx;
+  const workload::Trace& trace = fx.azure(1.0);
+  const workload::Trace seg = trace.slice(600.0, 1200.0);
+  std::printf("segment: %zu arrivals at %.1f req/s\n\n", seg.size(),
+              seg.mean_rate());
+
+  auto eval = [&](lambda::Config cfg) {
+    return sim::simulate_trace(seg.times(), cfg, fx.model());
+  };
+
+  {
+    Table t({"memory_mb", "p95_latency_ms", "cost_usd_per_req"});
+    for (const auto m : fx.grid().memories_mb) {
+      const auto r = eval({m, 8, 0.1});
+      t.add_row({std::to_string(m), fmt(r.latency_quantile(0.95) * 1e3, 2),
+                 fmt_sci(r.cost_per_request(), 3)});
+    }
+    print_banner(std::cout, "Fig. 1a: sweep M (B=8, T=100 ms)");
+    t.print(std::cout);
+  }
+  {
+    Table t({"batch_size", "p95_latency_ms", "cost_usd_per_req"});
+    for (const auto b : fx.grid().batch_sizes) {
+      const auto r = eval({2048, b, 0.5});
+      t.add_row({std::to_string(b), fmt(r.latency_quantile(0.95) * 1e3, 2),
+                 fmt_sci(r.cost_per_request(), 3)});
+    }
+    print_banner(std::cout, "Fig. 1b: sweep B (M=2048, T=500 ms)");
+    t.print(std::cout);
+  }
+  {
+    Table t({"timeout_ms", "p95_latency_ms", "cost_usd_per_req"});
+    for (const double tsec : fx.grid().timeouts_s) {
+      const auto r = eval({2048, 64, tsec});
+      t.add_row({fmt(tsec * 1e3, 0), fmt(r.latency_quantile(0.95) * 1e3, 2),
+                 fmt_sci(r.cost_per_request(), 3)});
+    }
+    print_banner(std::cout, "Fig. 1c: sweep T (M=2048, B=64)");
+    t.print(std::cout);
+  }
+  std::printf(
+      "\nExpected shapes: latency falls then plateaus in M while cost has a "
+      "sweet spot; larger B and T cut cost but raise latency.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Fig. 15 — Sensitivity analysis:
+//   (a) sequence length vs prediction time and validation error,
+//   (b) number of Transformer encoder layers vs validation MAPE.
+// Budgets are scaled for a laptop (paper: lengths {128..1024}, 100 epochs);
+// override with DEEPBAT_SENS_EPOCHS / DEEPBAT_SENS_SAMPLES /
+// DEEPBAT_SENS_MAXLEN for a fuller run.
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+using namespace deepbat;
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : fallback;
+}
+
+}  // namespace
+
+int main() {
+  bench::preamble("Fig. 15 — sensitivity analysis",
+                  "(a) sequence length vs time & error; (b) encoder layers "
+                  "vs validation MAPE");
+  bench::Fixture fx;
+  const int epochs = env_int("DEEPBAT_SENS_EPOCHS", 6);
+  const auto samples =
+      static_cast<std::size_t>(env_int("DEEPBAT_SENS_SAMPLES", 200));
+  const int max_len = env_int("DEEPBAT_SENS_MAXLEN", 512);
+  const workload::Trace& trace = fx.azure(2.0);
+
+  auto train_one = [&](std::int64_t seq_len, std::int64_t layers) {
+    core::SurrogateConfig scfg;
+    scfg.sequence_length = seq_len;
+    scfg.encoder_layers = layers;
+    core::Surrogate model(scfg, fx.grid());
+    core::DatasetBuilderOptions dopt;
+    dopt.sequence_length = seq_len;
+    dopt.samples = samples;
+    dopt.seed = 11;
+    const nn::Dataset ds = core::build_dataset(trace, fx.grid(), fx.model(),
+                                               dopt);
+    core::TrainOptions topt;
+    topt.epochs = epochs;
+    const auto result = core::train(model, ds, topt);
+
+    // Prediction time per sequence (sequence-branch forward, the
+    // deployment-critical path).
+    model.set_training(false);
+    nn::Tensor seq({1, seq_len, 1});
+    for (float& x : seq.flat()) x = 1.0F;
+    const int reps = 20;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) model.encode_sequence(seq);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms_per_seq =
+        1e3 * std::chrono::duration<double>(t1 - t0).count() / reps;
+    return std::pair<double, double>(ms_per_seq,
+                                     result.final_validation_mape);
+  };
+
+  {
+    Table t({"sequence_length", "predict_ms_per_seq", "val_mape_pct"});
+    for (std::int64_t len = 64; len <= max_len; len *= 2) {
+      const auto [ms, mape] = train_one(len, 2);
+      t.add_row({std::to_string(len), fmt(ms, 3), fmt(mape, 2)});
+      std::printf("[fig15a] L=%lld done\n", static_cast<long long>(len));
+    }
+    print_banner(std::cout, "Fig. 15a: sequence length (paper: {128..1024})");
+    t.print(std::cout);
+    std::printf("Expected shape: time grows sharply with length; error "
+                "shrinks. The paper picks 256 as the balance point.\n");
+  }
+  {
+    Table t({"encoder_layers", "val_mape_pct"});
+    for (const std::int64_t layers : {1, 2, 4, 6}) {
+      const auto [ms, mape] = train_one(128, layers);
+      (void)ms;
+      t.add_row({std::to_string(layers), fmt(mape, 2)});
+      std::printf("[fig15b] layers=%lld done\n",
+                  static_cast<long long>(layers));
+    }
+    print_banner(std::cout, "Fig. 15b: encoder layers");
+    t.print(std::cout);
+    std::printf("Expected shape: 2 layers suffice; deeper stacks do not "
+                "improve validation MAPE (paper sets N = 2).\n");
+  }
+  return 0;
+}

@@ -1,0 +1,126 @@
+// google-benchmark microbenchmarks for the neural-network kernels on the
+// surrogate's critical path: batched matmul, softmax, layer norm,
+// multi-head attention, the full encoder, and the deployment-critical
+// predict_grid call.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/surrogate.hpp"
+#include "nn/attention.hpp"
+#include "nn/transformer.hpp"
+
+using namespace deepbat;
+using namespace deepbat::nn;
+
+namespace {
+
+Tensor randn(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::randn(std::move(shape), rng, 0.5F);
+}
+
+void BM_MatmulSharedWeight(benchmark::State& state) {
+  const std::int64_t l = state.range(0);
+  Var a = make_leaf(randn({8, l, 16}, 1), false);
+  Var w = make_leaf(randn({16, 16}, 2), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, w)->value.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * l * 16 * 16);
+}
+BENCHMARK(BM_MatmulSharedWeight)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_MatmulBatched(benchmark::State& state) {
+  const std::int64_t l = state.range(0);
+  Var a = make_leaf(randn({8, 4, l, 4}, 3), false);
+  Var b = make_leaf(randn({8, 4, 4, l}, 4), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b)->value.data());
+  }
+}
+BENCHMARK(BM_MatmulBatched)->Arg(64)->Arg(256);
+
+void BM_SoftmaxLast(benchmark::State& state) {
+  const std::int64_t l = state.range(0);
+  Var a = make_leaf(randn({8, 4, l, l}, 5), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(softmax_last(a)->value.data());
+  }
+}
+BENCHMARK(BM_SoftmaxLast)->Arg(64)->Arg(256);
+
+void BM_LayerNorm(benchmark::State& state) {
+  Var x = make_leaf(randn({8, 256, 16}, 6), false);
+  Var gamma = make_leaf(Tensor::ones({16}), false);
+  Var beta = make_leaf(Tensor::zeros({16}), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layer_norm(x, gamma, beta)->value.data());
+  }
+}
+BENCHMARK(BM_LayerNorm);
+
+void BM_MultiHeadAttention(benchmark::State& state) {
+  const std::int64_t l = state.range(0);
+  Rng rng(7);
+  MultiHeadAttention mha(16, 4, rng, 0.0F, 8);
+  mha.set_training(false);
+  Var x = make_leaf(randn({1, l, 16}, 9), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mha.forward(x, x, x)->value.data());
+  }
+}
+BENCHMARK(BM_MultiHeadAttention)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_TransformerEncoder(benchmark::State& state) {
+  const std::int64_t l = state.range(0);
+  Rng rng(10);
+  TransformerConfig cfg;
+  cfg.max_len = 1024;
+  cfg.dropout = 0.0F;
+  TransformerEncoder enc(cfg, rng, 11);
+  enc.set_training(false);
+  Var x = make_leaf(randn({1, l, 16}, 12), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.forward(x)->value.data());
+  }
+}
+BENCHMARK(BM_TransformerEncoder)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_TrainingStep(benchmark::State& state) {
+  // Full forward + backward of the surrogate on one paper-sized batch.
+  Rng rng(13);
+  core::SurrogateConfig scfg;
+  scfg.sequence_length = 128;
+  core::Surrogate model(scfg, lambda::ConfigGrid::standard());
+  Tensor seq = randn({8, 128, 1}, 14);
+  Tensor feats = randn({8, 3}, 15);
+  Tensor target = randn({8, static_cast<std::int64_t>(core::kTargetDim)}, 16);
+  for (auto _ : state) {
+    auto params = model.parameters();
+    zero_grad(params);
+    Var out = model.forward(make_leaf(seq, false), make_leaf(feats, false));
+    Var loss = combined_loss(out, make_leaf(target, false), 0.05F, 1.0F);
+    backward(loss);
+    benchmark::DoNotOptimize(loss->value.at(0));
+  }
+}
+BENCHMARK(BM_TrainingStep);
+
+void BM_PredictGrid(benchmark::State& state) {
+  // The deployment decision: encode one window, score the full 616-config
+  // grid. This is the "0.73 s vs 40.83 s" fast side of §IV-F.
+  core::SurrogateConfig scfg;
+  scfg.sequence_length = 128;
+  core::Surrogate model(scfg, lambda::ConfigGrid::standard());
+  model.set_training(false);
+  std::vector<float> window(128, 1.0F);
+  const auto configs = lambda::ConfigGrid::standard().enumerate();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_grid(window, configs));
+  }
+}
+BENCHMARK(BM_PredictGrid);
+
+}  // namespace
+
+BENCHMARK_MAIN();

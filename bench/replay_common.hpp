@@ -1,0 +1,122 @@
+#pragma once
+// Shared replay harness for the Alibaba / synthetic head-to-head figures
+// (Figs. 7-12): run a trace through BATCH and (fine-tuned) DeepBAT, report
+// windowed latency/cost series and hourly VCR.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace deepbat::bench {
+
+struct Replay {
+  sim::PlatformRun deepbat;
+  sim::PlatformRun batch;
+  double deepbat_ms_per_decision = 0.0;
+  double batch_seconds_per_refit = 0.0;
+};
+
+/// Replay `trace` (already sliced to the serving horizon) under both
+/// systems. `deepbat_model` should be the fine-tuned surrogate for OOD
+/// workloads.
+inline Replay run_head_to_head(Fixture& fx, const workload::Trace& trace,
+                               core::Surrogate& deepbat_model, double gamma,
+                               double slo) {
+  Replay replay;
+  core::DeepBatController deepbat(deepbat_model,
+                                  fx.controller_options(slo, gamma));
+  batchlib::BatchController batch(fx.model(), fx.batch_options(slo));
+  sim::PlatformOptions popts;
+  popts.control_interval_s = 30.0;
+  std::printf("[replay] DeepBAT over %.1f h...\n", trace.duration() / 3600.0);
+  replay.deepbat =
+      sim::run_platform(trace, deepbat, fx.model(), {1024, 1, 0.0}, popts);
+  std::printf("[replay] BATCH over %.1f h...\n", trace.duration() / 3600.0);
+  replay.batch =
+      sim::run_platform(trace, batch, fx.model(), {1024, 1, 0.0}, popts);
+  if (deepbat.decision_count() > 0) {
+    replay.deepbat_ms_per_decision =
+        1e3 *
+        (deepbat.total_predict_seconds() + deepbat.total_search_seconds()) /
+        static_cast<double>(deepbat.decision_count());
+  }
+  if (batch.refit_count() > 0) {
+    replay.batch_seconds_per_refit =
+        (batch.total_fit_seconds() + batch.total_solve_seconds()) /
+        static_cast<double>(batch.refit_count());
+  }
+  return replay;
+}
+
+struct WindowStats {
+  double p95_latency = 0.0;
+  double cost_per_request = 0.0;
+  std::size_t requests = 0;
+};
+
+/// P95 latency and mean per-request cost of the requests arriving in
+/// [a, b).
+inline WindowStats window_stats(const sim::SimResult& r, double a, double b) {
+  WindowStats w;
+  std::vector<double> lats;
+  double cost = 0.0;
+  for (const auto& req : r.requests) {
+    if (req.arrival < a || req.arrival >= b) continue;
+    lats.push_back(req.latency());
+    cost += req.cost_share;
+  }
+  if (lats.empty()) return w;
+  std::sort(lats.begin(), lats.end());
+  w.p95_latency = quantile_sorted(lats, 0.95);
+  w.cost_per_request = cost / static_cast<double>(lats.size());
+  w.requests = lats.size();
+  return w;
+}
+
+/// Windowed P95 latency + cost series over [t0, t1) (paper Figs. 7/9).
+inline void print_latency_cost_window(const sim::SimResult& batch,
+                                      const sim::SimResult& deepbat,
+                                      double t0, double t1, double window_s,
+                                      double slo, std::ostream& os) {
+  Table t({"t_min", "batch_p95_ms", "deepbat_p95_ms", "batch_cost",
+           "deepbat_cost", "slo_ms"});
+  for (double a = t0; a < t1 - 1e-9; a += window_s) {
+    const double b = std::min(a + window_s, t1);
+    const WindowStats wb = window_stats(batch, a, b);
+    const WindowStats wd = window_stats(deepbat, a, b);
+    if (wb.requests == 0 && wd.requests == 0) continue;
+    t.add_row({fmt((a - t0) / 60.0, 1), fmt(wb.p95_latency * 1e3, 1),
+               fmt(wd.p95_latency * 1e3, 1),
+               fmt_sci(wb.cost_per_request, 2),
+               fmt_sci(wd.cost_per_request, 2), fmt(slo * 1e3, 0)});
+  }
+  t.print(os);
+}
+
+/// Hourly VCR table for up to three systems (paper Figs. 8/10).
+inline void print_hourly_vcr(
+    const std::vector<std::pair<std::string, const sim::SimResult*>>& systems,
+    double start, std::size_t hours, double slo, std::ostream& os) {
+  core::VcrOptions vopts;
+  vopts.slo_s = slo;
+  std::vector<std::string> header{"hour"};
+  std::vector<std::vector<double>> series;
+  for (const auto& [name, result] : systems) {
+    header.push_back(name + "_vcr_pct");
+    series.push_back(core::hourly_vcr(*result, start, hours, vopts));
+  }
+  Table t(header);
+  for (std::size_t h = 0; h < hours; ++h) {
+    std::vector<std::string> row{std::to_string(h + 1)};
+    for (const auto& s : series) {
+      row.push_back(fmt(s[h], 2));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(os);
+}
+
+}  // namespace deepbat::bench

@@ -1,0 +1,67 @@
+// §IV-F — Model prediction time: BATCH vs DeepBAT. BATCH's decision is a
+// MAP fit plus an analytic grid solve at full fidelity; DeepBAT's is one
+// sequence encoding plus the per-config head over the same 616-point grid.
+// The paper reports 40.83 s vs 0.73 s (55.93x); absolute numbers differ on
+// our substrate, the shape (orders of magnitude) must hold.
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+using namespace deepbat;
+
+int main() {
+  bench::preamble("Table (§IV-F) — optimization time: BATCH vs DeepBAT",
+                  "full 616-config grid, 3 repetitions");
+  bench::Fixture fx;
+  const double slo = 0.1;
+  const workload::Trace& trace = fx.azure(13.0);
+  core::Surrogate& surrogate = fx.pretrained();
+  const auto configs = fx.grid().enumerate();
+
+  Table t({"rep", "batch_fit_s", "batch_solve_s", "batch_total_s",
+           "deepbat_total_s", "speedup_x"});
+  double total_batch = 0.0;
+  double total_deepbat = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const double now = (12.0 + 0.2 * rep) * 3600.0;
+
+    // --- BATCH: fit the previous hour, solve the grid analytically ---
+    const workload::Trace window = trace.slice(now - 3600.0, now);
+    const auto fit = workload::fit_mmpp2(window.interarrivals());
+    DEEPBAT_CHECK(fit.has_value(), "speedup: fit failed");
+    const batchlib::BatchAnalyticModel analytic(fit->map, fx.model());
+    const auto search =
+        batchlib::analytic_grid_search(analytic, fx.grid(), slo, 0.95);
+    const double batch_total = fit->fit_seconds + search.solve_seconds;
+
+    // --- DeepBAT: one window encoding + grid head + argmin ---
+    const auto gaps = trace.window_before(
+        now, static_cast<std::size_t>(fx.sequence_length()), 10.0);
+    const auto t0 = std::chrono::steady_clock::now();
+    core::OptimizerOptions oopt;
+    oopt.slo_s = slo;
+    const auto outcome = core::optimize(surrogate, core::encode_window(gaps),
+                                        configs, oopt);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double deepbat_total = std::chrono::duration<double>(t1 - t0).count();
+    (void)outcome;
+
+    total_batch += batch_total;
+    total_deepbat += deepbat_total;
+    t.add_row({std::to_string(rep), fmt(fit->fit_seconds, 3),
+               fmt(search.solve_seconds, 3), fmt(batch_total, 3),
+               fmt(deepbat_total, 4), fmt(batch_total / deepbat_total, 1)});
+  }
+  t.print(std::cout);
+  std::printf("\nmean speedup: %.1fx (paper: 55.93x on their testbed; the "
+              "shape — BATCH orders of magnitude slower — is the claim "
+              "under reproduction)\n",
+              total_batch / total_deepbat);
+  std::printf("BATCH additionally needs up to an hour of data collection "
+              "before it can fit at all (§IV-F), which DeepBAT's parser "
+              "avoids entirely.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// DeepBAT vs the BATCH analytic baseline on one bursty day, head to head:
+// the same trace is replayed under both controllers and under the ground
+// truth oracle; the example prints latency, cost, VCR, and decision time
+// for each — a miniature of the paper's §IV-C/§IV-D evaluation.
+//
+//   ./compare_batch [--hours 2] [--slo 0.1] [--seed 11]
+#include <cstdio>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/deepbat.hpp"
+
+using namespace deepbat;
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  flags.check_known({"hours", "slo", "seed"});
+  const double hours = flags.get_double("hours", 2.0);
+  const double slo = flags.get_double("slo", 0.1);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 11));
+
+  const lambda::LambdaModel model;
+  const lambda::ConfigGrid grid = lambda::ConfigGrid::standard();
+
+  // A bursty on-off workload: the regime where the two approaches diverge.
+  const workload::Trace trace =
+      workload::synthetic_map({.hours = hours}, seed);
+  std::printf("workload: %zu arrivals over %.1f h, SLO %.0f ms\n",
+              trace.size(), hours, slo * 1e3);
+
+  // --- DeepBAT: train on the first half hour, serve the rest ---
+  const double split = trace.start_time() + 1800.0;
+  core::SurrogateConfig scfg;
+  scfg.sequence_length = 64;
+  core::Surrogate surrogate(scfg, grid);
+  core::DatasetBuilderOptions dopt;
+  dopt.sequence_length = scfg.sequence_length;
+  dopt.samples = 400;
+  dopt.seed = seed;
+  core::TrainOptions topt;
+  topt.epochs = 12;
+  topt.slo_s = slo;
+  std::printf("training DeepBAT surrogate on the first 30 min...\n");
+  core::train(surrogate,
+              core::build_dataset(trace.slice(trace.start_time(), split),
+                                  grid, model, dopt),
+              topt);
+  core::DeepBatControllerOptions dco;
+  dco.slo_s = slo;
+  dco.gamma = 0.15;
+  dco.grid = grid;
+  core::DeepBatController deepbat(surrogate, dco);
+
+  // --- BATCH: hourly MAP fit + analytic grid search ---
+  batchlib::BatchControllerOptions bco;
+  bco.slo_s = slo;
+  bco.grid = grid;
+  bco.analytic_options.grid_points = 96;
+  bco.analytic_options.bisection_iterations = 32;
+  batchlib::BatchController batch(model, bco);
+
+  const workload::Trace serve = trace.slice(split, trace.end_time());
+  sim::PlatformOptions popts;
+  popts.control_interval_s = 30.0;
+
+  std::printf("replaying under DeepBAT...\n");
+  const auto run_deepbat =
+      sim::run_platform(serve, deepbat, model, {1024, 1, 0.0}, popts);
+  std::printf("replaying under BATCH...\n");
+  const auto run_batch =
+      sim::run_platform(serve, batch, model, {1024, 1, 0.0}, popts);
+
+  core::VcrOptions vopts;
+  vopts.slo_s = slo;
+  auto describe = [&](const char* who, const sim::PlatformRun& run,
+                      double decision_ms) {
+    return std::vector<std::string>{
+        who,
+        fmt(run.result.latency_quantile(0.95) * 1e3, 1),
+        fmt_sci(run.result.cost_per_request(), 2),
+        fmt(core::vcr(run.result, serve.start_time(), serve.end_time() + 1.0,
+                      vopts),
+            2),
+        fmt(decision_ms, 2)};
+  };
+
+  Table table({"system", "p95_ms", "cost_usd_per_req", "vcr_pct",
+               "ms_per_decision"});
+  table.add_row(describe(
+      "DeepBAT", run_deepbat,
+      1e3 * (deepbat.total_predict_seconds() + deepbat.total_search_seconds()) /
+          static_cast<double>(deepbat.decision_count())));
+  table.add_row(describe(
+      "BATCH", run_batch,
+      batch.refit_count() == 0
+          ? 0.0
+          : 1e3 * (batch.total_fit_seconds() + batch.total_solve_seconds()) /
+                static_cast<double>(batch.refit_count())));
+  print_banner(std::cout, "DeepBAT vs BATCH on a bursty on-off day");
+  table.print(std::cout);
+
+  std::printf(
+      "\nNote: BATCH's per-decision time is the cost of a full refit (MAP "
+      "fit + analytic grid solve); it re-decides hourly and serves stale "
+      "configurations in between, which is where its SLO violations on "
+      "bursty traffic come from.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Quickstart: train a small DeepBAT surrogate on synthetic Azure-like
+// traffic, then ask it for the cheapest (memory, batch size, timeout)
+// configuration that keeps the 95th-percentile latency under a 100 ms SLO,
+// and compare with the simulated ground truth.
+//
+//   ./quickstart [--minutes 12] [--seed 1] [--slo 0.1]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "core/deepbat.hpp"
+
+using namespace deepbat;
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  flags.check_known({"minutes", "seed", "slo"});
+  const double minutes = flags.get_double("minutes", 12.0);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const double slo = flags.get_double("slo", 0.1);
+
+  // 1. The serverless substrate: Lambda performance/cost model and the
+  //    (M, B, T) search space.
+  const lambda::LambdaModel model;
+  const lambda::ConfigGrid grid = lambda::ConfigGrid::standard();
+
+  // 2. Historical workload to learn from.
+  workload::AzureLikeParams wl;
+  wl.hours = minutes / 60.0;
+  const workload::Trace trace = workload::azure_like(wl, seed);
+  std::printf("workload: %zu arrivals over %.1f min (mean %.1f req/s)\n",
+              trace.size(), minutes, trace.mean_rate());
+
+  // 3. Offline training of the deep surrogate (scaled-down budget so the
+  //    example finishes in ~a minute; see bench/ for paper-scale runs).
+  core::SurrogateConfig scfg;
+  scfg.sequence_length = 64;
+  core::Surrogate surrogate(scfg, grid);
+  core::DatasetBuilderOptions dopt;
+  dopt.sequence_length = scfg.sequence_length;
+  dopt.samples = 550;
+  dopt.seed = seed;
+  const nn::Dataset dataset = core::build_dataset(trace, grid, model, dopt);
+  core::TrainOptions topt;
+  topt.epochs = 24;
+  topt.slo_s = slo;
+  std::printf("training surrogate (%zu samples, %d epochs)...\n",
+              dataset.size(), topt.epochs);
+  const core::TrainResult tr = core::train(surrogate, dataset, topt);
+  std::printf("trained in %.1f s, validation MAPE %.1f%%\n", tr.seconds,
+              tr.final_validation_mape);
+
+  // Estimate the penalty factor gamma (paper §III-D): how far off the P95
+  // predictions still are — the optimizer tightens the SLO by that margin.
+  auto gopt = dopt;
+  gopt.samples = 80;
+  gopt.seed = seed + 1;
+  const double gamma = std::min(
+      0.5, core::estimate_gamma(
+               surrogate, core::build_dataset(trace, grid, model, gopt)));
+  std::printf("penalty factor gamma = %.3f\n", gamma);
+
+  // 4. Online decision: observe the last window, pick a configuration.
+  const double now = trace.end_time();
+  const auto window = trace.window_before(
+      now, static_cast<std::size_t>(scfg.sequence_length), 10.0);
+  core::OptimizerOptions oopt;
+  oopt.slo_s = slo;
+  oopt.gamma = gamma;
+  const auto configs = grid.enumerate();
+  const auto outcome = core::optimize(surrogate, core::encode_window(window),
+                                      configs, oopt);
+  std::printf(
+      "\nDeepBAT choice: %s\n  predicted P95 %.1f ms, predicted cost "
+      "%.3g $/req (feasible=%s, %.1f ms to decide)\n",
+      outcome.choice.config.to_string().c_str(),
+      outcome.choice.prediction.p95() * 1e3,
+      outcome.choice.prediction.cost_usd_per_request,
+      outcome.choice.feasible ? "yes" : "no",
+      (outcome.predict_seconds + outcome.search_seconds) * 1e3);
+
+  // 5. Ground truth for the same window, by exhaustive simulation.
+  const workload::Trace last_min = trace.slice(now - 60.0, now);
+  const auto truth =
+      sim::ground_truth_search(last_min.times(), grid, model, slo, 0.95);
+  if (truth.best.has_value()) {
+    std::printf(
+        "ground truth:   %s\n  measured P95 %.1f ms, cost %.3g $/req\n",
+        truth.best->config.to_string().c_str(),
+        truth.best->latency_percentile * 1e3, truth.best->cost_per_request);
+  }
+
+  // 6. Validate the DeepBAT choice by simulation.
+  const auto check = sim::evaluate_config(last_min.times(),
+                                          outcome.choice.config, model, slo,
+                                          0.95);
+  std::printf(
+      "DeepBAT choice simulated on the last minute: P95 %.1f ms (SLO %.0f "
+      "ms, %s), cost %.3g $/req\n",
+      check.latency_percentile * 1e3, slo * 1e3,
+      check.feasible ? "met" : "VIOLATED", check.cost_per_request);
+  return 0;
+}

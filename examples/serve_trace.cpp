@@ -1,0 +1,121 @@
+// End-to-end serving loop (paper Fig. 2 realized): replay a bursty workload
+// through the batching buffer while the DeepBAT controller re-optimizes
+// (M, B, T) every control interval. Prints the per-hour SLO Violation Count
+// Ratio and cost, plus the stream of configuration decisions.
+//
+//   ./serve_trace [--workload azure|twitter|alibaba|synthetic]
+//                 [--hours 1] [--slo 0.1] [--interval 30] [--seed 7]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "core/deepbat.hpp"
+
+#include <iostream>
+
+using namespace deepbat;
+
+namespace {
+
+workload::Trace make_workload(const std::string& name, double hours,
+                              std::uint64_t seed) {
+  if (name == "azure") return workload::azure_like({.hours = hours}, seed);
+  if (name == "twitter") return workload::twitter_like({.hours = hours}, seed);
+  if (name == "alibaba") return workload::alibaba_like({.hours = hours}, seed);
+  if (name == "synthetic") {
+    return workload::synthetic_map({.hours = hours}, seed);
+  }
+  DEEPBAT_FAIL("unknown workload: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  flags.check_known({"workload", "hours", "slo", "interval", "seed"});
+  const std::string name = flags.get("workload", "synthetic");
+  const double hours = flags.get_double("hours", 1.0);
+  const double slo = flags.get_double("slo", 0.1);
+  const double interval = flags.get_double("interval", 30.0);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+
+  const lambda::LambdaModel model;
+  const lambda::ConfigGrid grid = lambda::ConfigGrid::standard();
+  const workload::Trace trace = make_workload(name, hours, seed);
+  std::printf("serving %zu %s requests over %.1f h (SLO %.0f ms)\n",
+              trace.size(), name.c_str(), hours, slo * 1e3);
+
+  // Train a compact surrogate on the first quarter of the trace, serve the
+  // rest. (Use bench/ for the paper's 12 h Azure pre-training setup.)
+  const double split = trace.start_time() + trace.duration() * 0.25;
+  core::SurrogateConfig scfg;
+  scfg.sequence_length = 64;
+  core::Surrogate surrogate(scfg, grid);
+  core::DatasetBuilderOptions dopt;
+  dopt.sequence_length = scfg.sequence_length;
+  dopt.samples = 400;
+  dopt.seed = seed;
+  core::TrainOptions topt;
+  topt.epochs = 12;
+  topt.slo_s = slo;
+  const auto train_slice = trace.slice(trace.start_time(), split);
+  std::printf("training on the first %.0f min...\n",
+              (split - trace.start_time()) / 60.0);
+  core::train(surrogate, core::build_dataset(train_slice, grid, model, dopt),
+              topt);
+
+  // Estimate the penalty factor gamma on held-out data and tighten the SLO
+  // with it (paper §III-D).
+  auto gamma_opt = dopt;
+  gamma_opt.samples = 80;
+  gamma_opt.seed = seed + 1;
+  const double gamma = std::min(
+      0.5, core::estimate_gamma(
+               surrogate, core::build_dataset(train_slice, grid, model,
+                                              gamma_opt)));
+  std::printf("penalty factor gamma = %.3f\n", gamma);
+
+  core::DeepBatControllerOptions copts;
+  copts.slo_s = slo;
+  copts.gamma = gamma;
+  copts.grid = grid;
+  core::DeepBatController controller(surrogate, copts);
+
+  const workload::Trace serve_slice = trace.slice(split, trace.end_time());
+  sim::PlatformOptions popts;
+  popts.control_interval_s = interval;
+  const sim::PlatformRun run =
+      sim::run_platform(serve_slice, controller, model, {1024, 1, 0.0}, popts);
+
+  // Report.
+  core::VcrOptions vopts;
+  vopts.slo_s = slo;
+  const double overall_vcr = core::vcr(run.result, serve_slice.start_time(),
+                                       serve_slice.end_time() + 1.0, vopts);
+  std::printf(
+      "\nserved %zu requests with %zu invocations (mean batch %.2f)\n",
+      run.result.served(), run.result.invocations,
+      run.result.mean_batch_size());
+  std::printf("P95 latency %.1f ms | cost %.3g $/req | VCR %.2f%%\n",
+              run.result.latency_quantile(0.95) * 1e3,
+              run.result.cost_per_request(), overall_vcr);
+  std::printf("controller: %zu decisions, %.2f ms per decision\n",
+              controller.decision_count(),
+              1e3 * (controller.total_predict_seconds() +
+                     controller.total_search_seconds()) /
+                  static_cast<double>(controller.decision_count()));
+
+  Table table({"time_s", "memory_mb", "batch", "timeout_ms"});
+  const std::size_t stride =
+      std::max<std::size_t>(1, run.decisions.size() / 12);
+  for (std::size_t i = 0; i < run.decisions.size(); i += stride) {
+    const auto& d = run.decisions[i];
+    table.add_row({fmt(d.time, 0), std::to_string(d.config.memory_mb),
+                   std::to_string(d.config.batch_size),
+                   fmt(d.config.timeout_s * 1e3, 0)});
+  }
+  print_banner(std::cout, "configuration decisions (sampled)");
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,398 @@
+#include "batchlib/analytic.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace deepbat::batchlib {
+
+namespace {
+
+/// Alive-state layout: index(level n, phase i) = n * m + i, levels
+/// 0..B-2 ("n additional arrivals so far, batch still open").
+struct LevelGenerator {
+  const Matrix& d0;
+  const Matrix& d1;
+  std::size_t m;
+  std::size_t levels;
+
+  /// dp = p * Q restricted to alive states.
+  void apply(std::span<const double> p, std::span<double> dp) const {
+    std::fill(dp.begin(), dp.end(), 0.0);
+    for (std::size_t n = 0; n < levels; ++n) {
+      const double* pn = p.data() + n * m;
+      double* dn = dp.data() + n * m;
+      for (std::size_t j = 0; j < m; ++j) {
+        const double pj = pn[j];
+        if (pj == 0.0) continue;
+        for (std::size_t i = 0; i < m; ++i) {
+          dn[i] += pj * d0(j, i);
+        }
+        if (n + 1 < levels) {
+          double* dup = dp.data() + (n + 1) * m;
+          for (std::size_t i = 0; i < m; ++i) {
+            dup[i] += pj * d1(j, i);
+          }
+        }
+      }
+    }
+  }
+};
+
+/// RK4 transient integration of p' = p Q on a uniform grid over [0, T].
+/// Sub-steps per grid cell keep (max exit rate * dt) below `safety` — the
+/// same stability control uniformization applies.
+std::vector<std::vector<double>> integrate(const LevelGenerator& gen,
+                                           std::vector<double> p0, double T,
+                                           std::size_t grid_points,
+                                           double safety) {
+  const std::size_t dim = p0.size();
+  double max_rate = 0.0;
+  for (std::size_t i = 0; i < gen.m; ++i) {
+    max_rate = std::max(max_rate, -gen.d0(i, i));
+  }
+  const double dt_grid = T / static_cast<double>(grid_points);
+  // Accuracy wants (max_rate * h) <= safety; cap the resulting cost so a
+  // pathologically fast MAP phase cannot demand millions of sub-steps (its
+  // transients equilibrate within a cell anyway). Never go below the RK4
+  // stability bound (max_rate * h) <= 2.5, which is non-negotiable.
+  constexpr std::size_t kAccuracyCap = 512;
+  const auto accuracy_steps = std::clamp<std::size_t>(
+      static_cast<std::size_t>(std::ceil(max_rate * dt_grid / safety)), 1,
+      kAccuracyCap);
+  const auto stability_steps = static_cast<std::size_t>(
+      std::ceil(max_rate * dt_grid / 2.5));
+  const std::size_t substeps = std::max({accuracy_steps, stability_steps,
+                                         std::size_t{1}});
+  const double h = dt_grid / static_cast<double>(substeps);
+
+  std::vector<std::vector<double>> out;
+  out.reserve(grid_points + 1);
+  out.push_back(p0);
+  std::vector<double> k1(dim), k2(dim), k3(dim), k4(dim), tmp(dim);
+  std::vector<double> p = std::move(p0);
+  for (std::size_t g = 0; g < grid_points; ++g) {
+    for (std::size_t s = 0; s < substeps; ++s) {
+      gen.apply(p, k1);
+      for (std::size_t i = 0; i < dim; ++i) tmp[i] = p[i] + 0.5 * h * k1[i];
+      gen.apply(tmp, k2);
+      for (std::size_t i = 0; i < dim; ++i) tmp[i] = p[i] + 0.5 * h * k2[i];
+      gen.apply(tmp, k3);
+      for (std::size_t i = 0; i < dim; ++i) tmp[i] = p[i] + h * k3[i];
+      gen.apply(tmp, k4);
+      for (std::size_t i = 0; i < dim; ++i) {
+        p[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        p[i] = std::max(p[i], 0.0);
+      }
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace
+
+struct BatchAnalyticModel::Transient {
+  std::size_t m = 0;
+  std::int64_t B = 0;
+  double T = 0.0;
+  double dt = 0.0;
+  std::size_t grid = 0;
+  /// Opener run: p[k][n*m+i], initial mass pi_a at level 0.
+  std::vector<std::vector<double>> p;
+  /// Per-start-phase runs for the absorption CDFs G_{r,i}.
+  std::vector<std::vector<std::vector<double>>> phase_runs;
+  /// Prefix sums over levels: below_cum[i][k][r] = P(level < r at grid k |
+  /// start phase i), r = 0..B-1. Precomputed so each CDF probe is O(1).
+  std::vector<std::vector<std::vector<double>>> below_cum;
+
+  // ---- assembled quantities (filled by BatchAnalyticModel) ----
+  std::vector<double> timeout_law;   // p_n(T), n = 0..B-2
+  std::vector<double> timeout_cum;   // prefix sums of timeout_law
+  double p_full = 0.0;               // batch filled before timeout
+  double expected_k = 0.0;           // E[batch size]
+  std::vector<double> service_by_k;  // s(M, k), k = 0..B (increasing in k)
+  std::vector<double> pia;           // arrival-stationary phase distribution
+
+  /// Sum of timeout_law[n] for n in [lo, hi] (inclusive, clamped).
+  double timeout_mass(std::int64_t lo, std::int64_t hi) const {
+    hi = std::min<std::int64_t>(hi, B - 2);
+    if (hi < lo) return 0.0;
+    const double upper = timeout_cum[static_cast<std::size_t>(hi)];
+    const double lower =
+        lo > 0 ? timeout_cum[static_cast<std::size_t>(lo - 1)] : 0.0;
+    return upper - lower;
+  }
+
+  /// Largest n such that service_by_k[n + 1] <= budget (or lo - 1 if none).
+  std::int64_t max_size_within(double budget) const {
+    // service_by_k is strictly increasing in k; find last k with s(k) <=
+    // budget, n = k - 1.
+    const auto it = std::upper_bound(service_by_k.begin() + 1,
+                                     service_by_k.end(), budget);
+    return static_cast<std::int64_t>(it - service_by_k.begin()) - 2;
+  }
+
+  /// P(fewer than r additional arrivals by grid time k | start phase i).
+  double below_level(std::size_t i, std::size_t k, std::int64_t r) const {
+    const auto& cum = below_cum[i][k];
+    const auto idx = std::min(static_cast<std::size_t>(r), cum.size() - 1);
+    return cum[idx];
+  }
+
+  /// Absorption CDF G_{r,i}(w) = P(r-th additional arrival <= w), linear
+  /// interpolation on the grid; w < 0 gives 0, w > T clamps to T (by then
+  /// absorption beyond level r can no longer happen within this batch).
+  double absorption_cdf(std::size_t i, std::int64_t r, double w) const {
+    if (w <= 0.0) return 0.0;
+    const double pos = std::min(w, T) / dt;
+    const auto k0 = std::min(static_cast<std::size_t>(pos), grid);
+    const std::size_t k1 = std::min(k0 + 1, grid);
+    const double frac = std::min(pos - static_cast<double>(k0), 1.0);
+    const double g0 = 1.0 - below_level(i, k0, r);
+    const double g1 = 1.0 - below_level(i, k1, r);
+    return g0 + frac * (g1 - g0);
+  }
+
+  /// Per-request latency CDF at x (see the header for the derivation).
+  double cdf(const Matrix& d1, double x) const {
+    if (expected_k <= 0.0) return 0.0;
+    const double service_full = service_by_k[static_cast<std::size_t>(B)];
+    double total = 0.0;
+    // ---- opener (request index 0, r = B-1 remaining arrivals) ----
+    for (std::size_t i = 0; i < m; ++i) {
+      total += pia[i] * absorption_cdf(i, B - 1, x - service_full);
+    }
+    total += timeout_mass(0, max_size_within(x - T));
+    // ---- request index j = 1..B-2 (arrival flux into level j) ----
+    for (std::int64_t j = 1; j <= B - 2; ++j) {
+      const std::int64_t r = B - 1 - j;
+      const double tail = timeout_mass(j, B - 2);
+      for (std::size_t k = 0; k <= grid; ++k) {
+        const double s = static_cast<double>(k) * dt;
+        const double w = (k == 0 || k == grid) ? 0.5 * dt : dt;
+        const auto& state = p[k];
+        for (std::size_t i = 0; i < m; ++i) {
+          double flux = 0.0;
+          for (std::size_t ph = 0; ph < m; ++ph) {
+            flux +=
+                state[static_cast<std::size_t>(j - 1) * m + ph] * d1(ph, i);
+          }
+          if (flux == 0.0) continue;
+          const double weight = flux * w;
+          const double remaining = T - s;
+          // Full batch: wait = R <= remaining, latency = R + s(B).
+          total += weight * absorption_cdf(
+                                i, r, std::min(x - service_full, remaining));
+          // Timeout: wait = remaining; size law restricted to n >= j.
+          const double p_to = 1.0 - absorption_cdf(i, r, remaining);
+          if (p_to > 0.0 && tail > 0.0) {
+            const double hit =
+                timeout_mass(j, max_size_within(x - remaining));
+            total += weight * p_to * hit / tail;
+          }
+        }
+      }
+    }
+    // ---- request index B-1: triggers dispatch, latency = s(B) ----
+    if (service_full <= x) {
+      total += p_full;
+    }
+    return total / expected_k;
+  }
+};
+
+BatchAnalyticModel::BatchAnalyticModel(workload::Map map,
+                                       const lambda::LambdaModel& lambda_model,
+                                       AnalyticOptions options)
+    : map_(std::move(map)), lambda_(lambda_model), options_(options) {
+  DEEPBAT_CHECK(options_.grid_points >= 8, "AnalyticOptions: grid too coarse");
+}
+
+BatchAnalyticModel::Transient BatchAnalyticModel::solve_counting(
+    const lambda::Config& config) const {
+  const std::size_t m = map_.order();
+  const auto B = config.batch_size;
+  DEEPBAT_CHECK(B >= 2 && config.timeout_s > 0.0,
+                "solve_counting: degenerate config handled by caller");
+  Transient tr;
+  tr.m = m;
+  tr.B = B;
+  tr.T = config.timeout_s;
+  tr.grid = options_.grid_points;
+  tr.dt = tr.T / static_cast<double>(tr.grid);
+
+  const LevelGenerator gen{map_.d0(), map_.d1(), m,
+                           static_cast<std::size_t>(B - 1)};
+  const std::size_t dim = static_cast<std::size_t>(B - 1) * m;
+
+  tr.pia = map_.arrival_phase_stationary();
+  std::vector<double> p0(dim, 0.0);
+  for (std::size_t i = 0; i < m; ++i) p0[i] = tr.pia[i];
+  tr.p = integrate(gen, std::move(p0), tr.T, tr.grid,
+                   options_.uniformization_safety);
+
+  tr.phase_runs.resize(m);
+  tr.below_cum.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<double> e(dim, 0.0);
+    e[i] = 1.0;
+    tr.phase_runs[i] = integrate(gen, std::move(e), tr.T, tr.grid,
+                                 options_.uniformization_safety);
+    // Level prefix sums: below_cum[i][k][r] = sum of levels 0..r-1.
+    tr.below_cum[i].resize(tr.grid + 1);
+    for (std::size_t k = 0; k <= tr.grid; ++k) {
+      const auto& state = tr.phase_runs[i][k];
+      auto& cum = tr.below_cum[i][k];
+      cum.assign(static_cast<std::size_t>(B), 0.0);
+      double running_mass = 0.0;
+      for (std::int64_t n = 0; n < B - 1; ++n) {
+        for (std::size_t ph = 0; ph < m; ++ph) {
+          running_mass += state[static_cast<std::size_t>(n) * m + ph];
+        }
+        cum[static_cast<std::size_t>(n) + 1] = running_mass;
+      }
+    }
+  }
+
+  // Assembled quantities.
+  tr.timeout_law.assign(static_cast<std::size_t>(B - 1), 0.0);
+  double p_timeout = 0.0;
+  for (std::int64_t n = 0; n < B - 1; ++n) {
+    double mass = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      mass += tr.p[tr.grid][static_cast<std::size_t>(n) * m + i];
+    }
+    tr.timeout_law[static_cast<std::size_t>(n)] = mass;
+    p_timeout += mass;
+  }
+  tr.p_full = std::max(0.0, 1.0 - p_timeout);
+  tr.expected_k = static_cast<double>(B) * tr.p_full;
+  for (std::int64_t n = 0; n < B - 1; ++n) {
+    tr.expected_k += static_cast<double>(n + 1) *
+                     tr.timeout_law[static_cast<std::size_t>(n)];
+  }
+  tr.timeout_cum.resize(tr.timeout_law.size());
+  double running = 0.0;
+  for (std::size_t n = 0; n < tr.timeout_law.size(); ++n) {
+    running += tr.timeout_law[n];
+    tr.timeout_cum[n] = running;
+  }
+  tr.service_by_k.assign(static_cast<std::size_t>(B) + 1, 0.0);
+  for (std::int64_t k = 1; k <= B; ++k) {
+    tr.service_by_k[static_cast<std::size_t>(k)] =
+        lambda_.service_time(config.memory_mb, k);
+  }
+  // max_size_within() relies on service_by_k[0] never matching.
+  tr.service_by_k[0] = -1.0;
+  return tr;
+}
+
+double BatchAnalyticModel::latency_cdf(const lambda::Config& config,
+                                       double t) const {
+  lambda_.validate(config);
+  if (config.batch_size == 1 || config.timeout_s <= 0.0) {
+    return t >= lambda_.service_time(config.memory_mb, 1) ? 1.0 : 0.0;
+  }
+  const Transient tr = solve_counting(config);
+  return tr.cdf(map_.d1(), t);
+}
+
+AnalyticEvaluation BatchAnalyticModel::evaluate(const lambda::Config& config,
+                                                double percentile,
+                                                double slo_s) const {
+  lambda_.validate(config);
+  DEEPBAT_CHECK(percentile > 0.0 && percentile < 1.0,
+                "evaluate: percentile out of (0, 1)");
+  AnalyticEvaluation eval;
+  eval.config = config;
+
+  if (config.batch_size == 1 || config.timeout_s <= 0.0) {
+    const double service = lambda_.service_time(config.memory_mb, 1);
+    eval.latency_percentile = service;
+    eval.cost_per_request = lambda_.invocation_cost(config.memory_mb, service);
+    eval.expected_batch_size = 1.0;
+    eval.p_full_batch = 1.0;
+    eval.feasible = eval.latency_percentile <= slo_s;
+    return eval;
+  }
+
+  const Transient tr = solve_counting(config);
+  eval.p_full_batch = tr.p_full;
+  eval.expected_batch_size = tr.expected_k;
+
+  // Cost: one invocation per batch; expectation over batch outcomes,
+  // divided by expected requests per batch.
+  const auto B = config.batch_size;
+  double invocation_cost =
+      tr.p_full * lambda_.invocation_cost(
+                      config.memory_mb,
+                      tr.service_by_k[static_cast<std::size_t>(B)]);
+  for (std::int64_t n = 0; n < B - 1; ++n) {
+    invocation_cost +=
+        tr.timeout_law[static_cast<std::size_t>(n)] *
+        lambda_.invocation_cost(config.memory_mb,
+                                tr.service_by_k[static_cast<std::size_t>(n + 1)]);
+  }
+  eval.cost_per_request = tr.expected_k > 0.0
+                              ? invocation_cost / tr.expected_k
+                              : invocation_cost;
+
+  // Percentile by bisection on the latency CDF.
+  const double service_max = *std::max_element(tr.service_by_k.begin() + 1,
+                                               tr.service_by_k.end());
+  double lo = 0.0;
+  double hi = tr.T + service_max + 1e-6;
+  for (std::size_t it = 0; it < options_.bisection_iterations; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (tr.cdf(map_.d1(), mid) >= percentile) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  eval.latency_percentile = 0.5 * (lo + hi);
+  eval.feasible = eval.latency_percentile <= slo_s;
+  return eval;
+}
+
+AnalyticSearchResult analytic_grid_search(const BatchAnalyticModel& model,
+                                          const lambda::ConfigGrid& grid,
+                                          double slo_s, double percentile) {
+  const auto configs = grid.enumerate();
+  DEEPBAT_CHECK(!configs.empty(), "analytic_grid_search: empty grid");
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto evals = parallel_map<AnalyticEvaluation>(
+      configs.size(),
+      [&](std::size_t i) {
+        return model.evaluate(configs[i], percentile, slo_s);
+      },
+      /*grain=*/4);
+  AnalyticSearchResult result;
+  bool have_best = false;
+  AnalyticEvaluation fallback;  // smallest latency if nothing is feasible
+  bool have_fallback = false;
+  for (const auto& eval : evals) {
+    if (eval.feasible) {
+      result.any_feasible = true;
+      if (!have_best || eval.cost_per_request < result.best.cost_per_request) {
+        result.best = eval;
+        have_best = true;
+      }
+    }
+    if (!have_fallback ||
+        eval.latency_percentile < fallback.latency_percentile) {
+      fallback = eval;
+      have_fallback = true;
+    }
+  }
+  if (!have_best) result.best = fallback;
+  const auto t1 = std::chrono::steady_clock::now();
+  result.solve_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return result;
+}
+
+}  // namespace deepbat::batchlib

@@ -1,0 +1,84 @@
+#pragma once
+// BATCH's analytic engine (Ali et al., SC'20), reimplemented: given a fitted
+// MAP and a candidate configuration (M, B, T), compute the per-request
+// latency distribution and expected cost per request in closed form —
+// without simulating the workload.
+//
+// Mathematical model. A batch opens when a request arrives into an empty
+// buffer; the MAP phase at that instant follows the arrival-stationary
+// vector. Additional arrivals accumulate according to the MAP; the batch
+// dispatches at min(T, time of the (B-1)-th additional arrival). A request's
+// latency is (dispatch - its arrival) + s(M, K) with K the realized batch
+// size. The (count, phase) process is a level-structured transient CTMC
+// (levels 0..B-2, absorbing at level B-1), whose Kolmogorov equations we
+// integrate on a time grid (RK4 with uniformization-controlled sub-steps —
+// numerically equivalent to the matrix exponentials BATCH evaluates, see
+// the expm cross-check in tests). From the transient solution we obtain:
+//   * the dispatch-by-arrival probability and the timeout batch-size law,
+//   * per-arrival-index waiting-time laws via phase-type absorption CDFs,
+// and assemble the exact per-request latency CDF (one documented
+// approximation: the batch size of a timeout batch is taken from the
+// unconditional law restricted to sizes consistent with the tagged
+// request's index).
+
+#include <span>
+
+#include "lambda/model.hpp"
+#include "workload/map_process.hpp"
+
+namespace deepbat::batchlib {
+
+struct AnalyticOptions {
+  std::size_t grid_points = 192;   // time resolution over [0, T]
+  double uniformization_safety = 0.2;  // max generator-rate * substep
+  std::size_t bisection_iterations = 44;
+};
+
+struct AnalyticEvaluation {
+  lambda::Config config;
+  double latency_percentile = 0.0;
+  double cost_per_request = 0.0;
+  double expected_batch_size = 0.0;
+  double p_full_batch = 0.0;  // probability the batch filled before timeout
+  bool feasible = false;
+};
+
+class BatchAnalyticModel {
+ public:
+  BatchAnalyticModel(workload::Map map, const lambda::LambdaModel& lambda_model,
+                     AnalyticOptions options = {});
+
+  /// Latency percentile (e.g. 0.95) and cost for one configuration.
+  AnalyticEvaluation evaluate(const lambda::Config& config, double percentile,
+                              double slo_s) const;
+
+  /// Per-request latency CDF at time t for one configuration.
+  double latency_cdf(const lambda::Config& config, double t) const;
+
+  const workload::Map& map() const { return map_; }
+
+ private:
+  struct Transient;  // grid solution of the counting process
+
+  Transient solve_counting(const lambda::Config& config) const;
+
+  workload::Map map_;
+  const lambda::LambdaModel& lambda_;
+  AnalyticOptions options_;
+};
+
+/// Grid search under the analytic model: minimize cost subject to the SLO
+/// (Eq. 10), exactly BATCH's optimizer. Infeasible-everywhere falls back to
+/// the config with the smallest latency percentile.
+struct AnalyticSearchResult {
+  AnalyticEvaluation best;
+  bool any_feasible = false;
+  double solve_seconds = 0.0;  // wall-clock of the whole grid scan
+};
+
+AnalyticSearchResult analytic_grid_search(const BatchAnalyticModel& model,
+                                          const lambda::ConfigGrid& grid,
+                                          double slo_s,
+                                          double percentile = 0.95);
+
+}  // namespace deepbat::batchlib

@@ -1,0 +1,43 @@
+#include "batchlib/controller.hpp"
+
+namespace deepbat::batchlib {
+
+BatchController::BatchController(const lambda::LambdaModel& model,
+                                 BatchControllerOptions options)
+    : model_(model), options_(std::move(options)) {
+  model_.validate(options_.bootstrap_config);
+}
+
+lambda::Config BatchController::decide(const workload::Trace& history,
+                                       double now) {
+  if (current_.has_value() &&
+      now < last_refit_ + options_.refit_interval_s) {
+    return *current_;
+  }
+
+  const workload::Trace window =
+      history.slice(now - options_.profile_window_s, now);
+  const auto gaps = window.interarrivals();
+  const auto fit = workload::fit_mmpp2(gaps, options_.fit_options);
+  if (!fit.has_value()) {
+    // Not enough data to fit a MAP — BATCH must keep collecting and serve
+    // with whatever configuration it has.
+    ++insufficient_;
+    return current_.value_or(options_.bootstrap_config);
+  }
+
+  last_refit_ = now;
+  ++refit_count_;
+  fit_seconds_ += fit->fit_seconds;
+  last_fit_ = fit;
+
+  const BatchAnalyticModel analytic(fit->map, model_,
+                                    options_.analytic_options);
+  const AnalyticSearchResult search = analytic_grid_search(
+      analytic, options_.grid, options_.slo_s, options_.percentile);
+  solve_seconds_ += search.solve_seconds;
+  current_ = search.best.config;
+  return *current_;
+}
+
+}  // namespace deepbat::batchlib

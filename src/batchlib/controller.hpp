@@ -1,0 +1,58 @@
+#pragma once
+// The BATCH baseline as a pluggable controller (paper §IV-B: "Every hour,
+// BATCH profiles the workload and fits its arrival process into a MAP",
+// then solves the analytic model over the config grid). Between refits the
+// configuration is held fixed — exactly the staleness that costs BATCH SLO
+// violations on bursty traces (Figs. 7-12).
+
+#include <limits>
+#include <optional>
+
+#include "batchlib/analytic.hpp"
+#include "sim/platform.hpp"
+#include "workload/map_fit.hpp"
+
+namespace deepbat::batchlib {
+
+struct BatchControllerOptions {
+  double refit_interval_s = 3600.0;   // hourly re-optimization
+  double profile_window_s = 3600.0;   // fit on the previous hour
+  double slo_s = 0.1;
+  double percentile = 0.95;
+  lambda::ConfigGrid grid = lambda::ConfigGrid::standard();
+  workload::MapFitOptions fit_options;
+  AnalyticOptions analytic_options;
+  /// Used until the first successful fit.
+  lambda::Config bootstrap_config{1024, 1, 0.0};
+};
+
+class BatchController : public sim::Controller {
+ public:
+  BatchController(const lambda::LambdaModel& model,
+                  BatchControllerOptions options = {});
+
+  lambda::Config decide(const workload::Trace& history, double now) override;
+  std::string name() const override { return "BATCH"; }
+
+  // --- instrumentation used by the speedup experiment (§IV-F) ---
+  std::size_t refit_count() const { return refit_count_; }
+  std::size_t insufficient_data_count() const { return insufficient_; }
+  double total_fit_seconds() const { return fit_seconds_; }
+  double total_solve_seconds() const { return solve_seconds_; }
+  const std::optional<workload::MapFitResult>& last_fit() const {
+    return last_fit_;
+  }
+
+ private:
+  const lambda::LambdaModel& model_;
+  BatchControllerOptions options_;
+  std::optional<lambda::Config> current_;
+  double last_refit_ = -std::numeric_limits<double>::infinity();
+  std::size_t refit_count_ = 0;
+  std::size_t insufficient_ = 0;
+  double fit_seconds_ = 0.0;
+  double solve_seconds_ = 0.0;
+  std::optional<workload::MapFitResult> last_fit_;
+};
+
+}  // namespace deepbat::batchlib

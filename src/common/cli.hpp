@@ -1,0 +1,33 @@
+#pragma once
+// Minimal command-line flag parser for examples and bench binaries.
+// Supports `--name value` and `--name=value`; unknown flags are an error so
+// typos surface immediately.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace deepbat {
+
+class CliFlags {
+ public:
+  /// Parse argv. Throws deepbat::Error on malformed input.
+  CliFlags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Error out unless every provided flag is in `allowed` (comma-separated
+  /// documentation string is the caller's problem; this takes a set-like
+  /// initializer).
+  void check_known(std::initializer_list<const char*> allowed) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace deepbat

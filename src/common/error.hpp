@@ -1,0 +1,39 @@
+#pragma once
+// Error-handling primitives shared by every DeepBAT module.
+//
+// The library reports contract violations (bad shapes, invalid configs,
+// malformed files) via `deepbat::Error`, raised through the DEEPBAT_CHECK
+// macro so that messages carry the failing expression and source location.
+
+#include <stdexcept>
+#include <string>
+
+namespace deepbat {
+
+/// Exception type thrown by all DeepBAT components on contract violations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void raise_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace deepbat
+
+/// Check `cond`; on failure throw deepbat::Error with expression + location.
+/// The second argument is a message expression (anything streamable into a
+/// std::string via operator+ is overkill here; we accept a std::string).
+#define DEEPBAT_CHECK(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::deepbat::detail::raise_check_failure(#cond, __FILE__, __LINE__,   \
+                                             (msg));                     \
+    }                                                                     \
+  } while (false)
+
+/// Unconditional failure with message.
+#define DEEPBAT_FAIL(msg)                                                 \
+  ::deepbat::detail::raise_check_failure("failure", __FILE__, __LINE__, (msg))

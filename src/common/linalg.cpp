@@ -1,0 +1,241 @@
+#include "common/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace deepbat {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  DEEPBAT_CHECK(data_.size() == rows * cols, "Matrix: data size mismatch");
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::zeros(std::size_t rows, std::size_t cols) {
+  return Matrix(rows, cols);
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  DEEPBAT_CHECK(r < rows_ && c < cols_, "Matrix: index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  DEEPBAT_CHECK(r < rows_ && c < cols_, "Matrix: index out of range");
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  DEEPBAT_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+                "Matrix+: shape mismatch");
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] + other.data_[i];
+  }
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  DEEPBAT_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+                "Matrix-: shape mismatch");
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] - other.data_[i];
+  }
+  return out;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  DEEPBAT_CHECK(cols_ == other.rows_, "Matrix*: inner dimension mismatch");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = data_[i * cols_ + k];
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out.data_[i * other.cols_ + j] += a * other.data_[k * other.cols_ + j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator*(double s) const {
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] * s;
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out(c, r) = (*this)(r, c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::inverse() const {
+  DEEPBAT_CHECK(rows_ == cols_, "inverse: matrix must be square");
+  const std::size_t n = rows_;
+  Matrix a = *this;
+  Matrix inv = identity(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+    }
+    DEEPBAT_CHECK(std::abs(a(pivot, col)) > 1e-300,
+                  "inverse: singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a(col, c), a(pivot, c));
+        std::swap(inv(col, c), inv(pivot, c));
+      }
+    }
+    const double d = a(col, col);
+    for (std::size_t c = 0; c < n; ++c) {
+      a(col, c) /= d;
+      inv(col, c) /= d;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = a(r, col);
+      if (f == 0.0) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        a(r, c) -= f * a(col, c);
+        inv(r, c) -= f * inv(col, c);
+      }
+    }
+  }
+  return inv;
+}
+
+std::vector<double> Matrix::solve(std::span<const double> b) const {
+  DEEPBAT_CHECK(rows_ == cols_ && b.size() == rows_, "solve: bad dimensions");
+  return mat_vec(inverse(), b);
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double x : data_) m = std::max(m, std::abs(x));
+  return m;
+}
+
+Matrix Matrix::expm() const {
+  DEEPBAT_CHECK(rows_ == cols_, "expm: matrix must be square");
+  // Scale so ||A/2^s|| <= 0.5, run the Taylor series to convergence, then
+  // square s times.
+  const double norm = max_abs() * static_cast<double>(rows_);
+  int s = 0;
+  double scaled = norm;
+  while (scaled > 0.5) {
+    scaled /= 2.0;
+    ++s;
+  }
+  Matrix a = *this * std::pow(2.0, -s);
+  Matrix result = identity(rows_);
+  Matrix term = identity(rows_);
+  for (int k = 1; k <= 30; ++k) {
+    term = term * a * (1.0 / static_cast<double>(k));
+    result = result + term;
+    if (term.max_abs() < 1e-16) break;
+  }
+  for (int i = 0; i < s; ++i) result = result * result;
+  return result;
+}
+
+std::string Matrix::to_string() const {
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    os << (r == 0 ? "[" : " ");
+    for (std::size_t c = 0; c < cols_; ++c) {
+      os << (*this)(r, c) << (c + 1 < cols_ ? ", " : "");
+    }
+    os << (r + 1 < rows_ ? ";\n" : "]");
+  }
+  return os.str();
+}
+
+std::vector<double> vec_mat(std::span<const double> v, const Matrix& a) {
+  DEEPBAT_CHECK(v.size() == a.rows(), "vec_mat: dimension mismatch");
+  std::vector<double> out(a.cols(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double x = v[r];
+    if (x == 0.0) continue;
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      out[c] += x * a(r, c);
+    }
+  }
+  return out;
+}
+
+std::vector<double> mat_vec(const Matrix& a, std::span<const double> v) {
+  DEEPBAT_CHECK(v.size() == a.cols(), "mat_vec: dimension mismatch");
+  std::vector<double> out(a.rows(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      s += a(r, c) * v[c];
+    }
+    out[r] = s;
+  }
+  return out;
+}
+
+std::vector<double> stationary_distribution(const Matrix& p) {
+  DEEPBAT_CHECK(p.rows() == p.cols() && p.rows() > 0,
+                "stationary_distribution: bad matrix");
+  // Solve pi (P - I) = 0 with sum(pi) = 1: replace last column by ones.
+  const std::size_t n = p.rows();
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      a(r, c) = p(r, c) - (r == c ? 1.0 : 0.0);
+    }
+  }
+  // System: pi A = 0 -> A^T pi^T = 0; overwrite last equation with sum = 1.
+  Matrix at = a.transpose();
+  for (std::size_t c = 0; c < n; ++c) at(n - 1, c) = 1.0;
+  std::vector<double> b(n, 0.0);
+  b[n - 1] = 1.0;
+  auto pi = at.solve(b);
+  for (double& x : pi) x = std::max(x, 0.0);  // clean tiny negatives
+  double total = 0.0;
+  for (double x : pi) total += x;
+  DEEPBAT_CHECK(total > 0.0, "stationary_distribution: degenerate solution");
+  for (double& x : pi) x /= total;
+  return pi;
+}
+
+std::vector<double> ctmc_stationary(const Matrix& q) {
+  DEEPBAT_CHECK(q.rows() == q.cols() && q.rows() > 0,
+                "ctmc_stationary: bad matrix");
+  const std::size_t n = q.rows();
+  Matrix qt = q.transpose();
+  for (std::size_t c = 0; c < n; ++c) qt(n - 1, c) = 1.0;
+  std::vector<double> b(n, 0.0);
+  b[n - 1] = 1.0;
+  auto pi = qt.solve(b);
+  for (double& x : pi) x = std::max(x, 0.0);
+  double total = 0.0;
+  for (double x : pi) total += x;
+  DEEPBAT_CHECK(total > 0.0, "ctmc_stationary: degenerate solution");
+  for (double& x : pi) x /= total;
+  return pi;
+}
+
+}  // namespace deepbat

@@ -1,0 +1,76 @@
+#pragma once
+// Small dense double-precision matrices for the Markovian-arrival-process
+// machinery: moment formulas need 2x2 inverses and products; the BATCH
+// analytic engine and its tests use the matrix exponential. Not a general
+// BLAS — dimensions here are tiny (order of the MAP, or 2*B for the batch
+// phase process), so clarity beats blocking.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace deepbat {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols);
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data);
+
+  static Matrix identity(std::size_t n);
+  static Matrix zeros(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  std::span<const double> data() const { return data_; }
+  std::span<double> data() { return data_; }
+
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  Matrix operator*(const Matrix& other) const;
+  Matrix operator*(double s) const;
+
+  Matrix transpose() const;
+
+  /// Inverse via Gauss-Jordan with partial pivoting. Throws on singularity.
+  Matrix inverse() const;
+
+  /// Solve A x = b (square A). Throws on singularity.
+  std::vector<double> solve(std::span<const double> b) const;
+
+  /// Max-abs norm.
+  double max_abs() const;
+
+  /// Matrix exponential exp(A) via scaling-and-squaring with a Taylor
+  /// series on the scaled matrix — adequate for the modest dimensions and
+  /// conditioning of CTMC generators.
+  Matrix expm() const;
+
+  std::string to_string() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Left multiply: (row vector v) * A.
+std::vector<double> vec_mat(std::span<const double> v, const Matrix& a);
+
+/// Right multiply: A * (column vector v).
+std::vector<double> mat_vec(const Matrix& a, std::span<const double> v);
+
+/// Stationary distribution pi of an irreducible stochastic matrix P
+/// (pi P = pi, pi 1 = 1) via the linear system.
+std::vector<double> stationary_distribution(const Matrix& p);
+
+/// Stationary distribution of an irreducible CTMC generator Q
+/// (pi Q = 0, pi 1 = 1).
+std::vector<double> ctmc_stationary(const Matrix& q);
+
+}  // namespace deepbat

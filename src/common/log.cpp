@@ -1,0 +1,55 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+
+namespace deepbat {
+
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("DEEPBAT_LOG");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "trace") == 0) return LogLevel::kTrace;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel> g_level{level_from_env()};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+
+void log_write(LogLevel level, const std::string& message) {
+  std::lock_guard lock(g_mutex);
+  std::cerr << "[deepbat:" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace detail
+
+}  // namespace deepbat

@@ -1,0 +1,35 @@
+#pragma once
+// Tiny leveled logger. Defaults to `info`; raise/lower via set_log_level or
+// the DEEPBAT_LOG environment variable (trace|debug|info|warn|error|off).
+// Thread-safe: each message is formatted into one string and written with a
+// single mutex-guarded call.
+
+#include <sstream>
+#include <string>
+
+namespace deepbat {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message);
+}
+
+}  // namespace deepbat
+
+#define DEEPBAT_LOG_AT(level, expr)                                    \
+  do {                                                                 \
+    if ((level) >= ::deepbat::log_level()) {                           \
+      std::ostringstream os_;                                          \
+      os_ << expr;                                                     \
+      ::deepbat::detail::log_write((level), os_.str());                \
+    }                                                                  \
+  } while (false)
+
+#define LOG_DEBUG(expr) DEEPBAT_LOG_AT(::deepbat::LogLevel::kDebug, expr)
+#define LOG_INFO(expr) DEEPBAT_LOG_AT(::deepbat::LogLevel::kInfo, expr)
+#define LOG_WARN(expr) DEEPBAT_LOG_AT(::deepbat::LogLevel::kWarn, expr)
+#define LOG_ERROR(expr) DEEPBAT_LOG_AT(::deepbat::LogLevel::kError, expr)

@@ -1,0 +1,136 @@
+#pragma once
+// Derivative-free minimization (Nelder-Mead) used by the MAP fitting
+// pipeline. Small, dependency-free, deterministic.
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace deepbat {
+
+struct NelderMeadOptions {
+  int max_iterations = 2000;
+  double initial_step = 0.5;
+  double tolerance = 1e-10;  // simplex spread in function value
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double value = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimize `f` starting from `x0`.
+inline NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, const NelderMeadOptions& opts = {}) {
+  DEEPBAT_CHECK(!x0.empty(), "nelder_mead: empty start point");
+  const std::size_t n = x0.size();
+  // Build initial simplex.
+  std::vector<std::vector<double>> simplex;
+  simplex.push_back(x0);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto v = x0;
+    v[i] += opts.initial_step;
+    simplex.push_back(std::move(v));
+  }
+  std::vector<double> values;
+  values.reserve(n + 1);
+  for (const auto& v : simplex) values.push_back(f(v));
+
+  auto order = [&] {
+    std::vector<std::size_t> idx(simplex.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+    std::vector<std::vector<double>> s2;
+    std::vector<double> v2;
+    for (std::size_t i : idx) {
+      s2.push_back(simplex[i]);
+      v2.push_back(values[i]);
+    }
+    simplex = std::move(s2);
+    values = std::move(v2);
+  };
+
+  // Convergence needs both a small function-value spread AND a small
+  // simplex: symmetric objectives can make all vertices equal in value
+  // while the simplex still spans the minimum.
+  auto simplex_diameter = [&] {
+    double d = 0.0;
+    for (std::size_t i = 1; i < simplex.size(); ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        d = std::max(d, std::abs(simplex[i][j] - simplex[0][j]));
+      }
+    }
+    return d;
+  };
+
+  NelderMeadResult result;
+  int iter = 0;
+  for (; iter < opts.max_iterations; ++iter) {
+    order();
+    if (values.back() - values.front() < opts.tolerance &&
+        simplex_diameter() < std::sqrt(opts.tolerance)) {
+      result.converged = true;
+      break;
+    }
+    // Centroid of all but worst.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) centroid[j] += simplex[i][j];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    auto affine = [&](double t) {
+      std::vector<double> p(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        p[j] = centroid[j] + t * (simplex[n][j] - centroid[j]);
+      }
+      return p;
+    };
+
+    const auto reflected = affine(-1.0);
+    const double fr = f(reflected);
+    if (fr < values[0]) {
+      const auto expanded = affine(-2.0);
+      const double fe = f(expanded);
+      if (fe < fr) {
+        simplex[n] = expanded;
+        values[n] = fe;
+      } else {
+        simplex[n] = reflected;
+        values[n] = fr;
+      }
+    } else if (fr < values[n - 1]) {
+      simplex[n] = reflected;
+      values[n] = fr;
+    } else {
+      const auto contracted = affine(0.5);
+      const double fc = f(contracted);
+      if (fc < values[n]) {
+        simplex[n] = contracted;
+        values[n] = fc;
+      } else {
+        // Shrink toward best.
+        for (std::size_t i = 1; i <= n; ++i) {
+          for (std::size_t j = 0; j < n; ++j) {
+            simplex[i][j] = simplex[0][j] + 0.5 * (simplex[i][j] - simplex[0][j]);
+          }
+          values[i] = f(simplex[i]);
+        }
+      }
+    }
+  }
+  order();
+  result.x = simplex[0];
+  result.value = values[0];
+  result.iterations = iter;
+  return result;
+}
+
+}  // namespace deepbat

@@ -1,0 +1,53 @@
+#pragma once
+// Thin OpenMP wrappers so call sites stay readable and build without OpenMP.
+// Follows the Core Guidelines concurrency rules: callers pass a callable that
+// owns no shared mutable state; reductions merge thread-local accumulators.
+
+#include <cstddef>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace deepbat {
+
+/// Number of threads a parallel region will use (1 without OpenMP).
+inline int hardware_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Parallel loop over [0, n). `body(i)` must be safe to run concurrently for
+/// distinct i. Falls back to a serial loop when OpenMP is unavailable or the
+/// trip count is tiny.
+template <typename Body>
+void parallel_for(std::size_t n, Body&& body, std::size_t grain = 1) {
+#ifdef _OPENMP
+  if (n >= grain * 2 && omp_get_max_threads() > 1 && !omp_in_parallel()) {
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
+      body(static_cast<std::size_t>(i));
+    }
+    return;
+  }
+#else
+  (void)grain;
+#endif
+  for (std::size_t i = 0; i < n; ++i) body(i);
+}
+
+/// Map [0, n) -> T with a parallel loop; results land in index order, so no
+/// synchronization is needed beyond the fork/join barrier.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t n, Fn&& fn, std::size_t grain = 1) {
+  std::vector<T> out(n);
+  parallel_for(
+      n, [&](std::size_t i) { out[i] = fn(i); }, grain);
+  return out;
+}
+
+}  // namespace deepbat

@@ -1,0 +1,159 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace deepbat {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double scv(std::span<const double> xs) {
+  const double m = mean(xs);
+  if (m == 0.0) return 0.0;
+  return variance(xs) / (m * m);
+}
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) {
+  if (lag == 0) return 1.0;
+  if (xs.size() <= lag + 1) return 0.0;
+  const double m = mean(xs);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    den += (xs[i] - m) * (xs[i] - m);
+  }
+  if (den == 0.0) return 0.0;
+  for (std::size_t i = 0; i + lag < xs.size(); ++i) {
+    num += (xs[i] - m) * (xs[i + lag] - m);
+  }
+  return num / den;
+}
+
+double index_of_dispersion(std::span<const double> interarrivals,
+                           std::size_t max_lag) {
+  if (interarrivals.size() < 3) return 1.0;
+  const double c2 = scv(interarrivals);
+  double rho_sum = 0.0;
+  const std::size_t limit =
+      std::min(max_lag, interarrivals.size() / 2 > 0 ? interarrivals.size() / 2 - 1
+                                                     : std::size_t{0});
+  for (std::size_t k = 1; k <= limit; ++k) {
+    rho_sum += autocorrelation(interarrivals, k);
+  }
+  return c2 * (1.0 + 2.0 * rho_sum);
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  DEEPBAT_CHECK(!sorted.empty(), "quantile: empty sample");
+  DEEPBAT_CHECK(q >= 0.0 && q <= 1.0, "quantile: q out of [0,1]");
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double quantile(std::span<const double> xs, double q) {
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  return quantile_sorted(copy, q);
+}
+
+std::vector<double> quantiles(std::span<const double> xs,
+                              std::span<const double> qs) {
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) out.push_back(quantile_sorted(copy, q));
+  return out;
+}
+
+double mape(std::span<const double> predicted, std::span<const double> truth,
+            double eps) {
+  DEEPBAT_CHECK(predicted.size() == truth.size(), "mape: size mismatch");
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (std::abs(truth[i]) < eps) continue;
+    sum += std::abs(predicted[i] - truth[i]) / std::abs(truth[i]);
+    ++n;
+  }
+  return n ? 100.0 * sum / static_cast<double>(n) : 0.0;
+}
+
+double ecdf_sorted(std::span<const double> sorted, double x) {
+  if (sorted.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted.begin(), sorted.end(), x);
+  return static_cast<double>(it - sorted.begin()) /
+         static_cast<double>(sorted.size());
+}
+
+std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
+                                   double hi, std::size_t bins) {
+  DEEPBAT_CHECK(bins > 0, "histogram: zero bins");
+  DEEPBAT_CHECK(hi > lo, "histogram: empty range");
+  std::vector<std::size_t> counts(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double x : xs) {
+    if (x < lo || x >= hi) continue;
+    auto idx = static_cast<std::size_t>((x - lo) / width);
+    if (idx >= bins) idx = bins - 1;
+    ++counts[idx];
+  }
+  return counts;
+}
+
+}  // namespace deepbat

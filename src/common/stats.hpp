@@ -1,0 +1,77 @@
+#pragma once
+// Descriptive statistics used across workload characterization, the
+// simulator's latency reporting, and model evaluation.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace deepbat {
+
+/// Streaming mean/variance accumulator (Welford). Numerically stable and
+/// mergeable, so it can be used from parallel reductions.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for fewer than 2 samples).
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean; 0 on empty input.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample variance; 0 for fewer than 2 samples.
+double variance(std::span<const double> xs);
+
+/// Squared coefficient of variation (variance / mean^2); 0 on degenerate
+/// input. SCV = 1 for exponential inter-arrivals, > 1 indicates burstiness.
+double scv(std::span<const double> xs);
+
+/// Lag-k sample autocorrelation; 0 when undefined.
+double autocorrelation(std::span<const double> xs, std::size_t lag);
+
+/// Index of dispersion for intervals:
+///   IDI = SCV * (1 + 2 * sum_{k=1..max_lag} rho_k)
+/// This is the paper's Fig. 5 burstiness metric; the sum is truncated at
+/// `max_lag` (empirical autocorrelations vanish at high lags).
+double index_of_dispersion(std::span<const double> interarrivals,
+                           std::size_t max_lag = 100);
+
+/// Empirical quantile with linear interpolation between order statistics
+/// (type-7 / numpy default). `q` in [0, 1]. Sorts a copy of the input.
+double quantile(std::span<const double> xs, double q);
+
+/// Quantile on data that is already ascending-sorted (no copy).
+double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Several quantiles at once on one sorted copy; `qs` in [0, 1].
+std::vector<double> quantiles(std::span<const double> xs,
+                              std::span<const double> qs);
+
+/// Mean absolute percentage error (%) between predictions and truths.
+/// Entries with |truth| < eps are skipped; returns 0 if none remain.
+double mape(std::span<const double> predicted, std::span<const double> truth,
+            double eps = 1e-12);
+
+/// Empirical CDF value P(X <= x) of a sorted sample.
+double ecdf_sorted(std::span<const double> sorted, double x);
+
+/// Histogram of `xs` into `bins` equal-width buckets over [lo, hi].
+std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
+                                   double hi, std::size_t bins);
+
+}  // namespace deepbat

@@ -1,0 +1,44 @@
+#pragma once
+// Aligned-table and CSV emitters used by every bench binary to print the
+// rows/series corresponding to the paper's tables and figures.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace deepbat {
+
+/// Column-aligned text table. Collects string cells, pads on output.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_values(const std::vector<double>& values, int precision = 4);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with 2-space column gaps and a dashed rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (no quoting of commas; callers use plain cells).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision.
+std::string fmt(double value, int precision = 4);
+
+/// Format as scientific notation (for costs around 1e-7 $/request).
+std::string fmt_sci(double value, int precision = 3);
+
+/// Section banner for bench output ("== Fig. 6: ... ==").
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace deepbat

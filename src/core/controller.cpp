@@ -1,0 +1,43 @@
+#include "core/controller.hpp"
+
+#include "common/error.hpp"
+
+namespace deepbat::core {
+
+DeepBatController::DeepBatController(Surrogate& surrogate,
+                                     DeepBatControllerOptions options)
+    : surrogate_(surrogate),
+      options_(std::move(options)),
+      configs_(options_.grid.enumerate()) {
+  DEEPBAT_CHECK(!configs_.empty(), "DeepBatController: empty grid");
+}
+
+void DeepBatController::set_gamma(double gamma) {
+  DEEPBAT_CHECK(gamma >= 0.0 && gamma < 1.0,
+                "DeepBatController: gamma out of [0, 1)");
+  options_.gamma = gamma;
+}
+
+lambda::Config DeepBatController::decide(const workload::Trace& history,
+                                         double now) {
+  // Workload Parser: the last l inter-arrival times before `now`, padded if
+  // the history is still short.
+  const auto l = static_cast<std::size_t>(
+      surrogate_.config().sequence_length);
+  const auto gaps = history.window_before(now, l, options_.pad_gap_s);
+  const auto encoded = encode_window(gaps);
+
+  OptimizerOptions opt;
+  opt.slo_s = options_.slo_s;
+  opt.gamma = options_.gamma;
+  OptimizationOutcome outcome = optimize(surrogate_, encoded, configs_, opt);
+
+  ++decisions_;
+  predict_seconds_ += outcome.predict_seconds;
+  search_seconds_ += outcome.search_seconds;
+  const lambda::Config chosen = outcome.choice.config;
+  last_outcome_ = std::move(outcome);
+  return chosen;
+}
+
+}  // namespace deepbat::core

@@ -1,0 +1,52 @@
+#pragma once
+// The full DeepBAT controller (paper Fig. 2): Workload Parser (sliding
+// window over the arrival history) -> Deep Surrogate Model -> SLO-aware
+// Optimizer. Plugs into sim::run_platform next to the BATCH baseline.
+
+#include <memory>
+
+#include "core/optimizer.hpp"
+#include "sim/platform.hpp"
+
+namespace deepbat::core {
+
+struct DeepBatControllerOptions {
+  double slo_s = 0.1;
+  double gamma = 0.0;  // penalty factor (see §III-D); set after fine-tuning
+  lambda::ConfigGrid grid = lambda::ConfigGrid::standard();
+  /// Gap value used to left-pad windows with fewer arrivals than l
+  /// (paper §III-A: "techniques for padding ... can be used"). A large gap
+  /// reads as "no traffic".
+  double pad_gap_s = 10.0;
+};
+
+class DeepBatController : public sim::Controller {
+ public:
+  /// The controller borrows the surrogate (trained/fine-tuned elsewhere).
+  DeepBatController(Surrogate& surrogate, DeepBatControllerOptions options);
+
+  lambda::Config decide(const workload::Trace& history, double now) override;
+  std::string name() const override { return "DeepBAT"; }
+
+  void set_gamma(double gamma);
+  double gamma() const { return options_.gamma; }
+
+  // --- instrumentation (speedup experiment, §IV-F) ---
+  std::size_t decision_count() const { return decisions_; }
+  double total_predict_seconds() const { return predict_seconds_; }
+  double total_search_seconds() const { return search_seconds_; }
+  const std::optional<OptimizationOutcome>& last_outcome() const {
+    return last_outcome_;
+  }
+
+ private:
+  Surrogate& surrogate_;
+  DeepBatControllerOptions options_;
+  std::vector<lambda::Config> configs_;
+  std::size_t decisions_ = 0;
+  double predict_seconds_ = 0.0;
+  double search_seconds_ = 0.0;
+  std::optional<OptimizationOutcome> last_outcome_;
+};
+
+}  // namespace deepbat::core

@@ -1,0 +1,81 @@
+#include "core/dataset_builder.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/stats.hpp"
+
+namespace deepbat::core {
+
+PredictionTarget simulate_target(std::span<const double> arrivals,
+                                 const lambda::Config& config,
+                                 const lambda::LambdaModel& model) {
+  DEEPBAT_CHECK(!arrivals.empty(), "simulate_target: empty label window");
+  const sim::SimResult result = sim::simulate_trace(arrivals, config, model);
+  PredictionTarget target;
+  target.cost_usd_per_request = result.cost_per_request();
+  auto lats = result.latencies();
+  std::sort(lats.begin(), lats.end());
+  for (std::size_t i = 0; i < kPercentiles.size(); ++i) {
+    target.latency_s[i] = quantile_sorted(lats, kPercentiles[i]);
+  }
+  return target;
+}
+
+nn::Dataset build_dataset(const workload::Trace& trace,
+                          const lambda::ConfigGrid& grid,
+                          const lambda::LambdaModel& model,
+                          const DatasetBuilderOptions& options) {
+  const auto gaps = trace.interarrivals();
+  const auto l = static_cast<std::size_t>(options.sequence_length);
+  DEEPBAT_CHECK(gaps.size() > l + options.label_arrivals + 2,
+                "build_dataset: trace too short for window + label horizon");
+  const auto configs = grid.enumerate();
+  DEEPBAT_CHECK(!configs.empty(), "build_dataset: empty grid");
+
+  // Draw all sampling decisions up front (deterministic), then label in
+  // parallel — each sample touches only its own slice of the trace.
+  Rng rng(options.seed);
+  struct Draw {
+    std::size_t window_start;
+    std::size_t config_index;
+  };
+  std::vector<Draw> draws(options.samples);
+  const std::size_t max_start = gaps.size() - l - options.label_arrivals - 1;
+  for (auto& d : draws) {
+    d.window_start = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(max_start)));
+    d.config_index = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(configs.size()) - 1));
+  }
+
+  const auto times = trace.times();
+  const auto samples = parallel_map<nn::Sample>(
+      options.samples,
+      [&](std::size_t s) {
+        const Draw& d = draws[s];
+        nn::Sample sample;
+        sample.sequence = encode_window(
+            {gaps.data() + d.window_start, l});
+        const lambda::Config& config = configs[d.config_index];
+        sample.features = encode_features(config);
+        // Label horizon: the arrivals immediately after the window.
+        // gaps[i] = times[i+1] - times[i], so window gaps
+        // [window_start, window_start + l) end at arrival index
+        // window_start + l.
+        const std::size_t label_begin = d.window_start + l;
+        sample.target = pack_target(simulate_target(
+            {times.data() + label_begin, options.label_arrivals}, config,
+            model));
+        return sample;
+      },
+      /*grain=*/8);
+
+  nn::Dataset dataset;
+  dataset.reserve(samples.size());
+  for (auto& s : samples) dataset.add(std::move(s));
+  return dataset;
+}
+
+}  // namespace deepbat::core

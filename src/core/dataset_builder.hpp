@@ -1,0 +1,39 @@
+#pragma once
+// Offline training-set construction (paper §III-D "Offline Model Training"):
+// random windows S of l inter-arrival times are sampled from historical
+// trace data and paired with random configurations F from the grid; the
+// label is the simulated cost + latency-percentile vector of serving the
+// *following* traffic under F (ground-truth simulator), which is exactly
+// what the deployed model must predict.
+
+#include "core/encoding.hpp"
+#include "nn/data.hpp"
+#include "sim/batch_sim.hpp"
+#include "workload/trace.hpp"
+
+namespace deepbat::core {
+
+struct DatasetBuilderOptions {
+  std::int64_t sequence_length = 256;
+  /// Number of arrivals the label simulation spans (the "incoming
+  /// workload" horizon the prediction is about).
+  std::size_t label_arrivals = 256;
+  /// Number of (window, config) samples to generate.
+  std::size_t samples = 2000;
+  std::uint64_t seed = 1;
+};
+
+/// Simulate `config` on an arrival slice and summarize into the target
+/// vector the surrogate is trained on.
+PredictionTarget simulate_target(std::span<const double> arrivals,
+                                 const lambda::Config& config,
+                                 const lambda::LambdaModel& model);
+
+/// Sample (S, F, O) triples from `trace`. Windows are drawn uniformly over
+/// valid start positions; configs uniformly from the grid.
+nn::Dataset build_dataset(const workload::Trace& trace,
+                          const lambda::ConfigGrid& grid,
+                          const lambda::LambdaModel& model,
+                          const DatasetBuilderOptions& options);
+
+}  // namespace deepbat::core

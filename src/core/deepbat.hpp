@@ -1,0 +1,35 @@
+#pragma once
+// Umbrella header: the public API of the DeepBAT library.
+//
+// Quickstart (see examples/quickstart.cpp for the runnable version):
+//
+//   using namespace deepbat;
+//   lambda::LambdaModel model;                       // Lambda perf + cost
+//   auto grid = lambda::ConfigGrid::standard();      // (M, B, T) space
+//   auto trace = workload::azure_like({}, /*seed=*/1);
+//
+//   core::Surrogate surrogate({}, grid);             // paper Fig. 3 model
+//   auto data = core::build_dataset(trace, grid, model, {});
+//   core::train(surrogate, data, {});                // offline training
+//
+//   core::DeepBatController controller(surrogate, {.slo_s = 0.1});
+//   auto run = sim::run_platform(trace, controller, model, {1024, 1, 0.0});
+//
+#include "batchlib/analytic.hpp"     // BATCH baseline: analytic engine
+#include "batchlib/controller.hpp"   // BATCH baseline: hourly controller
+#include "core/controller.hpp"       // DeepBAT controller (Fig. 2)
+#include "core/dataset_builder.hpp"  // offline training-set construction
+#include "core/encoding.hpp"         // input/target encodings
+#include "core/optimizer.hpp"        // SLO-aware optimizer (Eq. 10)
+#include "core/pretrained.hpp"       // train-once / load-cached helper
+#include "core/surrogate.hpp"        // deep surrogate model (Fig. 3)
+#include "core/trainer.hpp"          // training + fine-tuning (Eq. 7-9)
+#include "core/vcr.hpp"              // SLO Violation Count Ratio (Eq. 11)
+#include "lambda/model.hpp"          // Lambda performance & pricing model
+#include "sim/batch_sim.hpp"         // ground-truth batching simulator
+#include "sim/ground_truth.hpp"      // exhaustive ground-truth search
+#include "sim/platform.hpp"          // controller-in-the-loop replay
+#include "workload/map_fit.hpp"      // MMPP(2) fitting (BATCH front-end)
+#include "workload/map_process.hpp"  // Markovian arrival processes
+#include "workload/synth.hpp"        // the four evaluation workloads
+#include "workload/trace.hpp"        // arrival traces

@@ -1,0 +1,45 @@
+#include "core/encoding.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace deepbat::core {
+
+float encode_gap(double gap_seconds) {
+  DEEPBAT_CHECK(gap_seconds >= 0.0, "encode_gap: negative gap");
+  return static_cast<float>(std::log1p(gap_seconds * 1000.0));
+}
+
+std::vector<float> encode_window(std::span<const double> gaps) {
+  std::vector<float> out;
+  out.reserve(gaps.size());
+  for (double g : gaps) out.push_back(encode_gap(g));
+  return out;
+}
+
+std::vector<float> encode_features(const lambda::Config& config) {
+  return {static_cast<float>(config.memory_mb),
+          static_cast<float>(config.batch_size),
+          static_cast<float>(config.timeout_s)};
+}
+
+std::vector<float> pack_target(const PredictionTarget& target) {
+  std::vector<float> out;
+  out.reserve(kTargetDim);
+  out.push_back(static_cast<float>(target.cost_usd_per_request * kCostScale));
+  for (double p : target.latency_s) out.push_back(static_cast<float>(p));
+  return out;
+}
+
+PredictionTarget unpack_target(std::span<const float> row) {
+  DEEPBAT_CHECK(row.size() == kTargetDim, "unpack_target: bad row size");
+  PredictionTarget t;
+  t.cost_usd_per_request = static_cast<double>(row[0]) / kCostScale;
+  for (std::size_t i = 0; i < kPercentiles.size(); ++i) {
+    t.latency_s[i] = static_cast<double>(row[1 + i]);
+  }
+  return t;
+}
+
+}  // namespace deepbat::core

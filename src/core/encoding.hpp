@@ -1,0 +1,56 @@
+#pragma once
+// Input/target encodings shared by the surrogate model, the dataset
+// builder, and the online controller. Keeping them in one place guarantees
+// training and inference agree bit-for-bit.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lambda/model.hpp"
+
+namespace deepbat::core {
+
+/// Latency percentiles the surrogate predicts (paper Fig. 3: "cost and
+/// latency percentiles"). Index of the SLO percentile (0.95) is
+/// kSloPercentileIndex.
+inline constexpr std::array<double, 7> kPercentiles = {
+    0.05, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99};
+inline constexpr std::size_t kSloPercentileIndex = 5;
+
+/// Output vector layout: [cost (micro-USD), P5, P25, P50, P75, P90, P95,
+/// P99 (seconds)].
+inline constexpr std::size_t kTargetDim = 1 + kPercentiles.size();
+
+/// Cost is predicted in micro-USD per request so its magnitude matches the
+/// latency entries (the paper sets the Huber delta "based on the small
+/// magnitude of target inputs").
+inline constexpr double kCostScale = 1e6;
+
+/// Inter-arrival gaps are fed as log1p(milliseconds): compresses the heavy
+/// tail of bursty traces while keeping sub-millisecond resolution.
+float encode_gap(double gap_seconds);
+
+/// Encode a window of inter-arrival gaps (seconds) into model inputs.
+std::vector<float> encode_window(std::span<const double> gaps);
+
+/// Raw feature vector {M, B, T}; standardization happens inside the model
+/// (paper Eq. 5).
+std::vector<float> encode_features(const lambda::Config& config);
+
+struct PredictionTarget {
+  double cost_usd_per_request = 0.0;
+  std::array<double, kPercentiles.size()> latency_s{};
+
+  /// Latency at the paper's SLO percentile (95th).
+  double p95() const { return latency_s[kSloPercentileIndex]; }
+};
+
+/// Pack into the model's output layout.
+std::vector<float> pack_target(const PredictionTarget& target);
+
+/// Unpack a model output row.
+PredictionTarget unpack_target(std::span<const float> row);
+
+}  // namespace deepbat::core

@@ -1,0 +1,49 @@
+#pragma once
+// DeepBAT's Optimizer component (paper §III-E): exhaustive search over the
+// configuration grid on the *surrogate's* predictions — minimize predicted
+// cost subject to the predicted SLO-percentile latency staying under the
+// SLO, optionally tightened by the penalty factor gamma (§III-D).
+
+#include <optional>
+#include <span>
+
+#include "core/encoding.hpp"
+#include "core/surrogate.hpp"
+
+namespace deepbat::core {
+
+struct OptimizerOptions {
+  double slo_s = 0.1;
+  /// Penalty factor gamma: the SLO is tightened to slo * (1 - gamma) so
+  /// that prediction error of the surrogate does not translate into real
+  /// violations. 0 disables.
+  double gamma = 0.0;
+  /// Percentile index into PredictionTarget::latency_s used as the SLO
+  /// metric (default: 95th).
+  std::size_t percentile_index = kSloPercentileIndex;
+};
+
+struct OptimizedChoice {
+  lambda::Config config;
+  PredictionTarget prediction;
+  bool feasible = false;  // predicted-feasible under the (tightened) SLO
+};
+
+struct OptimizationOutcome {
+  OptimizedChoice choice;
+  /// Surrogate predictions for the full grid (same order as `configs`).
+  std::vector<PredictionTarget> predictions;
+  double predict_seconds = 0.0;  // surrogate forward time
+  double search_seconds = 0.0;   // feasibility scan + argmin time
+};
+
+/// Two-step optimization: (1) keep configs whose predicted latency
+/// percentile meets the tightened SLO, (2) among them pick the predicted
+/// cheapest. If none is feasible, fall back to the config with the lowest
+/// predicted latency percentile (serve as fast as possible).
+OptimizationOutcome optimize(Surrogate& model,
+                             std::span<const float> encoded_window,
+                             std::span<const lambda::Config> configs,
+                             const OptimizerOptions& options);
+
+}  // namespace deepbat::core

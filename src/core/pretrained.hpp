@@ -1,0 +1,45 @@
+#pragma once
+// Train-once / load-cached helper. The paper trains the surrogate offline
+// once (on the first 12 hours of the Azure trace) and reuses it everywhere;
+// this helper gives benches and examples the same workflow: the first call
+// trains and saves the weights, later calls load them.
+
+#include <filesystem>
+#include <memory>
+
+#include "core/dataset_builder.hpp"
+#include "core/surrogate.hpp"
+#include "core/trainer.hpp"
+
+namespace deepbat::core {
+
+struct PretrainSpec {
+  SurrogateConfig surrogate;
+  DatasetBuilderOptions dataset;
+  TrainOptions train;
+  /// Weights cache location.
+  std::filesystem::path cache_path = "deepbat_surrogate.bin";
+  bool force_retrain = false;
+};
+
+struct PretrainedModel {
+  std::unique_ptr<Surrogate> surrogate;
+  bool loaded_from_cache = false;
+  TrainResult train_result;  // empty history when loaded from cache
+};
+
+/// Build/load a surrogate trained on `trace` with the given spec. The grid
+/// is used both for feature standardization and for sampling training
+/// configurations.
+PretrainedModel ensure_pretrained(const workload::Trace& trace,
+                                  const lambda::ConfigGrid& grid,
+                                  const lambda::LambdaModel& model,
+                                  const PretrainSpec& spec);
+
+/// The shared "bench" spec: trained on the first 12 hours of the Azure-like
+/// trace (paper §IV-B), with a budget scaled to run in seconds-to-minutes on
+/// a laptop. Override epochs/samples via the DEEPBAT_TRAIN_EPOCHS and
+/// DEEPBAT_TRAIN_SAMPLES environment variables for a full paper-scale run.
+PretrainSpec bench_spec(const std::filesystem::path& cache_dir);
+
+}  // namespace deepbat::core

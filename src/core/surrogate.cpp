@@ -1,0 +1,225 @@
+#include "core/surrogate.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace deepbat::core {
+
+namespace {
+
+nn::TransformerConfig encoder_config(const SurrogateConfig& cfg) {
+  nn::TransformerConfig tc;
+  tc.model_dim = cfg.model_dim;
+  tc.num_heads = cfg.num_heads;
+  tc.ffn_hidden = cfg.ffn_hidden;
+  tc.num_layers = cfg.encoder_layers;
+  tc.dropout = cfg.dropout;
+  tc.max_len = std::max<std::int64_t>(cfg.sequence_length, 16);
+  return tc;
+}
+
+}  // namespace
+
+FeatureStandardizer FeatureStandardizer::from_grid(
+    const lambda::ConfigGrid& grid) {
+  const auto configs = grid.enumerate();
+  DEEPBAT_CHECK(!configs.empty(), "FeatureStandardizer: empty grid");
+  FeatureStandardizer st;
+  const std::size_t f = 3;
+  st.mean.assign(f, 0.0F);
+  st.inv_std.assign(f, 1.0F);
+  std::vector<double> sum(f, 0.0);
+  std::vector<double> sq(f, 0.0);
+  for (const auto& c : configs) {
+    const auto feats = encode_features(c);
+    for (std::size_t i = 0; i < f; ++i) {
+      sum[i] += feats[i];
+      sq[i] += static_cast<double>(feats[i]) * feats[i];
+    }
+  }
+  const auto n = static_cast<double>(configs.size());
+  for (std::size_t i = 0; i < f; ++i) {
+    const double mu = sum[i] / n;
+    const double var = std::max(sq[i] / n - mu * mu, 1e-12);
+    st.mean[i] = static_cast<float>(mu);
+    st.inv_std[i] = static_cast<float>(1.0 / std::sqrt(var));
+  }
+  return st;
+}
+
+nn::Tensor FeatureStandardizer::apply(const nn::Tensor& raw) const {
+  DEEPBAT_CHECK(raw.ndim() == 2 &&
+                    raw.dim(1) == static_cast<std::int64_t>(mean.size()),
+                "FeatureStandardizer: shape mismatch");
+  nn::Tensor out(raw.shape());
+  const std::int64_t rows = raw.dim(0);
+  const std::int64_t cols = raw.dim(1);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      out.at(r, c) = (raw.at(r, c) - mean[ci]) * inv_std[ci];
+    }
+  }
+  return out;
+}
+
+Surrogate::Surrogate(const SurrogateConfig& config,
+                     const lambda::ConfigGrid& grid)
+    : config_(config),
+      standardizer_(FeatureStandardizer::from_grid(grid)),
+      init_rng_(config.init_seed),
+      seq_embed_(1, config.model_dim, init_rng_),
+      pos_enc_(config.model_dim, std::max<std::int64_t>(config.sequence_length,
+                                                        16)),
+      encoder_(encoder_config(config), init_rng_, config.init_seed + 17),
+      pooled_attention_(config.model_dim, config.num_heads, init_rng_,
+                        config.dropout, config.init_seed + 29),
+      feature_ff_(config.feature_dim, config.ffn_hidden,
+                  config.feature_embed_dim, init_rng_),
+      output_ff_(config.model_dim + config.feature_embed_dim,
+                 config.ffn_hidden, config.output_dim, init_rng_) {
+  DEEPBAT_CHECK(config.sequence_length > 0,
+                "Surrogate: sequence length must be positive");
+  register_module("seq_embed", &seq_embed_);
+  if (config_.encoder == EncoderType::kLstm) {
+    Rng lstm_rng(config.init_seed + 41);
+    lstm_ = std::make_unique<nn::Lstm>(config.model_dim, config.model_dim,
+                                       lstm_rng);
+    register_module("lstm", lstm_.get());
+  } else {
+    register_module("pos_enc", &pos_enc_);
+    register_module("encoder", &encoder_);
+  }
+  register_module("pooled_attention", &pooled_attention_);
+  register_module("feature_ff", &feature_ff_);
+  register_module("output_ff", &output_ff_);
+}
+
+nn::Var Surrogate::sequence_branch(const nn::Var& sequences) {
+  DEEPBAT_CHECK(sequences && sequences->value.ndim() == 3 &&
+                    sequences->value.dim(2) == 1,
+                "Surrogate: sequences must be [batch, l, 1]");
+  const std::int64_t batch = sequences->value.dim(0);
+  nn::Var embedded = seq_embed_.forward(sequences);  // Eq. 1
+  nn::Var summary;  // E_p: [batch, model_dim]
+  if (config_.encoder == EncoderType::kLstm) {
+    // Recurrent baseline: the final hidden state summarizes the sequence.
+    summary = lstm_->encode(embedded);
+  } else {
+    // Eq. 2 + mean pooling to E_p.
+    summary =
+        nn::mean_axis1(encoder_.forward(pos_enc_.forward(embedded)));
+  }
+  // Eq. 4: self-attention over the pooled vector (length-1 sequence; the
+  // Mask is the identity at this length).
+  if (!config_.use_pooled_attention) {
+    return summary;
+  }
+  nn::Var pooled = nn::reshape(summary, {batch, 1, config_.model_dim});
+  nn::Var e1 = pooled_attention_.forward(pooled, pooled, pooled);
+  return nn::reshape(e1, {batch, config_.model_dim});
+}
+
+nn::Var Surrogate::head(const nn::Var& e1, const nn::Var& raw_features) {
+  // Eq. 5: standardize + feed-forward the features.
+  nn::Var std_feats =
+      nn::make_leaf(standardizer_.apply(raw_features->value), false,
+                    "std_features");
+  nn::Var e2 = feature_ff_.forward(std_feats);
+  // Eq. 6: concat and project to the output vector.
+  return output_ff_.forward(nn::concat_last(e1, e2));
+}
+
+nn::Var Surrogate::forward(const nn::Var& sequences, const nn::Var& features) {
+  return head(sequence_branch(sequences), features);
+}
+
+nn::Tensor Surrogate::encode_sequence(const nn::Tensor& sequences) {
+  nn::Var x = nn::make_leaf(sequences, false, "sequences");
+  return sequence_branch(x)->value;
+}
+
+nn::Tensor Surrogate::predict_with_features(const nn::Tensor& e1,
+                                            const nn::Tensor& raw_features) {
+  nn::Var e1v = nn::make_leaf(e1, false, "e1");
+  nn::Var fv = nn::make_leaf(raw_features, false, "features");
+  return head(e1v, fv)->value;
+}
+
+std::vector<PredictionTarget> Surrogate::predict_grid(
+    std::span<const float> encoded_window,
+    std::span<const lambda::Config> configs) {
+  DEEPBAT_CHECK(!configs.empty(), "predict_grid: no configs");
+  DEEPBAT_CHECK(static_cast<std::int64_t>(encoded_window.size()) ==
+                    config_.sequence_length,
+                "predict_grid: window length mismatch");
+  const bool was_training = training();
+  set_training(false);
+
+  // Encode the sequence once.
+  nn::Tensor seq({1, config_.sequence_length, 1});
+  std::copy(encoded_window.begin(), encoded_window.end(), seq.data());
+  const nn::Tensor e1_single = encode_sequence(seq);
+
+  // Broadcast E_1 across the candidate configurations.
+  const auto n = static_cast<std::int64_t>(configs.size());
+  nn::Tensor e1({n, config_.model_dim});
+  for (std::int64_t r = 0; r < n; ++r) {
+    std::copy(e1_single.data(), e1_single.data() + config_.model_dim,
+              e1.data() + r * config_.model_dim);
+  }
+  nn::Tensor feats({n, config_.feature_dim});
+  for (std::int64_t r = 0; r < n; ++r) {
+    const auto f = encode_features(configs[static_cast<std::size_t>(r)]);
+    std::copy(f.begin(), f.end(), feats.data() + r * config_.feature_dim);
+  }
+  const nn::Tensor out = predict_with_features(e1, feats);
+
+  std::vector<PredictionTarget> targets;
+  targets.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t r = 0; r < n; ++r) {
+    targets.push_back(unpack_target(
+        {out.data() + r * config_.output_dim,
+         static_cast<std::size_t>(config_.output_dim)}));
+  }
+  set_training(was_training);
+  return targets;
+}
+
+void Surrogate::set_record_attention(bool record) {
+  if (config_.encoder == EncoderType::kLstm) return;  // no attention maps
+  for (std::int64_t i = 0; i < encoder_.num_layers(); ++i) {
+    encoder_.layer(i).self_attention().set_record_attention(record);
+  }
+}
+
+std::vector<float> Surrogate::last_attention_profile() const {
+  if (config_.encoder == EncoderType::kLstm) return {};
+  auto& layer0 =
+      const_cast<Surrogate*>(this)->encoder_.layer(0).self_attention();
+  const auto& attn = layer0.last_attention();
+  if (!attn.has_value()) return {};
+  // attn: [batch, heads, L, L]; average received attention per key position
+  // over batch, heads, and query positions.
+  const nn::Tensor& a = *attn;
+  const std::int64_t batch = a.dim(0);
+  const std::int64_t heads = a.dim(1);
+  const std::int64_t L = a.dim(2);
+  std::vector<float> profile(static_cast<std::size_t>(L), 0.0F);
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t h = 0; h < heads; ++h) {
+      for (std::int64_t q = 0; q < L; ++q) {
+        for (std::int64_t k = 0; k < L; ++k) {
+          profile[static_cast<std::size_t>(k)] += a.at(b, h, q, k);
+        }
+      }
+    }
+  }
+  const float norm =
+      static_cast<float>(batch * heads * L);
+  for (float& p : profile) p /= norm;
+  return profile;
+}
+
+}  // namespace deepbat::core

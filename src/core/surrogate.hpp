@@ -1,0 +1,111 @@
+#pragma once
+// The DeepBAT deep surrogate model (paper Fig. 3 / §III-D):
+//
+//   E_seq   = FeedForward(S)                      (Eq. 1 — here a Linear
+//                                                  embedding of each gap)
+//   E_pos   = PositionalEncoding(E_seq)
+//   E_trans = TransformerEncoder(E_pos)           (Eq. 2, N = 2 layers)
+//   E_p     = MeanPool(E_trans)
+//   E_1     = Mask(MultiHeadAtt(E_p, E_p, E_p))   (Eq. 4 — pooled vector
+//                                                  treated as a length-1
+//                                                  sequence; the mask is
+//                                                  trivial at length 1)
+//   E_2     = FeedForward(Standardize(F))         (Eq. 5)
+//   O       = FeedForward(Concat(E_1, E_2))       (Eq. 6)
+//
+// The model exposes a split forward path: encode_sequence() runs the whole
+// sequence branch once per decision window, and predict_with_features()
+// runs only the cheap feature branch + head per candidate configuration.
+// This is what makes DeepBAT's online optimization milliseconds-fast while
+// BATCH re-solves matrix equations per configuration (§IV-F).
+
+#include <memory>
+
+#include "core/encoding.hpp"
+#include "nn/data.hpp"
+#include "nn/recurrent.hpp"
+#include "nn/transformer.hpp"
+
+namespace deepbat::core {
+
+/// Sequence-encoder choice: the paper's Transformer (default) or the LSTM
+/// baseline its motivation section argues against (compared head-to-head in
+/// bench/abl_encoder).
+enum class EncoderType { kTransformer, kLstm };
+
+struct SurrogateConfig {
+  EncoderType encoder = EncoderType::kTransformer;
+  std::int64_t sequence_length = 256;  // paper §V: chosen balance point
+  std::int64_t model_dim = 16;         // paper: embedding dimension 16
+  std::int64_t num_heads = 4;
+  std::int64_t ffn_hidden = 32;        // paper: hidden state 32
+  std::int64_t encoder_layers = 2;     // paper: 2 encoder layers
+  float dropout = 0.1F;
+  std::int64_t feature_dim = 3;        // {M, B, T}
+  std::int64_t feature_embed_dim = 16;
+  std::int64_t output_dim = static_cast<std::int64_t>(kTargetDim);
+  /// Eq. 4's extra multi-head attention over the pooled vector. Disabled
+  /// only by the ablation study (bench/abl_pooled_attention).
+  bool use_pooled_attention = true;
+  std::uint64_t init_seed = 0xDEE9BA7ULL;
+};
+
+/// Feature standardization constants (paper Eq. 5's Standardize). Derived
+/// deterministically from the config grid so training and serving agree.
+struct FeatureStandardizer {
+  std::vector<float> mean;
+  std::vector<float> inv_std;
+
+  static FeatureStandardizer from_grid(const lambda::ConfigGrid& grid);
+  /// Standardize a raw feature tensor [batch, f] (returns a new tensor).
+  nn::Tensor apply(const nn::Tensor& raw) const;
+};
+
+class Surrogate : public nn::Module {
+ public:
+  Surrogate(const SurrogateConfig& config, const lambda::ConfigGrid& grid);
+
+  const SurrogateConfig& config() const { return config_; }
+
+  /// Full forward pass for training.
+  /// sequences: [batch, l, 1] encoded gaps; features: [batch, 3] raw.
+  nn::Var forward(const nn::Var& sequences, const nn::Var& features);
+
+  /// Sequence branch only: [batch, l, 1] -> pooled E_1 values [batch, d].
+  /// Runs without gradient tracking; used by the online optimizer.
+  nn::Tensor encode_sequence(const nn::Tensor& sequences);
+
+  /// Head only: E_1 rows [n, d] (typically one row broadcast n times) +
+  /// raw features [n, 3] -> predictions [n, output_dim].
+  nn::Tensor predict_with_features(const nn::Tensor& e1,
+                                   const nn::Tensor& raw_features);
+
+  /// Convenience: predict every config for a single encoded window.
+  std::vector<PredictionTarget> predict_grid(
+      std::span<const float> encoded_window,
+      std::span<const lambda::Config> configs);
+
+  /// Record encoder self-attention of the last forward (paper Fig. 14).
+  void set_record_attention(bool record);
+  /// Aggregated attention received by each sequence position, averaged over
+  /// heads and query positions, from the first encoder layer of the last
+  /// recorded forward. Empty if recording was off.
+  std::vector<float> last_attention_profile() const;
+
+ private:
+  nn::Var sequence_branch(const nn::Var& sequences);
+  nn::Var head(const nn::Var& e1, const nn::Var& raw_features);
+
+  SurrogateConfig config_;
+  FeatureStandardizer standardizer_;
+  Rng init_rng_;  // weight-init stream; must precede the layers
+  nn::Linear seq_embed_;
+  nn::PositionalEncoding pos_enc_;
+  nn::TransformerEncoder encoder_;
+  std::unique_ptr<nn::Lstm> lstm_;  // only when encoder == kLstm
+  nn::MultiHeadAttention pooled_attention_;
+  nn::FeedForward feature_ff_;
+  nn::FeedForward output_ff_;
+};
+
+}  // namespace deepbat::core

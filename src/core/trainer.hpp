@@ -1,0 +1,66 @@
+#pragma once
+// Offline training and fine-tuning of the surrogate (paper §III-D).
+//
+// Loss: L = alpha * MAPE + (1 - alpha) * Huber_delta (Eq. 9) with
+// alpha = 0.05 and delta = 1, "intentionally defined to penalize more for
+// those configurations that violate the SLO": samples whose true P95
+// exceeds the SLO get their loss row up-weighted.
+
+#include <functional>
+#include <vector>
+
+#include "core/surrogate.hpp"
+#include "nn/optim.hpp"
+
+namespace deepbat::core {
+
+struct TrainOptions {
+  int epochs = 100;         // paper: 100 epochs
+  std::int64_t batch_size = 8;  // paper: batch size 8
+  float learning_rate = 1e-3F;  // paper: Adam, lr 0.001
+  float alpha = 0.05F;      // Eq. 9 weighting
+  float huber_delta = 1.0F; // Eq. 7 delta
+  double validation_fraction = 0.15;
+  /// Extra loss weight on rows whose ground-truth P95 violates the SLO.
+  float slo_violation_weight = 3.0F;
+  double slo_s = 0.1;
+  float grad_clip = 5.0F;
+  /// Step-decay LR schedule: lr *= lr_decay_factor every lr_decay_every
+  /// epochs (0 disables).
+  int lr_decay_every = 15;
+  float lr_decay_factor = 0.5F;
+  std::uint64_t shuffle_seed = 7;
+  /// Called after each epoch (epoch index, train loss, val MAPE %).
+  std::function<void(int, double, double)> on_epoch;
+};
+
+struct EpochStats {
+  double train_loss = 0.0;
+  double validation_mape = 0.0;
+};
+
+struct TrainResult {
+  std::vector<EpochStats> history;
+  double final_validation_mape = 0.0;
+  double seconds = 0.0;
+};
+
+/// Train in place. The dataset is split train/validation internally.
+TrainResult train(Surrogate& model, const nn::Dataset& dataset,
+                  const TrainOptions& options);
+
+/// Fine-tune on a small OOD dataset for a few epochs (paper §III-D "Model
+/// Fine-Tuning") — same loop, fewer epochs, typically a lower LR.
+TrainResult fine_tune(Surrogate& model, const nn::Dataset& dataset,
+                      int epochs = 15, float learning_rate = 5e-4F,
+                      double slo_s = 0.1);
+
+/// Mean MAPE (%) of the model's predictions over a dataset — the
+/// prediction-accuracy metric of paper Fig. 13.
+double evaluate_mape(Surrogate& model, const nn::Dataset& dataset);
+
+/// Penalty factor gamma (paper §III-D): MAPE between predicted and
+/// simulated P95 over a dataset, as a fraction (not percent).
+double estimate_gamma(Surrogate& model, const nn::Dataset& dataset);
+
+}  // namespace deepbat::core

@@ -1,0 +1,50 @@
+#include "core/vcr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace deepbat::core {
+
+double vcr(const sim::SimResult& result, double t0, double t1,
+           const VcrOptions& options) {
+  DEEPBAT_CHECK(t1 > t0, "vcr: empty interval");
+  DEEPBAT_CHECK(options.window_s > 0.0, "vcr: window must be positive");
+  const auto windows = static_cast<std::size_t>(
+      std::ceil((t1 - t0) / options.window_s));
+  std::vector<std::vector<double>> per_window(windows);
+  for (const auto& r : result.requests) {
+    if (r.arrival < t0 || r.arrival >= t1) continue;
+    auto w = static_cast<std::size_t>((r.arrival - t0) / options.window_s);
+    if (w >= windows) w = windows - 1;
+    per_window[w].push_back(r.latency());
+  }
+  std::size_t evaluated = 0;
+  std::size_t violated = 0;
+  for (auto& lats : per_window) {
+    if (lats.empty()) continue;
+    ++evaluated;
+    std::sort(lats.begin(), lats.end());
+    if (quantile_sorted(lats, options.percentile) > options.slo_s) {
+      ++violated;
+    }
+  }
+  return evaluated == 0 ? 0.0
+                        : 100.0 * static_cast<double>(violated) /
+                              static_cast<double>(evaluated);
+}
+
+std::vector<double> hourly_vcr(const sim::SimResult& result, double start,
+                               std::size_t hours, const VcrOptions& options) {
+  std::vector<double> out;
+  out.reserve(hours);
+  for (std::size_t h = 0; h < hours; ++h) {
+    const double t0 = start + static_cast<double>(h) * 3600.0;
+    out.push_back(vcr(result, t0, t0 + 3600.0, options));
+  }
+  return out;
+}
+
+}  // namespace deepbat::core

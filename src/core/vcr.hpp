@@ -1,0 +1,30 @@
+#pragma once
+// SLO Violation Count Ratio (paper Eq. 11): the fraction of observation
+// windows ("request sequences") whose measured latency percentile exceeds
+// the SLO. This is the headline robustness metric of Figs. 8 and 10.
+
+#include <span>
+#include <vector>
+
+#include "sim/batch_sim.hpp"
+
+namespace deepbat::core {
+
+struct VcrOptions {
+  double slo_s = 0.1;
+  double percentile = 0.95;
+  /// Length of one observation window (one "sequence" in Eq. 11).
+  double window_s = 30.0;
+};
+
+/// VCR over [t0, t1): chop served requests into windows by arrival time,
+/// mark a window violated when its latency percentile exceeds the SLO.
+/// Windows with no requests are skipped (|S_t| counts only non-empty ones).
+double vcr(const sim::SimResult& result, double t0, double t1,
+           const VcrOptions& options);
+
+/// Per-hour VCR series starting at `start` for `hours` hours (Fig. 8/10).
+std::vector<double> hourly_vcr(const sim::SimResult& result, double start,
+                               std::size_t hours, const VcrOptions& options);
+
+}  // namespace deepbat::core

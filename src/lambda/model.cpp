@@ -1,0 +1,110 @@
+#include "lambda/model.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace deepbat::lambda {
+
+std::string Config::to_string() const {
+  std::ostringstream os;
+  os << "{M=" << memory_mb << "MB, B=" << batch_size << ", T=" << timeout_s
+     << "s}";
+  return os.str();
+}
+
+LambdaModel::LambdaModel(LambdaModelParams params) : params_(params) {
+  DEEPBAT_CHECK(params_.mb_per_vcpu > 0.0, "LambdaModel: bad mb_per_vcpu");
+  DEEPBAT_CHECK(
+      params_.parallel_fraction >= 0.0 && params_.parallel_fraction < 1.0,
+      "LambdaModel: parallel_fraction must be in [0, 1)");
+  DEEPBAT_CHECK(params_.batch_exponent > 0.0 && params_.batch_exponent <= 1.0,
+                "LambdaModel: batch_exponent must be in (0, 1]");
+  DEEPBAT_CHECK(params_.cold_start_probability >= 0.0 &&
+                    params_.cold_start_probability <= 1.0,
+                "LambdaModel: cold_start_probability must be in [0, 1]");
+}
+
+double LambdaModel::vcpus(std::int64_t memory_mb) const {
+  return static_cast<double>(memory_mb) / params_.mb_per_vcpu;
+}
+
+double LambdaModel::speedup(std::int64_t memory_mb) const {
+  const double p = params_.parallel_fraction;
+  return 1.0 / ((1.0 - p) + p / vcpus(memory_mb));
+}
+
+double LambdaModel::service_time(std::int64_t memory_mb,
+                                 std::int64_t batch_size) const {
+  DEEPBAT_CHECK(batch_size >= 1, "service_time: batch size must be >= 1");
+  const double work =
+      params_.c_invoke_s +
+      params_.c_request_s *
+          std::pow(static_cast<double>(batch_size), params_.batch_exponent);
+  double service = params_.t_fixed_s + work / speedup(memory_mb);
+  const double m = static_cast<double>(memory_mb);
+  if (m < params_.model_footprint_mb) {
+    service *= 1.0 + params_.memory_pressure_penalty *
+                         (params_.model_footprint_mb / m - 1.0);
+  }
+  return service;
+}
+
+double LambdaModel::invocation_cost(std::int64_t memory_mb,
+                                    double duration_s) const {
+  DEEPBAT_CHECK(duration_s >= 0.0, "invocation_cost: negative duration");
+  const double billed =
+      std::ceil(duration_s / params_.billing_quantum_s) *
+      params_.billing_quantum_s;
+  const double gb = static_cast<double>(memory_mb) / 1024.0;
+  return params_.usd_per_invocation + billed * gb * params_.usd_per_gb_second;
+}
+
+double LambdaModel::cost_per_request(std::int64_t memory_mb,
+                                     std::int64_t batch_size) const {
+  return invocation_cost(memory_mb, service_time(memory_mb, batch_size)) /
+         static_cast<double>(batch_size);
+}
+
+void LambdaModel::validate(const Config& config) const {
+  DEEPBAT_CHECK(config.batch_size >= 1,
+                "config: B >= 1 required (Eq. 10c): " + config.to_string());
+  DEEPBAT_CHECK(config.timeout_s >= 0.0,
+                "config: T >= 0 required (Eq. 10d): " + config.to_string());
+  DEEPBAT_CHECK(config.memory_mb >= params_.min_memory_mb &&
+                    config.memory_mb <= params_.max_memory_mb,
+                "config: memory out of range (Eq. 10e): " + config.to_string());
+}
+
+ConfigGrid ConfigGrid::standard() {
+  ConfigGrid grid;
+  grid.memories_mb = {128,  256,  512,  1024, 1536, 2048,
+                      3072, 4096, 6144, 8192, 10240};
+  grid.batch_sizes = {1, 2, 4, 8, 16, 32, 64};
+  grid.timeouts_s = {0.0, 0.01, 0.025, 0.05, 0.1, 0.2, 0.5, 1.0};
+  return grid;
+}
+
+ConfigGrid ConfigGrid::small() {
+  ConfigGrid grid;
+  grid.memories_mb = {512, 2048, 8192};
+  grid.batch_sizes = {1, 4, 16};
+  grid.timeouts_s = {0.01, 0.05, 0.2};
+  return grid;
+}
+
+std::vector<Config> ConfigGrid::enumerate() const {
+  std::vector<Config> configs;
+  configs.reserve(size());
+  for (const auto m : memories_mb) {
+    for (const auto b : batch_sizes) {
+      for (const double t : timeouts_s) {
+        configs.push_back(Config{m, b, t});
+      }
+    }
+  }
+  return configs;
+}
+
+}  // namespace deepbat::lambda

@@ -1,0 +1,62 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace deepbat::nn {
+
+MultiHeadAttention::MultiHeadAttention(std::int64_t model_dim,
+                                       std::int64_t num_heads, Rng& rng,
+                                       float dropout_p,
+                                       std::uint64_t dropout_seed)
+    : dim_(model_dim),
+      heads_(num_heads),
+      head_dim_(model_dim / num_heads),
+      wq_(model_dim, model_dim, rng),
+      wk_(model_dim, model_dim, rng),
+      wv_(model_dim, model_dim, rng),
+      wo_(model_dim, model_dim, rng),
+      attn_dropout_(dropout_p, dropout_seed) {
+  DEEPBAT_CHECK(model_dim % num_heads == 0,
+                "MultiHeadAttention: model_dim must be divisible by heads");
+  register_module("wq", &wq_);
+  register_module("wk", &wk_);
+  register_module("wv", &wv_);
+  register_module("wo", &wo_);
+  register_module("attn_dropout", &attn_dropout_);
+}
+
+Var MultiHeadAttention::forward(const Var& query, const Var& key,
+                                const Var& value, const Var& mask) {
+  DEEPBAT_CHECK(query && key && value, "MultiHeadAttention: null input");
+  DEEPBAT_CHECK(query->value.ndim() == 3, "MultiHeadAttention: expect [B,L,D]");
+  const std::int64_t B = query->value.dim(0);
+  const std::int64_t Lq = query->value.dim(1);
+  const std::int64_t Lk = key->value.dim(1);
+
+  // Project and split heads: [B, L, D] -> [B, H, L, dh].
+  auto split_heads = [&](const Var& x, std::int64_t L) {
+    return permute_0213(reshape(x, {B, L, heads_, head_dim_}));
+  };
+  const Var q = split_heads(wq_.forward(query), Lq);
+  const Var k = split_heads(wk_.forward(key), Lk);
+  const Var v = split_heads(wv_.forward(value), Lk);
+
+  // Scaled dot-product: [B, H, Lq, Lk].
+  Var scores =
+      scale(matmul(q, transpose_last(k)),
+            1.0F / std::sqrt(static_cast<float>(head_dim_)));
+  if (mask) scores = add(scores, mask);
+  Var attn = softmax_last(scores);
+  if (record_attention_) {
+    last_attention_ = attn->value.clone();
+  }
+  attn = attn_dropout_.forward(attn);
+
+  // Context: [B, H, Lq, dh] -> [B, Lq, D].
+  const Var ctx = reshape(permute_0213(matmul(attn, v)), {B, Lq, dim_});
+  return wo_.forward(ctx);
+}
+
+}  // namespace deepbat::nn

@@ -1,0 +1,65 @@
+#pragma once
+// Reverse-mode automatic differentiation on a dynamically built tape.
+//
+// Each op in ops.hpp produces a `Var` (shared node) holding the forward
+// value, the parent links, and a backward closure. `backward(root)` seeds
+// d(root)/d(root) = 1 and walks the graph in reverse topological order,
+// accumulating gradients into every node with requires_grad set. Graphs are
+// rebuilt on every forward pass (define-by-run), matching the PyTorch
+// programming model the paper's surrogate was written in.
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace deepbat::nn {
+
+struct Node;
+using Var = std::shared_ptr<Node>;
+
+struct Node {
+  Tensor value;
+  Tensor grad;       // allocated lazily on first accumulation
+  bool has_grad = false;
+  bool requires_grad = false;
+  std::vector<Var> parents;
+  /// Propagates this node's grad into its parents' grads. Null for leaves.
+  std::function<void(Node&)> backward_fn;
+  std::string op_name;  // for diagnostics
+
+  /// grad tensor, allocating zeros of value's shape on first use.
+  Tensor& ensure_grad();
+
+  /// grad += g (allocates on first call). Shape of g must match value.
+  void accumulate_grad(const Tensor& g);
+
+  /// Drop gradient and mark absent (cheaper than zeroing: next accumulate
+  /// allocates fresh zeros).
+  void zero_grad();
+};
+
+/// Leaf variable. Parameters pass requires_grad = true; inputs/constants
+/// pass false.
+Var make_leaf(Tensor value, bool requires_grad = false,
+              std::string name = "leaf");
+
+/// Interior node created by an op.
+Var make_node(Tensor value, std::vector<Var> parents,
+              std::function<void(Node&)> backward_fn, std::string op_name);
+
+/// Reverse-mode pass from `root` (must be scalar-like; its seed gradient is
+/// all-ones). Gradients accumulate — call zero_grad on parameters between
+/// steps.
+void backward(const Var& root);
+
+/// Convenience: zero the gradients of a parameter set.
+void zero_grad(std::span<const Var> params);
+
+/// True if any node in `parents` participates in gradient computation.
+bool any_requires_grad(std::span<const Var> parents);
+
+}  // namespace deepbat::nn

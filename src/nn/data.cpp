@@ -1,0 +1,103 @@
+#include "nn/data.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace deepbat::nn {
+
+void Dataset::add(Sample sample) {
+  if (!samples_.empty()) {
+    DEEPBAT_CHECK(sample.sequence.size() == samples_.front().sequence.size(),
+                  "Dataset: inconsistent sequence length");
+    DEEPBAT_CHECK(sample.features.size() == samples_.front().features.size(),
+                  "Dataset: inconsistent feature dim");
+    DEEPBAT_CHECK(sample.target.size() == samples_.front().target.size(),
+                  "Dataset: inconsistent target dim");
+  }
+  samples_.push_back(std::move(sample));
+}
+
+std::int64_t Dataset::sequence_length() const {
+  return samples_.empty()
+             ? 0
+             : static_cast<std::int64_t>(samples_.front().sequence.size());
+}
+
+std::int64_t Dataset::feature_dim() const {
+  return samples_.empty()
+             ? 0
+             : static_cast<std::int64_t>(samples_.front().features.size());
+}
+
+std::int64_t Dataset::target_dim() const {
+  return samples_.empty()
+             ? 0
+             : static_cast<std::int64_t>(samples_.front().target.size());
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double validation_fraction) const {
+  DEEPBAT_CHECK(validation_fraction >= 0.0 && validation_fraction < 1.0,
+                "Dataset::split: fraction out of range");
+  const auto n_val = static_cast<std::size_t>(
+      validation_fraction * static_cast<double>(samples_.size()));
+  const std::size_t n_train = samples_.size() - n_val;
+  Dataset train;
+  Dataset val;
+  train.reserve(n_train);
+  val.reserve(n_val);
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    (i < n_train ? train : val).add(samples_[i]);
+  }
+  return {std::move(train), std::move(val)};
+}
+
+DataLoader::DataLoader(const Dataset& dataset, std::int64_t batch_size,
+                       bool shuffle, std::uint64_t seed)
+    : dataset_(dataset),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      rng_(seed) {
+  DEEPBAT_CHECK(batch_size_ > 0, "DataLoader: batch size must be positive");
+  DEEPBAT_CHECK(!dataset_.empty(), "DataLoader: empty dataset");
+  order_.resize(dataset_.size());
+  for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  if (shuffle_) order_ = rng_.permutation(order_.size());
+}
+
+std::int64_t DataLoader::batches_per_epoch() const {
+  const auto n = static_cast<std::int64_t>(dataset_.size());
+  return (n + batch_size_ - 1) / batch_size_;
+}
+
+Batch DataLoader::batch(std::int64_t i) const {
+  DEEPBAT_CHECK(i >= 0 && i < batches_per_epoch(),
+                "DataLoader: batch index out of range");
+  const auto n = static_cast<std::int64_t>(dataset_.size());
+  const std::int64_t begin = i * batch_size_;
+  const std::int64_t end = std::min(begin + batch_size_, n);
+  const std::int64_t bsz = end - begin;
+  const std::int64_t l = dataset_.sequence_length();
+  const std::int64_t f = dataset_.feature_dim();
+  const std::int64_t o = dataset_.target_dim();
+
+  Batch b;
+  b.size = bsz;
+  b.sequences = Tensor({bsz, l, 1});
+  b.features = Tensor({bsz, f});
+  b.targets = Tensor({bsz, o});
+  for (std::int64_t r = 0; r < bsz; ++r) {
+    const Sample& s = dataset_[order_[static_cast<std::size_t>(begin + r)]];
+    std::copy(s.sequence.begin(), s.sequence.end(),
+              b.sequences.data() + r * l);
+    std::copy(s.features.begin(), s.features.end(), b.features.data() + r * f);
+    std::copy(s.target.begin(), s.target.end(), b.targets.data() + r * o);
+  }
+  return b;
+}
+
+void DataLoader::next_epoch() {
+  if (shuffle_) order_ = rng_.permutation(order_.size());
+}
+
+}  // namespace deepbat::nn

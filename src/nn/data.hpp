@@ -1,0 +1,73 @@
+#pragma once
+// Dataset and mini-batch loader for the surrogate model. Each sample is a
+// triple (sequence S, features F, target O) of fixed sizes; the loader
+// shuffles indices each epoch (seeded) and packs batches into dense tensors,
+// mirroring the paper's PyTorch DataLoader with batch size 8.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/tensor.hpp"
+
+namespace deepbat::nn {
+
+struct Sample {
+  std::vector<float> sequence;  // inter-arrival window, length l
+  std::vector<float> features;  // {M, B, T} (raw; standardization is the
+                                // model's job, per the paper's Eq. 5)
+  std::vector<float> target;    // cost + latency percentiles
+};
+
+struct Batch {
+  Tensor sequences;  // [batch, l, 1]
+  Tensor features;   // [batch, f]
+  Tensor targets;    // [batch, o]
+  std::int64_t size = 0;
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  void add(Sample sample);
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  const Sample& operator[](std::size_t i) const { return samples_[i]; }
+
+  std::int64_t sequence_length() const;
+  std::int64_t feature_dim() const;
+  std::int64_t target_dim() const;
+
+  /// Split off the last `fraction` of samples as a validation set.
+  std::pair<Dataset, Dataset> split(double validation_fraction) const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+class DataLoader {
+ public:
+  DataLoader(const Dataset& dataset, std::int64_t batch_size, bool shuffle,
+             std::uint64_t seed);
+
+  /// Number of batches per epoch (last partial batch included).
+  std::int64_t batches_per_epoch() const;
+
+  /// Materialize the `i`-th batch of the current epoch.
+  Batch batch(std::int64_t i) const;
+
+  /// Re-shuffle for the next epoch.
+  void next_epoch();
+
+ private:
+  const Dataset& dataset_;
+  std::int64_t batch_size_;
+  bool shuffle_;
+  Rng rng_;
+  std::vector<std::size_t> order_;
+};
+
+}  // namespace deepbat::nn

@@ -1,0 +1,61 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace deepbat::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+               bool bias)
+    : in_(in_features), out_(out_features) {
+  DEEPBAT_CHECK(in_features > 0 && out_features > 0,
+                "Linear: dimensions must be positive");
+  // Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+  const float a =
+      std::sqrt(6.0F / static_cast<float>(in_features + out_features));
+  weight_ = register_parameter(
+      "weight", Tensor::rand_uniform({in_features, out_features}, rng, -a, a));
+  if (bias) {
+    bias_ = register_parameter("bias", Tensor::zeros({out_features}));
+  }
+}
+
+Var Linear::forward(const Var& x) {
+  DEEPBAT_CHECK(x && x->value.dim(-1) == in_,
+                "Linear: input feature dim mismatch");
+  Var y = matmul(x, weight_);
+  if (bias_) y = add(y, bias_);
+  return y;
+}
+
+LayerNorm::LayerNorm(std::int64_t dim, float eps) : eps_(eps) {
+  DEEPBAT_CHECK(dim > 0, "LayerNorm: dim must be positive");
+  gamma_ = register_parameter("gamma", Tensor::ones({dim}));
+  beta_ = register_parameter("beta", Tensor::zeros({dim}));
+}
+
+Var LayerNorm::forward(const Var& x) {
+  return layer_norm(x, gamma_, beta_, eps_);
+}
+
+Dropout::Dropout(float p, std::uint64_t seed) : p_(p), rng_(seed) {
+  DEEPBAT_CHECK(p >= 0.0F && p < 1.0F, "Dropout: p must be in [0, 1)");
+}
+
+Var Dropout::forward(const Var& x) {
+  return dropout(x, p_, training(), rng_);
+}
+
+FeedForward::FeedForward(std::int64_t in_dim, std::int64_t hidden_dim,
+                         std::int64_t out_dim, Rng& rng)
+    : fc1_(in_dim, hidden_dim, rng), fc2_(hidden_dim, out_dim, rng) {
+  register_module("fc1", &fc1_);
+  register_module("fc2", &fc2_);
+}
+
+Var FeedForward::forward(const Var& x) {
+  return fc2_.forward(relu(fc1_.forward(x)));
+}
+
+}  // namespace deepbat::nn

@@ -1,0 +1,70 @@
+#pragma once
+// Basic layers: Linear (with Kaiming/Xavier init), LayerNorm, Dropout, and a
+// two-layer feed-forward block (Linear -> ReLU -> Linear), the building
+// blocks of the surrogate model in Fig. 3 of the paper.
+
+#include "common/rng.hpp"
+#include "nn/module.hpp"
+#include "nn/ops.hpp"
+
+namespace deepbat::nn {
+
+/// y = x W + b, with W: [in, out], b: [out]. Accepts any input whose last
+/// dimension equals `in`.
+class Linear : public Module {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+         bool bias = true);
+
+  Var forward(const Var& x);
+
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+
+ private:
+  std::int64_t in_;
+  std::int64_t out_;
+  Var weight_;
+  Var bias_;  // null when bias == false
+};
+
+/// Layer normalization over the last dimension with learned affine.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(std::int64_t dim, float eps = 1e-5F);
+
+  Var forward(const Var& x);
+
+ private:
+  float eps_;
+  Var gamma_;
+  Var beta_;
+};
+
+/// Inverted dropout; identity in eval mode. Owns its RNG stream so repeated
+/// training runs with the same seed are bit-reproducible.
+class Dropout : public Module {
+ public:
+  Dropout(float p, std::uint64_t seed);
+
+  Var forward(const Var& x);
+
+ private:
+  float p_;
+  Rng rng_;
+};
+
+/// Position-wise feed-forward: Linear(d, hidden) -> ReLU -> Linear(hidden, d_out).
+class FeedForward : public Module {
+ public:
+  FeedForward(std::int64_t in_dim, std::int64_t hidden_dim,
+              std::int64_t out_dim, Rng& rng);
+
+  Var forward(const Var& x);
+
+ private:
+  Linear fc1_;
+  Linear fc2_;
+};
+
+}  // namespace deepbat::nn

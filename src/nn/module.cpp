@@ -1,0 +1,57 @@
+#include "nn/module.hpp"
+
+#include "common/error.hpp"
+
+namespace deepbat::nn {
+
+std::vector<Var> Module::parameters() const {
+  std::vector<Var> out;
+  for (const auto& [name, var] : named_parameters()) {
+    (void)name;
+    out.push_back(var);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Var>> Module::named_parameters() const {
+  std::vector<std::pair<std::string, Var>> out;
+  collect("", out);
+  return out;
+}
+
+void Module::collect(const std::string& prefix,
+                     std::vector<std::pair<std::string, Var>>& out) const {
+  for (const auto& [name, var] : own_params_) {
+    out.emplace_back(prefix + name, var);
+  }
+  for (const auto& [name, child] : children_) {
+    child->collect(prefix + name + ".", out);
+  }
+}
+
+void Module::set_training(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) {
+    (void)name;
+    child->set_training(training);
+  }
+}
+
+std::int64_t Module::parameter_count() const {
+  std::int64_t n = 0;
+  for (const auto& p : parameters()) n += p->value.numel();
+  return n;
+}
+
+Var Module::register_parameter(std::string name, Tensor init) {
+  auto var = make_leaf(std::move(init), /*requires_grad=*/true, name);
+  own_params_.emplace_back(std::move(name), var);
+  return var;
+}
+
+void Module::register_module(std::string name, Module* child) {
+  DEEPBAT_CHECK(child != nullptr, "register_module: null child");
+  children_.emplace_back(std::move(name), child);
+}
+
+}  // namespace deepbat::nn

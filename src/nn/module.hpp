@@ -1,0 +1,52 @@
+#pragma once
+// Module base class: owns no parameters directly; concrete modules register
+// parameter Vars and child modules so that parameters(), named_parameters(),
+// and train/eval mode propagate through the whole model tree.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/autograd.hpp"
+
+namespace deepbat::nn {
+
+class Module {
+ public:
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  virtual ~Module() = default;
+
+  /// All trainable parameters in registration order (depth-first).
+  std::vector<Var> parameters() const;
+
+  /// Parameters with hierarchical names ("encoder.layer0.attn.wq.weight").
+  std::vector<std::pair<std::string, Var>> named_parameters() const;
+
+  /// Switch the whole subtree between training and inference behaviour
+  /// (affects dropout).
+  void set_training(bool training);
+  bool training() const { return training_; }
+
+  /// Total number of scalar parameters.
+  std::int64_t parameter_count() const;
+
+ protected:
+  /// Register a trainable parameter; returns the leaf Var.
+  Var register_parameter(std::string name, Tensor init);
+
+  /// Register a child module (non-owning; the child must be a member of the
+  /// concrete class and therefore outlive the registration).
+  void register_module(std::string name, Module* child);
+
+ private:
+  void collect(const std::string& prefix,
+               std::vector<std::pair<std::string, Var>>& out) const;
+
+  std::vector<std::pair<std::string, Var>> own_params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
+};
+
+}  // namespace deepbat::nn

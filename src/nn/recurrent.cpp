@@ -1,0 +1,118 @@
+#include "nn/recurrent.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace deepbat::nn {
+
+namespace {
+
+/// Slice columns [begin, begin + width) of a [B, 4H] tensor via a constant
+/// selection: implemented with reshape-free copying inside a custom op is
+/// overkill here; we instead compute gates by splitting the fused
+/// projection with concat's inverse — a dedicated narrow op.
+Var narrow_cols(const Var& a, std::int64_t begin, std::int64_t width) {
+  DEEPBAT_CHECK(a && a->value.ndim() == 2, "narrow_cols: expected 2-D");
+  const std::int64_t rows = a->value.dim(0);
+  const std::int64_t cols = a->value.dim(1);
+  DEEPBAT_CHECK(begin >= 0 && begin + width <= cols,
+                "narrow_cols: range out of bounds");
+  Tensor out(Shape{rows, width});
+  const float* src = a->value.data();
+  float* dst = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::copy(src + r * cols + begin, src + r * cols + begin + width,
+              dst + r * width);
+  }
+  return make_node(
+      std::move(out), {a},
+      [a, rows, cols, begin, width](Node& self) {
+        if (!a->requires_grad) return;
+        Tensor ga(a->value.shape());
+        const float* g = self.grad.data();
+        float* gp = ga.data();
+        for (std::int64_t r = 0; r < rows; ++r) {
+          std::copy(g + r * width, g + (r + 1) * width,
+                    gp + r * cols + begin);
+        }
+        a->accumulate_grad(ga);
+      },
+      "narrow_cols");
+}
+
+}  // namespace
+
+LstmCell::LstmCell(std::int64_t input_dim, std::int64_t hidden_dim, Rng& rng)
+    : input_(input_dim), hidden_(hidden_dim) {
+  DEEPBAT_CHECK(input_dim > 0 && hidden_dim > 0,
+                "LstmCell: dimensions must be positive");
+  const float a =
+      std::sqrt(6.0F / static_cast<float>(input_dim + hidden_dim));
+  w_x_ = register_parameter(
+      "w_x", Tensor::rand_uniform({input_dim, 4 * hidden_dim}, rng, -a, a));
+  w_h_ = register_parameter(
+      "w_h", Tensor::rand_uniform({hidden_dim, 4 * hidden_dim}, rng, -a, a));
+  Tensor bias = Tensor::zeros({4 * hidden_dim});
+  // Forget-gate bias initialized to 1 (standard trick against early
+  // vanishing memory).
+  for (std::int64_t i = hidden_dim; i < 2 * hidden_dim; ++i) {
+    bias.at(i) = 1.0F;
+  }
+  bias_ = register_parameter("bias", std::move(bias));
+}
+
+LstmCell::State LstmCell::step(const Var& x, const State& state) {
+  DEEPBAT_CHECK(x && x->value.dim(-1) == input_, "LstmCell: input dim");
+  Var gates = add(add(matmul(x, w_x_), matmul(state.h, w_h_)), bias_);
+  const Var i = sigmoid(narrow_cols(gates, 0, hidden_));
+  const Var f = sigmoid(narrow_cols(gates, hidden_, hidden_));
+  const Var g = tanh_op(narrow_cols(gates, 2 * hidden_, hidden_));
+  const Var o = sigmoid(narrow_cols(gates, 3 * hidden_, hidden_));
+  State next;
+  next.c = add(mul(f, state.c), mul(i, g));
+  next.h = mul(o, tanh_op(next.c));
+  return next;
+}
+
+LstmCell::State LstmCell::initial_state(std::int64_t batch) const {
+  State s;
+  s.h = make_leaf(Tensor::zeros({batch, hidden_}), false, "h0");
+  s.c = make_leaf(Tensor::zeros({batch, hidden_}), false, "c0");
+  return s;
+}
+
+Lstm::Lstm(std::int64_t input_dim, std::int64_t hidden_dim, Rng& rng)
+    : cell_(input_dim, hidden_dim, rng) {
+  register_module("cell", &cell_);
+}
+
+Var Lstm::forward(const Var& sequence) {
+  DEEPBAT_CHECK(sequence && sequence->value.ndim() == 3,
+                "Lstm: expected [B, L, D]");
+  const std::int64_t B = sequence->value.dim(0);
+  const std::int64_t L = sequence->value.dim(1);
+  LstmCell::State state = cell_.initial_state(B);
+  // Collect h_t as [B, 1, H] slices and concatenate along a new time axis.
+  Var out;
+  for (std::int64_t t = 0; t < L; ++t) {
+    state = cell_.step(select_axis1(sequence, t), state);
+    Var ht = reshape(state.h, {B, 1, cell_.hidden_dim()});
+    out = out ? concat_axis1(out, ht) : ht;
+  }
+  return out;
+}
+
+Var Lstm::encode(const Var& sequence) {
+  DEEPBAT_CHECK(sequence && sequence->value.ndim() == 3,
+                "Lstm: expected [B, L, D]");
+  const std::int64_t B = sequence->value.dim(0);
+  const std::int64_t L = sequence->value.dim(1);
+  LstmCell::State state = cell_.initial_state(B);
+  for (std::int64_t t = 0; t < L; ++t) {
+    state = cell_.step(select_axis1(sequence, t), state);
+  }
+  return state.h;
+}
+
+}  // namespace deepbat::nn

@@ -1,0 +1,62 @@
+#pragma once
+// LSTM sequence encoder — the recurrent baseline the paper's motivation
+// argues against (§I: LSTMs "suffer from limitations such as vanishing
+// gradients and difficulty in capturing long-range dependencies"). Used by
+// the encoder-ablation bench to compare Transformer vs LSTM accuracy and
+// cost under identical training budgets.
+//
+// Standard LSTM cell:
+//   i = sigma(x W_i + h U_i + b_i)     f = sigma(x W_f + h U_f + b_f)
+//   g = tanh (x W_g + h U_g + b_g)     o = sigma(x W_o + h U_o + b_o)
+//   c' = f * c + i * g                 h' = o * tanh(c')
+
+#include "nn/layers.hpp"
+
+namespace deepbat::nn {
+
+class LstmCell : public Module {
+ public:
+  LstmCell(std::int64_t input_dim, std::int64_t hidden_dim, Rng& rng);
+
+  struct State {
+    Var h;
+    Var c;
+  };
+
+  /// One step: x [B, input_dim], state {h, c} [B, hidden_dim].
+  State step(const Var& x, const State& state);
+
+  /// Zero initial state for a batch.
+  State initial_state(std::int64_t batch) const;
+
+  std::int64_t hidden_dim() const { return hidden_; }
+
+ private:
+  std::int64_t input_;
+  std::int64_t hidden_;
+  // Fused gate projections: [input, 4H] and [hidden, 4H]; gate order
+  // (i, f, g, o) by column blocks.
+  Var w_x_;
+  Var w_h_;
+  Var bias_;
+};
+
+/// Unidirectional LSTM over [B, L, D]; returns either the full hidden
+/// sequence [B, L, H] or just the final hidden state [B, H].
+class Lstm : public Module {
+ public:
+  Lstm(std::int64_t input_dim, std::int64_t hidden_dim, Rng& rng);
+
+  /// Full hidden sequence [B, L, H].
+  Var forward(const Var& sequence);
+
+  /// Final hidden state [B, H] (the usual sequence summary).
+  Var encode(const Var& sequence);
+
+  std::int64_t hidden_dim() const { return cell_.hidden_dim(); }
+
+ private:
+  LstmCell cell_;
+};
+
+}  // namespace deepbat::nn

@@ -1,0 +1,104 @@
+#include "nn/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace deepbat::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'B', 'A', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  DEEPBAT_CHECK(is.good(), "serialize: truncated file");
+  return value;
+}
+
+}  // namespace
+
+void save_tensors(const std::string& path,
+                  const std::vector<std::pair<std::string, Tensor>>& entries) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  DEEPBAT_CHECK(os.is_open(), "serialize: cannot open for writing: " + path);
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint64_t>(entries.size()));
+  for (const auto& [name, tensor] : entries) {
+    write_pod(os, static_cast<std::uint32_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_pod(os, static_cast<std::uint32_t>(tensor.ndim()));
+    for (std::int64_t d : tensor.shape()) write_pod(os, d);
+    os.write(reinterpret_cast<const char*>(tensor.data()),
+             static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+  }
+  DEEPBAT_CHECK(os.good(), "serialize: write failed: " + path);
+}
+
+std::vector<std::pair<std::string, Tensor>> load_tensors(
+    const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  DEEPBAT_CHECK(is.is_open(), "serialize: cannot open for reading: " + path);
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  DEEPBAT_CHECK(is.good() && std::memcmp(magic, kMagic, 4) == 0,
+                "serialize: bad magic in " + path);
+  const auto version = read_pod<std::uint32_t>(is);
+  DEEPBAT_CHECK(version == kVersion, "serialize: unsupported version");
+  const auto count = read_pod<std::uint64_t>(is);
+  std::vector<std::pair<std::string, Tensor>> entries;
+  entries.reserve(count);
+  for (std::uint64_t e = 0; e < count; ++e) {
+    const auto name_len = read_pod<std::uint32_t>(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    DEEPBAT_CHECK(is.good(), "serialize: truncated name");
+    const auto ndim = read_pod<std::uint32_t>(is);
+    DEEPBAT_CHECK(ndim <= 8, "serialize: implausible rank");
+    Shape shape(ndim);
+    for (auto& d : shape) d = read_pod<std::int64_t>(is);
+    Tensor t(shape);
+    is.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    DEEPBAT_CHECK(is.good(), "serialize: truncated tensor data for " + name);
+    entries.emplace_back(std::move(name), std::move(t));
+  }
+  return entries;
+}
+
+void save_module(const std::string& path, const Module& module) {
+  std::vector<std::pair<std::string, Tensor>> entries;
+  for (const auto& [name, var] : module.named_parameters()) {
+    entries.emplace_back(name, var->value);
+  }
+  save_tensors(path, entries);
+}
+
+void load_module(const std::string& path, Module& module) {
+  std::map<std::string, Tensor> by_name;
+  for (auto& [name, tensor] : load_tensors(path)) {
+    by_name.emplace(std::move(name), std::move(tensor));
+  }
+  for (auto& [name, var] : module.named_parameters()) {
+    const auto it = by_name.find(name);
+    DEEPBAT_CHECK(it != by_name.end(),
+                  "load_module: missing parameter " + name + " in " + path);
+    DEEPBAT_CHECK(it->second.shape() == var->value.shape(),
+                  "load_module: shape mismatch for " + name);
+    std::copy(it->second.data(), it->second.data() + it->second.numel(),
+              var->value.data());
+  }
+}
+
+}  // namespace deepbat::nn

@@ -1,0 +1,34 @@
+#pragma once
+// Binary (de)serialization of named parameter sets, so the surrogate can be
+// trained once and reloaded by every bench/example ("offline training,
+// online inference" in the paper's workflow).
+//
+// Format (little-endian):
+//   magic "DBAT" | u32 version | u64 entry count |
+//   per entry: u32 name_len | name bytes | u32 ndim | i64 dims... | f32 data
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace deepbat::nn {
+
+/// Serialize named tensors to `path`. Throws deepbat::Error on I/O failure.
+void save_tensors(const std::string& path,
+                  const std::vector<std::pair<std::string, Tensor>>& entries);
+
+/// Load all entries from `path`.
+std::vector<std::pair<std::string, Tensor>> load_tensors(
+    const std::string& path);
+
+/// Save a module's named parameters.
+void save_module(const std::string& path, const Module& module);
+
+/// Load parameters into a module; every parameter in the module must be
+/// present in the file with a matching shape (strict, like PyTorch's
+/// load_state_dict with strict=True).
+void load_module(const std::string& path, Module& module);
+
+}  // namespace deepbat::nn

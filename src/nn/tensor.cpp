@@ -1,0 +1,204 @@
+#include "nn/tensor.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace deepbat::nn {
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) {
+    DEEPBAT_CHECK(d >= 0, "negative dimension in shape");
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor() : Tensor(Shape{}) {}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      numel_(shape_numel(shape_)),
+      storage_(std::make_shared<std::vector<float>>(
+          static_cast<std::size_t>(numel_), 0.0F)) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), numel_(shape_numel(shape_)) {
+  DEEPBAT_CHECK(static_cast<std::int64_t>(data.size()) == numel_,
+                "Tensor: data size " + std::to_string(data.size()) +
+                    " does not match shape " + shape_to_string(shape_));
+  storage_ = std::make_shared<std::vector<float>>(std::move(data));
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.0F); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& x : t.flat()) {
+    x = static_cast<float>(rng.normal(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::rand_uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& x : t.flat()) {
+    x = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::from_vector(std::span<const float> values) {
+  return Tensor({static_cast<std::int64_t>(values.size())},
+                std::vector<float>(values.begin(), values.end()));
+}
+
+std::int64_t Tensor::dim(std::int64_t i) const {
+  if (i < 0) i += ndim();
+  DEEPBAT_CHECK(i >= 0 && i < ndim(), "dim index out of range");
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+float& Tensor::at(std::int64_t i) {
+  DEEPBAT_CHECK(ndim() == 1 && i >= 0 && i < shape_[0], "at(i): bad index");
+  return (*storage_)[static_cast<std::size_t>(i)];
+}
+
+float Tensor::at(std::int64_t i) const {
+  return const_cast<Tensor*>(this)->at(i);
+}
+
+float& Tensor::at(std::int64_t i, std::int64_t j) {
+  DEEPBAT_CHECK(ndim() == 2, "at(i,j) on non-2D tensor");
+  DEEPBAT_CHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1],
+                "at(i,j): index out of range");
+  return (*storage_)[static_cast<std::size_t>(i * shape_[1] + j)];
+}
+
+float Tensor::at(std::int64_t i, std::int64_t j) const {
+  return const_cast<Tensor*>(this)->at(i, j);
+}
+
+float& Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k) {
+  DEEPBAT_CHECK(ndim() == 3, "at(i,j,k) on non-3D tensor");
+  DEEPBAT_CHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] && k >= 0 &&
+                    k < shape_[2],
+                "at(i,j,k): index out of range");
+  return (*storage_)[static_cast<std::size_t>((i * shape_[1] + j) * shape_[2] +
+                                              k)];
+}
+
+float Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k) const {
+  return const_cast<Tensor*>(this)->at(i, j, k);
+}
+
+float& Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k,
+                  std::int64_t l) {
+  DEEPBAT_CHECK(ndim() == 4, "at(i,j,k,l) on non-4D tensor");
+  DEEPBAT_CHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] && k >= 0 &&
+                    k < shape_[2] && l >= 0 && l < shape_[3],
+                "at(i,j,k,l): index out of range");
+  return (*storage_)[static_cast<std::size_t>(
+      ((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l)];
+}
+
+float Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k,
+                 std::int64_t l) const {
+  return const_cast<Tensor*>(this)->at(i, j, k, l);
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  DEEPBAT_CHECK(shape_numel(new_shape) == numel_,
+                "reshape: element count mismatch: " + shape_to_string(shape_) +
+                    " -> " + shape_to_string(new_shape));
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.numel_ = numel_;
+  t.storage_ = storage_;
+  return t;
+}
+
+Tensor Tensor::clone() const {
+  Tensor t;
+  t.shape_ = shape_;
+  t.numel_ = numel_;
+  t.storage_ = std::make_shared<std::vector<float>>(*storage_);
+  return t;
+}
+
+void Tensor::fill(float value) {
+  for (float& x : flat()) x = value;
+}
+
+void Tensor::add_inplace(const Tensor& other, float scale) {
+  DEEPBAT_CHECK(other.numel_ == numel_,
+                "add_inplace: shape mismatch " + shape_to_string(shape_) +
+                    " vs " + shape_to_string(other.shape_));
+  float* dst = data();
+  const float* src = other.data();
+  for (std::int64_t i = 0; i < numel_; ++i) {
+    dst[i] += scale * src[i];
+  }
+}
+
+void Tensor::scale_inplace(float factor) {
+  for (float& x : flat()) x *= factor;
+}
+
+bool Tensor::allclose(const Tensor& other, float tol) const {
+  if (shape_ != other.shape_) return false;
+  const float* a = data();
+  const float* b = other.data();
+  for (std::int64_t i = 0; i < numel_; ++i) {
+    if (std::abs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+double Tensor::sum() const {
+  double s = 0.0;
+  for (float x : flat()) s += x;
+  return s;
+}
+
+double Tensor::mean_value() const {
+  return numel_ ? sum() / static_cast<double>(numel_) : 0.0;
+}
+
+std::string Tensor::to_string(int max_per_dim) const {
+  std::ostringstream os;
+  os << "Tensor" << shape_to_string(shape_) << " {";
+  const std::int64_t limit =
+      std::min<std::int64_t>(numel_, static_cast<std::int64_t>(max_per_dim));
+  for (std::int64_t i = 0; i < limit; ++i) {
+    if (i) os << ", ";
+    os << data()[i];
+  }
+  if (limit < numel_) os << ", ...";
+  os << '}';
+  return os.str();
+}
+
+}  // namespace deepbat::nn

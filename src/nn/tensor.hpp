@@ -1,0 +1,107 @@
+#pragma once
+// Dense float32 tensor with value semantics and shared contiguous storage.
+//
+// Design notes:
+//  * Always contiguous, row-major, offset 0. `reshape` aliases the buffer;
+//    every other op allocates a fresh result. Autograd treats tensor values
+//    as immutable once produced, so aliasing is safe; only the optimizers
+//    mutate parameter storage in place (between graph constructions).
+//  * Shapes use int64_t to match the conventions of mainstream frameworks
+//    and to keep index arithmetic overflow-safe.
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace deepbat {
+class Rng;
+}
+
+namespace deepbat::nn {
+
+using Shape = std::vector<std::int64_t>;
+
+/// Number of elements implied by a shape (1 for rank-0 / empty shape).
+std::int64_t shape_numel(const Shape& shape);
+
+/// "[2, 3, 4]" — for error messages.
+std::string shape_to_string(const Shape& shape);
+
+class Tensor {
+ public:
+  /// Empty tensor (rank 0, 1 element, value 0) — usable as a placeholder.
+  Tensor();
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor adopting `data` (size must equal shape_numel(shape)).
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor zeros(Shape shape);
+  static Tensor ones(Shape shape);
+  static Tensor full(Shape shape, float value);
+  /// i.i.d. N(0, stddev^2) entries.
+  static Tensor randn(Shape shape, Rng& rng, float stddev = 1.0F);
+  /// Uniform in [lo, hi).
+  static Tensor rand_uniform(Shape shape, Rng& rng, float lo, float hi);
+  /// 1-D tensor from values.
+  static Tensor from_vector(std::span<const float> values);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t ndim() const { return static_cast<std::int64_t>(shape_.size()); }
+  std::int64_t dim(std::int64_t i) const;
+  std::int64_t numel() const { return numel_; }
+
+  float* data() { return storage_->data(); }
+  const float* data() const { return storage_->data(); }
+  std::span<float> flat() { return {data(), static_cast<std::size_t>(numel_)}; }
+  std::span<const float> flat() const {
+    return {data(), static_cast<std::size_t>(numel_)};
+  }
+
+  /// Element access (rank checked in debug via DEEPBAT_CHECK).
+  float& at(std::int64_t i);
+  float at(std::int64_t i) const;
+  float& at(std::int64_t i, std::int64_t j);
+  float at(std::int64_t i, std::int64_t j) const;
+  float& at(std::int64_t i, std::int64_t j, std::int64_t k);
+  float at(std::int64_t i, std::int64_t j, std::int64_t k) const;
+  float& at(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l);
+  float at(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l) const;
+
+  /// View with a new shape (same element count); shares storage.
+  Tensor reshape(Shape new_shape) const;
+
+  /// Deep copy.
+  Tensor clone() const;
+
+  /// Set all elements to `value`.
+  void fill(float value);
+
+  /// Add `other * scale` elementwise in place (used for grad accumulation
+  /// and optimizer updates). Shapes must match exactly.
+  void add_inplace(const Tensor& other, float scale = 1.0F);
+
+  /// Multiply all elements in place.
+  void scale_inplace(float factor);
+
+  /// True if shapes are equal and all elements differ by at most `tol`.
+  bool allclose(const Tensor& other, float tol = 1e-5F) const;
+
+  /// Sum / mean of all elements (double accumulator).
+  double sum() const;
+  double mean_value() const;
+
+  std::string to_string(int max_per_dim = 8) const;
+
+ private:
+  Shape shape_;
+  std::int64_t numel_ = 1;
+  std::shared_ptr<std::vector<float>> storage_;
+};
+
+}  // namespace deepbat::nn

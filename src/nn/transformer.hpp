@@ -1,0 +1,74 @@
+#pragma once
+// Transformer encoder stack (paper Eq. 2): sinusoidal positional encoding +
+// N post-norm encoder layers (self-attention -> add&norm -> FFN -> add&norm),
+// exactly the topology of torch.nn.TransformerEncoder that the paper's
+// PyTorch implementation uses.
+
+#include <memory>
+#include <vector>
+
+#include "nn/attention.hpp"
+
+namespace deepbat::nn {
+
+/// Fixed sinusoidal positional encoding added to sequence embeddings.
+class PositionalEncoding : public Module {
+ public:
+  PositionalEncoding(std::int64_t model_dim, std::int64_t max_len);
+
+  /// x: [B, L, D] with L <= max_len; returns x + PE[0:L].
+  Var forward(const Var& x);
+
+ private:
+  std::int64_t max_len_;
+  std::int64_t dim_;
+  Tensor table_;  // [max_len, D], constant
+};
+
+struct TransformerConfig {
+  std::int64_t model_dim = 16;   // paper: embedding dimension 16
+  std::int64_t num_heads = 4;
+  std::int64_t ffn_hidden = 32;  // paper: hidden state 32
+  std::int64_t num_layers = 2;   // paper: 2 encoder layers
+  float dropout = 0.1F;
+  std::int64_t max_len = 1024;
+};
+
+/// One encoder layer, post-norm variant:
+///   x = LN1(x + Dropout(SelfAttn(x)));  x = LN2(x + Dropout(FFN(x)))
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(const TransformerConfig& cfg, Rng& rng,
+                          std::uint64_t seed);
+
+  Var forward(const Var& x, const Var& mask = nullptr);
+
+  MultiHeadAttention& self_attention() { return attn_; }
+
+ private:
+  MultiHeadAttention attn_;
+  FeedForward ffn_;
+  LayerNorm norm1_;
+  LayerNorm norm2_;
+  Dropout drop1_;
+  Dropout drop2_;
+};
+
+/// Stack of encoder layers.
+class TransformerEncoder : public Module {
+ public:
+  TransformerEncoder(const TransformerConfig& cfg, Rng& rng,
+                     std::uint64_t seed);
+
+  Var forward(const Var& x, const Var& mask = nullptr);
+
+  std::int64_t num_layers() const {
+    return static_cast<std::int64_t>(layers_.size());
+  }
+  TransformerEncoderLayer& layer(std::int64_t i) { return *layers_[static_cast<std::size_t>(i)]; }
+
+ private:
+  std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;
+};
+
+}  // namespace deepbat::nn

@@ -1,0 +1,111 @@
+#include "sim/batch_sim.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace deepbat::sim {
+
+double SimResult::cost_per_request() const {
+  return requests.empty() ? 0.0
+                          : total_cost / static_cast<double>(requests.size());
+}
+
+std::vector<double> SimResult::latencies() const {
+  std::vector<double> out;
+  out.reserve(requests.size());
+  for (const auto& r : requests) out.push_back(r.latency());
+  return out;
+}
+
+double SimResult::latency_quantile(double q) const {
+  DEEPBAT_CHECK(!requests.empty(), "latency_quantile: nothing served");
+  const auto lat = latencies();
+  return quantile(lat, q);
+}
+
+double SimResult::mean_batch_size() const {
+  if (invocations == 0) return 0.0;
+  return static_cast<double>(requests.size()) /
+         static_cast<double>(invocations);
+}
+
+BatchSimulator::BatchSimulator(const lambda::LambdaModel& model,
+                               lambda::Config config,
+                               std::optional<std::uint64_t> cold_start_seed)
+    : model_(model), config_(config) {
+  model_.validate(config_);
+  if (cold_start_seed.has_value()) {
+    cold_rng_.emplace(*cold_start_seed);
+  }
+}
+
+void BatchSimulator::set_config(const lambda::Config& config) {
+  model_.validate(config);
+  config_ = config;
+}
+
+void BatchSimulator::offer(double time) {
+  DEEPBAT_CHECK(time >= last_time_,
+                "BatchSimulator::offer: arrivals must be non-decreasing");
+  advance_to(time);
+  last_time_ = time;
+  if (open_arrivals_.empty()) {
+    open_deadline_ = time + config_.timeout_s;
+    open_batch_limit_ = config_.batch_size;
+  }
+  open_arrivals_.push_back(time);
+  if (static_cast<std::int64_t>(open_arrivals_.size()) >= open_batch_limit_) {
+    dispatch(time);
+  }
+}
+
+void BatchSimulator::advance_to(double now) {
+  if (!open_arrivals_.empty() && open_deadline_ <= now) {
+    dispatch(open_deadline_);
+  }
+  last_time_ = std::max(last_time_, now);
+}
+
+void BatchSimulator::finalize() {
+  if (!open_arrivals_.empty()) {
+    dispatch(std::max(open_deadline_, last_time_));
+  }
+}
+
+void BatchSimulator::dispatch(double time) {
+  const auto batch = static_cast<std::int64_t>(open_arrivals_.size());
+  double service = model_.service_time(config_.memory_mb, batch);
+  if (cold_rng_.has_value() &&
+      model_.params().cold_start_probability > 0.0 &&
+      cold_rng_->uniform() < model_.params().cold_start_probability) {
+    service += model_.params().cold_start_penalty_s;
+  }
+  const double invocation_cost =
+      model_.invocation_cost(config_.memory_mb, service);
+  for (double arrival : open_arrivals_) {
+    RequestRecord rec;
+    rec.arrival = arrival;
+    rec.dispatch = time;
+    rec.completion = time + service;
+    rec.batch_actual = batch;
+    rec.cost_share = invocation_cost / static_cast<double>(batch);
+    result_.requests.push_back(rec);
+  }
+  result_.total_cost += invocation_cost;
+  ++result_.invocations;
+  open_arrivals_.clear();
+}
+
+SimResult simulate_trace(std::span<const double> arrivals,
+                         const lambda::Config& config,
+                         const lambda::LambdaModel& model,
+                         std::optional<std::uint64_t> cold_start_seed) {
+  BatchSimulator sim(model, config, cold_start_seed);
+  for (double t : arrivals) sim.offer(t);
+  sim.finalize();
+  return sim.result();
+}
+
+}  // namespace deepbat::sim

@@ -1,0 +1,98 @@
+#pragma once
+// Fast batching simulator — the ground-truth engine (paper §IV-A: "The
+// ground truth ... is obtained by simulation as in [10], [18]").
+//
+// Model assumptions (inherited from BATCH and validated there on Lambda):
+//  * The buffer opens a batch at the first arrival into an empty buffer and
+//    dispatches it after `timeout_s`, or immediately when the `batch_size`-th
+//    request joins, whichever comes first.
+//  * Serverless autoscaling gives every dispatched batch its own function
+//    instance, so batches never queue behind each other.
+//  * Service time is deterministic given (memory, actual batch size); an
+//    optional cold-start penalty hits an invocation with configured
+//    probability.
+//
+// Request latency = (dispatch time - arrival time) + service time.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "lambda/model.hpp"
+
+namespace deepbat::sim {
+
+struct RequestRecord {
+  double arrival = 0.0;
+  double dispatch = 0.0;
+  double completion = 0.0;
+  std::int64_t batch_actual = 0;  // size of the batch this request rode in
+  double cost_share = 0.0;  // this request's share of its invocation's cost
+  double latency() const { return completion - arrival; }
+};
+
+struct SimResult {
+  std::vector<RequestRecord> requests;
+  std::size_t invocations = 0;
+  double total_cost = 0.0;
+
+  std::size_t served() const { return requests.size(); }
+  double cost_per_request() const;
+  std::vector<double> latencies() const;
+  /// q in [0, 1]; throws if nothing was served.
+  double latency_quantile(double q) const;
+  double mean_batch_size() const;
+};
+
+/// Streaming simulator whose configuration can be switched between
+/// arrivals — this is how the controller-in-the-loop experiments replay a
+/// trace while DeepBAT/BATCH adjust (M, B, T) on the fly. A batch that is
+/// already open keeps the deadline it was opened with; the new config
+/// applies from the next batch on.
+class BatchSimulator {
+ public:
+  BatchSimulator(const lambda::LambdaModel& model, lambda::Config config,
+                 std::optional<std::uint64_t> cold_start_seed = std::nullopt);
+
+  void set_config(const lambda::Config& config);
+  const lambda::Config& config() const { return config_; }
+
+  /// Feed the next arrival (non-decreasing times). Any batch whose timeout
+  /// fired before `time` is dispatched first.
+  void offer(double time);
+
+  /// Dispatch every batch whose deadline is <= `now`.
+  void advance_to(double now);
+
+  /// Dispatch the open batch (if any) at its deadline regardless of `now` —
+  /// call once at end of trace.
+  void finalize();
+
+  /// Results accumulated so far (records are appended in dispatch order).
+  const SimResult& result() const { return result_; }
+
+  /// Number of requests waiting in the open batch.
+  std::size_t pending() const { return open_arrivals_.size(); }
+
+ private:
+  void dispatch(double time);
+
+  const lambda::LambdaModel& model_;
+  lambda::Config config_;
+  std::optional<Rng> cold_rng_;
+  std::vector<double> open_arrivals_;
+  double open_deadline_ = 0.0;
+  std::int64_t open_batch_limit_ = 0;  // B captured when the batch opened
+  double last_time_ = 0.0;
+  SimResult result_;
+};
+
+/// Convenience: run a whole trace under one fixed config and finalize.
+SimResult simulate_trace(std::span<const double> arrivals,
+                         const lambda::Config& config,
+                         const lambda::LambdaModel& model,
+                         std::optional<std::uint64_t> cold_start_seed =
+                             std::nullopt);
+
+}  // namespace deepbat::sim

@@ -1,0 +1,40 @@
+#include "sim/des.hpp"
+
+#include "common/error.hpp"
+
+namespace deepbat::sim {
+
+void EventQueue::schedule(double when, Handler handler) {
+  DEEPBAT_CHECK(when >= now_, "EventQueue: cannot schedule in the past");
+  queue_.push(Event{when, seq_++, std::move(handler)});
+}
+
+void EventQueue::schedule_in(double delay, Handler handler) {
+  DEEPBAT_CHECK(delay >= 0.0, "EventQueue: negative delay");
+  schedule(now_ + delay, std::move(handler));
+}
+
+bool EventQueue::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; move out via const_cast is UB-free
+  // alternative: copy the handler. Events are small; copy is fine.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ev.handler();
+  return true;
+}
+
+void EventQueue::run() {
+  while (step()) {
+  }
+}
+
+void EventQueue::run_until(double until) {
+  while (!queue_.empty() && queue_.top().time <= until) {
+    step();
+  }
+  now_ = std::max(now_, until);
+}
+
+}  // namespace deepbat::sim

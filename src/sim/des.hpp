@@ -1,0 +1,54 @@
+#pragma once
+// Minimal discrete-event simulation engine. Events are closures keyed by
+// (time, insertion sequence) so simultaneous events execute in scheduling
+// order, which keeps runs deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace deepbat::sim {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedule `handler` at absolute time `when` (must be >= now()).
+  void schedule(double when, Handler handler);
+
+  /// Schedule relative to the current time.
+  void schedule_in(double delay, Handler handler);
+
+  double now() const { return now_; }
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Run events until the queue empties or `until` is reached; the clock is
+  /// left at the time of the last executed event (or `until` if given and
+  /// smaller than the next event).
+  void run();
+  void run_until(double until);
+
+  /// Execute exactly one event; returns false if none pending.
+  bool step();
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace deepbat::sim

@@ -1,0 +1,47 @@
+#include "sim/ground_truth.hpp"
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace deepbat::sim {
+
+ConfigEvaluation evaluate_config(std::span<const double> arrivals,
+                                 const lambda::Config& config,
+                                 const lambda::LambdaModel& model, double slo_s,
+                                 double percentile) {
+  DEEPBAT_CHECK(!arrivals.empty(), "evaluate_config: empty window");
+  DEEPBAT_CHECK(percentile > 0.0 && percentile < 1.0,
+                "evaluate_config: percentile out of (0, 1)");
+  const SimResult result = simulate_trace(arrivals, config, model);
+  ConfigEvaluation eval;
+  eval.config = config;
+  eval.latency_percentile = result.latency_quantile(percentile);
+  eval.cost_per_request = result.cost_per_request();
+  eval.feasible = eval.latency_percentile <= slo_s;
+  return eval;
+}
+
+GroundTruthResult ground_truth_search(std::span<const double> arrivals,
+                                      const lambda::ConfigGrid& grid,
+                                      const lambda::LambdaModel& model,
+                                      double slo_s, double percentile) {
+  const auto configs = grid.enumerate();
+  DEEPBAT_CHECK(!configs.empty(), "ground_truth_search: empty grid");
+  GroundTruthResult result;
+  result.table = parallel_map<ConfigEvaluation>(
+      configs.size(),
+      [&](std::size_t i) {
+        return evaluate_config(arrivals, configs[i], model, slo_s, percentile);
+      },
+      /*grain=*/8);
+  for (const auto& eval : result.table) {
+    if (!eval.feasible) continue;
+    if (!result.best.has_value() ||
+        eval.cost_per_request < result.best->cost_per_request) {
+      result.best = eval;
+    }
+  }
+  return result;
+}
+
+}  // namespace deepbat::sim

@@ -1,0 +1,41 @@
+#pragma once
+// Ground-truth optimizer: exhaustive search over the config grid, scoring
+// every configuration by simulating the actual arrival window (paper
+// §IV-A: "The ground truth is obtained using a search across all possible
+// configurations of memory size, batch size, and timeout").
+
+#include <optional>
+#include <span>
+
+#include "sim/batch_sim.hpp"
+
+namespace deepbat::sim {
+
+struct ConfigEvaluation {
+  lambda::Config config;
+  double latency_percentile = 0.0;  // at the requested percentile
+  double cost_per_request = 0.0;
+  bool feasible = false;  // latency percentile <= SLO
+};
+
+struct GroundTruthResult {
+  /// Cheapest feasible config; nullopt when no config meets the SLO.
+  std::optional<ConfigEvaluation> best;
+  /// Every evaluated configuration (grid order).
+  std::vector<ConfigEvaluation> table;
+};
+
+/// Evaluate one config on a window of arrivals.
+ConfigEvaluation evaluate_config(std::span<const double> arrivals,
+                                 const lambda::Config& config,
+                                 const lambda::LambdaModel& model, double slo_s,
+                                 double percentile);
+
+/// Exhaustive search (parallelized over the grid). `percentile` in (0, 1),
+/// e.g. 0.95 for the paper's 95th-percentile SLO.
+GroundTruthResult ground_truth_search(std::span<const double> arrivals,
+                                      const lambda::ConfigGrid& grid,
+                                      const lambda::LambdaModel& model,
+                                      double slo_s, double percentile = 0.95);
+
+}  // namespace deepbat::sim

@@ -1,0 +1,70 @@
+#pragma once
+// Controller-in-the-loop serverless platform on top of the DES engine —
+// the executable version of paper Fig. 2. A trace is replayed through the
+// Buffer; at a fixed control interval the attached Controller observes the
+// recent arrival history (the Workload Parser's view) and returns the
+// (M, B, T) configuration to apply next, exactly the DeepBAT request/control
+// flow. With a FixedController this degenerates to plain batching.
+
+#include <memory>
+#include <vector>
+
+#include "sim/batch_sim.hpp"
+#include "sim/des.hpp"
+#include "workload/trace.hpp"
+
+namespace deepbat::sim {
+
+/// Strategy interface implemented by DeepBAT (core/), the BATCH baseline
+/// (batchlib/), and trivial fixed policies.
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  /// Called at every control point with the full arrival history up to
+  /// `now` (implementations slice their own window from it). Returns the
+  /// configuration to use until the next control point.
+  virtual lambda::Config decide(const workload::Trace& history,
+                                double now) = 0;
+
+  /// Name used in reports.
+  virtual std::string name() const = 0;
+};
+
+/// Always returns the same configuration.
+class FixedController : public Controller {
+ public:
+  explicit FixedController(lambda::Config config) : config_(config) {}
+  lambda::Config decide(const workload::Trace&, double) override {
+    return config_;
+  }
+  std::string name() const override { return "fixed"; }
+
+ private:
+  lambda::Config config_;
+};
+
+struct PlatformOptions {
+  double control_interval_s = 30.0;  // how often the controller re-decides
+  std::optional<std::uint64_t> cold_start_seed;
+};
+
+struct ControlDecision {
+  double time = 0.0;
+  lambda::Config config;
+};
+
+struct PlatformRun {
+  SimResult result;
+  std::vector<ControlDecision> decisions;
+};
+
+/// Replay `trace` through the batching buffer; the controller re-decides the
+/// configuration every `control_interval_s` seconds (first decision at the
+/// trace start).
+PlatformRun run_platform(const workload::Trace& trace, Controller& controller,
+                         const lambda::LambdaModel& model,
+                         lambda::Config initial_config,
+                         const PlatformOptions& options = {});
+
+}  // namespace deepbat::sim

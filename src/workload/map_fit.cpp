@@ -1,0 +1,91 @@
+#include "workload/map_fit.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/optimize.hpp"
+#include "common/stats.hpp"
+
+namespace deepbat::workload {
+
+namespace {
+
+/// Decode log-multipliers (relative to the empirical rate) into a valid
+/// MMPP(2). Clamping to +-exp(6) (~400x) keeps the fitted process within a
+/// physically plausible range of the data — unbounded parameters would let
+/// the optimizer trade realism for moment error via astronomically fast
+/// phases, which also destroys the downstream transient solver's step
+/// control.
+Map decode(const std::vector<double>& x, double base_rate) {
+  auto bounded = [base_rate](double v) {
+    return base_rate * std::exp(std::clamp(v, -6.0, 6.0));
+  };
+  return Map::mmpp2(bounded(x[0]), bounded(x[1]), bounded(x[2]),
+                    bounded(x[3]));
+}
+
+}  // namespace
+
+std::optional<MapFitResult> fit_mmpp2(std::span<const double> interarrivals,
+                                      const MapFitOptions& options) {
+  if (interarrivals.size() < options.min_samples) return std::nullopt;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const double m1 = mean(interarrivals);
+  DEEPBAT_CHECK(m1 > 0.0, "fit_mmpp2: non-positive mean inter-arrival");
+  const double c2 = scv(interarrivals);
+  const double rho1 = autocorrelation(interarrivals, 1);
+  const double rate = 1.0 / m1;
+
+  auto finish = [&](Map map, bool degenerate, double objective) {
+    const auto t1 = std::chrono::steady_clock::now();
+    MapFitResult r{std::move(map),
+                   degenerate,
+                   m1,
+                   c2,
+                   rho1,
+                   0.0,
+                   0.0,
+                   0.0,
+                   objective,
+                   std::chrono::duration<double>(t1 - t0).count()};
+    r.fitted_mean = r.map.interarrival_mean();
+    if (r.map.order() > 1) {
+      r.fitted_scv = r.map.interarrival_scv();
+      r.fitted_rho1 = r.map.interarrival_autocorrelation(1);
+    } else {
+      r.fitted_scv = 1.0;
+      r.fitted_rho1 = 0.0;
+    }
+    return r;
+  };
+
+  // No burstiness evidence -> Poisson fallback.
+  if (c2 <= 1.05 || rho1 <= 0.005) {
+    return finish(Map::poisson(rate), true, 0.0);
+  }
+
+  const auto objective = [&](const std::vector<double>& x) {
+    const Map map = decode(x, rate);
+    const double em = map.interarrival_mean();
+    const double ec2 = map.interarrival_scv();
+    const double er1 = map.interarrival_autocorrelation(1);
+    const double dm = em / m1 - 1.0;
+    const double dc = ec2 / c2 - 1.0;
+    const double dr = er1 - rho1;
+    return dm * dm + dc * dc + options.rho_weight * dr * dr;
+  };
+
+  // Start: a bursty two-phase guess around the empirical rate — fast phase
+  // above the mean rate, slow phase below, sojourns ~50 inter-arrivals.
+  const std::vector<double> x0{std::log(3.0), std::log(0.2),
+                               std::log(1.0 / 50.0), std::log(1.0 / 50.0)};
+  NelderMeadOptions nm;
+  nm.max_iterations = options.max_iterations;
+  nm.initial_step = 0.7;
+  const auto best = nelder_mead(objective, x0, nm);
+  return finish(decode(best.x, rate), false, best.value);
+}
+
+}  // namespace deepbat::workload

@@ -1,0 +1,49 @@
+#pragma once
+// MMPP(2) fitting by moment matching — the front half of the BATCH baseline
+// (paper §II / §IV-B: "Every hour, BATCH profiles the workload and fits its
+// arrival process into a MAP").
+//
+// The fitter matches three empirical statistics of the inter-arrival sample
+// — mean, squared coefficient of variation, and lag-1 autocorrelation — to
+// the closed-form MMPP(2) expressions via Nelder-Mead in log-parameter
+// space. When the sample shows no burstiness (SCV ~ <= 1 or no positive
+// autocorrelation) a Poisson process is returned instead, mirroring the
+// degenerate-fit fallback of KPC-style tools.
+
+#include <optional>
+#include <span>
+
+#include "workload/map_process.hpp"
+
+namespace deepbat::workload {
+
+struct MapFitResult {
+  Map map;                      // fitted process
+  bool degenerate_poisson;      // true if the fit fell back to Poisson
+  double target_mean;           // empirical statistics that were matched
+  double target_scv;
+  double target_rho1;
+  double fitted_mean;           // statistics of the fitted process
+  double fitted_scv;
+  double fitted_rho1;
+  double objective;             // residual of the moment match
+  double fit_seconds;           // wall-clock cost of the fit (the overhead
+                                // DeepBAT's parser avoids)
+};
+
+struct MapFitOptions {
+  /// Minimum number of inter-arrival samples for a meaningful fit; below
+  /// this the fitter refuses (BATCH must wait for more data).
+  std::size_t min_samples = 200;
+  int max_iterations = 4000;
+  /// Relative weight of the autocorrelation residual.
+  double rho_weight = 4.0;
+};
+
+/// Fit an MMPP(2) to inter-arrival samples. Returns nullopt when fewer than
+/// `min_samples` gaps are available (insufficient data — the situation the
+/// paper calls out as a BATCH weakness under low arrival rates).
+std::optional<MapFitResult> fit_mmpp2(std::span<const double> interarrivals,
+                                      const MapFitOptions& options = {});
+
+}  // namespace deepbat::workload

@@ -1,0 +1,194 @@
+#include "workload/map_process.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace deepbat::workload {
+
+namespace {
+
+void validate_map(const Matrix& d0, const Matrix& d1) {
+  DEEPBAT_CHECK(d0.rows() == d0.cols(), "Map: D0 must be square");
+  DEEPBAT_CHECK(d1.rows() == d0.rows() && d1.cols() == d0.cols(),
+                "Map: D1 shape must match D0");
+  const std::size_t n = d0.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    DEEPBAT_CHECK(d0(i, i) < 0.0, "Map: D0 diagonal must be negative");
+    double row = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        DEEPBAT_CHECK(d0(i, j) >= 0.0, "Map: D0 off-diagonal must be >= 0");
+      }
+      DEEPBAT_CHECK(d1(i, j) >= 0.0, "Map: D1 entries must be >= 0");
+      row += d0(i, j) + d1(i, j);
+    }
+    DEEPBAT_CHECK(std::abs(row) < 1e-8 * std::abs(d0(i, i)) + 1e-10,
+                  "Map: rows of D0 + D1 must sum to zero");
+  }
+}
+
+}  // namespace
+
+Map::Map(Matrix d0, Matrix d1) : d0_(std::move(d0)), d1_(std::move(d1)) {
+  validate_map(d0_, d1_);
+  neg_d0_inv_ = (d0_ * -1.0).inverse();
+  p_ = neg_d0_inv_ * d1_;
+}
+
+Map Map::poisson(double rate) {
+  DEEPBAT_CHECK(rate > 0.0, "Map::poisson: rate must be positive");
+  Matrix d0(1, 1);
+  Matrix d1(1, 1);
+  d0(0, 0) = -rate;
+  d1(0, 0) = rate;
+  return Map(std::move(d0), std::move(d1));
+}
+
+Map Map::mmpp2(double rate1, double rate2, double r12, double r21) {
+  DEEPBAT_CHECK(rate1 >= 0.0 && rate2 >= 0.0 && (rate1 > 0.0 || rate2 > 0.0),
+                "Map::mmpp2: need a positive rate");
+  DEEPBAT_CHECK(r12 > 0.0 && r21 > 0.0,
+                "Map::mmpp2: switching rates must be positive");
+  Matrix d0(2, 2);
+  Matrix d1(2, 2);
+  d0(0, 0) = -(rate1 + r12);
+  d0(0, 1) = r12;
+  d0(1, 0) = r21;
+  d0(1, 1) = -(rate2 + r21);
+  d1(0, 0) = rate1;
+  d1(1, 1) = rate2;
+  return Map(std::move(d0), std::move(d1));
+}
+
+Map Map::on_off(double rate, double on_time, double off_time) {
+  DEEPBAT_CHECK(rate > 0.0 && on_time > 0.0 && off_time > 0.0,
+                "Map::on_off: parameters must be positive");
+  // OFF phase keeps an epsilon arrival rate so the embedded chain stays
+  // irreducible; it is negligible relative to the ON rate.
+  const double eps_rate = rate * 1e-9;
+  return mmpp2(rate, eps_rate, 1.0 / on_time, 1.0 / off_time);
+}
+
+std::vector<double> Map::phase_stationary() const {
+  return ctmc_stationary(d0_ + d1_);
+}
+
+std::vector<double> Map::arrival_phase_stationary() const {
+  return stationary_distribution(p_);
+}
+
+double Map::arrival_rate() const {
+  const auto pi = phase_stationary();
+  const std::vector<double> ones(order(), 1.0);
+  const auto d1_ones = mat_vec(d1_, ones);
+  double rate = 0.0;
+  for (std::size_t i = 0; i < order(); ++i) rate += pi[i] * d1_ones[i];
+  return rate;
+}
+
+double Map::interarrival_moment(int k) const {
+  DEEPBAT_CHECK(k >= 1, "interarrival_moment: k must be >= 1");
+  const auto pia = arrival_phase_stationary();
+  std::vector<double> v = pia;
+  double factorial = 1.0;
+  for (int i = 1; i <= k; ++i) {
+    v = vec_mat(v, neg_d0_inv_);
+    factorial *= static_cast<double>(i);
+  }
+  double total = 0.0;
+  for (double x : v) total += x;
+  return factorial * total;
+}
+
+double Map::interarrival_scv() const {
+  const double m1 = interarrival_moment(1);
+  const double m2 = interarrival_moment(2);
+  return (m2 - m1 * m1) / (m1 * m1);
+}
+
+double Map::interarrival_autocorrelation(int lag) const {
+  DEEPBAT_CHECK(lag >= 0, "interarrival_autocorrelation: lag must be >= 0");
+  if (lag == 0) return 1.0;
+  const double m1 = interarrival_moment(1);
+  const double m2 = interarrival_moment(2);
+  const double var = m2 - m1 * m1;
+  if (var <= 0.0) return 0.0;
+  // E[X_0 X_k] = pi_a M P^k M 1 with M = (-D0)^{-1}.
+  const auto pia = arrival_phase_stationary();
+  std::vector<double> v = vec_mat(pia, neg_d0_inv_);
+  for (int i = 0; i < lag; ++i) v = vec_mat(v, p_);
+  v = vec_mat(v, neg_d0_inv_);
+  double joint = 0.0;
+  for (double x : v) joint += x;
+  return (joint - m1 * m1) / var;
+}
+
+double Map::idc_limit(int max_lag) const {
+  const double c2 = interarrival_scv();
+  double rho_sum = 0.0;
+  for (int k = 1; k <= max_lag; ++k) {
+    const double rho = interarrival_autocorrelation(k);
+    rho_sum += rho;
+    if (std::abs(rho) < 1e-12) break;
+  }
+  return c2 * (1.0 + 2.0 * rho_sum);
+}
+
+Trace Map::sample_arrivals(std::size_t n, Rng& rng, double start) const {
+  const auto pi = phase_stationary();
+  std::size_t phase = rng.categorical(pi);
+  std::vector<double> times;
+  times.reserve(n);
+  double t = start;
+  const std::size_t m = order();
+  while (times.size() < n) {
+    const double hold = rng.exponential(-d0_(phase, phase));
+    t += hold;
+    // Competing exits: D0 off-diagonals (phase change) and D1 row (arrival).
+    std::vector<double> weights(2 * m, 0.0);
+    for (std::size_t j = 0; j < m; ++j) {
+      if (j != phase) weights[j] = d0_(phase, j);
+      weights[m + j] = d1_(phase, j);
+    }
+    const std::size_t pick = rng.categorical(weights);
+    if (pick >= m) {
+      times.push_back(t);
+      phase = pick - m;
+    } else {
+      phase = pick;
+    }
+  }
+  return Trace(std::move(times));
+}
+
+Trace Map::sample_for_duration(double duration, Rng& rng, double start) const {
+  DEEPBAT_CHECK(duration > 0.0, "sample_for_duration: need positive span");
+  const auto pi = phase_stationary();
+  std::size_t phase = rng.categorical(pi);
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(arrival_rate() * duration * 1.2) + 16);
+  double t = start;
+  const double end = start + duration;
+  const std::size_t m = order();
+  while (true) {
+    const double hold = rng.exponential(-d0_(phase, phase));
+    t += hold;
+    if (t >= end) break;
+    std::vector<double> weights(2 * m, 0.0);
+    for (std::size_t j = 0; j < m; ++j) {
+      if (j != phase) weights[j] = d0_(phase, j);
+      weights[m + j] = d1_(phase, j);
+    }
+    const std::size_t pick = rng.categorical(weights);
+    if (pick >= m) {
+      times.push_back(t);
+      phase = pick - m;
+    } else {
+      phase = pick;
+    }
+  }
+  return Trace(std::move(times));
+}
+
+}  // namespace deepbat::workload

@@ -1,0 +1,86 @@
+#pragma once
+// Markovian Arrival Processes (MAPs) — the workload model both the paper's
+// synthetic trace and the BATCH baseline are built on.
+//
+// A MAP of order n is defined by two n x n matrices: D0 holds the phase
+// transitions without arrivals (negative diagonal), D1 the transitions that
+// emit an arrival; D0 + D1 is a CTMC generator. The special case MMPP(2)
+// (Markov-modulated Poisson process with two phases) is what BATCH fits.
+//
+// Closed-form inter-arrival statistics (mean, moments, SCV, lag-k
+// autocorrelation) follow standard matrix-analytic formulas using the
+// embedded chain P = (-D0)^{-1} D1 and its stationary vector.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/linalg.hpp"
+#include "common/rng.hpp"
+#include "workload/trace.hpp"
+
+namespace deepbat::workload {
+
+class Map {
+ public:
+  /// Validates: square same-size matrices, D0 off-diagonals and all of D1
+  /// non-negative, rows of D0 + D1 summing to ~0, negative D0 diagonal.
+  Map(Matrix d0, Matrix d1);
+
+  /// Poisson process as an order-1 MAP.
+  static Map poisson(double rate);
+
+  /// MMPP(2): Poisson with rate `rate1` in phase 1, `rate2` in phase 2,
+  /// switching 1->2 at `r12` and 2->1 at `r21`.
+  static Map mmpp2(double rate1, double rate2, double r12, double r21);
+
+  /// Interrupted Poisson process: ON with `rate`, OFF silent, mean ON
+  /// sojourn `on_time`, mean OFF sojourn `off_time` — the on-off traffic the
+  /// paper's synthetic workload exhibits. (MMPP(2) with rate2 ~ 0.)
+  static Map on_off(double rate, double on_time, double off_time);
+
+  std::size_t order() const { return d0_.rows(); }
+  const Matrix& d0() const { return d0_; }
+  const Matrix& d1() const { return d1_; }
+
+  /// Stationary distribution of the underlying CTMC (D0 + D1).
+  std::vector<double> phase_stationary() const;
+
+  /// Stationary phase distribution embedded at arrival instants
+  /// (left eigenvector of P = (-D0)^{-1} D1).
+  std::vector<double> arrival_phase_stationary() const;
+
+  /// Long-run arrival rate (lambda = pi D1 1).
+  double arrival_rate() const;
+
+  /// k-th raw moment of the stationary inter-arrival time:
+  /// E[X^k] = k! * pi_a (-D0)^{-k} 1.
+  double interarrival_moment(int k) const;
+
+  double interarrival_mean() const { return interarrival_moment(1); }
+
+  /// Squared coefficient of variation of inter-arrival times.
+  double interarrival_scv() const;
+
+  /// Lag-k autocorrelation of the stationary inter-arrival sequence.
+  double interarrival_autocorrelation(int lag) const;
+
+  /// Analytic limit of the index of dispersion for intervals
+  /// (SCV * (1 + 2 * sum of all autocorrelations), truncated at max_lag).
+  double idc_limit(int max_lag = 500) const;
+
+  /// Generate `n` arrivals starting at time `start`; the initial phase is
+  /// drawn from the CTMC stationary distribution.
+  Trace sample_arrivals(std::size_t n, Rng& rng, double start = 0.0) const;
+
+  /// Generate arrivals over [start, start + duration).
+  Trace sample_for_duration(double duration, Rng& rng,
+                            double start = 0.0) const;
+
+ private:
+  Matrix d0_;
+  Matrix d1_;
+  Matrix neg_d0_inv_;  // (-D0)^{-1}, cached
+  Matrix p_;           // embedded chain
+};
+
+}  // namespace deepbat::workload

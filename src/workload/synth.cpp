@@ -1,0 +1,151 @@
+#include "workload/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace deepbat::workload {
+
+namespace {
+
+/// Append arrivals of `map` over [t, t + duration) to `times`.
+void append_segment(std::vector<double>& times, const Map& map,
+                    double start, double duration, Rng& rng) {
+  const Trace seg = map.sample_for_duration(duration, rng, start);
+  times.insert(times.end(), seg.times().begin(), seg.times().end());
+}
+
+/// MMPP(2) around a target mean rate: fast phase at ratio * slow phase,
+/// sojourn times equal in both phases so the time-average rate matches.
+Map bursty_segment(double mean_rate, double burst_ratio, double sojourn_s) {
+  DEEPBAT_CHECK(mean_rate > 0.0 && burst_ratio >= 1.0 && sojourn_s > 0.0,
+                "bursty_segment: bad parameters");
+  // Equal sojourns: mean rate = (fast + slow) / 2.
+  const double slow = 2.0 * mean_rate / (1.0 + burst_ratio);
+  const double fast = burst_ratio * slow;
+  const double sw = 1.0 / sojourn_s;
+  return Map::mmpp2(fast, std::max(slow, 1e-9), sw, sw);
+}
+
+}  // namespace
+
+Trace azure_like(const AzureLikeParams& p, std::uint64_t seed) {
+  DEEPBAT_CHECK(p.hours > 0.0, "azure_like: hours must be positive");
+  Rng rng(seed);
+  std::vector<double> times;
+  const double total_s = p.hours * kSecondsPerHour;
+  for (double t = 0.0; t < total_s; t += p.segment_s) {
+    const double hour = t / kSecondsPerHour;
+    const double phase =
+        2.0 * std::numbers::pi * (hour - p.peak_hour) / 24.0;
+    double rate = p.base_rate + p.diurnal_amplitude * std::cos(phase);
+    rate *= 1.0 + 0.1 * rng.normal();  // short-term noise
+    rate = std::max(rate, 0.5);
+    const Map seg = bursty_segment(rate, p.burst_ratio, p.mean_sojourn_s);
+    append_segment(times, seg, t, std::min(p.segment_s, total_s - t), rng);
+  }
+  return Trace(std::move(times));
+}
+
+Trace twitter_like(const TwitterLikeParams& p, std::uint64_t seed) {
+  DEEPBAT_CHECK(p.hours > 0.0, "twitter_like: hours must be positive");
+  Rng rng(seed);
+  std::vector<double> times;
+  const double total_s = p.hours * kSecondsPerHour;
+  for (double t = 0.0; t < total_s; t += p.segment_s) {
+    const double hour = t / kSecondsPerHour;
+    // Slow sinusoidal drift plus small noise; much flatter than Azure.
+    const double drift =
+        1.0 + p.modulation * std::sin(2.0 * std::numbers::pi * hour / 24.0);
+    double rate = p.base_rate * drift * (1.0 + 0.05 * rng.normal());
+    rate = std::max(rate, 0.5);
+    const Map seg = bursty_segment(rate, p.burst_ratio, p.mean_sojourn_s);
+    append_segment(times, seg, t, std::min(p.segment_s, total_s - t), rng);
+  }
+  return Trace(std::move(times));
+}
+
+Trace alibaba_like(const AlibabaLikeParams& p, std::uint64_t seed) {
+  DEEPBAT_CHECK(p.hours > 0.0, "alibaba_like: hours must be positive");
+  Rng rng(seed);
+  std::vector<double> times;
+  const double total_s = p.hours * kSecondsPerHour;
+
+  // Background load (Poisson at base_rate) over the whole horizon.
+  {
+    const Map bg = Map::poisson(p.base_rate);
+    append_segment(times, bg, 0.0, total_s, rng);
+  }
+
+  // Spike episodes: per hour, either a quiet hour (no spikes) or a Poisson
+  // number of episodes at random offsets. Episodes are short high-rate
+  // bursts — the "MLaaS job wave" pattern that drives IDC into the
+  // hundreds.
+  for (std::size_t h = 0; h < static_cast<std::size_t>(p.hours); ++h) {
+    if (rng.uniform() < p.quiet_hour_probability) continue;
+    const auto episodes = rng.poisson(p.spikes_per_hour);
+    for (std::int64_t e = 0; e < episodes; ++e) {
+      const double start =
+          (static_cast<double>(h) + rng.uniform()) * kSecondsPerHour;
+      const double duration =
+          rng.uniform(p.spike_duration_lo_s, p.spike_duration_hi_s);
+      const double mult =
+          rng.uniform(p.spike_multiplier_lo, p.spike_multiplier_hi);
+      if (start + duration > total_s) continue;
+      const Map spike = Map::poisson(p.base_rate * mult);
+      append_segment(times, spike, start, duration, rng);
+    }
+  }
+  std::sort(times.begin(), times.end());
+  return Trace(std::move(times));
+}
+
+Trace synthetic_map(const SyntheticMapParams& p, std::uint64_t seed) {
+  DEEPBAT_CHECK(p.hours > 0.0, "synthetic_map: hours must be positive");
+  Rng rng(seed);
+  std::vector<double> times;
+  const double total_s = p.hours * kSecondsPerHour;
+  // One unique on-off MAP per hour (paper §IV-A.2: "24 unique workload
+  // streams, one for each 24-hour period ... on-off traffic behaviors").
+  for (double t = 0.0; t < total_s; t += kSecondsPerHour) {
+    const double on_rate = rng.uniform(p.on_rate_lo, p.on_rate_hi);
+    const double on_time = rng.uniform(p.on_time_lo_s, p.on_time_hi_s);
+    const double off_time = rng.uniform(p.off_time_lo_s, p.off_time_hi_s);
+    const Map seg = Map::on_off(on_rate, on_time, off_time);
+    append_segment(times, seg, t, std::min(kSecondsPerHour, total_s - t),
+                   rng);
+  }
+  return Trace(std::move(times));
+}
+
+std::vector<double> hourly_idc(const Trace& trace, std::size_t max_lag) {
+  std::vector<double> out;
+  if (trace.empty()) return out;
+  const double start = trace.start_time();
+  const auto hours = static_cast<std::size_t>(
+      std::ceil((trace.end_time() - start) / kSecondsPerHour));
+  for (std::size_t h = 0; h < hours; ++h) {
+    const Trace hour_slice = trace.slice(
+        start + static_cast<double>(h) * kSecondsPerHour,
+        start + static_cast<double>(h + 1) * kSecondsPerHour);
+    const auto gaps = hour_slice.interarrivals();
+    out.push_back(gaps.size() < 10 ? 1.0
+                                   : index_of_dispersion(gaps, max_lag));
+  }
+  return out;
+}
+
+std::vector<double> binned_rate(const Trace& trace, double bin_s) {
+  const auto counts = trace.rate_histogram(bin_s);
+  std::vector<double> rates;
+  rates.reserve(counts.size());
+  for (std::size_t c : counts) {
+    rates.push_back(static_cast<double>(c) / bin_s);
+  }
+  return rates;
+}
+
+}  // namespace deepbat::workload

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "batchlib/analytic.hpp"
+#include "common/error.hpp"
+#include "common/linalg.hpp"
+#include "sim/batch_sim.hpp"
+
+namespace deepbat::batchlib {
+namespace {
+
+const lambda::LambdaModel& model() {
+  static lambda::LambdaModel m;
+  return m;
+}
+
+TEST(Analytic, DegenerateConfigsAreDeterministicService) {
+  const workload::Map map = workload::Map::poisson(50.0);
+  const BatchAnalyticModel am(map, model());
+  for (const lambda::Config cfg :
+       {lambda::Config{2048, 1, 0.5}, lambda::Config{2048, 8, 0.0}}) {
+    const auto eval = am.evaluate(cfg, 0.95, 0.1);
+    EXPECT_NEAR(eval.latency_percentile,
+                model().service_time(cfg.memory_mb, 1), 1e-9);
+    EXPECT_DOUBLE_EQ(eval.expected_batch_size, 1.0);
+    const double s = model().service_time(cfg.memory_mb, 1);
+    EXPECT_NEAR(eval.cost_per_request,
+                model().invocation_cost(cfg.memory_mb, s), 1e-15);
+  }
+}
+
+TEST(Analytic, CdfIsMonotoneAndNormalized) {
+  const workload::Map map = workload::Map::mmpp2(60.0, 6.0, 0.1, 0.1);
+  const BatchAnalyticModel am(map, model());
+  const lambda::Config cfg{2048, 8, 0.1};
+  double prev = 0.0;
+  for (double t = 0.0; t <= 1.0; t += 0.05) {
+    const double c = am.latency_cdf(cfg, t);
+    EXPECT_GE(c, prev - 1e-9) << "CDF must be non-decreasing at t=" << t;
+    EXPECT_LE(c, 1.0 + 1e-6);
+    prev = c;
+  }
+  // Far beyond timeout + service everything has completed.
+  EXPECT_NEAR(am.latency_cdf(cfg, 5.0), 1.0, 1e-3);
+  EXPECT_NEAR(am.latency_cdf(cfg, 0.0), 0.0, 1e-9);
+}
+
+TEST(Analytic, PoissonFullBatchProbabilityMatchesErlangCdf) {
+  // For Poisson arrivals, P(batch of B fills before T) is the Erlang(B-1)
+  // CDF at T — an independent closed form to validate the transient solver.
+  const double rate = 40.0;
+  const workload::Map map = workload::Map::poisson(rate);
+  const BatchAnalyticModel am(map, model());
+  const lambda::Config cfg{2048, 4, 0.05};
+  const auto eval = am.evaluate(cfg, 0.95, 0.1);
+  // Erlang CDF with k = B-1 = 3 stages at t = T.
+  const double x = rate * cfg.timeout_s;
+  const double erlang =
+      1.0 - std::exp(-x) * (1.0 + x + x * x / 2.0);
+  EXPECT_NEAR(eval.p_full_batch, erlang, 5e-3);
+}
+
+TEST(Analytic, FullBatchProbabilityMatchesExpmReference) {
+  // Build the alive-state generator explicitly for B = 3, order 2, and
+  // compare against the matrix-exponential solution. This pins the RK4
+  // transient solver to the expm semantics BATCH is defined with.
+  const workload::Map map = workload::Map::mmpp2(30.0, 5.0, 0.3, 0.6);
+  const lambda::Config cfg{2048, 3, 0.08};
+  const BatchAnalyticModel am(map, model());
+  const auto eval = am.evaluate(cfg, 0.95, 0.1);
+
+  // Alive states: (level 0, ph 0), (level 0, ph 1), (level 1, ph 0),
+  // (level 1, ph 1).
+  Matrix q(4, 4);
+  const Matrix& d0 = map.d0();
+  const Matrix& d1 = map.d1();
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      q(i, j) = d0(i, j);
+      q(2 + i, 2 + j) = d0(i, j);
+      q(i, 2 + j) = d1(i, j);
+    }
+  }
+  const Matrix p_t = (q * cfg.timeout_s).expm();
+  const auto pia = map.arrival_phase_stationary();
+  const std::vector<double> init{pia[0], pia[1], 0.0, 0.0};
+  const auto alive = vec_mat(init, p_t);
+  double alive_mass = 0.0;
+  for (double a : alive) alive_mass += a;
+  EXPECT_NEAR(eval.p_full_batch, 1.0 - alive_mass, 1e-4);
+}
+
+TEST(Analytic, AgreesWithSimulationOnSameMap) {
+  // The headline property: the analytic engine evaluated on a MAP must
+  // match a long simulation of that same MAP.
+  const workload::Map map = workload::Map::mmpp2(80.0, 10.0, 0.2, 0.2);
+  const BatchAnalyticModel am(map, model());
+  Rng rng(3);
+  const workload::Trace trace = map.sample_arrivals(150000, rng);
+  for (const lambda::Config cfg :
+       {lambda::Config{2048, 8, 0.1}, lambda::Config{1024, 16, 0.2},
+        lambda::Config{4096, 4, 0.05}}) {
+    const auto analytic = am.evaluate(cfg, 0.95, 0.1);
+    const sim::SimResult simulated =
+        sim::simulate_trace(trace.times(), cfg, model());
+    const double sim_p95 = simulated.latency_quantile(0.95);
+    EXPECT_NEAR(analytic.latency_percentile, sim_p95, 0.15 * sim_p95 + 0.005)
+        << cfg.to_string();
+    const double sim_cost = simulated.cost_per_request();
+    EXPECT_NEAR(analytic.cost_per_request, sim_cost, 0.2 * sim_cost)
+        << cfg.to_string();
+  }
+}
+
+TEST(Analytic, ExpectedBatchSizeBounds) {
+  const workload::Map map = workload::Map::mmpp2(100.0, 20.0, 0.5, 0.5);
+  const BatchAnalyticModel am(map, model());
+  const auto eval = am.evaluate({2048, 16, 0.1}, 0.95, 0.1);
+  EXPECT_GE(eval.expected_batch_size, 1.0);
+  EXPECT_LE(eval.expected_batch_size, 16.0);
+}
+
+TEST(Analytic, SlowArrivalsMeanTimeoutBatches) {
+  // Rate far below B/T: batches should almost always time out near size 1.
+  const workload::Map map = workload::Map::poisson(1.0);
+  const BatchAnalyticModel am(map, model());
+  const auto eval = am.evaluate({2048, 64, 0.05}, 0.95, 0.5);
+  EXPECT_LT(eval.p_full_batch, 0.01);
+  EXPECT_LT(eval.expected_batch_size, 1.5);
+  // The bulk of requests ride timeout batches of size 1 or 2: the 95th
+  // percentile lies between T + s(1) and T + s(2). (Size-2 batches carry
+  // two requests each, so their per-request probability mass exceeds 5 %
+  // even though size-2 *batches* are only ~4.9 % likely.)
+  EXPECT_GE(eval.latency_percentile,
+            0.05 + model().service_time(2048, 1) - 1e-6);
+  EXPECT_LE(eval.latency_percentile,
+            0.05 + model().service_time(2048, 2) + 1e-6);
+}
+
+TEST(Analytic, FastArrivalsFillBatches) {
+  const workload::Map map = workload::Map::poisson(2000.0);
+  const BatchAnalyticModel am(map, model());
+  const auto eval = am.evaluate({2048, 8, 0.5}, 0.95, 1.0);
+  EXPECT_GT(eval.p_full_batch, 0.99);
+  EXPECT_NEAR(eval.expected_batch_size, 8.0, 0.05);
+}
+
+TEST(Analytic, GridSearchPicksCheapestFeasible) {
+  const workload::Map map = workload::Map::mmpp2(60.0, 10.0, 0.2, 0.2);
+  const BatchAnalyticModel am(map, model());
+  const auto grid = lambda::ConfigGrid::small();
+  const auto result = analytic_grid_search(am, grid, 0.15, 0.95);
+  EXPECT_TRUE(result.any_feasible);
+  EXPECT_LE(result.best.latency_percentile, 0.15);
+  EXPECT_GT(result.solve_seconds, 0.0);
+  // Verify optimality within the grid.
+  for (const auto& cfg : grid.enumerate()) {
+    const auto eval = am.evaluate(cfg, 0.95, 0.15);
+    if (eval.feasible) {
+      EXPECT_LE(result.best.cost_per_request,
+                eval.cost_per_request + 1e-15);
+    }
+  }
+}
+
+TEST(Analytic, GridSearchFallsBackToFastestWhenInfeasible) {
+  const workload::Map map = workload::Map::poisson(5.0);
+  const BatchAnalyticModel am(map, model());
+  const auto result =
+      analytic_grid_search(am, lambda::ConfigGrid::small(), 1e-9, 0.95);
+  EXPECT_FALSE(result.any_feasible);
+  // Fallback must be the latency-minimizing config.
+  for (const auto& cfg : lambda::ConfigGrid::small().enumerate()) {
+    const auto eval = am.evaluate(cfg, 0.95, 1e-9);
+    EXPECT_LE(result.best.latency_percentile,
+              eval.latency_percentile + 1e-9);
+  }
+}
+
+TEST(Analytic, OptionsValidated) {
+  const workload::Map map = workload::Map::poisson(5.0);
+  AnalyticOptions opts;
+  opts.grid_points = 2;
+  EXPECT_THROW(BatchAnalyticModel(map, model(), opts), Error);
+}
+
+}  // namespace
+}  // namespace deepbat::batchlib

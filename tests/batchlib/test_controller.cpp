@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "batchlib/controller.hpp"
+
+#include "common/error.hpp"
+#include "workload/synth.hpp"
+
+namespace deepbat::batchlib {
+namespace {
+
+const lambda::LambdaModel& model() {
+  static lambda::LambdaModel m;
+  return m;
+}
+
+BatchControllerOptions fast_options() {
+  BatchControllerOptions opts;
+  opts.grid = lambda::ConfigGrid::small();
+  opts.analytic_options.grid_points = 48;
+  opts.analytic_options.bisection_iterations = 24;
+  return opts;
+}
+
+TEST(BatchController, BootstrapUntilEnoughData) {
+  BatchControllerOptions opts = fast_options();
+  opts.bootstrap_config = {512, 1, 0.0};
+  BatchController ctrl(model(), opts);
+  // Tiny history: cannot fit a MAP yet.
+  const workload::Trace thin({0.0, 1.0, 2.0});
+  const auto cfg = ctrl.decide(thin, 3.0);
+  EXPECT_EQ(cfg, opts.bootstrap_config);
+  EXPECT_EQ(ctrl.refit_count(), 0u);
+  EXPECT_EQ(ctrl.insufficient_data_count(), 1u);
+}
+
+TEST(BatchController, FitsOnceDataAvailable) {
+  BatchController ctrl(model(), fast_options());
+  const workload::Trace trace = workload::twitter_like({.hours = 0.5}, 21);
+  const auto cfg = ctrl.decide(trace, trace.end_time());
+  EXPECT_EQ(ctrl.refit_count(), 1u);
+  EXPECT_GT(ctrl.total_solve_seconds(), 0.0);
+  EXPECT_GE(cfg.batch_size, 1);
+  ASSERT_TRUE(ctrl.last_fit().has_value());
+}
+
+TEST(BatchController, HoldsConfigBetweenRefits) {
+  BatchControllerOptions opts = fast_options();
+  opts.refit_interval_s = 3600.0;
+  BatchController ctrl(model(), opts);
+  const workload::Trace trace = workload::twitter_like({.hours = 1.0}, 22);
+  const auto first = ctrl.decide(trace, 1800.0);
+  // Later decisions inside the hour reuse the cached config: no new fit.
+  const auto second = ctrl.decide(trace, 1900.0);
+  const auto third = ctrl.decide(trace, 3000.0);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, third);
+  EXPECT_EQ(ctrl.refit_count(), 1u);
+  // Past the interval it refits.
+  ctrl.decide(trace, 1800.0 + 3601.0);
+  EXPECT_EQ(ctrl.refit_count(), 2u);
+}
+
+TEST(BatchController, StalenessUsesPreviousWindowOnly) {
+  // The controller fit at time t must depend only on [t - window, t):
+  // decisions after a drastic rate change still reflect the old hour until
+  // the next refit — the staleness the paper exploits.
+  BatchControllerOptions opts = fast_options();
+  opts.refit_interval_s = 600.0;
+  opts.profile_window_s = 600.0;
+  BatchController ctrl(model(), opts);
+  const workload::Trace calm = workload::twitter_like({.hours = 0.25}, 23);
+  const auto cfg_calm = ctrl.decide(calm, calm.end_time());
+  EXPECT_EQ(ctrl.refit_count(), 1u);
+  // A decision 1 s later must not trigger a refit even if a burst began.
+  const auto cfg_again = ctrl.decide(calm, calm.end_time() + 1.0);
+  EXPECT_EQ(cfg_calm, cfg_again);
+  EXPECT_EQ(ctrl.refit_count(), 1u);
+}
+
+TEST(BatchController, InvalidBootstrapRejected) {
+  BatchControllerOptions opts = fast_options();
+  opts.bootstrap_config = {64, 1, 0.0};
+  EXPECT_THROW(BatchController(model(), opts), Error);
+}
+
+}  // namespace
+}  // namespace deepbat::batchlib

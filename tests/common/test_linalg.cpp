@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/linalg.hpp"
+
+namespace deepbat {
+namespace {
+
+TEST(Matrix, IdentityAndIndexing) {
+  Matrix id = Matrix::identity(3);
+  EXPECT_EQ(id(0, 0), 1.0);
+  EXPECT_EQ(id(0, 1), 0.0);
+  EXPECT_THROW(id(3, 0), Error);
+}
+
+TEST(Matrix, ArithmeticBasics) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b(2, 2, {5, 6, 7, 8});
+  const Matrix sum = a + b;
+  EXPECT_EQ(sum(1, 1), 12.0);
+  const Matrix diff = b - a;
+  EXPECT_EQ(diff(0, 0), 4.0);
+  const Matrix scaled = a * 2.0;
+  EXPECT_EQ(scaled(1, 0), 6.0);
+}
+
+TEST(Matrix, ProductMatchesHandComputation) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  const Matrix c = a * b;
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 2u);
+  EXPECT_EQ(c(0, 0), 58.0);
+  EXPECT_EQ(c(0, 1), 64.0);
+  EXPECT_EQ(c(1, 0), 139.0);
+  EXPECT_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, ProductShapeChecked) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a * b, Error);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix t = a.transpose();
+  EXPECT_EQ(t(2, 1), 6.0);
+  EXPECT_EQ(t(0, 1), 4.0);
+}
+
+TEST(Matrix, InverseRoundTrip) {
+  Matrix a(3, 3, {4, 7, 2, 1, 6, 3, 2, 5, 9});
+  const Matrix inv = a.inverse();
+  const Matrix prod = a * inv;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(Matrix, SingularInverseThrows) {
+  Matrix a(2, 2, {1, 2, 2, 4});
+  EXPECT_THROW(a.inverse(), Error);
+}
+
+TEST(Matrix, SolveLinearSystem) {
+  Matrix a(2, 2, {3, 1, 1, 2});
+  const std::vector<double> b{9, 8};
+  const auto x = a.solve(b);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Matrix, ExpmOfZeroIsIdentity) {
+  const Matrix e = Matrix::zeros(3, 3).expm();
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(e(i, j), i == j ? 1.0 : 0.0, 1e-14);
+    }
+  }
+}
+
+TEST(Matrix, ExpmDiagonalMatchesScalarExp) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.5;
+  a(1, 1) = -2.0;
+  const Matrix e = a.expm();
+  EXPECT_NEAR(e(0, 0), std::exp(1.5), 1e-10);
+  EXPECT_NEAR(e(1, 1), std::exp(-2.0), 1e-10);
+  EXPECT_NEAR(e(0, 1), 0.0, 1e-12);
+}
+
+TEST(Matrix, ExpmNilpotent) {
+  // exp([[0, 1], [0, 0]]) = [[1, 1], [0, 1]].
+  Matrix a(2, 2, {0, 1, 0, 0});
+  const Matrix e = a.expm();
+  EXPECT_NEAR(e(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(e(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(e(1, 0), 0.0, 1e-12);
+  EXPECT_NEAR(e(1, 1), 1.0, 1e-12);
+}
+
+TEST(Matrix, ExpmOfGeneratorIsStochastic) {
+  // CTMC generator rows sum to 0 -> exp(Q t) rows sum to 1.
+  Matrix q(2, 2, {-3.0, 3.0, 1.0, -1.0});
+  const Matrix p = (q * 0.37).expm();
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(p(i, 0) + p(i, 1), 1.0, 1e-10);
+    EXPECT_GE(p(i, 0), 0.0);
+    EXPECT_GE(p(i, 1), 0.0);
+  }
+}
+
+TEST(VecMat, LeftAndRightProducts) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const std::vector<double> v{1.0, 2.0};
+  const auto left = vec_mat(v, a);
+  EXPECT_EQ(left.size(), 3u);
+  EXPECT_EQ(left[0], 9.0);
+  EXPECT_EQ(left[2], 15.0);
+  const std::vector<double> w{1.0, 1.0, 1.0};
+  const auto right = mat_vec(a, w);
+  EXPECT_EQ(right[0], 6.0);
+  EXPECT_EQ(right[1], 15.0);
+}
+
+TEST(Stationary, TwoStateChain) {
+  // P = [[0.9, 0.1], [0.3, 0.7]] -> pi = (0.75, 0.25).
+  Matrix p(2, 2, {0.9, 0.1, 0.3, 0.7});
+  const auto pi = stationary_distribution(p);
+  EXPECT_NEAR(pi[0], 0.75, 1e-12);
+  EXPECT_NEAR(pi[1], 0.25, 1e-12);
+}
+
+TEST(Stationary, CtmcGenerator) {
+  // Q = [[-2, 2], [1, -1]] -> pi = (1/3, 2/3).
+  Matrix q(2, 2, {-2.0, 2.0, 1.0, -1.0});
+  const auto pi = ctmc_stationary(q);
+  EXPECT_NEAR(pi[0], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(pi[1], 2.0 / 3.0, 1e-12);
+}
+
+TEST(Stationary, ExpmConvergesToStationary) {
+  Matrix q(2, 2, {-2.0, 2.0, 1.0, -1.0});
+  const Matrix p_long = (q * 50.0).expm();
+  const auto pi = ctmc_stationary(q);
+  for (std::size_t row = 0; row < 2; ++row) {
+    EXPECT_NEAR(p_long(row, 0), pi[0], 1e-8);
+    EXPECT_NEAR(p_long(row, 1), pi[1], 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace deepbat

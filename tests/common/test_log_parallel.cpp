@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/log.hpp"
+#include "common/parallel.hpp"
+
+namespace deepbat {
+namespace {
+
+TEST(Log, LevelGateControlsEmission) {
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Below-threshold logging must not evaluate its stream expression.
+  bool evaluated = false;
+  auto probe = [&]() {
+    evaluated = true;
+    return "x";
+  };
+  LOG_INFO(probe());
+  EXPECT_FALSE(evaluated);
+  set_log_level(LogLevel::kDebug);
+  LOG_INFO(probe());
+  EXPECT_TRUE(evaluated);
+  set_log_level(prev);
+}
+
+TEST(Log, OffSilencesEverything) {
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::kOff);
+  bool evaluated = false;
+  LOG_ERROR([&] {
+    evaluated = true;
+    return "x";
+  }());
+  EXPECT_FALSE(evaluated);
+  set_log_level(prev);
+}
+
+TEST(Parallel, ForCoversAllIndicesExactlyOnce) {
+  constexpr std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(Parallel, ForHandlesEmptyAndSingle) {
+  int count = 0;
+  parallel_for(0, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  parallel_for(1, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Parallel, MapPreservesIndexOrder) {
+  const auto out = parallel_map<std::size_t>(
+      5000, [](std::size_t i) { return i * 2; });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i * 2);
+  }
+}
+
+TEST(Parallel, NestedParallelForFallsBackToSerial) {
+  // parallel_for inside a parallel region must not deadlock or double-run.
+  std::atomic<int> total{0};
+  parallel_for(8, [&](std::size_t) {
+    parallel_for(8, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(Parallel, HardwareThreadsPositive) {
+  EXPECT_GE(hardware_threads(), 1);
+}
+
+}  // namespace
+}  // namespace deepbat

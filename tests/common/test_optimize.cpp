@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/optimize.hpp"
+
+namespace deepbat {
+namespace {
+
+TEST(NelderMead, MinimizesQuadraticBowl) {
+  const auto f = [](const std::vector<double>& x) {
+    return (x[0] - 3.0) * (x[0] - 3.0) + (x[1] + 1.0) * (x[1] + 1.0);
+  };
+  const auto r = nelder_mead(f, {0.0, 0.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-4);
+  EXPECT_NEAR(r.x[1], -1.0, 1e-4);
+  EXPECT_NEAR(r.value, 0.0, 1e-7);
+}
+
+TEST(NelderMead, RosenbrockTwoD) {
+  const auto f = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions opts;
+  opts.max_iterations = 5000;
+  const auto r = nelder_mead(f, {-1.2, 1.0}, opts);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-2);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-2);
+}
+
+TEST(NelderMead, OneDimensional) {
+  const auto f = [](const std::vector<double>& x) {
+    return std::cosh(x[0] - 0.5);
+  };
+  const auto r = nelder_mead(f, {5.0});
+  EXPECT_NEAR(r.x[0], 0.5, 1e-4);
+}
+
+TEST(NelderMead, RespectsIterationBudget) {
+  const auto f = [](const std::vector<double>& x) {
+    return x[0] * x[0];
+  };
+  NelderMeadOptions opts;
+  opts.max_iterations = 3;
+  const auto r = nelder_mead(f, {100.0}, opts);
+  EXPECT_LE(r.iterations, 3);
+}
+
+TEST(NelderMead, EmptyStartRejected) {
+  EXPECT_THROW(nelder_mead([](const std::vector<double>&) { return 0.0; }, {}),
+               Error);
+}
+
+TEST(NelderMead, StartingAtOptimumStaysThere) {
+  const auto f = [](const std::vector<double>& x) {
+    return x[0] * x[0] + x[1] * x[1];
+  };
+  NelderMeadOptions opts;
+  opts.initial_step = 0.01;
+  const auto r = nelder_mead(f, {0.0, 0.0}, opts);
+  EXPECT_NEAR(r.x[0], 0.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 0.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace deepbat

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace deepbat {
+namespace {
+
+TEST(RunningStats, MatchesBatchFormulas) {
+  std::vector<double> xs{1.0, 4.0, 2.0, 8.0, 5.0};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), 5u);
+  EXPECT_DOUBLE_EQ(rs.mean(), mean(xs));
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 8.0);
+}
+
+TEST(RunningStats, MergeEqualsSinglePass) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.normal(3.0, 2.0));
+  RunningStats whole;
+  RunningStats lo;
+  RunningStats hi;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    whole.add(xs[i]);
+    (i < 400 ? lo : hi).add(xs[i]);
+  }
+  lo.merge(hi);
+  EXPECT_NEAR(lo.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(lo.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(lo.count(), whole.count());
+}
+
+TEST(Stats, MeanVarianceBasics) {
+  std::vector<double> xs{2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 4.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Stats, ScvOfExponentialSampleNearOne) {
+  Rng rng(6);
+  std::vector<double> xs;
+  for (int i = 0; i < 200000; ++i) xs.push_back(rng.exponential(2.0));
+  EXPECT_NEAR(scv(xs), 1.0, 0.05);
+}
+
+TEST(Stats, ScvOfConstantIsZero) {
+  std::vector<double> xs(100, 3.0);
+  EXPECT_DOUBLE_EQ(scv(xs), 0.0);
+}
+
+TEST(Stats, AutocorrelationOfIidNearZeroAndLagZeroIsOne) {
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(rng.normal());
+  EXPECT_DOUBLE_EQ(autocorrelation(xs, 0), 1.0);
+  EXPECT_NEAR(autocorrelation(xs, 1), 0.0, 0.02);
+  EXPECT_NEAR(autocorrelation(xs, 5), 0.0, 0.02);
+}
+
+TEST(Stats, AutocorrelationDetectsAlternation) {
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_NEAR(autocorrelation(xs, 1), -1.0, 0.01);
+  EXPECT_NEAR(autocorrelation(xs, 2), 1.0, 0.01);
+}
+
+TEST(Stats, IdcNearOneForPoissonProcess) {
+  Rng rng(8);
+  std::vector<double> xs;
+  for (int i = 0; i < 100000; ++i) xs.push_back(rng.exponential(1.0));
+  EXPECT_NEAR(index_of_dispersion(xs), 1.0, 0.25);
+}
+
+TEST(Stats, IdcLargeForCorrelatedBurstyProcess) {
+  // Markov-modulated on-off process with geometrically distributed sojourn
+  // times: random run lengths of short/long gaps produce persistent positive
+  // autocorrelation -> IDC >> 1. (Deterministic alternation would not: its
+  // autocorrelation sums to ~0 over a period.)
+  Rng rng(9);
+  std::vector<double> xs;
+  int state = 0;
+  for (int i = 0; i < 40000; ++i) {
+    if (rng.uniform() < 0.02) state = 1 - state;
+    xs.push_back(rng.exponential(state == 0 ? 100.0 : 1.0));
+  }
+  EXPECT_GT(index_of_dispersion(xs, 200), 10.0);
+}
+
+TEST(Stats, QuantileInterpolation) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(Stats, QuantileHandlesUnsortedInputAndSingleton) {
+  std::vector<double> xs{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(quantile(one, 0.9), 7.0);
+}
+
+TEST(Stats, QuantileRejectsBadInput) {
+  std::vector<double> xs{1.0};
+  EXPECT_THROW(quantile(xs, -0.1), Error);
+  EXPECT_THROW(quantile(xs, 1.1), Error);
+  EXPECT_THROW(quantile(std::vector<double>{}, 0.5), Error);
+}
+
+TEST(Stats, QuantilesBatchMatchesIndividual) {
+  Rng rng(10);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.uniform());
+  std::vector<double> qs{0.05, 0.5, 0.95, 0.99};
+  const auto batch = quantiles(xs, qs);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], quantile(xs, qs[i]));
+  }
+}
+
+TEST(Stats, MapeBasics) {
+  std::vector<double> truth{1.0, 2.0, 4.0};
+  std::vector<double> pred{1.1, 1.8, 4.0};
+  // (0.1/1 + 0.2/2 + 0) / 3 * 100 = 6.6667 %
+  EXPECT_NEAR(mape(pred, truth), 100.0 * (0.1 + 0.1) / 3.0, 1e-9);
+}
+
+TEST(Stats, MapeSkipsZeroTruthAndChecksSizes) {
+  std::vector<double> truth{0.0, 2.0};
+  std::vector<double> pred{5.0, 2.2};
+  EXPECT_NEAR(mape(pred, truth), 10.0, 1e-9);
+  std::vector<double> short_pred{1.0};
+  EXPECT_THROW(mape(short_pred, truth), Error);
+}
+
+TEST(Stats, EcdfSorted) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(ecdf_sorted(xs, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf_sorted(xs, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf_sorted(xs, 9.0), 1.0);
+}
+
+TEST(Stats, HistogramBucketsAndBounds) {
+  std::vector<double> xs{0.1, 0.2, 0.55, 0.9, -1.0, 2.0};
+  const auto h = histogram(xs, 0.0, 1.0, 2);
+  EXPECT_EQ(h[0], 2u);  // 0.1, 0.2
+  EXPECT_EQ(h[1], 2u);  // 0.55, 0.9 (out-of-range values dropped)
+  EXPECT_THROW(histogram(xs, 0.0, 1.0, 0), Error);
+  EXPECT_THROW(histogram(xs, 1.0, 1.0, 4), Error);
+}
+
+}  // namespace
+}  // namespace deepbat

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/encoding.hpp"
+#include "core/vcr.hpp"
+
+namespace deepbat::core {
+namespace {
+
+TEST(Encoding, GapIsLogCompressed) {
+  EXPECT_FLOAT_EQ(encode_gap(0.0), 0.0F);
+  EXPECT_NEAR(encode_gap(0.001), std::log1p(1.0), 1e-6);  // 1 ms
+  EXPECT_NEAR(encode_gap(1.0), std::log1p(1000.0), 1e-5);
+  EXPECT_GT(encode_gap(10.0), encode_gap(1.0));
+  EXPECT_THROW(encode_gap(-0.1), Error);
+}
+
+TEST(Encoding, WindowEncoding) {
+  const std::vector<double> gaps{0.0, 0.001, 1.0};
+  const auto enc = encode_window(gaps);
+  ASSERT_EQ(enc.size(), 3u);
+  EXPECT_FLOAT_EQ(enc[0], 0.0F);
+  EXPECT_LT(enc[1], enc[2]);
+}
+
+TEST(Encoding, FeaturesAreRawConfigValues) {
+  const auto f = encode_features({2048, 8, 0.05});
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_FLOAT_EQ(f[0], 2048.0F);
+  EXPECT_FLOAT_EQ(f[1], 8.0F);
+  EXPECT_FLOAT_EQ(f[2], 0.05F);
+}
+
+TEST(Encoding, TargetPackUnpackRoundTrip) {
+  PredictionTarget t;
+  t.cost_usd_per_request = 5.5e-7;
+  for (std::size_t i = 0; i < kPercentiles.size(); ++i) {
+    t.latency_s[i] = 0.01 * static_cast<double>(i + 1);
+  }
+  const auto packed = pack_target(t);
+  ASSERT_EQ(packed.size(), kTargetDim);
+  EXPECT_NEAR(packed[0], 0.55F, 1e-5);  // micro-USD
+  const PredictionTarget back = unpack_target(packed);
+  EXPECT_NEAR(back.cost_usd_per_request, t.cost_usd_per_request, 1e-12);
+  EXPECT_NEAR(back.p95(), t.latency_s[kSloPercentileIndex], 1e-7);
+}
+
+TEST(Encoding, UnpackChecksSize) {
+  std::vector<float> short_row(3, 0.0F);
+  EXPECT_THROW(unpack_target(short_row), Error);
+}
+
+TEST(Encoding, PercentileConstantsConsistent) {
+  EXPECT_DOUBLE_EQ(kPercentiles[kSloPercentileIndex], 0.95);
+  EXPECT_EQ(kTargetDim, kPercentiles.size() + 1);
+}
+
+sim::SimResult make_result(const std::vector<double>& arrivals,
+                           const std::vector<double>& latencies) {
+  sim::SimResult r;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    sim::RequestRecord rec;
+    rec.arrival = arrivals[i];
+    rec.dispatch = arrivals[i];
+    rec.completion = arrivals[i] + latencies[i];
+    rec.batch_actual = 1;
+    r.requests.push_back(rec);
+  }
+  return r;
+}
+
+TEST(Vcr, AllWindowsCompliant) {
+  const auto r = make_result({0.0, 10.0, 40.0, 70.0}, {0.01, 0.02, 0.03, 0.04});
+  VcrOptions opts;
+  opts.slo_s = 0.1;
+  opts.window_s = 30.0;
+  EXPECT_DOUBLE_EQ(vcr(r, 0.0, 90.0, opts), 0.0);
+}
+
+TEST(Vcr, AllWindowsViolating) {
+  const auto r = make_result({0.0, 35.0, 65.0}, {0.5, 0.6, 0.7});
+  VcrOptions opts;
+  opts.slo_s = 0.1;
+  opts.window_s = 30.0;
+  EXPECT_DOUBLE_EQ(vcr(r, 0.0, 90.0, opts), 100.0);
+}
+
+TEST(Vcr, MixedWindowsGiveFraction) {
+  // Window 0: ok. Window 1: violation. Window 2: empty (skipped).
+  const auto r = make_result({5.0, 35.0}, {0.01, 0.9});
+  VcrOptions opts;
+  opts.slo_s = 0.1;
+  opts.window_s = 30.0;
+  EXPECT_DOUBLE_EQ(vcr(r, 0.0, 90.0, opts), 50.0);
+}
+
+TEST(Vcr, PercentileWithinWindowDecides) {
+  // 20 fast + 1 slow request in one window: P95 stays under the SLO only
+  // if fewer than 5 % of requests are slow.
+  std::vector<double> arrivals;
+  std::vector<double> lats;
+  for (int i = 0; i < 99; ++i) {
+    arrivals.push_back(0.1 * i);
+    lats.push_back(0.01);
+  }
+  arrivals.push_back(10.0);
+  lats.push_back(5.0);  // one outlier in 100 -> P95 unaffected
+  const auto r = make_result(arrivals, lats);
+  VcrOptions opts;
+  opts.slo_s = 0.1;
+  opts.window_s = 60.0;
+  EXPECT_DOUBLE_EQ(vcr(r, 0.0, 60.0, opts), 0.0);
+}
+
+TEST(Vcr, HourlySeries) {
+  // Hour 0 compliant, hour 1 violating.
+  const auto r = make_result({10.0, 3700.0}, {0.01, 1.0});
+  VcrOptions opts;
+  opts.slo_s = 0.1;
+  opts.window_s = 30.0;
+  const auto series = hourly_vcr(r, 0.0, 2, opts);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0], 0.0);
+  EXPECT_DOUBLE_EQ(series[1], 100.0);
+}
+
+TEST(Vcr, InputValidation) {
+  sim::SimResult r;
+  VcrOptions opts;
+  EXPECT_THROW(vcr(r, 1.0, 1.0, opts), Error);
+  opts.window_s = 0.0;
+  EXPECT_THROW(vcr(r, 0.0, 1.0, opts), Error);
+}
+
+}  // namespace
+}  // namespace deepbat::core

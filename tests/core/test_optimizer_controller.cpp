@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/controller.hpp"
+#include "core/optimizer.hpp"
+#include "workload/synth.hpp"
+
+namespace deepbat::core {
+namespace {
+
+SurrogateConfig tiny_config() {
+  SurrogateConfig cfg;
+  cfg.sequence_length = 32;
+  cfg.dropout = 0.0F;
+  return cfg;
+}
+
+TEST(SloOptimizer, PicksCheapestPredictedFeasible) {
+  Surrogate model(tiny_config(), lambda::ConfigGrid::small());
+  model.set_training(false);
+  std::vector<float> window(32, 1.0F);
+  const auto configs = lambda::ConfigGrid::small().enumerate();
+  OptimizerOptions opts;
+  opts.slo_s = 1e9;  // everything feasible: must pick min predicted cost
+  const auto outcome = optimize(model, window, configs, opts);
+  EXPECT_TRUE(outcome.choice.feasible);
+  for (const auto& p : outcome.predictions) {
+    EXPECT_LE(outcome.choice.prediction.cost_usd_per_request,
+              p.cost_usd_per_request + 1e-12);
+  }
+}
+
+TEST(SloOptimizer, FallsBackToFastestWhenNothingFeasible) {
+  Surrogate model(tiny_config(), lambda::ConfigGrid::small());
+  model.set_training(false);
+  std::vector<float> window(32, 1.0F);
+  const auto configs = lambda::ConfigGrid::small().enumerate();
+  OptimizerOptions opts;
+  opts.slo_s = -1e9;  // nothing can be feasible
+  const auto outcome = optimize(model, window, configs, opts);
+  EXPECT_FALSE(outcome.choice.feasible);
+  for (const auto& p : outcome.predictions) {
+    EXPECT_LE(outcome.choice.prediction.p95(), p.p95() + 1e-9);
+  }
+}
+
+TEST(SloOptimizer, GammaTightensTheSlo) {
+  // With a tighter effective SLO the chosen config can only get more
+  // conservative (equal or lower predicted latency).
+  Surrogate model(tiny_config(), lambda::ConfigGrid::small());
+  model.set_training(false);
+  std::vector<float> window(32, 2.0F);
+  const auto configs = lambda::ConfigGrid::small().enumerate();
+  OptimizerOptions loose;
+  loose.slo_s = 0.5;
+  OptimizerOptions tight = loose;
+  tight.gamma = 0.6;
+  const auto a = optimize(model, window, configs, loose);
+  const auto b = optimize(model, window, configs, tight);
+  EXPECT_LE(b.choice.prediction.p95(), a.choice.prediction.p95() + 1e-9);
+}
+
+TEST(SloOptimizer, TimingInstrumented) {
+  Surrogate model(tiny_config(), lambda::ConfigGrid::small());
+  model.set_training(false);
+  std::vector<float> window(32, 1.0F);
+  const auto configs = lambda::ConfigGrid::small().enumerate();
+  const auto outcome = optimize(model, window, configs, {});
+  EXPECT_GT(outcome.predict_seconds, 0.0);
+  EXPECT_GE(outcome.search_seconds, 0.0);
+  EXPECT_EQ(outcome.predictions.size(), configs.size());
+}
+
+TEST(SloOptimizer, Validation) {
+  Surrogate model(tiny_config(), lambda::ConfigGrid::small());
+  std::vector<float> window(32, 1.0F);
+  const auto configs = lambda::ConfigGrid::small().enumerate();
+  OptimizerOptions opts;
+  opts.gamma = 1.5;
+  EXPECT_THROW(optimize(model, window, configs, opts), Error);
+  EXPECT_THROW(optimize(model, window, {}, {}), Error);
+}
+
+TEST(DeepBatControllerTest, DecidesFromShortHistoryWithPadding) {
+  Surrogate model(tiny_config(), lambda::ConfigGrid::small());
+  model.set_training(false);
+  DeepBatControllerOptions opts;
+  opts.grid = lambda::ConfigGrid::small();
+  DeepBatController ctrl(model, opts);
+  // Only 3 arrivals: window must be padded, not crash.
+  const workload::Trace thin({0.0, 0.5, 1.0});
+  const auto cfg = ctrl.decide(thin, 2.0);
+  EXPECT_GE(cfg.batch_size, 1);
+  EXPECT_EQ(ctrl.decision_count(), 1u);
+  EXPECT_GT(ctrl.total_predict_seconds(), 0.0);
+}
+
+TEST(DeepBatControllerTest, RunsInsidePlatform) {
+  Surrogate model(tiny_config(), lambda::ConfigGrid::small());
+  model.set_training(false);
+  DeepBatControllerOptions opts;
+  opts.grid = lambda::ConfigGrid::small();
+  DeepBatController ctrl(model, opts);
+  const workload::Trace trace = workload::twitter_like({.hours = 0.05}, 31);
+  const lambda::LambdaModel lm;
+  sim::PlatformOptions popts;
+  popts.control_interval_s = 30.0;
+  const auto run = sim::run_platform(trace, ctrl, lm, {1024, 1, 0.0}, popts);
+  EXPECT_EQ(run.result.served(), trace.size());
+  EXPECT_GE(ctrl.decision_count(), 5u);
+  ASSERT_TRUE(ctrl.last_outcome().has_value());
+}
+
+TEST(DeepBatControllerTest, GammaSetterValidates) {
+  Surrogate model(tiny_config(), lambda::ConfigGrid::small());
+  DeepBatControllerOptions opts;
+  opts.grid = lambda::ConfigGrid::small();
+  DeepBatController ctrl(model, opts);
+  ctrl.set_gamma(0.2);
+  EXPECT_DOUBLE_EQ(ctrl.gamma(), 0.2);
+  EXPECT_THROW(ctrl.set_gamma(1.0), Error);
+}
+
+}  // namespace
+}  // namespace deepbat::core

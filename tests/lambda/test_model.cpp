@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "lambda/model.hpp"
+
+namespace deepbat::lambda {
+namespace {
+
+TEST(LambdaModel, ServiceTimeDecreasesWithMemory) {
+  LambdaModel m;
+  // Fig. 1a shape: more memory -> faster, with diminishing returns.
+  const double s128 = m.service_time(128, 4);
+  const double s1024 = m.service_time(1024, 4);
+  const double s4096 = m.service_time(4096, 4);
+  const double s10240 = m.service_time(10240, 4);
+  EXPECT_GT(s128, s1024);
+  EXPECT_GT(s1024, s4096);
+  EXPECT_GT(s4096, s10240);
+  // Diminishing returns: the last doubling saves less than the first.
+  EXPECT_GT(s128 - s1024, s4096 - s10240);
+}
+
+TEST(LambdaModel, ServiceTimeGrowsSublinearlyWithBatch) {
+  LambdaModel m;
+  const double s1 = m.service_time(2048, 1);
+  const double s8 = m.service_time(2048, 8);
+  const double s64 = m.service_time(2048, 64);
+  EXPECT_GT(s8, s1);
+  EXPECT_GT(s64, s8);
+  // Sub-linear: serving 64 together is much cheaper than 64 separately.
+  EXPECT_LT(s64, 64.0 * s1);
+  EXPECT_LT(s64 / s8, 8.0);
+}
+
+TEST(LambdaModel, BatchRejectsZero) {
+  LambdaModel m;
+  EXPECT_THROW(m.service_time(1024, 0), Error);
+}
+
+TEST(LambdaModel, AmdahlSpeedupSaturates) {
+  LambdaModel m;
+  const double cap = 1.0 / (1.0 - m.params().parallel_fraction);
+  EXPECT_LT(m.speedup(10240), cap);
+  EXPECT_GT(m.speedup(10240), m.speedup(1769));
+  EXPECT_NEAR(m.speedup(1769), 1.0, 1e-9);  // one full vCPU
+  EXPECT_LT(m.speedup(128), 1.0);           // fractional vCPU is slower
+}
+
+TEST(LambdaModel, InvocationCostMatchesAwsPricingFormula) {
+  LambdaModel m;
+  // 1 GB for exactly 1 s: per-invocation fee + 1 GB-s.
+  const double c = m.invocation_cost(1024, 1.0);
+  EXPECT_NEAR(c, 2.0e-7 + 1.66667e-5, 1e-12);
+}
+
+TEST(LambdaModel, BillingRoundsUpToQuantum) {
+  LambdaModel m;
+  // 0.1 ms bills as 1 ms.
+  const double c_tiny = m.invocation_cost(1024, 0.0001);
+  const double c_1ms = m.invocation_cost(1024, 0.001);
+  EXPECT_DOUBLE_EQ(c_tiny, c_1ms);
+  const double c_1001 = m.invocation_cost(1024, 0.001001);
+  EXPECT_GT(c_1001, c_1ms);
+}
+
+TEST(LambdaModel, CostPerRequestFallsWithBatching) {
+  LambdaModel m;
+  // Fig. 1b shape: batching amortizes the invocation.
+  const double c1 = m.cost_per_request(2048, 1);
+  const double c8 = m.cost_per_request(2048, 8);
+  const double c64 = m.cost_per_request(2048, 64);
+  EXPECT_GT(c1, c8);
+  EXPECT_GT(c8, c64);
+}
+
+TEST(LambdaModel, CostHasMemorySweetSpot) {
+  LambdaModel m;
+  // Very low memory: memory pressure inflates the billed duration. Very
+  // high: the GB-s rate dominates. Somewhere in between is cheapest
+  // (Fig. 1a cost curve).
+  const double c128 = m.cost_per_request(128, 8);
+  const double c2048 = m.cost_per_request(2048, 8);
+  const double c10240 = m.cost_per_request(10240, 8);
+  EXPECT_GT(c128, c2048);
+  EXPECT_GT(c10240, c2048);
+}
+
+TEST(LambdaModel, MemoryPressurePenaltyBelowFootprint) {
+  LambdaModel m;
+  // Shrinking memory below the model footprint must hurt latency
+  // super-linearly (Fig. 1a "underestimating memory requirements").
+  const double s512 = m.service_time(512, 1);
+  const double s256 = m.service_time(256, 1);
+  const double s128 = m.service_time(128, 1);
+  EXPECT_GT(s256 / s512, 1.5);
+  EXPECT_GT(s128 / s256, 1.5);
+}
+
+TEST(LambdaModel, ValidateEnforcesPaperConstraints) {
+  LambdaModel m;
+  EXPECT_NO_THROW(m.validate({1024, 1, 0.0}));
+  EXPECT_THROW(m.validate({64, 1, 0.0}), Error);      // Eq. 10e lower
+  EXPECT_THROW(m.validate({20480, 1, 0.0}), Error);   // Eq. 10e upper
+  EXPECT_THROW(m.validate({1024, 0, 0.0}), Error);    // Eq. 10c
+  EXPECT_THROW(m.validate({1024, 1, -0.1}), Error);   // Eq. 10d
+}
+
+TEST(LambdaModel, ParamValidation) {
+  LambdaModelParams p;
+  p.parallel_fraction = 1.0;
+  EXPECT_THROW(LambdaModel{p}, Error);
+  LambdaModelParams q;
+  q.batch_exponent = 0.0;
+  EXPECT_THROW(LambdaModel{q}, Error);
+  LambdaModelParams r;
+  r.cold_start_probability = 1.5;
+  EXPECT_THROW(LambdaModel{r}, Error);
+}
+
+TEST(ConfigGrid, StandardCoversPaperRanges) {
+  const ConfigGrid grid = ConfigGrid::standard();
+  EXPECT_EQ(grid.size(), grid.enumerate().size());
+  EXPECT_EQ(grid.size(), 11u * 7u * 8u);
+  LambdaModel m;
+  for (const auto& c : grid.enumerate()) {
+    EXPECT_NO_THROW(m.validate(c));
+  }
+}
+
+TEST(ConfigGrid, EnumerateOrderIsDeterministic) {
+  const auto a = ConfigGrid::standard().enumerate();
+  const auto b = ConfigGrid::standard().enumerate();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 37) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(Config, ToStringIsReadable) {
+  const Config c{2048, 8, 0.05};
+  const std::string s = c.to_string();
+  EXPECT_NE(s.find("2048"), std::string::npos);
+  EXPECT_NE(s.find("8"), std::string::npos);
+  EXPECT_NE(s.find("0.05"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deepbat::lambda

@@ -1,0 +1,62 @@
+#pragma once
+// Finite-difference gradient checking harness for autograd ops.
+//
+// `expect_gradients_match` runs the given graph builder twice per perturbed
+// input element (central differences) and compares against the analytic
+// gradient from backward(). Inputs are double-perturbed in float storage, so
+// tolerances are loose-ish (1e-2 relative against an h=1e-3 step works well
+// for the smooth ops used here).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "nn/ops.hpp"
+
+namespace deepbat::nn::testing {
+
+/// Builds a scalar-output graph from the given leaf inputs.
+using GraphBuilder = std::function<Var(const std::vector<Var>&)>;
+
+inline void expect_gradients_match(const std::vector<Tensor>& input_values,
+                                   const GraphBuilder& build,
+                                   float h = 1e-3F, float rel_tol = 2e-2F,
+                                   float abs_tol = 1e-3F) {
+  // Analytic pass.
+  std::vector<Var> inputs;
+  inputs.reserve(input_values.size());
+  for (const auto& t : input_values) {
+    inputs.push_back(make_leaf(t.clone(), /*requires_grad=*/true));
+  }
+  Var out = build(inputs);
+  ASSERT_EQ(out->value.numel(), 1) << "gradcheck requires scalar output";
+  backward(out);
+
+  for (std::size_t vi = 0; vi < inputs.size(); ++vi) {
+    ASSERT_TRUE(inputs[vi]->has_grad) << "input " << vi << " got no gradient";
+    const Tensor& analytic = inputs[vi]->grad;
+    for (std::int64_t e = 0; e < input_values[vi].numel(); ++e) {
+      auto eval_at = [&](float delta) {
+        std::vector<Var> probe;
+        probe.reserve(input_values.size());
+        for (std::size_t k = 0; k < input_values.size(); ++k) {
+          Tensor t = input_values[k].clone();
+          if (k == vi) t.data()[e] += delta;
+          probe.push_back(make_leaf(std::move(t), false));
+        }
+        return build(probe)->value.at(0);
+      };
+      const float numeric = (eval_at(h) - eval_at(-h)) / (2.0F * h);
+      const float got = analytic.data()[e];
+      const float err = std::abs(numeric - got);
+      const float scale = std::max({std::abs(numeric), std::abs(got), 1.0F});
+      EXPECT_LE(err, abs_tol + rel_tol * scale)
+          << "input " << vi << " element " << e << ": analytic " << got
+          << " vs numeric " << numeric;
+    }
+  }
+}
+
+}  // namespace deepbat::nn::testing

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "nn/ops.hpp"
+
+namespace deepbat::nn {
+namespace {
+
+TEST(Autograd, LeafWithoutGradRejectsBackward) {
+  Var x = make_leaf(Tensor({1}, {3.0F}), false);
+  EXPECT_THROW(backward(x), Error);
+}
+
+TEST(Autograd, SimpleChainRule) {
+  // y = (2x + 1)^2 elementwise via mul; dy/dx = 2 * 2 * (2x+1).
+  Var x = make_leaf(Tensor({1}, {3.0F}), true);
+  Var inner = add_scalar(scale(x, 2.0F), 1.0F);  // 7
+  Var y = mul(inner, inner);                     // 49
+  backward(y);
+  EXPECT_FLOAT_EQ(y->value.at(0), 49.0F);
+  EXPECT_FLOAT_EQ(x->grad.at(0), 2.0F * 2.0F * 7.0F);
+}
+
+TEST(Autograd, GradAccumulatesAcrossBackwardCalls) {
+  Var x = make_leaf(Tensor({1}, {1.0F}), true);
+  backward(scale(x, 3.0F));
+  backward(scale(x, 3.0F));
+  EXPECT_FLOAT_EQ(x->grad.at(0), 6.0F);
+  x->zero_grad();
+  EXPECT_FALSE(x->has_grad);
+}
+
+TEST(Autograd, DiamondGraphSumsBothPaths) {
+  // z = x*x + 3x; dz/dx = 2x + 3.
+  Var x = make_leaf(Tensor({1}, {5.0F}), true);
+  Var z = add(mul(x, x), scale(x, 3.0F));
+  backward(z);
+  EXPECT_FLOAT_EQ(x->grad.at(0), 13.0F);
+}
+
+TEST(Autograd, ConstantLeafGetsNoGradient) {
+  Var x = make_leaf(Tensor({1}, {2.0F}), true);
+  Var c = make_leaf(Tensor({1}, {4.0F}), false);
+  backward(mul(x, c));
+  EXPECT_TRUE(x->has_grad);
+  EXPECT_FALSE(c->has_grad);
+  EXPECT_FLOAT_EQ(x->grad.at(0), 4.0F);
+}
+
+TEST(Autograd, NoGradGraphPropagatesRequiresGradFlag) {
+  Var a = make_leaf(Tensor({2}, {1, 2}), false);
+  Var b = make_leaf(Tensor({2}, {3, 4}), false);
+  Var c = add(a, b);
+  EXPECT_FALSE(c->requires_grad);
+  Var d = make_leaf(Tensor({2}, {1, 1}), true);
+  Var e = add(c, d);
+  EXPECT_TRUE(e->requires_grad);
+}
+
+TEST(Autograd, SharedSubexpressionVisitedOnce) {
+  // u = x + x; y = u * u. dy/dx = 2u * du/dx = 2*4*2 = 16 at x = 2.
+  Var x = make_leaf(Tensor({1}, {2.0F}), true);
+  Var u = add(x, x);
+  Var y = mul(u, u);
+  backward(y);
+  EXPECT_FLOAT_EQ(x->grad.at(0), 16.0F);
+}
+
+TEST(Autograd, DeepChainDoesNotOverflowStack) {
+  Var x = make_leaf(Tensor({1}, {1.0F}), true);
+  Var y = x;
+  constexpr int kDepth = 20000;
+  for (int i = 0; i < kDepth; ++i) y = add_scalar(y, 0.0F);
+  backward(y);  // iterative topo sort must survive this
+  EXPECT_FLOAT_EQ(x->grad.at(0), 1.0F);
+}
+
+TEST(Autograd, SumAllSeedsVectorInput) {
+  Var x = make_leaf(Tensor({3}, {1, 2, 3}), true);
+  backward(sum_all(mul(x, x)));
+  EXPECT_FLOAT_EQ(x->grad.at(0), 2.0F);
+  EXPECT_FLOAT_EQ(x->grad.at(1), 4.0F);
+  EXPECT_FLOAT_EQ(x->grad.at(2), 6.0F);
+}
+
+TEST(Autograd, ZeroGradSpanHelper) {
+  Var x = make_leaf(Tensor({1}, {1.0F}), true);
+  Var y = make_leaf(Tensor({1}, {1.0F}), true);
+  backward(add(mul(x, y), x));
+  std::vector<Var> params{x, y};
+  zero_grad(params);
+  EXPECT_FALSE(x->has_grad);
+  EXPECT_FALSE(y->has_grad);
+}
+
+}  // namespace
+}  // namespace deepbat::nn

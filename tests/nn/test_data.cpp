@@ -1,0 +1,111 @@
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nn/data.hpp"
+
+namespace deepbat::nn {
+namespace {
+
+Sample make_sample(float tag, std::size_t l = 4) {
+  Sample s;
+  s.sequence.assign(l, tag);
+  s.features = {tag, tag + 1, tag + 2};
+  s.target = {tag * 10};
+  return s;
+}
+
+Dataset make_dataset(std::size_t n) {
+  Dataset ds;
+  for (std::size_t i = 0; i < n; ++i) {
+    ds.add(make_sample(static_cast<float>(i)));
+  }
+  return ds;
+}
+
+TEST(Dataset, DimsReflectFirstSample) {
+  Dataset ds = make_dataset(3);
+  EXPECT_EQ(ds.size(), 3u);
+  EXPECT_EQ(ds.sequence_length(), 4);
+  EXPECT_EQ(ds.feature_dim(), 3);
+  EXPECT_EQ(ds.target_dim(), 1);
+}
+
+TEST(Dataset, RejectsInconsistentSamples) {
+  Dataset ds = make_dataset(1);
+  EXPECT_THROW(ds.add(make_sample(1.0F, 7)), Error);
+}
+
+TEST(Dataset, SplitPreservesOrderAndCounts) {
+  Dataset ds = make_dataset(10);
+  const auto [train, val] = ds.split(0.3);
+  EXPECT_EQ(train.size(), 7u);
+  EXPECT_EQ(val.size(), 3u);
+  EXPECT_FLOAT_EQ(train[0].sequence[0], 0.0F);
+  EXPECT_FLOAT_EQ(val[0].sequence[0], 7.0F);
+}
+
+TEST(DataLoader, BatchCountIncludesPartialTail) {
+  Dataset ds = make_dataset(10);
+  DataLoader dl(ds, 4, false, 1);
+  EXPECT_EQ(dl.batches_per_epoch(), 3);
+  EXPECT_EQ(dl.batch(0).size, 4);
+  EXPECT_EQ(dl.batch(2).size, 2);
+}
+
+TEST(DataLoader, UnshuffledPreservesOrderAndLayout) {
+  Dataset ds = make_dataset(5);
+  DataLoader dl(ds, 2, false, 1);
+  const Batch b = dl.batch(1);  // samples 2, 3
+  EXPECT_EQ(b.sequences.shape(), (Shape{2, 4, 1}));
+  EXPECT_EQ(b.features.shape(), (Shape{2, 3}));
+  EXPECT_EQ(b.targets.shape(), (Shape{2, 1}));
+  EXPECT_FLOAT_EQ(b.sequences.at(0, 0, 0), 2.0F);
+  EXPECT_FLOAT_EQ(b.features.at(1, 0), 3.0F);
+  EXPECT_FLOAT_EQ(b.targets.at(1, 0), 30.0F);
+}
+
+TEST(DataLoader, ShuffleCoversAllSamplesExactlyOnce) {
+  Dataset ds = make_dataset(9);
+  DataLoader dl(ds, 4, true, 7);
+  std::multiset<float> seen;
+  for (std::int64_t i = 0; i < dl.batches_per_epoch(); ++i) {
+    const Batch b = dl.batch(i);
+    for (std::int64_t r = 0; r < b.size; ++r) {
+      seen.insert(b.sequences.at(r, 0, 0));
+    }
+  }
+  EXPECT_EQ(seen.size(), 9u);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(seen.count(static_cast<float>(i)), 1u);
+  }
+}
+
+TEST(DataLoader, NextEpochReshuffles) {
+  Dataset ds = make_dataset(64);
+  DataLoader dl(ds, 64, true, 3);
+  const Batch b1 = dl.batch(0);
+  dl.next_epoch();
+  const Batch b2 = dl.batch(0);
+  EXPECT_FALSE(b1.sequences.allclose(b2.sequences, 0.0F));
+}
+
+TEST(DataLoader, SameSeedSameOrder) {
+  Dataset ds = make_dataset(32);
+  DataLoader a(ds, 8, true, 11);
+  DataLoader b(ds, 8, true, 11);
+  EXPECT_TRUE(a.batch(0).sequences.allclose(b.batch(0).sequences, 0.0F));
+}
+
+TEST(DataLoader, RejectsEmptyDatasetAndBadBatchSize) {
+  Dataset empty;
+  EXPECT_THROW(DataLoader(empty, 4, false, 1), Error);
+  Dataset ds = make_dataset(4);
+  EXPECT_THROW(DataLoader(ds, 0, false, 1), Error);
+  DataLoader dl(ds, 2, false, 1);
+  EXPECT_THROW(dl.batch(5), Error);
+}
+
+}  // namespace
+}  // namespace deepbat::nn

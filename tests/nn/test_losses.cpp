@@ -1,0 +1,115 @@
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/ops.hpp"
+
+namespace deepbat::nn {
+namespace {
+
+Var leaf(std::initializer_list<float> values, bool grad = false) {
+  return make_leaf(
+      Tensor({static_cast<std::int64_t>(values.size())},
+             std::vector<float>(values)),
+      grad);
+}
+
+TEST(HuberLoss, QuadraticRegionMatchesHalfSquaredError) {
+  // |r| <= delta: 0.5 r^2.
+  Var loss = huber_loss(leaf({0.5F}), leaf({0.0F}), 1.0F);
+  EXPECT_NEAR(loss->value.at(0), 0.5F * 0.25F, 1e-6F);
+}
+
+TEST(HuberLoss, LinearRegionMatchesPaperFormula) {
+  // |r| > delta: delta * (|r| - delta/2). Paper Eq. 7 with delta = 1.
+  Var loss = huber_loss(leaf({3.0F}), leaf({0.0F}), 1.0F);
+  EXPECT_NEAR(loss->value.at(0), 1.0F * (3.0F - 0.5F), 1e-6F);
+}
+
+TEST(HuberLoss, ContinuousAtDelta) {
+  const float delta = 1.0F;
+  Var below = huber_loss(leaf({delta - 1e-4F}), leaf({0.0F}), delta);
+  Var above = huber_loss(leaf({delta + 1e-4F}), leaf({0.0F}), delta);
+  EXPECT_NEAR(below->value.at(0), above->value.at(0), 1e-3F);
+}
+
+TEST(HuberLoss, MeanReductionOverElements) {
+  Var loss = huber_loss(leaf({0.0F, 2.0F}), leaf({0.0F, 0.0F}), 1.0F);
+  // (0 + 1*(2-0.5)) / 2
+  EXPECT_NEAR(loss->value.at(0), 0.75F, 1e-6F);
+}
+
+TEST(HuberLoss, WeightsScalePerElementLoss) {
+  Var w = leaf({2.0F, 0.0F});
+  Var loss = huber_loss(leaf({1.0F, 1.0F}), leaf({0.0F, 0.0F}), 1.0F, w);
+  // (2*0.5 + 0) / 2
+  EXPECT_NEAR(loss->value.at(0), 0.5F, 1e-6F);
+}
+
+TEST(HuberLoss, ZeroWhenExact) {
+  Var loss = huber_loss(leaf({1.0F, 2.0F}), leaf({1.0F, 2.0F}), 1.0F);
+  EXPECT_FLOAT_EQ(loss->value.at(0), 0.0F);
+}
+
+TEST(MapeLoss, MatchesPaperPercentFormula) {
+  // Eq. 8: mean(|y_hat - y| / y) * 100.
+  Var loss = mape_loss(leaf({1.1F, 1.8F}), leaf({1.0F, 2.0F}));
+  EXPECT_NEAR(loss->value.at(0), 100.0F * (0.1F + 0.1F) / 2.0F, 1e-3F);
+}
+
+TEST(MapeLoss, ClampsTinyDenominators) {
+  Var loss = mape_loss(leaf({1.0F}), leaf({0.0F}), 1e-6F);
+  EXPECT_TRUE(std::isfinite(loss->value.at(0)));
+  EXPECT_GT(loss->value.at(0), 0.0F);
+}
+
+TEST(CombinedLoss, InterpolatesBetweenComponents) {
+  Var pred = leaf({2.0F});
+  Var target = leaf({1.0F});
+  const float ml = mape_loss(pred, target)->value.at(0);
+  const float hl = huber_loss(pred, target, 1.0F)->value.at(0);
+  // Paper setting alpha = 0.05 (Eq. 9).
+  const float combined =
+      combined_loss(pred, target, 0.05F, 1.0F)->value.at(0);
+  EXPECT_NEAR(combined, 0.05F * ml + 0.95F * hl, 1e-4F);
+}
+
+TEST(CombinedLoss, AlphaEndpointsReduceToComponents) {
+  Var pred = leaf({1.4F, 0.6F});
+  Var target = leaf({1.0F, 1.0F});
+  EXPECT_NEAR(combined_loss(pred, target, 1.0F, 1.0F)->value.at(0),
+              mape_loss(pred, target)->value.at(0), 1e-4F);
+  EXPECT_NEAR(combined_loss(pred, target, 0.0F, 1.0F)->value.at(0),
+              huber_loss(pred, target, 1.0F)->value.at(0), 1e-5F);
+}
+
+TEST(CombinedLoss, RejectsAlphaOutOfRange) {
+  Var pred = leaf({1.0F});
+  Var target = leaf({1.0F});
+  EXPECT_THROW(combined_loss(pred, target, -0.1F, 1.0F), Error);
+  EXPECT_THROW(combined_loss(pred, target, 1.1F, 1.0F), Error);
+}
+
+TEST(Losses, ShapeMismatchRejected) {
+  EXPECT_THROW(huber_loss(leaf({1.0F}), leaf({1.0F, 2.0F}), 1.0F), Error);
+  EXPECT_THROW(mape_loss(leaf({1.0F}), leaf({1.0F, 2.0F})), Error);
+  EXPECT_THROW(
+      huber_loss(leaf({1.0F}), leaf({1.0F}), 1.0F, leaf({1.0F, 1.0F})),
+      Error);
+}
+
+TEST(Losses, GradientDescentOnHuberReachesTarget) {
+  Var pred = make_leaf(Tensor({2}, {10.0F, -5.0F}), true);
+  Var target = leaf({1.0F, 2.0F});
+  for (int i = 0; i < 3000; ++i) {
+    pred->zero_grad();
+    backward(huber_loss(pred, target, 1.0F));
+    pred->value.add_inplace(pred->grad, -0.05F);
+  }
+  EXPECT_NEAR(pred->value.at(0), 1.0F, 0.05F);
+  EXPECT_NEAR(pred->value.at(1), 2.0F, 0.05F);
+}
+
+}  // namespace
+}  // namespace deepbat::nn

@@ -1,0 +1,188 @@
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/attention.hpp"
+#include "nn/layers.hpp"
+
+namespace deepbat::nn {
+namespace {
+
+TEST(Linear, ShapesAndBias) {
+  Rng rng(1);
+  Linear lin(4, 3, rng);
+  Var x = make_leaf(Tensor::ones({2, 4}), false);
+  Var y = lin.forward(x);
+  EXPECT_EQ(y->value.shape(), (Shape{2, 3}));
+  EXPECT_EQ(lin.parameters().size(), 2u);
+}
+
+TEST(Linear, NoBiasVariant) {
+  Rng rng(2);
+  Linear lin(4, 3, rng, /*bias=*/false);
+  EXPECT_EQ(lin.parameters().size(), 1u);
+}
+
+TEST(Linear, RejectsWrongInputDim) {
+  Rng rng(3);
+  Linear lin(4, 3, rng);
+  Var x = make_leaf(Tensor::ones({2, 5}), false);
+  EXPECT_THROW(lin.forward(x), Error);
+}
+
+TEST(Linear, BatchedThreeDimInput) {
+  Rng rng(4);
+  Linear lin(8, 2, rng);
+  Var x = make_leaf(Tensor::ones({3, 5, 8}), false);
+  Var y = lin.forward(x);
+  EXPECT_EQ(y->value.shape(), (Shape{3, 5, 2}));
+}
+
+TEST(Linear, KnownWeightsComputeAffine) {
+  Rng rng(5);
+  Linear lin(2, 1, rng);
+  // Overwrite parameters with known values: y = 2a - b + 0.5.
+  auto params = lin.named_parameters();
+  for (auto& [name, var] : params) {
+    if (name == "weight") {
+      var->value.at(0, 0) = 2.0F;
+      var->value.at(1, 0) = -1.0F;
+    } else {
+      var->value.at(0) = 0.5F;
+    }
+  }
+  Var x = make_leaf(Tensor({1, 2}, {3.0F, 4.0F}), false);
+  EXPECT_FLOAT_EQ(lin.forward(x)->value.at(0, 0), 2.0F * 3.0F - 4.0F + 0.5F);
+}
+
+TEST(LayerNormModule, NormalizesLastDim) {
+  LayerNorm ln(4);
+  Var x = make_leaf(Tensor({2, 4}, {1, 2, 3, 4, 10, 20, 30, 40}), false);
+  Var y = ln.forward(x);
+  // Each row should have ~zero mean and ~unit variance (gamma=1, beta=0).
+  for (std::int64_t r = 0; r < 2; ++r) {
+    float m = 0.0F;
+    for (std::int64_t c = 0; c < 4; ++c) m += y->value.at(r, c);
+    EXPECT_NEAR(m / 4.0F, 0.0F, 1e-5F);
+    float v = 0.0F;
+    for (std::int64_t c = 0; c < 4; ++c) {
+      v += y->value.at(r, c) * y->value.at(r, c);
+    }
+    EXPECT_NEAR(v / 4.0F, 1.0F, 1e-2F);
+  }
+}
+
+TEST(DropoutModule, IdentityInEvalMode) {
+  Dropout drop(0.5F, 7);
+  drop.set_training(false);
+  Var x = make_leaf(Tensor::ones({100}), false);
+  Var y = drop.forward(x);
+  EXPECT_TRUE(y->value.allclose(x->value));
+}
+
+TEST(DropoutModule, DropsInTrainingMode) {
+  Dropout drop(0.5F, 8);
+  drop.set_training(true);
+  Var x = make_leaf(Tensor::ones({2000}), false);
+  Var y = drop.forward(x);
+  std::int64_t zeros = 0;
+  for (float v : y->value.flat()) {
+    if (v == 0.0F) ++zeros;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 2000.0, 0.5, 0.06);
+  // Expectation preserved by inverted scaling.
+  EXPECT_NEAR(y->value.mean_value(), 1.0, 0.1);
+}
+
+TEST(FeedForward, ShapeAndParamCount) {
+  Rng rng(9);
+  FeedForward ffn(16, 32, 8, rng);
+  Var x = make_leaf(Tensor::ones({4, 16}), false);
+  EXPECT_EQ(ffn.forward(x)->value.shape(), (Shape{4, 8}));
+  // 16*32 + 32 + 32*8 + 8
+  EXPECT_EQ(ffn.parameter_count(), 16 * 32 + 32 + 32 * 8 + 8);
+}
+
+TEST(Module, NamedParametersAreHierarchical) {
+  Rng rng(10);
+  FeedForward ffn(4, 8, 2, rng);
+  const auto named = ffn.named_parameters();
+  ASSERT_EQ(named.size(), 4u);
+  EXPECT_EQ(named[0].first, "fc1.weight");
+  EXPECT_EQ(named[1].first, "fc1.bias");
+  EXPECT_EQ(named[2].first, "fc2.weight");
+  EXPECT_EQ(named[3].first, "fc2.bias");
+}
+
+TEST(Module, SetTrainingPropagates) {
+  Rng rng(11);
+  FeedForward ffn(4, 8, 2, rng);
+  ffn.set_training(false);
+  EXPECT_FALSE(ffn.training());
+}
+
+TEST(MultiHeadAttention, OutputShapeMatchesQuery) {
+  Rng rng(12);
+  MultiHeadAttention mha(16, 4, rng, 0.0F, 13);
+  Var x = make_leaf(Tensor::randn({2, 5, 16}, rng, 0.5F), false);
+  Var y = mha.forward(x, x, x);
+  EXPECT_EQ(y->value.shape(), (Shape{2, 5, 16}));
+}
+
+TEST(MultiHeadAttention, RejectsIndivisibleHeads) {
+  Rng rng(14);
+  EXPECT_THROW(MultiHeadAttention(10, 4, rng, 0.0F, 15), Error);
+}
+
+TEST(MultiHeadAttention, RecordsAttentionRowsSummingToOne) {
+  Rng rng(16);
+  MultiHeadAttention mha(8, 2, rng, 0.0F, 17);
+  mha.set_record_attention(true);
+  Var x = make_leaf(Tensor::randn({1, 6, 8}, rng, 0.5F), false);
+  mha.forward(x, x, x);
+  ASSERT_TRUE(mha.last_attention().has_value());
+  const Tensor& attn = *mha.last_attention();
+  EXPECT_EQ(attn.shape(), (Shape{1, 2, 6, 6}));
+  for (std::int64_t h = 0; h < 2; ++h) {
+    for (std::int64_t i = 0; i < 6; ++i) {
+      float row = 0.0F;
+      for (std::int64_t j = 0; j < 6; ++j) row += attn.at(0, h, i, j);
+      EXPECT_NEAR(row, 1.0F, 1e-5F);
+    }
+  }
+}
+
+TEST(MultiHeadAttention, MaskSuppressesPositions) {
+  Rng rng(18);
+  MultiHeadAttention mha(8, 2, rng, 0.0F, 19);
+  mha.set_record_attention(true);
+  Var x = make_leaf(Tensor::randn({1, 4, 8}, rng, 0.5F), false);
+  // Forbid attending to the last key position.
+  Tensor mask({4, 4});
+  for (std::int64_t i = 0; i < 4; ++i) mask.at(i, 3) = -1e9F;
+  mha.forward(x, x, x, make_leaf(std::move(mask), false));
+  const Tensor& attn = *mha.last_attention();
+  for (std::int64_t h = 0; h < 2; ++h) {
+    for (std::int64_t i = 0; i < 4; ++i) {
+      EXPECT_LT(attn.at(0, h, i, 3), 1e-6F);
+    }
+  }
+}
+
+TEST(MultiHeadAttention, GradientsFlowToAllProjections) {
+  Rng rng(20);
+  MultiHeadAttention mha(8, 2, rng, 0.0F, 21);
+  Var x = make_leaf(Tensor::randn({1, 3, 8}, rng, 0.5F), true);
+  Var y = mha.forward(x, x, x);
+  backward(sum_all(mul(y, y)));
+  for (const auto& p : mha.parameters()) {
+    EXPECT_TRUE(p->has_grad);
+    double norm = 0.0;
+    for (float g : p->grad.flat()) norm += std::abs(g);
+    EXPECT_GT(norm, 0.0) << "zero gradient on a projection parameter";
+  }
+  EXPECT_TRUE(x->has_grad);
+}
+
+}  // namespace
+}  // namespace deepbat::nn

@@ -1,0 +1,147 @@
+// Property-based tests of the nn ops across shape sweeps (TEST_P).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "nn/ops.hpp"
+
+namespace deepbat::nn {
+namespace {
+
+using ShapeParam = std::tuple<std::int64_t, std::int64_t, std::int64_t>;
+
+class SoftmaxProperties : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(SoftmaxProperties, RowsArePositiveAndSumToOne) {
+  const auto [b, l, d] = GetParam();
+  Rng rng(b * 100 + l);
+  Var x = make_leaf(Tensor::randn({b, l, d}, rng, 3.0F), false);
+  const Tensor y = softmax_last(x)->value;
+  for (std::int64_t i = 0; i < b; ++i) {
+    for (std::int64_t j = 0; j < l; ++j) {
+      float row = 0.0F;
+      for (std::int64_t k = 0; k < d; ++k) {
+        EXPECT_GT(y.at(i, j, k), 0.0F);
+        row += y.at(i, j, k);
+      }
+      EXPECT_NEAR(row, 1.0F, 1e-5F);
+    }
+  }
+}
+
+TEST_P(SoftmaxProperties, ShiftInvariance) {
+  const auto [b, l, d] = GetParam();
+  Rng rng(b * 7 + l);
+  Tensor base = Tensor::randn({b, l, d}, rng, 1.0F);
+  Var x = make_leaf(base.clone(), false);
+  Var shifted = make_leaf(base.clone(), false);
+  shifted->value.add_inplace(Tensor::full({b, l, d}, 5.0F));
+  EXPECT_TRUE(
+      softmax_last(x)->value.allclose(softmax_last(shifted)->value, 1e-5F));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SoftmaxProperties,
+                         ::testing::Values(ShapeParam{1, 1, 4},
+                                           ShapeParam{2, 3, 8},
+                                           ShapeParam{4, 16, 16},
+                                           ShapeParam{1, 64, 2}));
+
+class LayerNormProperties : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(LayerNormProperties, InvariantToInputShiftAndScale) {
+  const std::int64_t d = GetParam();
+  Rng rng(static_cast<std::uint64_t>(d));
+  Tensor base = Tensor::randn({4, d}, rng, 1.0F);
+  Var gamma = make_leaf(Tensor::ones({d}), false);
+  Var beta = make_leaf(Tensor::zeros({d}), false);
+
+  Tensor transformed = base.clone();
+  transformed.scale_inplace(3.0F);
+  transformed.add_inplace(Tensor::full({4, d}, -2.0F));
+
+  const Tensor a =
+      layer_norm(make_leaf(base, false), gamma, beta)->value;
+  const Tensor b =
+      layer_norm(make_leaf(transformed, false), gamma, beta)->value;
+  EXPECT_TRUE(a.allclose(b, 1e-3F));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, LayerNormProperties,
+                         ::testing::Values(4, 16, 64));
+
+class MatmulProperties : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(MatmulProperties, DistributesOverAddition) {
+  // (A + B) W == A W + B W for a shared weight.
+  const auto [b, m, k] = GetParam();
+  Rng rng(b * 31 + m);
+  Var a = make_leaf(Tensor::randn({b, m, k}, rng, 0.5F), false);
+  Var c = make_leaf(Tensor::randn({b, m, k}, rng, 0.5F), false);
+  Var w = make_leaf(Tensor::randn({k, 5}, rng, 0.5F), false);
+  const Tensor lhs = matmul(add(a, c), w)->value;
+  Var rhs = add(matmul(a, w), matmul(c, w));
+  EXPECT_TRUE(lhs.allclose(rhs->value, 1e-4F));
+}
+
+TEST_P(MatmulProperties, TransposeReversesProduct) {
+  // (A B)^T == B^T A^T (batched).
+  const auto [b, m, k] = GetParam();
+  Rng rng(b * 17 + k);
+  Var a = make_leaf(Tensor::randn({b, m, k}, rng, 0.5F), false);
+  Var c = make_leaf(Tensor::randn({b, k, m}, rng, 0.5F), false);
+  const Tensor lhs = transpose_last(matmul(a, c))->value;
+  const Tensor rhs = matmul(transpose_last(c), transpose_last(a))->value;
+  EXPECT_TRUE(lhs.allclose(rhs, 1e-4F));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatmulProperties,
+                         ::testing::Values(ShapeParam{1, 2, 3},
+                                           ShapeParam{2, 8, 4},
+                                           ShapeParam{3, 16, 16}));
+
+class ReductionProperties : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(ReductionProperties, MeanAxis1MatchesManualAverage) {
+  const auto [b, l, d] = GetParam();
+  Rng rng(b + l + d);
+  Tensor x = Tensor::randn({b, l, d}, rng, 1.0F);
+  const Tensor m = mean_axis1(make_leaf(x, false))->value;
+  for (std::int64_t i = 0; i < b; ++i) {
+    for (std::int64_t k = 0; k < d; ++k) {
+      float s = 0.0F;
+      for (std::int64_t j = 0; j < l; ++j) s += x.at(i, j, k);
+      EXPECT_NEAR(m.at(i, k), s / static_cast<float>(l), 1e-4F);
+    }
+  }
+}
+
+TEST_P(ReductionProperties, ConcatThenSplitIdentity) {
+  const auto [b, l, d] = GetParam();
+  Rng rng(b * 3 + l);
+  Tensor left = Tensor::randn({b, l, d}, rng, 1.0F);
+  Tensor right = Tensor::randn({b, l, d + 1}, rng, 1.0F);
+  const Tensor cat = concat_last(make_leaf(left, false),
+                                 make_leaf(right, false))
+                         ->value;
+  ASSERT_EQ(cat.dim(-1), 2 * d + 1);
+  for (std::int64_t i = 0; i < b; ++i) {
+    for (std::int64_t j = 0; j < l; ++j) {
+      for (std::int64_t k = 0; k < d; ++k) {
+        EXPECT_FLOAT_EQ(cat.at(i, j, k), left.at(i, j, k));
+      }
+      for (std::int64_t k = 0; k < d + 1; ++k) {
+        EXPECT_FLOAT_EQ(cat.at(i, j, d + k), right.at(i, j, k));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ReductionProperties,
+                         ::testing::Values(ShapeParam{1, 2, 3},
+                                           ShapeParam{2, 5, 4},
+                                           ShapeParam{3, 32, 8}));
+
+}  // namespace
+}  // namespace deepbat::nn

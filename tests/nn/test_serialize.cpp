@@ -1,0 +1,104 @@
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.hpp"
+#include "nn/layers.hpp"
+#include "nn/serialize.hpp"
+
+namespace deepbat::nn {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Serialize, RoundTripTensors) {
+  Rng rng(1);
+  std::vector<std::pair<std::string, Tensor>> entries;
+  entries.emplace_back("a", Tensor::randn({3, 4}, rng));
+  entries.emplace_back("b.weight", Tensor::randn({2}, rng));
+  const std::string path = temp_path("deepbat_ser_roundtrip.bin");
+  save_tensors(path, entries);
+  const auto loaded = load_tensors(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].first, "a");
+  EXPECT_TRUE(loaded[0].second.allclose(entries[0].second, 0.0F));
+  EXPECT_EQ(loaded[1].first, "b.weight");
+  EXPECT_TRUE(loaded[1].second.allclose(entries[1].second, 0.0F));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, EmptySetRoundTrips) {
+  const std::string path = temp_path("deepbat_ser_empty.bin");
+  save_tensors(path, {});
+  EXPECT_TRUE(load_tensors(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, ModuleRoundTripRestoresForward) {
+  Rng rng(2);
+  FeedForward original(4, 8, 2, rng);
+  const std::string path = temp_path("deepbat_ser_module.bin");
+  save_module(path, original);
+
+  Rng rng2(999);  // deliberately different init
+  FeedForward restored(4, 8, 2, rng2);
+  load_module(path, restored);
+
+  Var x = make_leaf(Tensor::randn({3, 4}, rng, 0.7F), false);
+  EXPECT_TRUE(original.forward(x)->value.allclose(restored.forward(x)->value,
+                                                  1e-6F));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, LoadRejectsMissingParameter) {
+  Rng rng(3);
+  FeedForward small(4, 8, 2, rng);
+  const std::string path = temp_path("deepbat_ser_missing.bin");
+  save_tensors(path, {{"fc1.weight", Tensor::zeros({4, 8})}});
+  EXPECT_THROW(load_module(path, small), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, LoadRejectsShapeMismatch) {
+  Rng rng(4);
+  FeedForward model(4, 8, 2, rng);
+  const std::string path = temp_path("deepbat_ser_shape.bin");
+  std::vector<std::pair<std::string, Tensor>> entries;
+  for (const auto& [name, var] : model.named_parameters()) {
+    entries.emplace_back(name, Tensor::zeros({1}));  // wrong shapes
+  }
+  save_tensors(path, entries);
+  EXPECT_THROW(load_module(path, model), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsCorruptMagic) {
+  const std::string path = temp_path("deepbat_ser_magic.bin");
+  std::ofstream os(path, std::ios::binary);
+  os << "NOPE additional garbage bytes";
+  os.close();
+  EXPECT_THROW(load_tensors(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsTruncatedFile) {
+  Rng rng(5);
+  const std::string path = temp_path("deepbat_ser_trunc.bin");
+  save_tensors(path, {{"w", Tensor::randn({64}, rng)}});
+  // Truncate mid-tensor.
+  std::filesystem::resize_file(path, 40);
+  EXPECT_THROW(load_tensors(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_tensors(temp_path("deepbat_no_such_file.bin")), Error);
+}
+
+}  // namespace
+}  // namespace deepbat::nn

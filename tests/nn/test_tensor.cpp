@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "nn/tensor.hpp"
+
+namespace deepbat::nn {
+namespace {
+
+TEST(Tensor, DefaultConstructedIsScalarLike) {
+  Tensor t;
+  EXPECT_EQ(t.ndim(), 0);
+  EXPECT_EQ(t.numel(), 1);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (float x : t.flat()) EXPECT_EQ(x, 0.0F);
+}
+
+TEST(Tensor, FromDataChecksSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), Error);
+}
+
+TEST(Tensor, RowMajorIndexing) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t.at(0, 0), 0.0F);
+  EXPECT_EQ(t.at(0, 2), 2.0F);
+  EXPECT_EQ(t.at(1, 0), 3.0F);
+  EXPECT_EQ(t.at(1, 2), 5.0F);
+}
+
+TEST(Tensor, Indexing3D4D) {
+  Tensor t3({2, 2, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(t3.at(1, 0, 1), 5.0F);
+  Tensor t4({1, 2, 2, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(t4.at(0, 1, 1, 0), 6.0F);
+}
+
+TEST(Tensor, IndexBoundsChecked) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.at(2, 0), Error);
+  EXPECT_THROW(t.at(0, 3), Error);
+  EXPECT_THROW(t.at(5), Error);  // wrong rank
+}
+
+TEST(Tensor, NegativeDimLookup) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.dim(-1), 4);
+  EXPECT_EQ(t.dim(-2), 3);
+  EXPECT_EQ(t.dim(0), 2);
+}
+
+TEST(Tensor, ReshapeSharesStorage) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor r = t.reshape({3, 2});
+  r.at(0, 0) = 42.0F;
+  EXPECT_EQ(t.at(0, 0), 42.0F);
+}
+
+TEST(Tensor, ReshapeRejectsBadCount) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.reshape({4, 2}), Error);
+}
+
+TEST(Tensor, CloneIsDeep) {
+  Tensor t({2}, {1, 2});
+  Tensor c = t.clone();
+  c.at(0) = 99.0F;
+  EXPECT_EQ(t.at(0), 1.0F);
+}
+
+TEST(Tensor, AddInplaceWithScale) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  a.add_inplace(b, 0.5F);
+  EXPECT_FLOAT_EQ(a.at(0), 6.0F);
+  EXPECT_FLOAT_EQ(a.at(2), 18.0F);
+}
+
+TEST(Tensor, AddInplaceShapeMismatchThrows) {
+  Tensor a({3});
+  Tensor b({4});
+  EXPECT_THROW(a.add_inplace(b), Error);
+}
+
+TEST(Tensor, SumAndMean) {
+  Tensor t({4}, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(t.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(t.mean_value(), 2.5);
+}
+
+TEST(Tensor, AllcloseRespectsShapeAndTolerance) {
+  Tensor a({2}, {1.0F, 2.0F});
+  Tensor b({2}, {1.0F, 2.0F + 1e-7F});
+  Tensor c({2}, {1.0F, 2.1F});
+  Tensor d({1, 2}, {1.0F, 2.0F});
+  EXPECT_TRUE(a.allclose(b));
+  EXPECT_FALSE(a.allclose(c));
+  EXPECT_FALSE(a.allclose(d));  // same data, different shape
+}
+
+TEST(Tensor, RandnIsDeterministicPerSeed) {
+  Rng r1(7);
+  Rng r2(7);
+  Tensor a = Tensor::randn({16}, r1);
+  Tensor b = Tensor::randn({16}, r2);
+  EXPECT_TRUE(a.allclose(b, 0.0F));
+}
+
+TEST(Tensor, RandnMomentsRoughlyStandard) {
+  Rng rng(123);
+  Tensor t = Tensor::randn({10000}, rng);
+  EXPECT_NEAR(t.mean_value(), 0.0, 0.05);
+  double var = 0.0;
+  for (float x : t.flat()) var += x * x;
+  var /= static_cast<double>(t.numel());
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(ShapeUtils, NumelAndToString) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24);
+  EXPECT_EQ(shape_numel({}), 1);
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+}
+
+}  // namespace
+}  // namespace deepbat::nn

@@ -1,0 +1,161 @@
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "nn/transformer.hpp"
+
+namespace deepbat::nn {
+namespace {
+
+TEST(PositionalEncoding, FirstRowIsSinCosOfZero) {
+  PositionalEncoding pe(8, 16);
+  Var x = make_leaf(Tensor::zeros({1, 4, 8}), false);
+  Var y = pe.forward(x);
+  // pos 0: sin(0)=0, cos(0)=1 alternating.
+  for (std::int64_t d = 0; d < 8; d += 2) {
+    EXPECT_NEAR(y->value.at(0, 0, d), 0.0F, 1e-6F);
+    EXPECT_NEAR(y->value.at(0, 0, d + 1), 1.0F, 1e-6F);
+  }
+}
+
+TEST(PositionalEncoding, DistinctPositionsGetDistinctCodes) {
+  PositionalEncoding pe(16, 64);
+  Var x = make_leaf(Tensor::zeros({1, 64, 16}), false);
+  Var y = pe.forward(x);
+  // Positions 1 and 2 must differ in at least one coordinate.
+  float diff = 0.0F;
+  for (std::int64_t d = 0; d < 16; ++d) {
+    diff += std::abs(y->value.at(0, 1, d) - y->value.at(0, 2, d));
+  }
+  EXPECT_GT(diff, 0.1F);
+}
+
+TEST(PositionalEncoding, ValuesBounded) {
+  PositionalEncoding pe(16, 256);
+  Var x = make_leaf(Tensor::zeros({1, 256, 16}), false);
+  Var y = pe.forward(x);
+  for (float v : y->value.flat()) {
+    EXPECT_GE(v, -1.0F - 1e-5F);
+    EXPECT_LE(v, 1.0F + 1e-5F);
+  }
+}
+
+TEST(PositionalEncoding, RejectsTooLongSequence) {
+  PositionalEncoding pe(8, 4);
+  Var x = make_leaf(Tensor::zeros({1, 5, 8}), false);
+  EXPECT_THROW(pe.forward(x), Error);
+}
+
+TEST(PositionalEncoding, BroadcastsOverBatch) {
+  PositionalEncoding pe(8, 16);
+  Var x = make_leaf(Tensor::zeros({3, 4, 8}), false);
+  Var y = pe.forward(x);
+  for (std::int64_t l = 0; l < 4; ++l) {
+    for (std::int64_t d = 0; d < 8; ++d) {
+      EXPECT_FLOAT_EQ(y->value.at(0, l, d), y->value.at(2, l, d));
+    }
+  }
+}
+
+TransformerConfig small_config() {
+  TransformerConfig cfg;
+  cfg.model_dim = 16;
+  cfg.num_heads = 4;
+  cfg.ffn_hidden = 32;
+  cfg.num_layers = 2;
+  cfg.dropout = 0.0F;
+  cfg.max_len = 64;
+  return cfg;
+}
+
+TEST(TransformerEncoder, PreservesShape) {
+  Rng rng(1);
+  TransformerEncoder enc(small_config(), rng, 2);
+  Var x = make_leaf(Tensor::randn({2, 10, 16}, rng, 0.5F), false);
+  EXPECT_EQ(enc.forward(x)->value.shape(), (Shape{2, 10, 16}));
+}
+
+TEST(TransformerEncoder, LayerCountMatchesConfig) {
+  Rng rng(3);
+  auto cfg = small_config();
+  cfg.num_layers = 4;
+  TransformerEncoder enc(cfg, rng, 4);
+  EXPECT_EQ(enc.num_layers(), 4);
+}
+
+TEST(TransformerEncoder, ZeroLayersRejected) {
+  Rng rng(5);
+  auto cfg = small_config();
+  cfg.num_layers = 0;
+  EXPECT_THROW(TransformerEncoder(cfg, rng, 6), Error);
+}
+
+TEST(TransformerEncoder, OutputIsLayerNormalized) {
+  // Post-norm architecture: final output rows have ~zero mean, ~unit var.
+  Rng rng(7);
+  TransformerEncoder enc(small_config(), rng, 8);
+  Var x = make_leaf(Tensor::randn({1, 6, 16}, rng, 2.0F), false);
+  Var y = enc.forward(x);
+  for (std::int64_t l = 0; l < 6; ++l) {
+    float m = 0.0F;
+    for (std::int64_t d = 0; d < 16; ++d) m += y->value.at(0, l, d);
+    EXPECT_NEAR(m / 16.0F, 0.0F, 1e-4F);
+  }
+}
+
+TEST(TransformerEncoder, GradientsReachEveryParameter) {
+  Rng rng(9);
+  TransformerEncoder enc(small_config(), rng, 10);
+  Var x = make_leaf(Tensor::randn({2, 5, 16}, rng, 0.5F), true);
+  backward(sum_all(mul(enc.forward(x), enc.forward(x))));
+  for (const auto& [name, p] : enc.named_parameters()) {
+    ASSERT_TRUE(p->has_grad) << name;
+    double total = 0.0;
+    for (float g : p->grad.flat()) total += std::abs(g);
+    EXPECT_GT(total, 0.0) << "dead parameter: " << name;
+  }
+}
+
+TEST(TransformerEncoder, PermutationSensitivityWithPositionalEncoding) {
+  // Without positions a transformer encoder + mean pool is permutation
+  // invariant; with positional encoding the pooled output must change when
+  // the sequence is reversed (this is why the surrogate can react to
+  // burst ordering).
+  Rng rng(11);
+  auto cfg = small_config();
+  TransformerEncoder enc(cfg, rng, 12);
+  PositionalEncoding pe(cfg.model_dim, cfg.max_len);
+
+  Rng data_rng(13);
+  Tensor seq = Tensor::randn({1, 8, 16}, data_rng, 1.0F);
+  Tensor rev({1, 8, 16});
+  for (std::int64_t l = 0; l < 8; ++l) {
+    for (std::int64_t d = 0; d < 16; ++d) {
+      rev.at(0, l, d) = seq.at(0, 7 - l, d);
+    }
+  }
+  auto pooled = [&](Tensor t) {
+    Var x = make_leaf(std::move(t), false);
+    return mean_axis1(enc.forward(pe.forward(x)))->value;
+  };
+  const Tensor a = pooled(seq.clone());
+  const Tensor b = pooled(rev);
+  EXPECT_FALSE(a.allclose(b, 1e-4F));
+}
+
+TEST(TransformerEncoder, DropoutOffInEvalModeMakesDeterministic) {
+  Rng rng(15);
+  auto cfg = small_config();
+  cfg.dropout = 0.3F;
+  TransformerEncoder enc(cfg, rng, 16);
+  enc.set_training(false);
+  Var x = make_leaf(Tensor::randn({1, 4, 16}, rng, 0.5F), false);
+  const Tensor y1 = enc.forward(x)->value;
+  const Tensor y2 = enc.forward(x)->value;
+  EXPECT_TRUE(y1.allclose(y2, 0.0F));
+}
+
+}  // namespace
+}  // namespace deepbat::nn

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/batch_sim.hpp"
+
+namespace deepbat::sim {
+namespace {
+
+const lambda::LambdaModel& model() {
+  static lambda::LambdaModel m;
+  return m;
+}
+
+TEST(BatchSim, SingleRequestNoBatching) {
+  const std::vector<double> arrivals{1.0};
+  const lambda::Config cfg{1024, 1, 0.0};
+  const SimResult r = simulate_trace(arrivals, cfg, model());
+  ASSERT_EQ(r.served(), 1u);
+  EXPECT_EQ(r.invocations, 1u);
+  EXPECT_DOUBLE_EQ(r.requests[0].dispatch, 1.0);
+  EXPECT_NEAR(r.requests[0].latency(), model().service_time(1024, 1),
+              1e-12);
+}
+
+TEST(BatchSim, BatchFillsAndDispatchesImmediately) {
+  // B = 3, T huge: the third arrival triggers dispatch.
+  const std::vector<double> arrivals{0.0, 0.01, 0.02, 5.0, 5.01, 5.02};
+  const lambda::Config cfg{1024, 3, 100.0};
+  const SimResult r = simulate_trace(arrivals, cfg, model());
+  ASSERT_EQ(r.served(), 6u);
+  EXPECT_EQ(r.invocations, 2u);
+  EXPECT_DOUBLE_EQ(r.requests[0].dispatch, 0.02);
+  EXPECT_DOUBLE_EQ(r.requests[2].dispatch, 0.02);
+  EXPECT_EQ(r.requests[0].batch_actual, 3);
+  // First member waited longest.
+  EXPECT_GT(r.requests[0].latency(), r.requests[2].latency());
+}
+
+TEST(BatchSim, TimeoutDispatchesPartialBatch) {
+  const std::vector<double> arrivals{0.0, 0.01, 10.0};
+  const lambda::Config cfg{1024, 100, 0.05};
+  const SimResult r = simulate_trace(arrivals, cfg, model());
+  ASSERT_EQ(r.served(), 3u);
+  EXPECT_EQ(r.invocations, 2u);
+  // First batch dispatched at timeout 0.05 with 2 requests.
+  EXPECT_DOUBLE_EQ(r.requests[0].dispatch, 0.05);
+  EXPECT_EQ(r.requests[0].batch_actual, 2);
+  // Straggler at t = 10 dispatched at its own timeout by finalize().
+  EXPECT_DOUBLE_EQ(r.requests[2].dispatch, 10.05);
+}
+
+TEST(BatchSim, TimeoutZeroMeansNoBatching) {
+  const std::vector<double> arrivals{0.0, 0.0, 0.0};
+  const lambda::Config cfg{1024, 8, 0.0};
+  const SimResult r = simulate_trace(arrivals, cfg, model());
+  // Identical timestamps, but each deadline fires before the next offer.
+  EXPECT_EQ(r.invocations, 3u);
+  for (const auto& req : r.requests) {
+    EXPECT_EQ(req.batch_actual, 1);
+  }
+}
+
+TEST(BatchSim, LatencyDecomposition) {
+  const std::vector<double> arrivals{0.0, 0.3};
+  const lambda::Config cfg{2048, 4, 0.5};
+  const SimResult r = simulate_trace(arrivals, cfg, model());
+  const double service = model().service_time(2048, 2);
+  ASSERT_EQ(r.served(), 2u);
+  EXPECT_NEAR(r.requests[0].latency(), 0.5 + service, 1e-12);
+  EXPECT_NEAR(r.requests[1].latency(), 0.2 + service, 1e-12);
+}
+
+TEST(BatchSim, CostAccountingPerInvocation) {
+  const std::vector<double> arrivals{0.0, 0.01, 0.02, 0.03};
+  const lambda::Config cfg{1024, 2, 1.0};
+  const SimResult r = simulate_trace(arrivals, cfg, model());
+  EXPECT_EQ(r.invocations, 2u);
+  const double expected =
+      2.0 * model().invocation_cost(1024, model().service_time(1024, 2));
+  EXPECT_NEAR(r.total_cost, expected, 1e-15);
+  EXPECT_NEAR(r.cost_per_request(), expected / 4.0, 1e-15);
+}
+
+TEST(BatchSim, RejectsDecreasingArrivals) {
+  BatchSimulator sim(model(), {1024, 2, 0.1});
+  sim.offer(1.0);
+  EXPECT_THROW(sim.offer(0.5), Error);
+}
+
+TEST(BatchSim, ConfigSwitchAppliesToNextBatch) {
+  BatchSimulator sim(model(), {1024, 2, 10.0});
+  sim.offer(0.0);  // opens batch with B = 2, T = 10
+  sim.set_config({1024, 5, 10.0});
+  sim.offer(0.1);  // batch opened under B = 2 still fills at 2
+  EXPECT_EQ(sim.result().invocations, 1u);
+  sim.offer(0.2);  // new batch under B = 5
+  sim.offer(0.3);
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.finalize();
+  EXPECT_EQ(sim.result().invocations, 2u);
+  EXPECT_EQ(sim.result().requests.back().batch_actual, 2);
+}
+
+TEST(BatchSim, InvalidConfigRejected) {
+  EXPECT_THROW(BatchSimulator(model(), {64, 1, 0.0}), Error);
+  BatchSimulator sim(model(), {1024, 1, 0.0});
+  EXPECT_THROW(sim.set_config({1024, 0, 0.0}), Error);
+}
+
+TEST(BatchSim, MeanBatchSizeAndQuantiles) {
+  std::vector<double> arrivals;
+  for (int i = 0; i < 100; ++i) arrivals.push_back(i * 0.001);
+  const lambda::Config cfg{1024, 10, 1.0};
+  const SimResult r = simulate_trace(arrivals, cfg, model());
+  EXPECT_EQ(r.invocations, 10u);
+  EXPECT_DOUBLE_EQ(r.mean_batch_size(), 10.0);
+  EXPECT_GT(r.latency_quantile(0.95), r.latency_quantile(0.05));
+  SimResult empty;
+  EXPECT_THROW(empty.latency_quantile(0.5), Error);
+  EXPECT_DOUBLE_EQ(empty.cost_per_request(), 0.0);
+}
+
+TEST(BatchSim, ColdStartPenaltyAppliedProbabilistically) {
+  lambda::LambdaModelParams p;
+  p.cold_start_probability = 1.0;  // every invocation cold
+  p.cold_start_penalty_s = 0.5;
+  const lambda::LambdaModel cold(p);
+  const std::vector<double> arrivals{0.0};
+  const SimResult r =
+      simulate_trace(arrivals, {1024, 1, 0.0}, cold, /*seed=*/42);
+  EXPECT_NEAR(r.requests[0].latency(),
+              cold.service_time(1024, 1) + 0.5, 1e-12);
+  // Without a seed the cold-start path is disabled even with p = 1.
+  const SimResult warm = simulate_trace(arrivals, {1024, 1, 0.0}, cold);
+  EXPECT_NEAR(warm.requests[0].latency(), cold.service_time(1024, 1), 1e-12);
+}
+
+TEST(BatchSim, HigherMemoryLowersLatencyOnSameTrace) {
+  std::vector<double> arrivals;
+  for (int i = 0; i < 200; ++i) arrivals.push_back(i * 0.02);
+  const SimResult lo = simulate_trace(arrivals, {512, 8, 0.1}, model());
+  const SimResult hi = simulate_trace(arrivals, {4096, 8, 0.1}, model());
+  EXPECT_GT(lo.latency_quantile(0.95), hi.latency_quantile(0.95));
+}
+
+TEST(BatchSim, LargerTimeoutCutsCostRaisesLatency) {
+  std::vector<double> arrivals;
+  for (int i = 0; i < 500; ++i) arrivals.push_back(i * 0.01);
+  const SimResult fast = simulate_trace(arrivals, {2048, 64, 0.02}, model());
+  const SimResult slow = simulate_trace(arrivals, {2048, 64, 0.5}, model());
+  EXPECT_LT(slow.cost_per_request(), fast.cost_per_request());
+  EXPECT_GT(slow.latency_quantile(0.95), fast.latency_quantile(0.95));
+}
+
+}  // namespace
+}  // namespace deepbat::sim

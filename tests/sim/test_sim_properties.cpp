@@ -1,0 +1,112 @@
+// Property-based tests of the batching simulator: invariants that must hold
+// for every configuration and every workload shape.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "sim/batch_sim.hpp"
+#include "workload/map_process.hpp"
+
+namespace deepbat::sim {
+namespace {
+
+const lambda::LambdaModel& model() {
+  static lambda::LambdaModel m;
+  return m;
+}
+
+using Param = std::tuple<std::int64_t /*M*/, std::int64_t /*B*/,
+                         double /*T*/, double /*rate*/, std::uint64_t /*seed*/>;
+
+class SimInvariants : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SimInvariants, HoldOnRandomTraffic) {
+  const auto [m, b, t, rate, seed] = GetParam();
+  const lambda::Config cfg{m, b, t};
+  Rng rng(seed);
+  const workload::Trace trace =
+      workload::Map::mmpp2(rate * 2.0, rate * 0.2, 0.1, 0.1)
+          .sample_arrivals(3000, rng);
+  const SimResult r = simulate_trace(trace.times(), cfg, model());
+
+  // (1) Conservation: every arrival is served exactly once.
+  ASSERT_EQ(r.served(), trace.size());
+
+  // (2) Latency >= deterministic service time of the realized batch, and
+  //     buffer wait <= the configured timeout.
+  for (const auto& req : r.requests) {
+    ASSERT_GE(req.batch_actual, 1);
+    ASSERT_LE(req.batch_actual, cfg.batch_size);
+    const double service = model().service_time(m, req.batch_actual);
+    EXPECT_NEAR(req.completion - req.dispatch, service, 1e-9);
+    EXPECT_GE(req.dispatch - req.arrival, -1e-9);
+    EXPECT_LE(req.dispatch - req.arrival, t + 1e-9);
+  }
+
+  // (3) Cost consistency: total equals the sum of per-request shares, and
+  //     at least one invocation per ceil(N / B).
+  double share_sum = 0.0;
+  for (const auto& req : r.requests) share_sum += req.cost_share;
+  EXPECT_NEAR(share_sum, r.total_cost, 1e-9 * std::max(1.0, r.total_cost));
+  EXPECT_GE(r.invocations,
+            (trace.size() + static_cast<std::size_t>(b) - 1) /
+                static_cast<std::size_t>(b));
+  EXPECT_LE(r.invocations, trace.size());
+
+  // (4) Mean batch size within [1, B].
+  EXPECT_GE(r.mean_batch_size(), 1.0 - 1e-9);
+  EXPECT_LE(r.mean_batch_size(), static_cast<double>(b) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSweep, SimInvariants,
+    ::testing::Values(Param{128, 1, 0.0, 20.0, 1}, Param{512, 2, 0.01, 20.0, 2},
+                      Param{1024, 4, 0.05, 50.0, 3},
+                      Param{2048, 8, 0.1, 50.0, 4},
+                      Param{3072, 16, 0.2, 100.0, 5},
+                      Param{4096, 32, 0.5, 100.0, 6},
+                      Param{8192, 64, 1.0, 200.0, 7},
+                      Param{10240, 64, 0.025, 5.0, 8},
+                      Param{1536, 8, 0.1, 1.0, 9},
+                      Param{6144, 2, 1.0, 500.0, 10}));
+
+class SimDominance
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(SimDominance, MoreMemoryNeverSlowerSameBatching) {
+  // With batching fixed, higher memory can only shorten service times, so
+  // every per-request latency is weakly smaller.
+  const auto [rate, seed] = GetParam();
+  Rng rng(seed);
+  const workload::Trace trace =
+      workload::Map::poisson(rate).sample_arrivals(2000, rng);
+  const SimResult lo = simulate_trace(trace.times(), {1024, 8, 0.1}, model());
+  const SimResult hi = simulate_trace(trace.times(), {8192, 8, 0.1}, model());
+  ASSERT_EQ(lo.served(), hi.served());
+  for (std::size_t i = 0; i < lo.served(); ++i) {
+    EXPECT_LE(hi.requests[i].latency(), lo.requests[i].latency() + 1e-9);
+  }
+}
+
+TEST_P(SimDominance, CostPerRequestFallsWithLargerTimeout) {
+  // Longer accumulation can only produce (weakly) fuller batches.
+  const auto [rate, seed] = GetParam();
+  Rng rng(seed);
+  const workload::Trace trace =
+      workload::Map::poisson(rate).sample_arrivals(3000, rng);
+  const SimResult fast =
+      simulate_trace(trace.times(), {2048, 64, 0.02}, model());
+  const SimResult slow =
+      simulate_trace(trace.times(), {2048, 64, 1.0}, model());
+  EXPECT_LE(slow.invocations, fast.invocations);
+  EXPECT_LE(slow.cost_per_request(), fast.cost_per_request() + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SimDominance,
+                         ::testing::Values(std::tuple{10.0, 11UL},
+                                           std::tuple{50.0, 12UL},
+                                           std::tuple{200.0, 13UL}));
+
+}  // namespace
+}  // namespace deepbat::sim

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "workload/map_process.hpp"
+
+namespace deepbat::workload {
+namespace {
+
+TEST(Map, ValidatesStructure) {
+  Matrix d0(2, 2, {-2.0, 0.5, 0.3, -1.0});
+  Matrix d1(2, 2, {1.5, 0.0, 0.0, 0.7});
+  EXPECT_NO_THROW(Map(d0, d1));
+  // Rows not summing to zero.
+  Matrix bad1(2, 2, {1.0, 0.0, 0.0, 0.7});
+  EXPECT_THROW(Map(d0, bad1), Error);
+  // Negative D1 entry.
+  Matrix bad2(2, 2, {1.5, 0.0, -0.1, 0.8});
+  EXPECT_THROW(Map(d0, bad2), Error);
+}
+
+TEST(Map, PoissonBasicStatistics) {
+  const Map m = Map::poisson(4.0);
+  EXPECT_NEAR(m.arrival_rate(), 4.0, 1e-12);
+  EXPECT_NEAR(m.interarrival_mean(), 0.25, 1e-12);
+  EXPECT_NEAR(m.interarrival_scv(), 1.0, 1e-10);
+  EXPECT_NEAR(m.interarrival_autocorrelation(1), 0.0, 1e-10);
+  EXPECT_NEAR(m.idc_limit(), 1.0, 1e-8);
+}
+
+TEST(Map, PoissonRejectsBadRate) {
+  EXPECT_THROW(Map::poisson(0.0), Error);
+  EXPECT_THROW(Map::poisson(-1.0), Error);
+}
+
+TEST(Map, Mmpp2RateIsPhaseWeightedAverage) {
+  // Equal switching -> phases equally likely -> rate = (10 + 2) / 2.
+  const Map m = Map::mmpp2(10.0, 2.0, 0.1, 0.1);
+  EXPECT_NEAR(m.arrival_rate(), 6.0, 1e-10);
+  const auto pi = m.phase_stationary();
+  EXPECT_NEAR(pi[0], 0.5, 1e-12);
+  EXPECT_NEAR(pi[1], 0.5, 1e-12);
+}
+
+TEST(Map, Mmpp2IsBurstyWithSlowSwitching) {
+  const Map m = Map::mmpp2(50.0, 1.0, 0.05, 0.05);
+  EXPECT_GT(m.interarrival_scv(), 1.5);
+  EXPECT_GT(m.interarrival_autocorrelation(1), 0.05);
+  EXPECT_GT(m.idc_limit(), 10.0);
+}
+
+TEST(Map, AutocorrelationDecaysWithLag) {
+  const Map m = Map::mmpp2(50.0, 1.0, 0.05, 0.05);
+  const double r1 = m.interarrival_autocorrelation(1);
+  const double r10 = m.interarrival_autocorrelation(10);
+  const double r100 = m.interarrival_autocorrelation(100);
+  EXPECT_GT(r1, r10);
+  EXPECT_GT(r10, r100);
+  EXPECT_GE(r100, -1e-9);
+}
+
+TEST(Map, MomentFormulaMatchesSampledMoments) {
+  const Map m = Map::mmpp2(20.0, 3.0, 0.2, 0.4);
+  Rng rng(5);
+  const Trace t = m.sample_arrivals(200000, rng);
+  const auto gaps = t.interarrivals();
+  EXPECT_NEAR(mean(gaps), m.interarrival_mean(), 0.02 * m.interarrival_mean());
+  EXPECT_NEAR(scv(gaps), m.interarrival_scv(), 0.1 * m.interarrival_scv());
+  EXPECT_NEAR(autocorrelation(gaps, 1), m.interarrival_autocorrelation(1),
+              0.02);
+}
+
+TEST(Map, SampledRateMatchesAnalyticRate) {
+  const Map m = Map::mmpp2(30.0, 5.0, 0.5, 0.25);
+  Rng rng(6);
+  const Trace t = m.sample_for_duration(2000.0, rng);
+  EXPECT_NEAR(t.mean_rate(), m.arrival_rate(), 0.05 * m.arrival_rate());
+}
+
+TEST(Map, SampleForDurationStaysInBounds) {
+  const Map m = Map::poisson(10.0);
+  Rng rng(7);
+  const Trace t = m.sample_for_duration(100.0, rng, 50.0);
+  EXPECT_GE(t.start_time(), 50.0);
+  EXPECT_LT(t.end_time(), 150.0);
+  EXPECT_NEAR(static_cast<double>(t.size()), 1000.0, 150.0);
+}
+
+TEST(Map, OnOffHasHighBurstiness) {
+  const Map m = Map::on_off(100.0, 30.0, 120.0);
+  // Average rate = 100 * 30 / 150 = 20.
+  EXPECT_NEAR(m.arrival_rate(), 20.0, 0.5);
+  EXPECT_GT(m.idc_limit(1000), 50.0);
+}
+
+TEST(Map, ArrivalPhaseStationaryIsBiasedTowardFastPhase) {
+  const Map m = Map::mmpp2(10.0, 1.0, 0.1, 0.1);
+  const auto pia = m.arrival_phase_stationary();
+  const auto pi = m.phase_stationary();
+  // Arrivals happen disproportionately in the fast phase.
+  EXPECT_GT(pia[0], pi[0]);
+  EXPECT_NEAR(pia[0] + pia[1], 1.0, 1e-10);
+}
+
+TEST(Map, EmbeddedMomentsAgreeWithExpmIntegral) {
+  // Cross-check E[X] = pi_a (-D0)^{-1} 1 against numerical integration of
+  // the survival function pi_a exp(D0 t) 1 using the matrix exponential.
+  const Map m = Map::mmpp2(8.0, 2.0, 0.3, 0.6);
+  const auto pia = m.arrival_phase_stationary();
+  const double dt = 1e-3;
+  double integral = 0.0;
+  for (int k = 0; k < 20000; ++k) {
+    const Matrix e = (m.d0() * (dt * static_cast<double>(k))).expm();
+    const auto v = vec_mat(pia, e);
+    integral += (v[0] + v[1]) * dt;
+    if (v[0] + v[1] < 1e-9) break;
+  }
+  EXPECT_NEAR(integral, m.interarrival_mean(),
+              0.01 * m.interarrival_mean());
+}
+
+TEST(Map, InterarrivalMomentRequiresPositiveOrder) {
+  const Map m = Map::poisson(1.0);
+  EXPECT_THROW(m.interarrival_moment(0), Error);
+}
+
+}  // namespace
+}  // namespace deepbat::workload

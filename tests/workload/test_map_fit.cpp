@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "workload/map_fit.hpp"
+
+namespace deepbat::workload {
+namespace {
+
+TEST(MapFit, RefusesInsufficientData) {
+  std::vector<double> gaps(50, 0.1);
+  EXPECT_FALSE(fit_mmpp2(gaps).has_value());
+}
+
+TEST(MapFit, PoissonSampleFallsBackToPoisson) {
+  Rng rng(1);
+  std::vector<double> gaps;
+  for (int i = 0; i < 20000; ++i) gaps.push_back(rng.exponential(5.0));
+  const auto fit = fit_mmpp2(gaps);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_TRUE(fit->degenerate_poisson);
+  EXPECT_EQ(fit->map.order(), 1u);
+  EXPECT_NEAR(fit->map.arrival_rate(), 5.0, 0.2);
+}
+
+TEST(MapFit, RecoversMmpp2Moments) {
+  const Map truth = Map::mmpp2(40.0, 4.0, 0.08, 0.08);
+  Rng rng(2);
+  const auto gaps = truth.sample_arrivals(60000, rng).interarrivals();
+  const auto fit = fit_mmpp2(gaps);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_FALSE(fit->degenerate_poisson);
+  // The fitted process must reproduce the empirical moments.
+  EXPECT_NEAR(fit->fitted_mean, fit->target_mean, 0.05 * fit->target_mean);
+  EXPECT_NEAR(fit->fitted_scv, fit->target_scv, 0.15 * fit->target_scv);
+  EXPECT_NEAR(fit->fitted_rho1, fit->target_rho1, 0.05);
+  // And land near the generating process's statistics.
+  EXPECT_NEAR(fit->map.arrival_rate(), truth.arrival_rate(),
+              0.1 * truth.arrival_rate());
+}
+
+TEST(MapFit, ObjectiveIsSmallOnSuccessfulFit) {
+  const Map truth = Map::mmpp2(30.0, 2.0, 0.1, 0.2);
+  Rng rng(3);
+  const auto gaps = truth.sample_arrivals(50000, rng).interarrivals();
+  const auto fit = fit_mmpp2(gaps);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_LT(fit->objective, 1e-2);
+}
+
+TEST(MapFit, FitTimeIsRecorded) {
+  const Map truth = Map::mmpp2(30.0, 2.0, 0.1, 0.2);
+  Rng rng(4);
+  const auto gaps = truth.sample_arrivals(20000, rng).interarrivals();
+  const auto fit = fit_mmpp2(gaps);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_GT(fit->fit_seconds, 0.0);
+}
+
+TEST(MapFit, MinSamplesOptionRespected) {
+  Rng rng(5);
+  std::vector<double> gaps;
+  for (int i = 0; i < 300; ++i) gaps.push_back(rng.exponential(1.0));
+  MapFitOptions opts;
+  opts.min_samples = 500;
+  EXPECT_FALSE(fit_mmpp2(gaps, opts).has_value());
+  opts.min_samples = 200;
+  EXPECT_TRUE(fit_mmpp2(gaps, opts).has_value());
+}
+
+TEST(MapFit, FittedProcessGeneratesSimilarTraffic) {
+  // End-to-end property: sample from the fit and compare coarse statistics
+  // with the original sample.
+  const Map truth = Map::mmpp2(60.0, 6.0, 0.05, 0.1);
+  Rng rng(6);
+  const auto original = truth.sample_arrivals(40000, rng).interarrivals();
+  const auto fit = fit_mmpp2(original);
+  ASSERT_TRUE(fit.has_value());
+  Rng rng2(7);
+  const auto refitted =
+      fit->map.sample_arrivals(40000, rng2).interarrivals();
+  EXPECT_NEAR(mean(refitted), mean(original), 0.1 * mean(original));
+  EXPECT_NEAR(scv(refitted), scv(original), 0.3 * scv(original));
+}
+
+}  // namespace
+}  // namespace deepbat::workload

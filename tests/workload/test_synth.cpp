@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "workload/synth.hpp"
+
+namespace deepbat::workload {
+namespace {
+
+double median_of(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+TEST(Synth, AzureLikeHasDiurnalShape) {
+  AzureLikeParams p;
+  p.hours = 24.0;
+  const Trace t = azure_like(p, 1);
+  const auto rates = binned_rate(t, kSecondsPerHour);
+  ASSERT_GE(rates.size(), 24u);
+  // The rate at the configured peak hour must exceed the rate 12 h away.
+  const double peak = rates[static_cast<std::size_t>(p.peak_hour)];
+  const double trough =
+      rates[static_cast<std::size_t>(p.peak_hour) >= 12
+                ? static_cast<std::size_t>(p.peak_hour) - 12
+                : static_cast<std::size_t>(p.peak_hour) + 12];
+  EXPECT_GT(peak, trough * 1.5);
+}
+
+TEST(Synth, DeterministicPerSeed) {
+  AzureLikeParams p;
+  p.hours = 0.5;
+  const Trace a = azure_like(p, 9);
+  const Trace b = azure_like(p, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 997) {
+    EXPECT_DOUBLE_EQ(a[i], b[i]);
+  }
+  const Trace c = azure_like(p, 10);
+  EXPECT_NE(a.size(), c.size());
+}
+
+TEST(Synth, TwitterLikeIsFlatterThanAzure) {
+  AzureLikeParams ap;
+  ap.hours = 24.0;
+  TwitterLikeParams tp;
+  tp.hours = 24.0;
+  const auto azure_rates = binned_rate(azure_like(ap, 2), kSecondsPerHour);
+  const auto twitter_rates =
+      binned_rate(twitter_like(tp, 2), kSecondsPerHour);
+  const double azure_cv =
+      std::sqrt(variance(azure_rates)) / mean(azure_rates);
+  const double twitter_cv =
+      std::sqrt(variance(twitter_rates)) / mean(twitter_rates);
+  EXPECT_LT(twitter_cv, azure_cv);
+}
+
+TEST(Synth, BurstinessOrderingMatchesPaperFig5) {
+  // Twitter (mild) < Azure (moderate) << Alibaba and synthetic (severe).
+  // This ordering is the load-bearing property of the substituted traces.
+  const double tw = median_of(
+      hourly_idc(twitter_like({.hours = 6.0}, 3)));
+  const double az = median_of(hourly_idc(azure_like({.hours = 6.0}, 3)));
+  const double al = median_of(hourly_idc(alibaba_like({.hours = 6.0}, 3)));
+  const double sy = median_of(hourly_idc(synthetic_map({.hours = 6.0}, 3)));
+  EXPECT_LT(tw, az);
+  EXPECT_GT(al, 3.0 * az);
+  EXPECT_GT(sy, 3.0 * az);
+  EXPECT_GT(tw, 1.0);  // still not Poisson
+}
+
+TEST(Synth, AlibabaHasSpikesAndQuietPeriods) {
+  const Trace t = alibaba_like({.hours = 8.0}, 4);
+  const auto rates = binned_rate(t, 60.0);  // per-minute
+  const double mx = *std::max_element(rates.begin(), rates.end());
+  const double med = median_of(rates);
+  EXPECT_GT(mx, 10.0 * med) << "expected sharp MLaaS spikes";
+}
+
+TEST(Synth, SyntheticMapChangesCharacterHourly) {
+  const Trace t = synthetic_map({.hours = 4.0}, 5);
+  const auto rates = binned_rate(t, kSecondsPerHour);
+  ASSERT_GE(rates.size(), 4u);
+  // Hourly segments are drawn independently; rates should differ markedly.
+  const double mx = *std::max_element(rates.begin(), rates.begin() + 4);
+  const double mn = *std::min_element(rates.begin(), rates.begin() + 4);
+  EXPECT_GT(mx, 1.3 * mn);
+}
+
+TEST(Synth, HourlyIdcHandlesSparseHours) {
+  // A trace with almost no arrivals in an hour reports IDC = 1 there.
+  Trace sparse({0.0, 1.0, 7000.0});
+  const auto idc = hourly_idc(sparse);
+  ASSERT_GE(idc.size(), 1u);
+  EXPECT_DOUBLE_EQ(idc[0], 1.0);
+}
+
+TEST(Synth, BinnedRateMatchesMeanRate) {
+  const Trace t = twitter_like({.hours = 1.0}, 6);
+  const auto rates = binned_rate(t, 60.0);
+  EXPECT_NEAR(mean(rates), t.mean_rate(), 0.1 * t.mean_rate());
+}
+
+TEST(Synth, RejectsNonPositiveHours) {
+  EXPECT_THROW(azure_like({.hours = 0.0}, 1), Error);
+  EXPECT_THROW(twitter_like({.hours = -1.0}, 1), Error);
+  EXPECT_THROW(alibaba_like({.hours = 0.0}, 1), Error);
+  EXPECT_THROW(synthetic_map({.hours = 0.0}, 1), Error);
+}
+
+}  // namespace
+}  // namespace deepbat::workload
