@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cold_start.dir/abl_cold_start.cpp.o"
+  "CMakeFiles/abl_cold_start.dir/abl_cold_start.cpp.o.d"
+  "abl_cold_start"
+  "abl_cold_start.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cold_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_encoder.dir/abl_encoder.cpp.o"
+  "CMakeFiles/abl_encoder.dir/abl_encoder.cpp.o.d"
+  "abl_encoder"
+  "abl_encoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

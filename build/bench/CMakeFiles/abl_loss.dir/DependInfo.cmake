@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_loss.cpp" "bench/CMakeFiles/abl_loss.dir/abl_loss.cpp.o" "gcc" "bench/CMakeFiles/abl_loss.dir/abl_loss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/deepbat_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/batchlib/CMakeFiles/deepbat_batchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/deepbat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lambda/CMakeFiles/deepbat_lambda.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/deepbat_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/deepbat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

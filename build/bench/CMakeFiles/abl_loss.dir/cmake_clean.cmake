@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_loss.dir/abl_loss.cpp.o"
+  "CMakeFiles/abl_loss.dir/abl_loss.cpp.o.d"
+  "abl_loss"
+  "abl_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pooled_attention.dir/abl_pooled_attention.cpp.o"
+  "CMakeFiles/abl_pooled_attention.dir/abl_pooled_attention.cpp.o.d"
+  "abl_pooled_attention"
+  "abl_pooled_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pooled_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_arrival_rates.dir/fig04_arrival_rates.cpp.o"
+  "CMakeFiles/fig04_arrival_rates.dir/fig04_arrival_rates.cpp.o.d"
+  "fig04_arrival_rates"
+  "fig04_arrival_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_arrival_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_idc.dir/fig05_idc.cpp.o"
+  "CMakeFiles/fig05_idc.dir/fig05_idc.cpp.o.d"
+  "fig05_idc"
+  "fig05_idc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_idc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_alibaba.dir/fig07_alibaba.cpp.o"
+  "CMakeFiles/fig07_alibaba.dir/fig07_alibaba.cpp.o.d"
+  "fig07_alibaba"
+  "fig07_alibaba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_alibaba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

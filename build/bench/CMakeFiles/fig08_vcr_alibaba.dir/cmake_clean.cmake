@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_vcr_alibaba.dir/fig08_vcr_alibaba.cpp.o"
+  "CMakeFiles/fig08_vcr_alibaba.dir/fig08_vcr_alibaba.cpp.o.d"
+  "fig08_vcr_alibaba"
+  "fig08_vcr_alibaba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_vcr_alibaba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_synthetic.dir/fig09_synthetic.cpp.o"
+  "CMakeFiles/fig09_synthetic.dir/fig09_synthetic.cpp.o.d"
+  "fig09_synthetic"
+  "fig09_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_vcr_synthetic.dir/fig10_vcr_synthetic.cpp.o"
+  "CMakeFiles/fig10_vcr_synthetic.dir/fig10_vcr_synthetic.cpp.o.d"
+  "fig10_vcr_synthetic"
+  "fig10_vcr_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_vcr_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

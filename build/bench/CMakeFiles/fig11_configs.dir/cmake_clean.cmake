@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_configs.dir/fig11_configs.cpp.o"
+  "CMakeFiles/fig11_configs.dir/fig11_configs.cpp.o.d"
+  "fig11_configs"
+  "fig11_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_attention.dir/fig14_attention.cpp.o"
+  "CMakeFiles/fig14_attention.dir/fig14_attention.cpp.o.d"
+  "fig14_attention"
+  "fig14_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

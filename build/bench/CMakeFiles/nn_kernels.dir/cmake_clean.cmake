@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_kernels.dir/nn_kernels.cpp.o"
+  "CMakeFiles/nn_kernels.dir/nn_kernels.cpp.o.d"
+  "nn_kernels"
+  "nn_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

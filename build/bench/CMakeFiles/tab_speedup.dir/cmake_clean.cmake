@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_speedup.dir/tab_speedup.cpp.o"
+  "CMakeFiles/tab_speedup.dir/tab_speedup.cpp.o.d"
+  "tab_speedup"
+  "tab_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

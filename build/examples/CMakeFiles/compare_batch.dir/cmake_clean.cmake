@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_batch.dir/compare_batch.cpp.o"
+  "CMakeFiles/compare_batch.dir/compare_batch.cpp.o.d"
+  "compare_batch"
+  "compare_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_trace.dir/serve_trace.cpp.o"
+  "CMakeFiles/serve_trace.dir/serve_trace.cpp.o.d"
+  "serve_trace"
+  "serve_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepbat_batchlib.dir/analytic.cpp.o"
+  "CMakeFiles/deepbat_batchlib.dir/analytic.cpp.o.d"
+  "CMakeFiles/deepbat_batchlib.dir/controller.cpp.o"
+  "CMakeFiles/deepbat_batchlib.dir/controller.cpp.o.d"
+  "libdeepbat_batchlib.a"
+  "libdeepbat_batchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepbat_batchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepbat_common.dir/cli.cpp.o"
+  "CMakeFiles/deepbat_common.dir/cli.cpp.o.d"
+  "CMakeFiles/deepbat_common.dir/error.cpp.o"
+  "CMakeFiles/deepbat_common.dir/error.cpp.o.d"
+  "CMakeFiles/deepbat_common.dir/linalg.cpp.o"
+  "CMakeFiles/deepbat_common.dir/linalg.cpp.o.d"
+  "CMakeFiles/deepbat_common.dir/log.cpp.o"
+  "CMakeFiles/deepbat_common.dir/log.cpp.o.d"
+  "CMakeFiles/deepbat_common.dir/rng.cpp.o"
+  "CMakeFiles/deepbat_common.dir/rng.cpp.o.d"
+  "CMakeFiles/deepbat_common.dir/stats.cpp.o"
+  "CMakeFiles/deepbat_common.dir/stats.cpp.o.d"
+  "CMakeFiles/deepbat_common.dir/table.cpp.o"
+  "CMakeFiles/deepbat_common.dir/table.cpp.o.d"
+  "libdeepbat_common.a"
+  "libdeepbat_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepbat_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

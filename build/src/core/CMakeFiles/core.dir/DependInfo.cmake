@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/dataset_builder.cpp" "src/core/CMakeFiles/core.dir/dataset_builder.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/dataset_builder.cpp.o.d"
+  "/root/repo/src/core/encoding.cpp" "src/core/CMakeFiles/core.dir/encoding.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/encoding.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/pretrained.cpp" "src/core/CMakeFiles/core.dir/pretrained.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/pretrained.cpp.o.d"
+  "/root/repo/src/core/surrogate.cpp" "src/core/CMakeFiles/core.dir/surrogate.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/surrogate.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/trainer.cpp.o.d"
+  "/root/repo/src/core/vcr.cpp" "src/core/CMakeFiles/core.dir/vcr.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/vcr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/deepbat_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/deepbat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/batchlib/CMakeFiles/deepbat_batchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/lambda/CMakeFiles/deepbat_lambda.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/deepbat_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/deepbat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core.dir/controller.cpp.o"
+  "CMakeFiles/core.dir/controller.cpp.o.d"
+  "CMakeFiles/core.dir/dataset_builder.cpp.o"
+  "CMakeFiles/core.dir/dataset_builder.cpp.o.d"
+  "CMakeFiles/core.dir/encoding.cpp.o"
+  "CMakeFiles/core.dir/encoding.cpp.o.d"
+  "CMakeFiles/core.dir/optimizer.cpp.o"
+  "CMakeFiles/core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/core.dir/pretrained.cpp.o"
+  "CMakeFiles/core.dir/pretrained.cpp.o.d"
+  "CMakeFiles/core.dir/surrogate.cpp.o"
+  "CMakeFiles/core.dir/surrogate.cpp.o.d"
+  "CMakeFiles/core.dir/trainer.cpp.o"
+  "CMakeFiles/core.dir/trainer.cpp.o.d"
+  "CMakeFiles/core.dir/vcr.cpp.o"
+  "CMakeFiles/core.dir/vcr.cpp.o.d"
+  "libcore.a"
+  "libcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

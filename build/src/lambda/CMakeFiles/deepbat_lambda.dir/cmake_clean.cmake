@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepbat_lambda.dir/model.cpp.o"
+  "CMakeFiles/deepbat_lambda.dir/model.cpp.o.d"
+  "libdeepbat_lambda.a"
+  "libdeepbat_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepbat_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cpp" "src/nn/CMakeFiles/deepbat_nn.dir/attention.cpp.o" "gcc" "src/nn/CMakeFiles/deepbat_nn.dir/attention.cpp.o.d"
+  "/root/repo/src/nn/autograd.cpp" "src/nn/CMakeFiles/deepbat_nn.dir/autograd.cpp.o" "gcc" "src/nn/CMakeFiles/deepbat_nn.dir/autograd.cpp.o.d"
+  "/root/repo/src/nn/data.cpp" "src/nn/CMakeFiles/deepbat_nn.dir/data.cpp.o" "gcc" "src/nn/CMakeFiles/deepbat_nn.dir/data.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/deepbat_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/deepbat_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/deepbat_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/deepbat_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/ops.cpp" "src/nn/CMakeFiles/deepbat_nn.dir/ops.cpp.o" "gcc" "src/nn/CMakeFiles/deepbat_nn.dir/ops.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "src/nn/CMakeFiles/deepbat_nn.dir/optim.cpp.o" "gcc" "src/nn/CMakeFiles/deepbat_nn.dir/optim.cpp.o.d"
+  "/root/repo/src/nn/recurrent.cpp" "src/nn/CMakeFiles/deepbat_nn.dir/recurrent.cpp.o" "gcc" "src/nn/CMakeFiles/deepbat_nn.dir/recurrent.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/deepbat_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/deepbat_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/deepbat_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/deepbat_nn.dir/tensor.cpp.o.d"
+  "/root/repo/src/nn/transformer.cpp" "src/nn/CMakeFiles/deepbat_nn.dir/transformer.cpp.o" "gcc" "src/nn/CMakeFiles/deepbat_nn.dir/transformer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/deepbat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

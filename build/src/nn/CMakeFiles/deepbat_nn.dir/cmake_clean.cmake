@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepbat_nn.dir/attention.cpp.o"
+  "CMakeFiles/deepbat_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/deepbat_nn.dir/autograd.cpp.o"
+  "CMakeFiles/deepbat_nn.dir/autograd.cpp.o.d"
+  "CMakeFiles/deepbat_nn.dir/data.cpp.o"
+  "CMakeFiles/deepbat_nn.dir/data.cpp.o.d"
+  "CMakeFiles/deepbat_nn.dir/layers.cpp.o"
+  "CMakeFiles/deepbat_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/deepbat_nn.dir/module.cpp.o"
+  "CMakeFiles/deepbat_nn.dir/module.cpp.o.d"
+  "CMakeFiles/deepbat_nn.dir/ops.cpp.o"
+  "CMakeFiles/deepbat_nn.dir/ops.cpp.o.d"
+  "CMakeFiles/deepbat_nn.dir/optim.cpp.o"
+  "CMakeFiles/deepbat_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/deepbat_nn.dir/recurrent.cpp.o"
+  "CMakeFiles/deepbat_nn.dir/recurrent.cpp.o.d"
+  "CMakeFiles/deepbat_nn.dir/serialize.cpp.o"
+  "CMakeFiles/deepbat_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/deepbat_nn.dir/tensor.cpp.o"
+  "CMakeFiles/deepbat_nn.dir/tensor.cpp.o.d"
+  "CMakeFiles/deepbat_nn.dir/transformer.cpp.o"
+  "CMakeFiles/deepbat_nn.dir/transformer.cpp.o.d"
+  "libdeepbat_nn.a"
+  "libdeepbat_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepbat_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

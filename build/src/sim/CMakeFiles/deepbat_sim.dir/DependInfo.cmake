@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/batch_sim.cpp" "src/sim/CMakeFiles/deepbat_sim.dir/batch_sim.cpp.o" "gcc" "src/sim/CMakeFiles/deepbat_sim.dir/batch_sim.cpp.o.d"
+  "/root/repo/src/sim/des.cpp" "src/sim/CMakeFiles/deepbat_sim.dir/des.cpp.o" "gcc" "src/sim/CMakeFiles/deepbat_sim.dir/des.cpp.o.d"
+  "/root/repo/src/sim/ground_truth.cpp" "src/sim/CMakeFiles/deepbat_sim.dir/ground_truth.cpp.o" "gcc" "src/sim/CMakeFiles/deepbat_sim.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/sim/platform.cpp" "src/sim/CMakeFiles/deepbat_sim.dir/platform.cpp.o" "gcc" "src/sim/CMakeFiles/deepbat_sim.dir/platform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lambda/CMakeFiles/deepbat_lambda.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/deepbat_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/deepbat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

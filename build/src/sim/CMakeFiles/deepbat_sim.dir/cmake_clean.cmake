@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepbat_sim.dir/batch_sim.cpp.o"
+  "CMakeFiles/deepbat_sim.dir/batch_sim.cpp.o.d"
+  "CMakeFiles/deepbat_sim.dir/des.cpp.o"
+  "CMakeFiles/deepbat_sim.dir/des.cpp.o.d"
+  "CMakeFiles/deepbat_sim.dir/ground_truth.cpp.o"
+  "CMakeFiles/deepbat_sim.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/deepbat_sim.dir/platform.cpp.o"
+  "CMakeFiles/deepbat_sim.dir/platform.cpp.o.d"
+  "libdeepbat_sim.a"
+  "libdeepbat_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepbat_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdeepbat_sim.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/map_fit.cpp" "src/workload/CMakeFiles/deepbat_workload.dir/map_fit.cpp.o" "gcc" "src/workload/CMakeFiles/deepbat_workload.dir/map_fit.cpp.o.d"
+  "/root/repo/src/workload/map_process.cpp" "src/workload/CMakeFiles/deepbat_workload.dir/map_process.cpp.o" "gcc" "src/workload/CMakeFiles/deepbat_workload.dir/map_process.cpp.o.d"
+  "/root/repo/src/workload/synth.cpp" "src/workload/CMakeFiles/deepbat_workload.dir/synth.cpp.o" "gcc" "src/workload/CMakeFiles/deepbat_workload.dir/synth.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/deepbat_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/deepbat_workload.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/deepbat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

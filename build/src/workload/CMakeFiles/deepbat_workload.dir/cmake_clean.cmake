@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepbat_workload.dir/map_fit.cpp.o"
+  "CMakeFiles/deepbat_workload.dir/map_fit.cpp.o.d"
+  "CMakeFiles/deepbat_workload.dir/map_process.cpp.o"
+  "CMakeFiles/deepbat_workload.dir/map_process.cpp.o.d"
+  "CMakeFiles/deepbat_workload.dir/synth.cpp.o"
+  "CMakeFiles/deepbat_workload.dir/synth.cpp.o.d"
+  "CMakeFiles/deepbat_workload.dir/trace.cpp.o"
+  "CMakeFiles/deepbat_workload.dir/trace.cpp.o.d"
+  "libdeepbat_workload.a"
+  "libdeepbat_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepbat_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

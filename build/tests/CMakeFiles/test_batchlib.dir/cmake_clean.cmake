@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batchlib.dir/batchlib/test_analytic.cpp.o"
+  "CMakeFiles/test_batchlib.dir/batchlib/test_analytic.cpp.o.d"
+  "CMakeFiles/test_batchlib.dir/batchlib/test_controller.cpp.o"
+  "CMakeFiles/test_batchlib.dir/batchlib/test_controller.cpp.o.d"
+  "test_batchlib"
+  "test_batchlib.pdb"
+  "test_batchlib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

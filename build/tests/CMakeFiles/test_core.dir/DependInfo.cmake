@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_encoding_vcr.cpp" "tests/CMakeFiles/test_core.dir/core/test_encoding_vcr.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_encoding_vcr.cpp.o.d"
+  "/root/repo/tests/core/test_optimizer_controller.cpp" "tests/CMakeFiles/test_core.dir/core/test_optimizer_controller.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_optimizer_controller.cpp.o.d"
+  "/root/repo/tests/core/test_surrogate.cpp" "tests/CMakeFiles/test_core.dir/core/test_surrogate.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_surrogate.cpp.o.d"
+  "/root/repo/tests/core/test_surrogate_lstm.cpp" "tests/CMakeFiles/test_core.dir/core/test_surrogate_lstm.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_surrogate_lstm.cpp.o.d"
+  "/root/repo/tests/core/test_training_pipeline.cpp" "tests/CMakeFiles/test_core.dir/core/test_training_pipeline.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_training_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/deepbat_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/deepbat_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/core.dir/DependInfo.cmake"
+  "/root/repo/build/src/batchlib/CMakeFiles/deepbat_batchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/deepbat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lambda/CMakeFiles/deepbat_lambda.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/deepbat_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_encoding_vcr.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_encoding_vcr.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_optimizer_controller.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_optimizer_controller.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_surrogate.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_surrogate.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_surrogate_lstm.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_surrogate_lstm.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_training_pipeline.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_training_pipeline.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg_optimize.dir/common/test_linalg.cpp.o"
+  "CMakeFiles/test_linalg_optimize.dir/common/test_linalg.cpp.o.d"
+  "CMakeFiles/test_linalg_optimize.dir/common/test_optimize.cpp.o"
+  "CMakeFiles/test_linalg_optimize.dir/common/test_optimize.cpp.o.d"
+  "test_linalg_optimize"
+  "test_linalg_optimize.pdb"
+  "test_linalg_optimize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg_optimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_modules.dir/nn/test_modules.cpp.o"
+  "CMakeFiles/test_nn_modules.dir/nn/test_modules.cpp.o.d"
+  "CMakeFiles/test_nn_modules.dir/nn/test_recurrent.cpp.o"
+  "CMakeFiles/test_nn_modules.dir/nn/test_recurrent.cpp.o.d"
+  "CMakeFiles/test_nn_modules.dir/nn/test_transformer.cpp.o"
+  "CMakeFiles/test_nn_modules.dir/nn/test_transformer.cpp.o.d"
+  "test_nn_modules"
+  "test_nn_modules.pdb"
+  "test_nn_modules[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_training.dir/nn/test_data.cpp.o"
+  "CMakeFiles/test_nn_training.dir/nn/test_data.cpp.o.d"
+  "CMakeFiles/test_nn_training.dir/nn/test_losses.cpp.o"
+  "CMakeFiles/test_nn_training.dir/nn/test_losses.cpp.o.d"
+  "CMakeFiles/test_nn_training.dir/nn/test_optim.cpp.o"
+  "CMakeFiles/test_nn_training.dir/nn/test_optim.cpp.o.d"
+  "CMakeFiles/test_nn_training.dir/nn/test_serialize.cpp.o"
+  "CMakeFiles/test_nn_training.dir/nn/test_serialize.cpp.o.d"
+  "test_nn_training"
+  "test_nn_training.pdb"
+  "test_nn_training[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/batchlib/test_analytic_properties.cpp" "tests/CMakeFiles/test_properties.dir/batchlib/test_analytic_properties.cpp.o" "gcc" "tests/CMakeFiles/test_properties.dir/batchlib/test_analytic_properties.cpp.o.d"
+  "/root/repo/tests/nn/test_nn_properties.cpp" "tests/CMakeFiles/test_properties.dir/nn/test_nn_properties.cpp.o" "gcc" "tests/CMakeFiles/test_properties.dir/nn/test_nn_properties.cpp.o.d"
+  "/root/repo/tests/sim/test_sim_properties.cpp" "tests/CMakeFiles/test_properties.dir/sim/test_sim_properties.cpp.o" "gcc" "tests/CMakeFiles/test_properties.dir/sim/test_sim_properties.cpp.o.d"
+  "/root/repo/tests/workload/test_workload_properties.cpp" "tests/CMakeFiles/test_properties.dir/workload/test_workload_properties.cpp.o" "gcc" "tests/CMakeFiles/test_properties.dir/workload/test_workload_properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/deepbat_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/deepbat_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/batchlib/CMakeFiles/deepbat_batchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/deepbat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lambda/CMakeFiles/deepbat_lambda.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/deepbat_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties.dir/batchlib/test_analytic_properties.cpp.o"
+  "CMakeFiles/test_properties.dir/batchlib/test_analytic_properties.cpp.o.d"
+  "CMakeFiles/test_properties.dir/nn/test_nn_properties.cpp.o"
+  "CMakeFiles/test_properties.dir/nn/test_nn_properties.cpp.o.d"
+  "CMakeFiles/test_properties.dir/sim/test_sim_properties.cpp.o"
+  "CMakeFiles/test_properties.dir/sim/test_sim_properties.cpp.o.d"
+  "CMakeFiles/test_properties.dir/workload/test_workload_properties.cpp.o"
+  "CMakeFiles/test_properties.dir/workload/test_workload_properties.cpp.o.d"
+  "test_properties"
+  "test_properties.pdb"
+  "test_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/test_map.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_map.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_map.cpp.o.d"
+  "/root/repo/tests/workload/test_map_fit.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_map_fit.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_map_fit.cpp.o.d"
+  "/root/repo/tests/workload/test_synth.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_synth.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_synth.cpp.o.d"
+  "/root/repo/tests/workload/test_trace.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_trace.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/deepbat_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/deepbat_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/deepbat_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_autograd[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_modules[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_training[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg_optimize[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_lambda[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_batchlib[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+add_test(integration.end_to_end "/root/repo/build/tests/test_integration")
+set_tests_properties(integration.end_to_end PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;79;add_test;/root/repo/tests/CMakeLists.txt;0;")
