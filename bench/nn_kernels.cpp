@@ -1,126 +1,283 @@
-// google-benchmark microbenchmarks for the neural-network kernels on the
-// surrogate's critical path: batched matmul, softmax, layer norm,
-// multi-head attention, the full encoder, and the deployment-critical
-// predict_grid call.
-#include <benchmark/benchmark.h>
+// Kernel regression harness for the neural-network hot path.
+//
+// Times the GEMM kernel, multi-head attention, and the deployment-critical
+// surrogate forward (predict_grid: encode one l=256 window, score the full
+// config grid — the "0.73 s vs 40.83 s" fast side of §IV-F) in two modes:
+//
+//   seed       naive triple-loop GEMM + composed attention + heap tensors
+//              (kernels::set_reference_mode(true), arena disabled)
+//   optimized  blocked GEMM + fused attention + arena allocator
+//
+// and across thread counts, then emits machine-readable BENCH_kernels.json
+// so successive PRs can track the perf trajectory. Run with --quick for a
+// fast smoke pass, --json=PATH to redirect the report.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "core/surrogate.hpp"
+#include "nn/arena.hpp"
 #include "nn/attention.hpp"
-#include "nn/transformer.hpp"
+#include "nn/kernels.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 using namespace deepbat;
 using namespace deepbat::nn;
 
 namespace {
 
+double now_s() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-samples timing: calibrates an iteration count so one sample runs
+/// >= min_sample_s, then reports the fastest per-iteration time in ns.
+double time_ns(const std::function<void()>& fn, double min_sample_s,
+               int samples) {
+  fn();  // warm-up (and arena/scratch growth)
+  std::int64_t iters = 1;
+  for (;;) {
+    const double t0 = now_s();
+    for (std::int64_t i = 0; i < iters; ++i) fn();
+    const double dt = now_s() - t0;
+    if (dt >= min_sample_s || iters > (1LL << 30)) break;
+    const double target = std::max(min_sample_s * 1.2, 1e-4);
+    iters = std::max<std::int64_t>(
+        iters * 2, static_cast<std::int64_t>(target / std::max(dt / iters, 1e-9)));
+  }
+  double best = 1e300;
+  for (int s = 0; s < samples; ++s) {
+    const double t0 = now_s();
+    for (std::int64_t i = 0; i < iters; ++i) fn();
+    const double dt = now_s() - t0;
+    best = std::min(best, dt / static_cast<double>(iters));
+  }
+  return best * 1e9;
+}
+
+struct Result {
+  std::string section;
+  std::string name;
+  std::string mode;
+  int threads = 1;
+  double ns_per_iter = 0.0;
+  double gflops = -1.0;  // < 0: not applicable
+};
+
+std::vector<Result> g_results;
+
+void set_threads(int t) {
+#ifdef _OPENMP
+  omp_set_num_threads(t);
+#else
+  (void)t;
+#endif
+}
+
+void record(Result r) {
+  std::printf("  %-10s %-28s %-9s t=%d  %12.0f ns/iter", r.section.c_str(),
+              r.name.c_str(), r.mode.c_str(), r.threads, r.ns_per_iter);
+  if (r.gflops >= 0) std::printf("  %7.2f GFLOP/s", r.gflops);
+  std::printf("\n");
+  g_results.push_back(std::move(r));
+}
+
 Tensor randn(Shape shape, std::uint64_t seed) {
   Rng rng(seed);
   return Tensor::randn(std::move(shape), rng, 0.5F);
 }
 
-void BM_MatmulSharedWeight(benchmark::State& state) {
-  const std::int64_t l = state.range(0);
-  Var a = make_leaf(randn({8, l, 16}, 1), false);
-  Var w = make_leaf(randn({16, 16}, 2), false);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(matmul(a, w)->value.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 8 * l * 16 * 16);
-}
-BENCHMARK(BM_MatmulSharedWeight)->Arg(64)->Arg(256)->Arg(1024);
+struct GemmShape {
+  std::int64_t m, k, n;
+  bool trans_a, trans_b;
+  const char* why;
+};
 
-void BM_MatmulBatched(benchmark::State& state) {
-  const std::int64_t l = state.range(0);
-  Var a = make_leaf(randn({8, 4, l, 4}, 3), false);
-  Var b = make_leaf(randn({8, 4, 4, l}, 4), false);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(matmul(a, b)->value.data());
+void bench_gemm(const std::vector<int>& thread_counts, double min_sample_s,
+                int samples) {
+  // Shapes from the surrogate's real call sites (see DESIGN.md §Performance).
+  const std::vector<GemmShape> shapes = {
+      {256, 16, 16, false, false, "qkv projection, L=256"},
+      {2048, 16, 16, false, false, "collapsed batch*L projection"},
+      {256, 4, 256, false, true, "attention scores per head"},
+      {256, 256, 4, false, false, "attention context per head"},
+      {616, 16, 32, false, false, "grid head, ffn_hidden"},
+      {616, 48, 64, false, false, "wider head (future-proofing)"},
+      {16, 2048, 16, true, false, "weight gradient (training)"},
+  };
+  std::printf("[gemm]\n");
+  for (const auto& s : shapes) {
+    const std::int64_t an = s.m * s.k;
+    const std::int64_t bn = s.k * s.n;
+    const Tensor a = randn({an}, 11);
+    const Tensor b = randn({bn}, 13);
+    Tensor c({s.m * s.n});
+    std::ostringstream name;
+    name << "m" << s.m << "_k" << s.k << "_n" << s.n
+         << (s.trans_a ? "_tA" : "") << (s.trans_b ? "_tB" : "");
+    const double flops = 2.0 * static_cast<double>(s.m) * s.k * s.n;
+    for (const char* mode : {"seed", "optimized"}) {
+      kernels::set_reference_mode(std::strcmp(mode, "seed") == 0);
+      for (int t : thread_counts) {
+        set_threads(t);
+        const double ns = time_ns(
+            [&] {
+              if (kernels::reference_mode()) {
+                kernels::gemm_naive(a.data(), b.data(), c.data(), s.m, s.k,
+                                    s.n, s.trans_a, s.trans_b, false);
+              } else {
+                kernels::gemm(a.data(), b.data(), c.data(), s.m, s.k, s.n,
+                              s.trans_a, s.trans_b, false);
+              }
+            },
+            min_sample_s, samples);
+        record({"gemm", name.str(), mode, t, ns, flops / ns});
+        if (kernels::reference_mode()) break;  // naive kernel is serial
+      }
+    }
   }
+  kernels::set_reference_mode(false);
 }
-BENCHMARK(BM_MatmulBatched)->Arg(64)->Arg(256);
 
-void BM_SoftmaxLast(benchmark::State& state) {
-  const std::int64_t l = state.range(0);
-  Var a = make_leaf(randn({8, 4, l, l}, 5), false);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(softmax_last(a)->value.data());
+void bench_attention(const std::vector<int>& thread_counts,
+                     double min_sample_s, int samples) {
+  std::printf("[attention]\n");
+  for (std::int64_t l : {64, 256, 512}) {
+    Rng rng(7);
+    MultiHeadAttention mha(16, 4, rng, 0.0F, 8);
+    mha.set_training(false);
+    Var x = make_leaf(randn({1, l, 16}, 9), false);
+    NoGradGuard no_grad;
+    for (const char* mode : {"seed", "optimized"}) {
+      kernels::set_reference_mode(std::strcmp(mode, "seed") == 0);
+      arena::set_enabled(std::strcmp(mode, "optimized") == 0);
+      for (int t : thread_counts) {
+        set_threads(t);
+        const double ns = time_ns(
+            [&] {
+              arena::Scope scope;
+              volatile float sink = mha.forward(x, x, x)->value.data()[0];
+              (void)sink;
+            },
+            min_sample_s, samples);
+        record({"attention", "L" + std::to_string(l), mode, t, ns, -1.0});
+      }
+    }
   }
+  kernels::set_reference_mode(false);
+  arena::set_enabled(true);
 }
-BENCHMARK(BM_SoftmaxLast)->Arg(64)->Arg(256);
 
-void BM_LayerNorm(benchmark::State& state) {
-  Var x = make_leaf(randn({8, 256, 16}, 6), false);
-  Var gamma = make_leaf(Tensor::ones({16}), false);
-  Var beta = make_leaf(Tensor::zeros({16}), false);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(layer_norm(x, gamma, beta)->value.data());
-  }
-}
-BENCHMARK(BM_LayerNorm);
-
-void BM_MultiHeadAttention(benchmark::State& state) {
-  const std::int64_t l = state.range(0);
-  Rng rng(7);
-  MultiHeadAttention mha(16, 4, rng, 0.0F, 8);
-  mha.set_training(false);
-  Var x = make_leaf(randn({1, l, 16}, 9), false);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(mha.forward(x, x, x)->value.data());
-  }
-}
-BENCHMARK(BM_MultiHeadAttention)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
-
-void BM_TransformerEncoder(benchmark::State& state) {
-  const std::int64_t l = state.range(0);
-  Rng rng(10);
-  TransformerConfig cfg;
-  cfg.max_len = 1024;
-  cfg.dropout = 0.0F;
-  TransformerEncoder enc(cfg, rng, 11);
-  enc.set_training(false);
-  Var x = make_leaf(randn({1, l, 16}, 12), false);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(enc.forward(x)->value.data());
-  }
-}
-BENCHMARK(BM_TransformerEncoder)->Arg(128)->Arg(256)->Arg(512);
-
-void BM_TrainingStep(benchmark::State& state) {
-  // Full forward + backward of the surrogate on one paper-sized batch.
-  Rng rng(13);
+double bench_surrogate(const std::vector<int>& thread_counts,
+                       double min_sample_s, int samples, double* seed_1t,
+                       double* opt_1t) {
+  // The acceptance-criterion benchmark: l=256 window, full standard grid.
+  std::printf("[surrogate_forward] l=256, full config grid\n");
   core::SurrogateConfig scfg;
-  scfg.sequence_length = 128;
-  core::Surrogate model(scfg, lambda::ConfigGrid::standard());
-  Tensor seq = randn({8, 128, 1}, 14);
-  Tensor feats = randn({8, 3}, 15);
-  Tensor target = randn({8, static_cast<std::int64_t>(core::kTargetDim)}, 16);
-  for (auto _ : state) {
-    auto params = model.parameters();
-    zero_grad(params);
-    Var out = model.forward(make_leaf(seq, false), make_leaf(feats, false));
-    Var loss = combined_loss(out, make_leaf(target, false), 0.05F, 1.0F);
-    backward(loss);
-    benchmark::DoNotOptimize(loss->value.at(0));
-  }
-}
-BENCHMARK(BM_TrainingStep);
-
-void BM_PredictGrid(benchmark::State& state) {
-  // The deployment decision: encode one window, score the full 616-config
-  // grid. This is the "0.73 s vs 40.83 s" fast side of §IV-F.
-  core::SurrogateConfig scfg;
-  scfg.sequence_length = 128;
+  scfg.sequence_length = 256;
   core::Surrogate model(scfg, lambda::ConfigGrid::standard());
   model.set_training(false);
-  std::vector<float> window(128, 1.0F);
+  std::vector<float> window(256, 1.0F);
   const auto configs = lambda::ConfigGrid::standard().enumerate();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(model.predict_grid(window, configs));
+  *seed_1t = 0.0;
+  *opt_1t = 0.0;
+  for (const char* mode : {"seed", "optimized"}) {
+    kernels::set_reference_mode(std::strcmp(mode, "seed") == 0);
+    arena::set_enabled(std::strcmp(mode, "optimized") == 0);
+    for (int t : thread_counts) {
+      set_threads(t);
+      const double ns = time_ns(
+          [&] {
+            volatile double sink =
+                model.predict_grid(window, configs).front().cost_usd_per_request;
+            (void)sink;
+          },
+          min_sample_s, samples);
+      record({"surrogate", "predict_grid_l256", mode, t, ns, -1.0});
+      if (t == 1) {
+        (std::strcmp(mode, "seed") == 0 ? *seed_1t : *opt_1t) = ns;
+      }
+    }
   }
+  kernels::set_reference_mode(false);
+  arena::set_enabled(true);
+  return *opt_1t > 0 ? *seed_1t / *opt_1t : 0.0;
 }
-BENCHMARK(BM_PredictGrid);
+
+void write_json(const std::string& path, double speedup, double seed_1t,
+                double opt_1t) {
+  std::ofstream out(path);
+  out << "{\n  \"schema\": \"deepbat.bench.kernels.v1\",\n";
+  out << "  \"hardware_threads\": " << hardware_threads() << ",\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < g_results.size(); ++i) {
+    const auto& r = g_results[i];
+    out << "    {\"section\": \"" << r.section << "\", \"name\": \"" << r.name
+        << "\", \"mode\": \"" << r.mode << "\", \"threads\": " << r.threads
+        << ", \"ns_per_iter\": " << r.ns_per_iter;
+    if (r.gflops >= 0) out << ", \"gflops\": " << r.gflops;
+    out << "}" << (i + 1 < g_results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"summary\": {\n";
+  out << "    \"surrogate_forward_seed_ns_1t\": " << seed_1t << ",\n";
+  out << "    \"surrogate_forward_optimized_ns_1t\": " << opt_1t << ",\n";
+  out << "    \"surrogate_forward_speedup_1t\": " << speedup << "\n";
+  out << "  }\n}\n";
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_kernels.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  const double min_sample_s = quick ? 0.02 : 0.1;
+  const int samples = quick ? 2 : 4;
+
+  // Always report t=2 (even on one core) so the scaling machinery and the
+  // thread-count-independence of the kernels get exercised everywhere.
+  std::vector<int> thread_counts{1};
+  const int hw = hardware_threads();
+#ifdef _OPENMP
+  thread_counts.push_back(2);
+  if (hw >= 4) thread_counts.push_back(hw);
+#endif
+
+  std::printf("nn_kernels regression harness (hardware threads: %d)\n", hw);
+  bench_gemm(thread_counts, min_sample_s, samples);
+  bench_attention(thread_counts, min_sample_s, samples);
+  double seed_1t = 0.0;
+  double opt_1t = 0.0;
+  const double speedup =
+      bench_surrogate(thread_counts, min_sample_s, samples, &seed_1t, &opt_1t);
+  std::printf("\nsurrogate forward (l=256, full grid, 1 thread): "
+              "seed %.2f ms -> optimized %.2f ms  (%.2fx)\n",
+              seed_1t / 1e6, opt_1t / 1e6, speedup);
+  write_json(json_path, speedup, seed_1t, opt_1t);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

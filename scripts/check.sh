@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus an AddressSanitizer pass over the kernel layer.
+#
+#   scripts/check.sh          # plain build + full ctest, then ASan kernel tests
+#   scripts/check.sh --fast   # skip the ASan rebuild
+#
+# The ASan stage rebuilds into build-asan/ with DEEPBAT_SANITIZE=address and
+# runs the nn/kernel/arena test binaries (the code this layer touches most);
+# the slow integration suite stays in the plain tier-1 run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "== tier-1: build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+
+echo "== tier-1: ctest =="
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+if [[ "$FAST" == "1" ]]; then
+  echo "== skipping ASan pass (--fast) =="
+  exit 0
+fi
+
+echo "== asan: build =="
+cmake -B build-asan -S . -DDEEPBAT_SANITIZE=address -DDEEPBAT_NATIVE=OFF \
+  >/dev/null
+cmake --build build-asan -j"$(nproc)" --target \
+  test_nn_kernels test_nn_tensor test_nn_autograd test_nn_modules
+
+echo "== asan: run =="
+for t in test_nn_kernels test_nn_tensor test_nn_autograd test_nn_modules; do
+  ./build-asan/tests/"$t"
+done
+
+echo "== all checks passed =="

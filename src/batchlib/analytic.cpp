@@ -370,7 +370,7 @@ AnalyticSearchResult analytic_grid_search(const BatchAnalyticModel& model,
       [&](std::size_t i) {
         return model.evaluate(configs[i], percentile, slo_s);
       },
-      /*grain=*/4);
+      /*grain=*/1);  // each item solves a full queueing model — always split
   AnalyticSearchResult result;
   bool have_best = false;
   AnalyticEvaluation fallback;  // smallest latency if nothing is feasible

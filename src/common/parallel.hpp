@@ -2,6 +2,15 @@
 // Thin OpenMP wrappers so call sites stay readable and build without OpenMP.
 // Follows the Core Guidelines concurrency rules: callers pass a callable that
 // owns no shared mutable state; reductions merge thread-local accumulators.
+//
+// Grain semantics: `grain` is the minimum number of consecutive iterations a
+// worker should own. The loop runs serially unless at least two full grains
+// of work exist, and the OpenMP schedule hands out chunks of `grain`
+// iterations (schedule(static, grain)), so neighbouring indices stay on one
+// thread and fork/join overhead is bounded by the caller's cost estimate.
+// Callers with cheap per-iteration bodies must pass a large grain (or rely
+// on the conservative default); callers whose items are individually
+// expensive (simulations, per-config solves) pass grain 1.
 
 #include <cstddef>
 #include <vector>
@@ -11,6 +20,10 @@
 #endif
 
 namespace deepbat {
+
+/// Conservative default grain: loops with bodies this cheap only benefit
+/// from threads once they are thousands of iterations long.
+inline constexpr std::size_t kDefaultGrain = 256;
 
 /// Number of threads a parallel region will use (1 without OpenMP).
 inline int hardware_threads() {
@@ -22,13 +35,17 @@ inline int hardware_threads() {
 }
 
 /// Parallel loop over [0, n). `body(i)` must be safe to run concurrently for
-/// distinct i. Falls back to a serial loop when OpenMP is unavailable or the
-/// trip count is tiny.
+/// distinct i. Falls back to a serial loop when OpenMP is unavailable, when
+/// fewer than two grains of work exist, or inside an existing parallel
+/// region (no nesting).
 template <typename Body>
-void parallel_for(std::size_t n, Body&& body, std::size_t grain = 1) {
+void parallel_for(std::size_t n, Body&& body,
+                  std::size_t grain = kDefaultGrain) {
 #ifdef _OPENMP
-  if (n >= grain * 2 && omp_get_max_threads() > 1 && !omp_in_parallel()) {
-#pragma omp parallel for schedule(static)
+  const std::size_t g = grain == 0 ? 1 : grain;
+  if (n >= g * 2 && omp_get_max_threads() > 1 && !omp_in_parallel()) {
+    const auto chunk = static_cast<int>(g);
+#pragma omp parallel for schedule(static, chunk)
     for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
       body(static_cast<std::size_t>(i));
     }
@@ -43,7 +60,8 @@ void parallel_for(std::size_t n, Body&& body, std::size_t grain = 1) {
 /// Map [0, n) -> T with a parallel loop; results land in index order, so no
 /// synchronization is needed beyond the fork/join barrier.
 template <typename T, typename Fn>
-std::vector<T> parallel_map(std::size_t n, Fn&& fn, std::size_t grain = 1) {
+std::vector<T> parallel_map(std::size_t n, Fn&& fn,
+                            std::size_t grain = kDefaultGrain) {
   std::vector<T> out(n);
   parallel_for(
       n, [&](std::size_t i) { out[i] = fn(i); }, grain);

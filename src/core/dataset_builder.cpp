@@ -70,7 +70,7 @@ nn::Dataset build_dataset(const workload::Trace& trace,
             model));
         return sample;
       },
-      /*grain=*/8);
+      /*grain=*/1);  // each sample runs a batching simulation — always split
 
   nn::Dataset dataset;
   dataset.reserve(samples.size());

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "nn/arena.hpp"
 
 namespace deepbat::core {
 
@@ -136,12 +137,14 @@ nn::Var Surrogate::forward(const nn::Var& sequences, const nn::Var& features) {
 }
 
 nn::Tensor Surrogate::encode_sequence(const nn::Tensor& sequences) {
+  nn::NoGradGuard no_grad;
   nn::Var x = nn::make_leaf(sequences, false, "sequences");
   return sequence_branch(x)->value;
 }
 
 nn::Tensor Surrogate::predict_with_features(const nn::Tensor& e1,
                                             const nn::Tensor& raw_features) {
+  nn::NoGradGuard no_grad;
   nn::Var e1v = nn::make_leaf(e1, false, "e1");
   nn::Var fv = nn::make_leaf(raw_features, false, "features");
   return head(e1v, fv)->value;
@@ -156,6 +159,12 @@ std::vector<PredictionTarget> Surrogate::predict_grid(
                 "predict_grid: window length mismatch");
   const bool was_training = training();
   set_training(false);
+  // One arena scope per decision: every intermediate tensor below (encoder
+  // activations, broadcast E_1, grid predictions) is bump-allocated and
+  // released in O(1) on return; the extracted PredictionTargets are plain
+  // structs. No gradient tracking for the whole pass.
+  nn::NoGradGuard no_grad;
+  nn::arena::Scope arena_scope;
 
   // Encode the sequence once.
   nn::Tensor seq({1, config_.sequence_length, 1});
@@ -196,28 +205,24 @@ void Surrogate::set_record_attention(bool record) {
 
 std::vector<float> Surrogate::last_attention_profile() const {
   if (config_.encoder == EncoderType::kLstm) return {};
-  auto& layer0 =
-      const_cast<Surrogate*>(this)->encoder_.layer(0).self_attention();
+  const auto& layer0 = encoder_.layer(0).self_attention();
   const auto& attn = layer0.last_attention();
   if (!attn.has_value()) return {};
   // attn: [batch, heads, L, L]; average received attention per key position
-  // over batch, heads, and query positions.
+  // over batch, heads, and query positions. The reduction runs over flat
+  // contiguous rows (one pass, unit stride) instead of bounds-checked
+  // element accesses.
   const nn::Tensor& a = *attn;
-  const std::int64_t batch = a.dim(0);
-  const std::int64_t heads = a.dim(1);
   const std::int64_t L = a.dim(2);
+  const std::int64_t rows = a.numel() / L;  // batch * heads * L query rows
   std::vector<float> profile(static_cast<std::size_t>(L), 0.0F);
-  for (std::int64_t b = 0; b < batch; ++b) {
-    for (std::int64_t h = 0; h < heads; ++h) {
-      for (std::int64_t q = 0; q < L; ++q) {
-        for (std::int64_t k = 0; k < L; ++k) {
-          profile[static_cast<std::size_t>(k)] += a.at(b, h, q, k);
-        }
-      }
-    }
+  const float* src = a.data();
+  float* prof = profile.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = src + r * L;
+    for (std::int64_t k = 0; k < L; ++k) prof[k] += row[k];
   }
-  const float norm =
-      static_cast<float>(batch * heads * L);
+  const float norm = static_cast<float>(rows);  // batch * heads * L
   for (float& p : profile) p /= norm;
   return profile;
 }

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "nn/arena.hpp"
 #include "nn/ops.hpp"
 
 namespace deepbat::core {
@@ -34,9 +35,11 @@ double run_validation(Surrogate& model, const nn::Dataset& val) {
   if (val.empty()) return 0.0;
   model.set_training(false);
   nn::DataLoader loader(val, 32, /*shuffle=*/false, 0);
+  nn::NoGradGuard no_grad;
   double mape_sum = 0.0;
   std::size_t count = 0;
   for (std::int64_t b = 0; b < loader.batches_per_epoch(); ++b) {
+    nn::arena::Scope arena_scope;
     const nn::Batch batch = loader.batch(b);
     nn::Var pred = model.forward(nn::make_leaf(batch.sequences, false),
                                  nn::make_leaf(batch.features, false));
@@ -127,9 +130,13 @@ double evaluate_mape(Surrogate& model, const nn::Dataset& dataset) {
   DEEPBAT_CHECK(!dataset.empty(), "evaluate_mape: empty dataset");
   model.set_training(false);
   nn::DataLoader loader(dataset, 32, /*shuffle=*/false, 0);
+  nn::NoGradGuard no_grad;
   double mape_sum = 0.0;
   std::size_t count = 0;
   for (std::int64_t b = 0; b < loader.batches_per_epoch(); ++b) {
+    // One arena scope per batch: the forward graph's tensors are bump-
+    // allocated and rewound before the next batch.
+    nn::arena::Scope arena_scope;
     const nn::Batch batch = loader.batch(b);
     nn::Var pred = model.forward(nn::make_leaf(batch.sequences, false),
                                  nn::make_leaf(batch.features, false));
@@ -144,10 +151,12 @@ double estimate_gamma(Surrogate& model, const nn::Dataset& dataset) {
   DEEPBAT_CHECK(!dataset.empty(), "estimate_gamma: empty dataset");
   model.set_training(false);
   nn::DataLoader loader(dataset, 32, /*shuffle=*/false, 0);
+  nn::NoGradGuard no_grad;
   double err_sum = 0.0;
   std::size_t count = 0;
   const auto p95_col = static_cast<std::int64_t>(1 + kSloPercentileIndex);
   for (std::int64_t b = 0; b < loader.batches_per_epoch(); ++b) {
+    nn::arena::Scope arena_scope;
     const nn::Batch batch = loader.batch(b);
     nn::Var pred = model.forward(nn::make_leaf(batch.sequences, false),
                                  nn::make_leaf(batch.features, false));

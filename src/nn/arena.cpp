@@ -1,0 +1,111 @@
+#include "nn/arena.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace deepbat::nn::arena {
+
+namespace {
+
+constexpr std::size_t kAlignFloats = 16;        // 64-byte alignment
+constexpr std::size_t kMinChunkFloats = 1 << 18;  // 1 MiB first chunk
+
+struct Chunk {
+  std::unique_ptr<float[]> data;
+  std::size_t capacity = 0;
+};
+
+struct ArenaImpl {
+  std::vector<Chunk> chunks;
+  std::size_t cur = 0;     // index of the chunk being bumped
+  std::size_t offset = 0;  // next free float in chunks[cur]
+  std::size_t peak = 0;    // high-water mark in floats
+
+  std::size_t used() const {
+    std::size_t u = offset;
+    for (std::size_t i = 0; i < cur && i < chunks.size(); ++i) {
+      u += chunks[i].capacity;
+    }
+    return u;
+  }
+
+  float* allocate(std::size_t n) {
+    n = (n + kAlignFloats - 1) & ~(kAlignFloats - 1);
+    // Advance through existing chunks before growing.
+    while (cur < chunks.size() && offset + n > chunks[cur].capacity) {
+      ++cur;
+      offset = 0;
+    }
+    if (cur == chunks.size()) {
+      const std::size_t last_cap =
+          chunks.empty() ? kMinChunkFloats / 2 : chunks.back().capacity;
+      const std::size_t cap = std::max(n, last_cap * 2);
+      chunks.push_back({std::make_unique<float[]>(cap), cap});
+    }
+    float* ptr = chunks[cur].data.get() + offset;
+    offset += n;
+    peak = std::max(peak, used());
+    return ptr;
+  }
+
+  void rewind_to(std::size_t chunk, std::size_t off) {
+    cur = chunk;
+    offset = off;
+  }
+};
+
+thread_local ArenaImpl tl_arena;
+thread_local ArenaImpl* tl_active = nullptr;
+
+std::atomic<bool> g_enabled{true};
+
+}  // namespace
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+bool in_scope() { return tl_active != nullptr; }
+
+float* allocate(std::int64_t n) {
+  DEEPBAT_CHECK(tl_active != nullptr, "arena::allocate outside a Scope");
+  return tl_active->allocate(static_cast<std::size_t>(std::max<std::int64_t>(n, 0)));
+}
+
+Scope::Scope() {
+  if (!enabled()) return;
+  active_ = true;
+  prev_ = tl_active;
+  chunk_ = tl_arena.cur;
+  offset_ = tl_arena.offset;
+  tl_active = &tl_arena;
+}
+
+Scope::~Scope() {
+  if (!active_) return;
+  tl_arena.rewind_to(chunk_, offset_);
+  tl_active = static_cast<ArenaImpl*>(prev_);
+}
+
+Pause::Pause() {
+  saved_ = tl_active;
+  tl_active = nullptr;
+}
+
+Pause::~Pause() { tl_active = static_cast<ArenaImpl*>(saved_); }
+
+Stats stats() {
+  Stats s;
+  s.chunks = tl_arena.chunks.size();
+  for (const auto& c : tl_arena.chunks) {
+    s.reserved_bytes += c.capacity * sizeof(float);
+  }
+  s.peak_bytes = tl_arena.peak * sizeof(float);
+  return s;
+}
+
+}  // namespace deepbat::nn::arena

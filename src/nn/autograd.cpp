@@ -3,11 +3,25 @@
 #include <unordered_set>
 
 #include "common/error.hpp"
+#include "nn/arena.hpp"
 
 namespace deepbat::nn {
 
+namespace {
+thread_local int tl_no_grad_depth = 0;
+}  // namespace
+
+bool grad_enabled() { return tl_no_grad_depth == 0; }
+
+NoGradGuard::NoGradGuard() { ++tl_no_grad_depth; }
+
+NoGradGuard::~NoGradGuard() { --tl_no_grad_depth; }
+
 Tensor& Node::ensure_grad() {
   if (!has_grad) {
+    // Gradients are never arena-backed: parameter grads must survive any
+    // inference arena scope that happens to be active (see arena.hpp).
+    arena::Pause heap_alloc;
     grad = Tensor::zeros(value.shape());
     has_grad = true;
   }
@@ -37,11 +51,13 @@ Var make_node(Tensor value, std::vector<Var> parents,
               std::function<void(Node&)> backward_fn, std::string op_name) {
   auto node = std::make_shared<Node>();
   node->value = std::move(value);
-  node->parents = std::move(parents);
-  node->requires_grad = any_requires_grad(node->parents);
+  node->requires_grad = grad_enabled() && any_requires_grad(parents);
   if (node->requires_grad) {
+    node->parents = std::move(parents);
     node->backward_fn = std::move(backward_fn);
   }
+  // Without grad the parent links are dropped so upstream intermediates can
+  // be reclaimed as soon as the caller releases them.
   node->op_name = std::move(op_name);
   return node;
 }

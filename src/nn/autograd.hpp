@@ -42,6 +42,21 @@ struct Node {
   void zero_grad();
 };
 
+/// True unless a NoGradGuard is active on this thread (default: true).
+bool grad_enabled();
+
+/// RAII guard that disables gradient tracking on the current thread (the
+/// torch.no_grad() of this tape): nodes built while active carry no
+/// backward closure and no parent links, so inference forwards skip the
+/// whole graph-retention cost. Nests.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+};
+
 /// Leaf variable. Parameters pass requires_grad = true; inputs/constants
 /// pass false.
 Var make_leaf(Tensor value, bool requires_grad = false,

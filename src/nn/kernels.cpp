@@ -1,0 +1,296 @@
+#include "nn/kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/parallel.hpp"
+
+namespace deepbat::nn::kernels {
+
+namespace {
+
+std::atomic<bool> g_reference_mode{false};
+
+// Packing scratch, one buffer pair per thread so batched matmuls can pack
+// concurrently. Capacity is retained across calls.
+thread_local std::vector<float> tl_pack_a;
+thread_local std::vector<float> tl_pack_b;
+thread_local std::vector<float> tl_sdpa_row;
+thread_local std::vector<float> tl_sdpa_kt;
+thread_local std::vector<float> tl_sdpa_vt;
+
+/// dst (cols x rows, row-major) = transpose of src (rows x cols, row-major),
+/// tiled so both sides stay cache-resident.
+void transpose_pack(const float* src, std::int64_t rows, std::int64_t cols,
+                    float* dst) {
+  constexpr std::int64_t kTile = 32;
+  for (std::int64_t r0 = 0; r0 < rows; r0 += kTile) {
+    const std::int64_t r1 = std::min(rows, r0 + kTile);
+    for (std::int64_t c0 = 0; c0 < cols; c0 += kTile) {
+      const std::int64_t c1 = std::min(cols, c0 + kTile);
+      for (std::int64_t r = r0; r < r1; ++r) {
+        for (std::int64_t c = c0; c < c1; ++c) {
+          dst[c * rows + r] = src[r * cols + c];
+        }
+      }
+    }
+  }
+}
+
+/// Full kMr x kNr register tile of C at (i0, j0): constant trip counts so the
+/// accumulators live in vector registers and the j-loop vectorizes.
+inline void micro_full(const float* a, const float* b, float* c,
+                       std::int64_t k, std::int64_t n, std::int64_t i0,
+                       std::int64_t j0, bool accumulate) {
+  float acc[kMr][kNr];
+  for (std::int64_t r = 0; r < kMr; ++r) {
+    float* crow = c + (i0 + r) * n + j0;
+    for (std::int64_t j = 0; j < kNr; ++j) {
+      acc[r][j] = accumulate ? crow[j] : 0.0F;
+    }
+  }
+  const float* a0 = a + i0 * k;
+  const float* a1 = a0 + k;
+  const float* a2 = a1 + k;
+  const float* a3 = a2 + k;
+  for (std::int64_t l = 0; l < k; ++l) {
+    const float* brow = b + l * n + j0;
+    const float v0 = a0[l];
+    const float v1 = a1[l];
+    const float v2 = a2[l];
+    const float v3 = a3[l];
+    for (std::int64_t j = 0; j < kNr; ++j) {
+      const float bj = brow[j];
+      acc[0][j] += v0 * bj;
+      acc[1][j] += v1 * bj;
+      acc[2][j] += v2 * bj;
+      acc[3][j] += v3 * bj;
+    }
+  }
+  for (std::int64_t r = 0; r < kMr; ++r) {
+    float* crow = c + (i0 + r) * n + j0;
+    for (std::int64_t j = 0; j < kNr; ++j) crow[j] = acc[r][j];
+  }
+}
+
+/// Partial tile at the m/n edges; same accumulation order, runtime bounds.
+inline void micro_edge(const float* a, const float* b, float* c,
+                       std::int64_t k, std::int64_t n, std::int64_t i0,
+                       std::int64_t j0, std::int64_t mr, std::int64_t nr,
+                       bool accumulate) {
+  float acc[kMr][kNr];
+  for (std::int64_t r = 0; r < mr; ++r) {
+    const float* crow = c + (i0 + r) * n + j0;
+    for (std::int64_t j = 0; j < nr; ++j) {
+      acc[r][j] = accumulate ? crow[j] : 0.0F;
+    }
+  }
+  for (std::int64_t l = 0; l < k; ++l) {
+    const float* brow = b + l * n + j0;
+    for (std::int64_t r = 0; r < mr; ++r) {
+      const float av = a[(i0 + r) * k + l];
+      for (std::int64_t j = 0; j < nr; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  for (std::int64_t r = 0; r < mr; ++r) {
+    float* crow = c + (i0 + r) * n + j0;
+    for (std::int64_t j = 0; j < nr; ++j) crow[j] = acc[r][j];
+  }
+}
+
+/// Blocked C[m,n] (+)= a[m,k] * b[k,n], both row-major and contiguous.
+/// Parallel over kRowBlock row blocks; each output element is written by
+/// exactly one task, so results are thread-count independent.
+void gemm_blocked_nn(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n, bool accumulate) {
+  const std::int64_t blocks = (m + kRowBlock - 1) / kRowBlock;
+  const std::int64_t flops_per_block = 2 * kRowBlock * k * n;
+  const auto grain = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, kMinFlopsPerTask / std::max<std::int64_t>(flops_per_block, 1)));
+  parallel_for(
+      static_cast<std::size_t>(blocks),
+      [&](std::size_t blk) {
+        const std::int64_t begin =
+            static_cast<std::int64_t>(blk) * kRowBlock;
+        const std::int64_t end = std::min(m, begin + kRowBlock);
+        for (std::int64_t i0 = begin; i0 < end; i0 += kMr) {
+          const std::int64_t mr = std::min<std::int64_t>(kMr, end - i0);
+          for (std::int64_t j0 = 0; j0 < n; j0 += kNr) {
+            const std::int64_t nr = std::min<std::int64_t>(kNr, n - j0);
+            if (mr == kMr && nr == kNr) {
+              micro_full(a, b, c, k, n, i0, j0, accumulate);
+            } else {
+              micro_edge(a, b, c, k, n, i0, j0, mr, nr, accumulate);
+            }
+          }
+        }
+      },
+      grain);
+}
+
+}  // namespace
+
+void set_reference_mode(bool on) {
+  g_reference_mode.store(on, std::memory_order_relaxed);
+}
+
+bool reference_mode() {
+  return g_reference_mode.load(std::memory_order_relaxed);
+}
+
+void gemm_naive(const float* A, const float* B, float* C, std::int64_t m,
+                std::int64_t k, std::int64_t n, bool trans_a, bool trans_b,
+                bool accumulate) {
+  if (!accumulate) std::fill(C, C + m * n, 0.0F);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t l = 0; l < k; ++l) {
+      const float aval = trans_a ? A[l * m + i] : A[i * k + l];
+      if (aval == 0.0F) continue;
+      const float* brow = trans_b ? nullptr : B + l * n;
+      float* crow = C + i * n;
+      if (trans_b) {
+        for (std::int64_t j = 0; j < n; ++j) {
+          crow[j] += aval * B[j * k + l];
+        }
+      } else {
+        for (std::int64_t j = 0; j < n; ++j) {
+          crow[j] += aval * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void gemm(const float* A, const float* B, float* C, std::int64_t m,
+          std::int64_t k, std::int64_t n, bool trans_a, bool trans_b,
+          bool accumulate) {
+  if (reference_mode()) {
+    gemm_naive(A, B, C, m, k, n, trans_a, trans_b, accumulate);
+    return;
+  }
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    if (!accumulate) std::fill(C, C + m * n, 0.0F);
+    return;
+  }
+  // Pack transposed operands into contiguous row-major panels so the inner
+  // j-loop always streams unit-stride memory.
+  const float* a = A;
+  if (trans_a) {
+    const auto need = static_cast<std::size_t>(m * k);
+    if (tl_pack_a.size() < need) tl_pack_a.resize(need);
+    transpose_pack(A, k, m, tl_pack_a.data());
+    a = tl_pack_a.data();
+  }
+  const float* b = B;
+  if (trans_b) {
+    const auto need = static_cast<std::size_t>(k * n);
+    if (tl_pack_b.size() < need) tl_pack_b.resize(need);
+    transpose_pack(B, n, k, tl_pack_b.data());
+    b = tl_pack_b.data();
+  }
+  gemm_blocked_nn(a, b, C, m, k, n, accumulate);
+}
+
+void fused_sdpa(const float* q, const float* k, const float* v, float* out,
+                std::int64_t batch, std::int64_t lq, std::int64_t lk,
+                std::int64_t heads, std::int64_t dim, float scale,
+                const float* mask) {
+  const std::int64_t dh = dim / heads;
+  const std::int64_t tasks = batch * heads;
+  // ~4 flops per (i, j, d) triple: QK^T dot plus the PV accumulation.
+  const std::int64_t flops_per_task = 4 * lq * lk * dh;
+  const auto grain = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, kMinFlopsPerTask / std::max<std::int64_t>(flops_per_task, 1)));
+  parallel_for(
+      static_cast<std::size_t>(tasks),
+      [&](std::size_t t) {
+        const auto b = static_cast<std::int64_t>(t) / heads;
+        const auto h = static_cast<std::int64_t>(t) % heads;
+        auto& row = tl_sdpa_row;
+        auto& kt = tl_sdpa_kt;
+        auto& vt = tl_sdpa_vt;
+        if (row.size() < static_cast<std::size_t>(lk)) row.resize(lk);
+        const auto panel = static_cast<std::size_t>(dh * lk);
+        if (kt.size() < panel) kt.resize(panel);
+        if (vt.size() < panel) vt.resize(panel);
+        const float* qb = q + b * lq * dim + h * dh;
+        const float* kb = k + b * lk * dim + h * dh;
+        const float* vb = v + b * lk * dim + h * dh;
+        float* ob = out + b * lq * dim + h * dh;
+        // Pack this head's K and V slices as [dh, lk] panels so every
+        // per-query pass below streams unit-stride memory over lk.
+        for (std::int64_t d = 0; d < dh; ++d) {
+          float* ktd = kt.data() + d * lk;
+          float* vtd = vt.data() + d * lk;
+          for (std::int64_t j = 0; j < lk; ++j) {
+            ktd[j] = kb[j * dim + d];
+            vtd[j] = vb[j * dim + d];
+          }
+        }
+        for (std::int64_t i = 0; i < lq; ++i) {
+          const float* qi = qb + i * dim;
+          float* srow = row.data();
+          // Score row (the only per-query state; the full score tensor is
+          // never materialized), built as dh rank-1 updates over lk.
+          {
+            const float q0 = qi[0] * scale;
+            const float* kt0 = kt.data();
+            for (std::int64_t j = 0; j < lk; ++j) srow[j] = q0 * kt0[j];
+          }
+          for (std::int64_t d = 1; d < dh; ++d) {
+            const float qd = qi[d] * scale;
+            const float* ktd = kt.data() + d * lk;
+            for (std::int64_t j = 0; j < lk; ++j) srow[j] += qd * ktd[j];
+          }
+          if (mask) {
+            const float* mrow = mask + i * lk;
+            for (std::int64_t j = 0; j < lk; ++j) srow[j] += mrow[j];
+          }
+          // Lane-array max: fixed 16-wide blocks vectorize as straight-line
+          // code, which GCC handles much better than a `reduction(max:)`
+          // loop. The lane count is a compile-time constant, so results stay
+          // identical across thread counts.
+          float lanes[16];
+          for (int l = 0; l < 16; ++l) {
+            lanes[l] = -std::numeric_limits<float>::infinity();
+          }
+          std::int64_t j = 0;
+          for (; j + 16 <= lk; j += 16) {
+            for (int l = 0; l < 16; ++l) {
+              lanes[l] = std::max(lanes[l], srow[j + l]);
+            }
+          }
+          float mx = lanes[0];
+          for (int l = 1; l < 16; ++l) mx = std::max(mx, lanes[l]);
+          for (; j < lk; ++j) mx = std::max(mx, srow[j]);
+          // Streaming softmax: exponentiate in place, normalize via 1/sum.
+          // This file is compiled with glibc's simd declaration for expf
+          // enabled (see src/nn/CMakeLists.txt), so the loop calls the
+          // vectorized libmvec kernel; expf(-inf) = 0 handles masked
+          // positions exactly like the reference softmax.
+          float sum = 0.0F;
+#pragma omp simd reduction(+ : sum)
+          for (std::int64_t j = 0; j < lk; ++j) {
+            const float e = ::expf(srow[j] - mx);
+            srow[j] = e;
+            sum += e;
+          }
+          const float inv = 1.0F / sum;
+          float* oi = ob + i * dim;
+          for (std::int64_t d = 0; d < dh; ++d) {
+            const float* vtd = vt.data() + d * lk;
+            float ctx = 0.0F;
+#pragma omp simd reduction(+ : ctx)
+            for (std::int64_t j = 0; j < lk; ++j) ctx += srow[j] * vtd[j];
+            oi[d] = ctx * inv;
+          }
+        }
+      },
+      grain);
+}
+
+}  // namespace deepbat::nn::kernels

@@ -1,0 +1,68 @@
+#pragma once
+// Hand-optimized float kernels for the hot paths of the surrogate model:
+// a cache-blocked, register-tiled GEMM (used by every matmul forward and
+// backward) and a fused scaled-dot-product attention that never
+// materializes the [B, H, Lq, Lk] score tensor.
+//
+// Determinism contract: for a fixed input, every kernel produces
+// bit-identical output regardless of the number of OpenMP threads. This
+// holds because each output element is computed by exactly one task and the
+// accumulation order within an element never depends on the thread count.
+//
+// The naive reference kernels (the seed implementations) stay available for
+// golden-value tests and for the regression harness's before/after
+// comparison; `set_reference_mode(true)` routes the optimized entry points
+// back to them at runtime.
+
+#include <cstdint>
+
+namespace deepbat::nn::kernels {
+
+/// When true, gemm() falls through to gemm_naive() and fused attention is
+/// disabled (attention.cpp checks this). Used by bench/nn_kernels and the
+/// golden tests to time/compare the seed kernels inside the full model.
+void set_reference_mode(bool on);
+bool reference_mode();
+
+/// Reference kernel: C[m,n] = A * B (optionally transposed operands),
+/// accumulating into C when `accumulate` is set. A is [m,k] row-major, or
+/// [k,m] when trans_a; B is [k,n] row-major, or [n,k] when trans_b.
+/// This is the seed's triple loop, kept verbatim as ground truth.
+void gemm_naive(const float* A, const float* B, float* C, std::int64_t m,
+                std::int64_t k, std::int64_t n, bool trans_a, bool trans_b,
+                bool accumulate);
+
+/// Optimized GEMM with the same semantics as gemm_naive: packs transposed
+/// operands into contiguous panels, register-tiles the inner j-loop
+/// (kMr x kNr accumulator tiles), and parallelizes over row blocks with a
+/// flop-derived grain.
+void gemm(const float* A, const float* B, float* C, std::int64_t m,
+          std::int64_t k, std::int64_t n, bool trans_a, bool trans_b,
+          bool accumulate);
+
+/// Fused scaled-dot-product attention over head-split projections stored
+/// inline in [*, L, dim] tensors (head h occupies columns
+/// [h*dh, (h+1)*dh), dh = dim / heads):
+///
+///   out[b, i, h*dh:*] = sum_j softmax_j(scale * q[b,i,h]·k[b,j,h]
+///                                       + mask[i,j]) * v[b, j, h*dh:*]
+///
+/// Softmax is computed row-streaming (max-subtract, exp, normalize in one
+/// pass over a single Lk-length row buffer); the [B, H, Lq, Lk] score
+/// tensor is never materialized. `mask`, if non-null, is an additive
+/// [lq, lk] row-major matrix shared across batch and heads.
+void fused_sdpa(const float* q, const float* k, const float* v, float* out,
+                std::int64_t batch, std::int64_t lq, std::int64_t lk,
+                std::int64_t heads, std::int64_t dim, float scale,
+                const float* mask = nullptr);
+
+// Blocking parameters, exposed so tests can probe the edge cases around
+// them (shapes that are not multiples of the tile sizes).
+inline constexpr std::int64_t kMr = 4;         // rows per register tile
+inline constexpr std::int64_t kNr = 16;        // columns per register tile
+inline constexpr std::int64_t kRowBlock = 64;  // rows per parallel task unit
+/// Minimum flops a parallel task should amortize; grains are derived from
+/// this so tiny GEMMs never pay the fork/join overhead.
+inline constexpr std::int64_t kMinFlopsPerTask = 1 << 16;
+
+}  // namespace deepbat::nn::kernels

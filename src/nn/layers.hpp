@@ -49,6 +49,10 @@ class Dropout : public Module {
 
   Var forward(const Var& x);
 
+  /// True when forward() actually masks (training mode and p > 0); fused
+  /// kernels must fall back to the composed path in that case.
+  bool is_active() const { return p_ > 0.0F && training(); }
+
  private:
   float p_;
   Rng rng_;

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "nn/kernels.hpp"
 
 namespace deepbat::nn {
 
@@ -59,8 +60,12 @@ Var binary_suffix_op(const Var& a, const Var& b, Fwd fwd, DfDx dfdx, DfDy dfdy,
   const float* ap = av.data();
   const float* bp = bv.data();
   float* op = out.data();
-  for (std::int64_t i = 0; i < n; ++i) {
-    op[i] = fwd(ap[i], bp[i % inner]);
+  // Suffix broadcast means n is an exact multiple of inner: iterate in
+  // blocks instead of paying an integer modulo per element.
+  for (std::int64_t base = 0; base < n; base += inner) {
+    for (std::int64_t j = 0; j < inner; ++j) {
+      op[base + j] = fwd(ap[base + j], bp[j]);
+    }
   }
   return make_node(
       std::move(out), {a, b},
@@ -117,29 +122,12 @@ Var unary_op(const Var& a, Fwd fwd, Dfdx dfdx, const char* name) {
       name);
 }
 
-/// Plain (non-autograd) matmul kernel: C[mxn] = A[mxk] * B[kxn], with
-/// optional accumulation into C and optional transposes.
-void gemm(const float* A, const float* B, float* C, std::int64_t m,
-          std::int64_t k, std::int64_t n, bool transA, bool transB,
-          bool accumulate) {
-  if (!accumulate) std::fill(C, C + m * n, 0.0F);
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t l = 0; l < k; ++l) {
-      const float aval = transA ? A[l * m + i] : A[i * k + l];
-      if (aval == 0.0F) continue;
-      const float* brow = transB ? nullptr : B + l * n;
-      float* crow = C + i * n;
-      if (transB) {
-        for (std::int64_t j = 0; j < n; ++j) {
-          crow[j] += aval * B[j * k + l];
-        }
-      } else {
-        for (std::int64_t j = 0; j < n; ++j) {
-          crow[j] += aval * brow[j];
-        }
-      }
-    }
-  }
+/// Grain for a parallel loop whose iterations each cost `flops_per_item`
+/// floating-point operations: enough items per task to amortize fork/join.
+std::size_t flops_grain(std::int64_t flops_per_item) {
+  return static_cast<std::size_t>(std::max<std::int64_t>(
+      1, kernels::kMinFlopsPerTask /
+             std::max<std::int64_t>(flops_per_item, 1)));
 }
 
 struct MatmulDims {
@@ -226,14 +214,20 @@ Var matmul(const Var& a, const Var& b) {
   const float* ap = av.data();
   const float* bp = bv.data();
   float* op = out.data();
-  parallel_for(
-      static_cast<std::size_t>(d.batch),
-      [&](std::size_t bi) {
-        const float* bmat = d.shared_b ? bp : bp + bi * d.k * d.n;
-        gemm(ap + bi * d.m * d.k, bmat, op + bi * d.m * d.n, d.m, d.k, d.n,
-             false, false, false);
-      },
-      /*grain=*/4);
+  if (d.shared_b) {
+    // Weight matmul: the whole batch collapses into one [batch*m, k] x
+    // [k, n] product, letting the kernel parallelize over row blocks.
+    kernels::gemm(ap, bp, op, d.batch * d.m, d.k, d.n, false, false, false);
+  } else {
+    parallel_for(
+        static_cast<std::size_t>(d.batch),
+        [&](std::size_t bi) {
+          kernels::gemm(ap + bi * d.m * d.k, bp + bi * d.k * d.n,
+                        op + bi * d.m * d.n, d.m, d.k, d.n, false, false,
+                        false);
+        },
+        flops_grain(2 * d.m * d.k * d.n));
+  }
 
   return make_node(
       std::move(out), {a, b},
@@ -242,43 +236,45 @@ Var matmul(const Var& a, const Var& b) {
         const float* ap2 = a->value.data();
         const float* bp2 = b->value.data();
         if (a->requires_grad) {
-          // dA = dC * B^T, per batch.
+          // dA = dC * B^T, per batch (one collapsed product when B is
+          // shared across the batch).
           Tensor ga(a->value.shape());
           float* gap = ga.data();
-          parallel_for(
-              static_cast<std::size_t>(d.batch),
-              [&](std::size_t bi) {
-                const float* bmat = d.shared_b ? bp2 : bp2 + bi * d.k * d.n;
-                gemm(g + bi * d.m * d.n, bmat, gap + bi * d.m * d.k, d.m, d.n,
-                     d.k, false, true, false);
-              },
-              4);
-          a->accumulate_grad(ga);
-        }
-        if (b->requires_grad) {
           if (d.shared_b) {
-            // dB = sum_batches A^T * dC. Serial accumulation keeps this
-            // deterministic (k x n is small for our models).
-            Tensor gb(b->value.shape());
-            float* gbp = gb.data();
-            for (std::int64_t bi = 0; bi < d.batch; ++bi) {
-              gemm(ap2 + bi * d.m * d.k, g + bi * d.m * d.n, gbp, d.k, d.m,
-                   d.n, true, false, true);
-            }
-            b->accumulate_grad(gb);
+            kernels::gemm(g, bp2, gap, d.batch * d.m, d.n, d.k, false, true,
+                          false);
           } else {
-            Tensor gb(b->value.shape());
-            float* gbp = gb.data();
             parallel_for(
                 static_cast<std::size_t>(d.batch),
                 [&](std::size_t bi) {
-                  gemm(ap2 + bi * d.m * d.k, g + bi * d.m * d.n,
-                       gbp + bi * d.k * d.n, d.k, d.m, d.n, true, false,
-                       false);
+                  kernels::gemm(g + bi * d.m * d.n, bp2 + bi * d.k * d.n,
+                                gap + bi * d.m * d.k, d.m, d.n, d.k, false,
+                                true, false);
                 },
-                4);
-            b->accumulate_grad(gb);
+                flops_grain(2 * d.m * d.n * d.k));
           }
+          a->accumulate_grad(ga);
+        }
+        if (b->requires_grad) {
+          Tensor gb(b->value.shape());
+          float* gbp = gb.data();
+          if (d.shared_b) {
+            // dB = sum_batches A_b^T * dC_b = A_flat^T [k, batch*m] *
+            // dC_flat [batch*m, n]: a single transposed product whose inner
+            // reduction order is fixed, so it stays deterministic.
+            kernels::gemm(ap2, g, gbp, d.k, d.batch * d.m, d.n, true, false,
+                          false);
+          } else {
+            parallel_for(
+                static_cast<std::size_t>(d.batch),
+                [&](std::size_t bi) {
+                  kernels::gemm(ap2 + bi * d.m * d.k, g + bi * d.m * d.n,
+                                gbp + bi * d.k * d.n, d.k, d.m, d.n, true,
+                                false, false);
+                },
+                flops_grain(2 * d.k * d.m * d.n));
+          }
+          b->accumulate_grad(gb);
         }
       },
       "matmul");

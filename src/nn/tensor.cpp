@@ -1,10 +1,12 @@
 #include "nn/tensor.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "nn/arena.hpp"
 
 namespace deepbat::nn {
 
@@ -30,18 +32,29 @@ std::string shape_to_string(const Shape& shape) {
 
 Tensor::Tensor() : Tensor(Shape{}) {}
 
+void Tensor::allocate_storage() {
+  if (arena::in_scope()) {
+    data_ = arena::allocate(numel_);
+    std::fill(data_, data_ + numel_, 0.0F);
+  } else {
+    heap_ = std::make_shared<std::vector<float>>(
+        static_cast<std::size_t>(numel_), 0.0F);
+    data_ = heap_->data();
+  }
+}
+
 Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)),
-      numel_(shape_numel(shape_)),
-      storage_(std::make_shared<std::vector<float>>(
-          static_cast<std::size_t>(numel_), 0.0F)) {}
+    : shape_(std::move(shape)), numel_(shape_numel(shape_)) {
+  allocate_storage();
+}
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
     : shape_(std::move(shape)), numel_(shape_numel(shape_)) {
   DEEPBAT_CHECK(static_cast<std::int64_t>(data.size()) == numel_,
                 "Tensor: data size " + std::to_string(data.size()) +
                     " does not match shape " + shape_to_string(shape_));
-  storage_ = std::make_shared<std::vector<float>>(std::move(data));
+  heap_ = std::make_shared<std::vector<float>>(std::move(data));
+  data_ = heap_->data();
 }
 
 Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
@@ -83,7 +96,7 @@ std::int64_t Tensor::dim(std::int64_t i) const {
 
 float& Tensor::at(std::int64_t i) {
   DEEPBAT_CHECK(ndim() == 1 && i >= 0 && i < shape_[0], "at(i): bad index");
-  return (*storage_)[static_cast<std::size_t>(i)];
+  return data_[i];
 }
 
 float Tensor::at(std::int64_t i) const {
@@ -94,7 +107,7 @@ float& Tensor::at(std::int64_t i, std::int64_t j) {
   DEEPBAT_CHECK(ndim() == 2, "at(i,j) on non-2D tensor");
   DEEPBAT_CHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1],
                 "at(i,j): index out of range");
-  return (*storage_)[static_cast<std::size_t>(i * shape_[1] + j)];
+  return data_[i * shape_[1] + j];
 }
 
 float Tensor::at(std::int64_t i, std::int64_t j) const {
@@ -106,8 +119,7 @@ float& Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k) {
   DEEPBAT_CHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] && k >= 0 &&
                     k < shape_[2],
                 "at(i,j,k): index out of range");
-  return (*storage_)[static_cast<std::size_t>((i * shape_[1] + j) * shape_[2] +
-                                              k)];
+  return data_[(i * shape_[1] + j) * shape_[2] + k];
 }
 
 float Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k) const {
@@ -120,8 +132,7 @@ float& Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k,
   DEEPBAT_CHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] && k >= 0 &&
                     k < shape_[2] && l >= 0 && l < shape_[3],
                 "at(i,j,k,l): index out of range");
-  return (*storage_)[static_cast<std::size_t>(
-      ((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l)];
+  return data_[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
 }
 
 float Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k,
@@ -136,15 +147,14 @@ Tensor Tensor::reshape(Shape new_shape) const {
   Tensor t;
   t.shape_ = std::move(new_shape);
   t.numel_ = numel_;
-  t.storage_ = storage_;
+  t.data_ = data_;
+  t.heap_ = heap_;
   return t;
 }
 
 Tensor Tensor::clone() const {
-  Tensor t;
-  t.shape_ = shape_;
-  t.numel_ = numel_;
-  t.storage_ = std::make_shared<std::vector<float>>(*storage_);
+  Tensor t(shape_);
+  std::copy(data_, data_ + numel_, t.data_);
   return t;
 }
 

@@ -8,6 +8,9 @@
 //    mutate parameter storage in place (between graph constructions).
 //  * Shapes use int64_t to match the conventions of mainstream frameworks
 //    and to keep index arithmetic overflow-safe.
+//  * Storage is heap-backed (shared, refcounted) by default. Inside an
+//    arena::Scope (see nn/arena.hpp) fresh tensors bump-allocate from the
+//    thread-local arena instead and must not outlive the scope.
 
 #include <cstdint>
 #include <initializer_list>
@@ -56,8 +59,8 @@ class Tensor {
   std::int64_t dim(std::int64_t i) const;
   std::int64_t numel() const { return numel_; }
 
-  float* data() { return storage_->data(); }
-  const float* data() const { return storage_->data(); }
+  float* data() { return data_; }
+  const float* data() const { return data_; }
   std::span<float> flat() { return {data(), static_cast<std::size_t>(numel_)}; }
   std::span<const float> flat() const {
     return {data(), static_cast<std::size_t>(numel_)};
@@ -98,10 +101,21 @@ class Tensor {
 
   std::string to_string(int max_per_dim = 8) const;
 
+  /// True if this tensor's storage lives in the thread-local arena (and
+  /// therefore dies when the enclosing arena::Scope exits).
+  bool arena_backed() const { return data_ != nullptr && heap_ == nullptr; }
+
  private:
+  /// Allocate storage for numel_ floats (zero-initialized): arena-backed
+  /// when the calling thread has an active arena scope, heap otherwise.
+  void allocate_storage();
+
   Shape shape_;
   std::int64_t numel_ = 1;
-  std::shared_ptr<std::vector<float>> storage_;
+  float* data_ = nullptr;
+  /// Owning heap buffer; null when the data lives in an arena (the arena
+  /// outlives the tensor by the Scope lifetime rules).
+  std::shared_ptr<std::vector<float>> heap_;
 };
 
 }  // namespace deepbat::nn

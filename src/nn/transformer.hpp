@@ -44,6 +44,7 @@ class TransformerEncoderLayer : public Module {
   Var forward(const Var& x, const Var& mask = nullptr);
 
   MultiHeadAttention& self_attention() { return attn_; }
+  const MultiHeadAttention& self_attention() const { return attn_; }
 
  private:
   MultiHeadAttention attn_;
@@ -65,7 +66,12 @@ class TransformerEncoder : public Module {
   std::int64_t num_layers() const {
     return static_cast<std::int64_t>(layers_.size());
   }
-  TransformerEncoderLayer& layer(std::int64_t i) { return *layers_[static_cast<std::size_t>(i)]; }
+  TransformerEncoderLayer& layer(std::int64_t i) {
+    return *layers_[static_cast<std::size_t>(i)];
+  }
+  const TransformerEncoderLayer& layer(std::int64_t i) const {
+    return *layers_[static_cast<std::size_t>(i)];
+  }
 
  private:
   std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;

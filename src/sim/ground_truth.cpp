@@ -33,7 +33,7 @@ GroundTruthResult ground_truth_search(std::span<const double> arrivals,
       [&](std::size_t i) {
         return evaluate_config(arrivals, configs[i], model, slo_s, percentile);
       },
-      /*grain=*/8);
+      /*grain=*/1);  // each item replays the whole arrival trace — always split
   for (const auto& eval : result.table) {
     if (!eval.feasible) continue;
     if (!result.best.has_value() ||
