@@ -3,6 +3,7 @@
 // functions); this bench injects cold starts into the platform and measures
 // how much headroom each system's configurations actually have. It doubles
 // as a robustness check of the gamma safety margin.
+#include <algorithm>
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -10,15 +11,18 @@
 
 using namespace deepbat;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_replay_args(
+      argc, argv, bench::replay_defaults(0.1, 13.0, 1234));
   bench::preamble("Failure injection — cold starts",
                   "P95 / VCR under cold-start probabilities "
                   "{0, 0.01, 0.05, 0.1}; DeepBAT on Azure-like traffic");
   bench::Fixture fx;
-  const double slo = 0.1;
-  const workload::Trace& trace = fx.azure(13.0);
+  const double slo = args.slo_s;
+  const double hours = std::max(args.hours, 13.0);
+  const workload::Trace& trace = fx.azure(hours);
   const workload::Trace serve = trace.slice(12.0 * 3600.0, 12.5 * 3600.0);
-  core::Surrogate& surrogate = fx.pretrained();
+  const core::Surrogate& surrogate = fx.pretrained();
 
   Table t({"cold_p", "p95_ms", "vcr_pct", "cost_usd_per_req",
            "mean_batch"});
@@ -30,8 +34,8 @@ int main() {
     core::DeepBatController controller(
         surrogate, fx.controller_options(slo, fx.pretrained_gamma()));
     sim::PlatformOptions popts;
-    popts.control_interval_s = 30.0;
-    popts.cold_start_seed = 1234;  // enables the injection path
+    popts.control_interval_s = args.control_interval_s;
+    popts.cold_start_seed = args.cold_start_seed;  // enables the injection
     const auto run = sim::run_platform(serve, controller, injected,
                                        {1024, 1, 0.0}, popts);
     core::VcrOptions vopts;
@@ -50,5 +54,9 @@ int main() {
               "— at high cold-start rates the P95 blows past the SLO no "
               "matter the configuration, motivating the gamma margin and, "
               "beyond this reproduction, cold-start-aware surrogates.\n");
+
+  bench::JsonReport report("abl_cold_start");
+  report.add("cold_start_sweep", t);
+  report.write(args.json_path);
   return 0;
 }

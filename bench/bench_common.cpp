@@ -2,7 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <ostream>
 
+#include "common/cli.hpp"
 #include "common/error.hpp"
 #include "nn/serialize.hpp"
 
@@ -213,6 +216,95 @@ void preamble(const std::string& figure, const std::string& description) {
   std::printf("=====================================================\n");
   std::printf("%s\n%s\n", figure.c_str(), description.c_str());
   std::printf("=====================================================\n");
+}
+
+ReplayArgs parse_replay_args(int argc, const char* const* argv,
+                             ReplayArgs defaults) {
+  try {
+    const CliFlags flags(argc, argv);
+    flags.check_known({"slo", "hours", "interval", "cold-seed", "json"});
+    defaults.slo_s = flags.get_double("slo", defaults.slo_s);
+    defaults.hours = flags.get_double("hours", defaults.hours);
+    defaults.control_interval_s =
+        flags.get_double("interval", defaults.control_interval_s);
+    defaults.cold_start_seed = static_cast<std::uint64_t>(flags.get_int(
+        "cold-seed", static_cast<std::int64_t>(defaults.cold_start_seed)));
+    defaults.json_path = flags.get("json", defaults.json_path);
+    DEEPBAT_CHECK(defaults.slo_s > 0.0, "replay args: --slo must be positive");
+    DEEPBAT_CHECK(defaults.control_interval_s > 0.0,
+                  "replay args: --interval must be positive");
+  } catch (const Error& e) {
+    std::fprintf(stderr,
+                 "%s\nusage: %s [--slo S] [--hours H] [--interval S] "
+                 "[--cold-seed N] [--json PATH]\n",
+                 e.what(), argc > 0 ? argv[0] : "bench");
+    std::exit(2);
+  }
+  return defaults;
+}
+
+namespace {
+
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+void json_table(std::ostream& os, const Table& table) {
+  os << "{\"header\": [";
+  for (std::size_t i = 0; i < table.header().size(); ++i) {
+    if (i > 0) os << ", ";
+    json_string(os, table.header()[i]);
+  }
+  os << "], \"rows\": [";
+  for (std::size_t r = 0; r < table.data().size(); ++r) {
+    if (r > 0) os << ", ";
+    os << '[';
+    const auto& row = table.data()[r];
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ", ";
+      json_string(os, row[i]);
+    }
+    os << ']';
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+void JsonReport::add(const std::string& key, const Table& table) {
+  tables_.emplace_back(key, &table);
+}
+
+void JsonReport::add_scalar(const std::string& key, double value) {
+  scalars_.emplace_back(key, value);
+}
+
+void JsonReport::write(const std::string& path) const {
+  if (path.empty()) return;
+  std::ofstream os(path);
+  DEEPBAT_CHECK(os.good(), "JsonReport: cannot open " + path);
+  os << "{\"bench\": ";
+  json_string(os, bench_);
+  os << ",\n \"scalars\": {";
+  for (std::size_t i = 0; i < scalars_.size(); ++i) {
+    if (i > 0) os << ", ";
+    json_string(os, scalars_[i].first);
+    os << ": " << scalars_[i].second;
+  }
+  os << "},\n \"tables\": {";
+  for (std::size_t i = 0; i < tables_.size(); ++i) {
+    if (i > 0) os << ",\n   ";
+    json_string(os, tables_[i].first);
+    os << ": ";
+    json_table(os, *tables_[i].second);
+  }
+  os << "}}\n";
+  std::printf("[json] wrote %s\n", path.c_str());
 }
 
 }  // namespace deepbat::bench

@@ -14,7 +14,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/table.hpp"
 #include "core/deepbat.hpp"
 
 namespace deepbat::bench {
@@ -85,5 +88,55 @@ class Fixture {
 
 /// Print the standard bench preamble (what is being reproduced).
 void preamble(const std::string& figure, const std::string& description);
+
+/// Standard CLI shared by every replay bench. Each bench seeds the struct
+/// with its figure's defaults and overrides from argv:
+///   --slo <seconds>      SLO target (figure default, usually 0.1)
+///   --hours <h>          trace horizon (benches clamp to their minimum)
+///   --interval <seconds> control interval (default 30)
+///   --cold-seed <n>      cold-start injection seed (0 = warm platform)
+///   --json <path>        also emit the bench's tables as one JSON document
+struct ReplayArgs {
+  double slo_s = 0.1;
+  double hours = 0.0;
+  double control_interval_s = 30.0;
+  std::uint64_t cold_start_seed = 0;
+  std::string json_path;
+};
+
+/// Parse the standard replay flags over per-figure defaults. Unknown flags
+/// are an error (CliFlags semantics), so every replay bench exposes exactly
+/// the same surface.
+ReplayArgs parse_replay_args(int argc, const char* const* argv,
+                             ReplayArgs defaults);
+
+/// Per-figure defaults for parse_replay_args.
+inline ReplayArgs replay_defaults(double slo_s = 0.1, double hours = 0.0,
+                                  std::uint64_t cold_start_seed = 0) {
+  ReplayArgs args;
+  args.slo_s = slo_s;
+  args.hours = hours;
+  args.cold_start_seed = cold_start_seed;
+  return args;
+}
+
+/// Machine-readable bench output: named tables collected during the run,
+/// written as one JSON document when --json was given (no-op otherwise).
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  void add(const std::string& key, const Table& table);
+  void add_scalar(const std::string& key, double value);
+
+  /// Write {"bench": ..., "scalars": {...}, "tables": {...}}; no-op when
+  /// `path` is empty.
+  void write(const std::string& path) const;
+
+ private:
+  std::string bench_;
+  std::vector<std::pair<std::string, double>> scalars_;
+  std::vector<std::pair<std::string, const Table*>> tables_;
+};
 
 }  // namespace deepbat::bench

@@ -10,12 +10,14 @@
 
 using namespace deepbat;
 
-int main() {
+int main(int argc, char** argv) {
+  // Standard replay CLI; only --slo and --json apply to this snapshot.
+  const auto args = bench::parse_replay_args(argc, argv, bench::replay_defaults(0.1));
   bench::preamble("Fig. 6 — Azure cost snapshot (19:40-19:50)",
                   "cost/req of BATCH vs DeepBAT vs ground truth per minute; "
-                  "SLO 0.1 s @ P95");
+                  "SLO " + fmt(args.slo_s, 2) + " s @ P95");
   bench::Fixture fx;
-  const double slo = 0.1;
+  const double slo = args.slo_s;
   const workload::Trace& trace = fx.azure(20.0);
   core::Surrogate& surrogate = fx.pretrained();
 
@@ -92,5 +94,9 @@ int main() {
               batch_viol, deepbat_viol);
   std::printf("Expected shape: both close to ground truth, DeepBAT's cost "
               "<= BATCH's in the minutes where the workload drifted.\n");
+
+  bench::JsonReport report("fig06_azure_cost");
+  report.add("minutes", t);
+  report.write(args.json_path);
   return 0;
 }

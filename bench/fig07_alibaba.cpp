@@ -7,24 +7,28 @@
 
 using namespace deepbat;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_replay_args(
+      argc, argv, bench::replay_defaults(0.1, 6.0));
   bench::preamble("Fig. 7 — Alibaba hour 5-6",
                   "windowed P95 latency and cost/req: BATCH vs fine-tuned "
-                  "DeepBAT; SLO 0.1 s");
+                  "DeepBAT; SLO " + fmt(args.slo_s, 2) + " s");
   bench::Fixture fx;
-  const double slo = 0.1;
-  const workload::Trace& trace = fx.alibaba(6.0);
+  const double slo = args.slo_s;
+  const double hours = std::max(args.hours, 6.0);
+  const workload::Trace& trace = fx.alibaba(hours);
   const auto ft = fx.finetuned("alibaba", trace);
 
-  // Serve hours 1-6 (hour 0 is the fine-tune / first-fit window).
-  const workload::Trace serve = trace.slice(3600.0, 6.0 * 3600.0);
-  const auto replay = bench::run_head_to_head(fx, serve, *ft.surrogate,
-                                              ft.gamma, slo);
+  // Serve hours 1..end (hour 0 is the fine-tune / first-fit window).
+  const workload::Trace serve = trace.slice(3600.0, hours * 3600.0);
+  const auto replay =
+      bench::run_head_to_head(fx, serve, *ft.surrogate, ft.gamma, slo, args);
 
   print_banner(std::cout, "hour 5-6, 5-minute windows");
-  bench::print_latency_cost_window(replay.batch.result, replay.deepbat.result,
-                                   5.0 * 3600.0, 6.0 * 3600.0, 300.0, slo,
-                                   std::cout);
+  const Table windows = bench::latency_cost_window_table(
+      replay.batch.result, replay.deepbat.result, 5.0 * 3600.0, 6.0 * 3600.0,
+      300.0, slo);
+  windows.print(std::cout);
 
   const auto wb = bench::window_stats(replay.batch.result, 5.0 * 3600.0,
                                       6.0 * 3600.0);
@@ -36,5 +40,11 @@ int main() {
               wd.p95_latency * 1e3, wd.cost_per_request, slo * 1e3);
   std::printf("Expected shape: BATCH exceeds the SLO in burst windows; "
               "DeepBAT stays under it at somewhat higher cost.\n");
+
+  const Table summary = bench::replay_summary_table(replay, slo);
+  bench::JsonReport report("fig07_alibaba");
+  report.add("windows", windows);
+  report.add("summary", summary);
+  report.write(args.json_path);
   return 0;
 }

@@ -8,38 +8,47 @@
 
 using namespace deepbat;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_replay_args(
+      argc, argv, bench::replay_defaults(0.1, 13.0));
   bench::preamble("Fig. 8 — hourly VCR, Alibaba (12 h)",
                   "BATCH vs DeepBAT (fine-tuned) vs DeepBAT (pretrained, "
-                  "no fine-tune); SLO 0.1 s");
+                  "no fine-tune); SLO " + fmt(args.slo_s, 2) + " s");
   bench::Fixture fx;
-  const double slo = 0.1;
-  const workload::Trace& trace = fx.alibaba(13.0);
+  const double slo = args.slo_s;
+  const double hours = std::max(args.hours, 7.0);
+  const auto vcr_hours = static_cast<std::size_t>(hours - 1.0);
+  const workload::Trace& trace = fx.alibaba(hours);
   const auto ft = fx.finetuned("alibaba", trace);
 
-  const workload::Trace serve = trace.slice(3600.0, 13.0 * 3600.0);
+  const workload::Trace serve = trace.slice(3600.0, hours * 3600.0);
   const auto replay =
-      bench::run_head_to_head(fx, serve, *ft.surrogate, ft.gamma, slo);
+      bench::run_head_to_head(fx, serve, *ft.surrogate, ft.gamma, slo, args);
 
   // Third system: pretrained DeepBAT, no fine-tuning, no gamma margin.
   core::DeepBatController pre(fx.pretrained(), fx.controller_options(slo, 0.0));
   sim::PlatformOptions popts;
-  popts.control_interval_s = 30.0;
+  popts.control_interval_s = args.control_interval_s;
+  popts.cold_start_seed = args.cold_start_seed;
   std::printf("[replay] DeepBAT (pretrained, no fine-tune)...\n");
   const auto run_pre =
       sim::run_platform(serve, pre, fx.model(), {1024, 1, 0.0}, popts);
 
   print_banner(std::cout, "hourly VCR (%)");
-  bench::print_hourly_vcr({{"batch", &replay.batch.result},
-                           {"deepbat_ft", &replay.deepbat.result},
-                           {"deepbat_pre", &run_pre.result}},
-                          3600.0, 12, slo, std::cout);
+  const Table vcr_table = bench::hourly_vcr_table(
+      {{"batch", &replay.batch.result},
+       {"deepbat_ft", &replay.deepbat.result},
+       {"deepbat_pre", &run_pre.result}},
+      3600.0, vcr_hours, slo);
+  vcr_table.print(std::cout);
 
   core::VcrOptions vopts;
   vopts.slo_s = slo;
-  const auto vb = core::hourly_vcr(replay.batch.result, 3600.0, 12, vopts);
-  const auto vf = core::hourly_vcr(replay.deepbat.result, 3600.0, 12, vopts);
-  const auto vp = core::hourly_vcr(run_pre.result, 3600.0, 12, vopts);
+  const auto vb = core::hourly_vcr(replay.batch.result, 3600.0, vcr_hours,
+                                   vopts);
+  const auto vf = core::hourly_vcr(replay.deepbat.result, 3600.0, vcr_hours,
+                                   vopts);
+  const auto vp = core::hourly_vcr(run_pre.result, 3600.0, vcr_hours, vopts);
   std::printf(
       "\nhours 4/5 (paper text: BATCH 65.9/65.12, DeepBAT-FT 2.27/4.65, "
       "DeepBAT-pre 14.18/17.06 %%):\n  BATCH %.2f/%.2f  DeepBAT-FT "
@@ -48,16 +57,23 @@ int main() {
   double mb = 0.0;
   double mf = 0.0;
   double mp = 0.0;
-  for (std::size_t h = 0; h < 12; ++h) {
+  for (std::size_t h = 0; h < vcr_hours; ++h) {
     mb += vb[h];
     mf += vf[h];
     mp += vp[h];
   }
-  std::printf("12-hour mean VCR: BATCH %.2f%%, DeepBAT-FT %.2f%%, "
-              "DeepBAT-pre %.2f%%\n", mb / 12.0, mf / 12.0, mp / 12.0);
+  const auto n = static_cast<double>(vcr_hours);
+  std::printf("%zu-hour mean VCR: BATCH %.2f%%, DeepBAT-FT %.2f%%, "
+              "DeepBAT-pre %.2f%%\n", vcr_hours, mb / n, mf / n, mp / n);
   std::printf("decision cost: DeepBAT %.2f ms/decision, BATCH %.2f "
               "s/refit\n",
               replay.deepbat_ms_per_decision, replay.batch_seconds_per_refit);
   std::printf("Expected shape: BATCH >> DeepBAT-pre > DeepBAT-FT.\n");
+
+  const Table summary = bench::replay_summary_table(replay, slo);
+  bench::JsonReport report("fig08_vcr_alibaba");
+  report.add("hourly_vcr", vcr_table);
+  report.add("summary", summary);
+  report.write(args.json_path);
   return 0;
 }

@@ -6,23 +6,27 @@
 
 using namespace deepbat;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_replay_args(
+      argc, argv, bench::replay_defaults(0.1, 4.0));
   bench::preamble("Fig. 9 — synthetic (MAP) hour 3-4",
                   "windowed P95 latency and cost/req: BATCH vs fine-tuned "
-                  "DeepBAT; SLO 0.1 s");
+                  "DeepBAT; SLO " + fmt(args.slo_s, 2) + " s");
   bench::Fixture fx;
-  const double slo = 0.1;
-  const workload::Trace& trace = fx.synthetic(4.0);
+  const double slo = args.slo_s;
+  const double hours = std::max(args.hours, 4.0);
+  const workload::Trace& trace = fx.synthetic(hours);
   const auto ft = fx.finetuned("synthetic", trace);
 
-  const workload::Trace serve = trace.slice(3600.0, 4.0 * 3600.0);
+  const workload::Trace serve = trace.slice(3600.0, hours * 3600.0);
   const auto replay =
-      bench::run_head_to_head(fx, serve, *ft.surrogate, ft.gamma, slo);
+      bench::run_head_to_head(fx, serve, *ft.surrogate, ft.gamma, slo, args);
 
   print_banner(std::cout, "hour 3-4, 5-minute windows");
-  bench::print_latency_cost_window(replay.batch.result, replay.deepbat.result,
-                                   3.0 * 3600.0, 4.0 * 3600.0, 300.0, slo,
-                                   std::cout);
+  const Table windows = bench::latency_cost_window_table(
+      replay.batch.result, replay.deepbat.result, 3.0 * 3600.0, 4.0 * 3600.0,
+      300.0, slo);
+  windows.print(std::cout);
 
   const auto wb =
       bench::window_stats(replay.batch.result, 3.0 * 3600.0, 4.0 * 3600.0);
@@ -34,5 +38,11 @@ int main() {
               wd.p95_latency * 1e3, wd.cost_per_request, slo * 1e3);
   std::printf("Expected shape: qualitatively as Fig. 7 — fewer DeepBAT "
               "violations, at somewhat higher cost.\n");
+
+  const Table summary = bench::replay_summary_table(replay, slo);
+  bench::JsonReport report("fig09_synthetic");
+  report.add("windows", windows);
+  report.add("summary", summary);
+  report.write(args.json_path);
   return 0;
 }

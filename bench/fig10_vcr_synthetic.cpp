@@ -6,34 +6,48 @@
 
 using namespace deepbat;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_replay_args(
+      argc, argv, bench::replay_defaults(0.1, 13.0));
   bench::preamble("Fig. 10 — hourly VCR, synthetic MAP trace (12 h)",
-                  "BATCH vs fine-tuned DeepBAT; SLO 0.1 s");
+                  "BATCH vs fine-tuned DeepBAT; SLO " + fmt(args.slo_s, 2) +
+                  " s");
   bench::Fixture fx;
-  const double slo = 0.1;
-  const workload::Trace& trace = fx.synthetic(13.0);
+  const double slo = args.slo_s;
+  const double hours = std::max(args.hours, 2.0);
+  const auto vcr_hours = static_cast<std::size_t>(hours - 1.0);
+  const workload::Trace& trace = fx.synthetic(hours);
   const auto ft = fx.finetuned("synthetic", trace);
 
-  const workload::Trace serve = trace.slice(3600.0, 13.0 * 3600.0);
+  const workload::Trace serve = trace.slice(3600.0, hours * 3600.0);
   const auto replay =
-      bench::run_head_to_head(fx, serve, *ft.surrogate, ft.gamma, slo);
+      bench::run_head_to_head(fx, serve, *ft.surrogate, ft.gamma, slo, args);
 
   print_banner(std::cout, "hourly VCR (%)");
-  bench::print_hourly_vcr({{"batch", &replay.batch.result},
-                           {"deepbat", &replay.deepbat.result}},
-                          3600.0, 12, slo, std::cout);
+  const Table vcr_table =
+      bench::hourly_vcr_table({{"batch", &replay.batch.result},
+                               {"deepbat", &replay.deepbat.result}},
+                              3600.0, vcr_hours, slo);
+  vcr_table.print(std::cout);
 
   core::VcrOptions vopts;
   vopts.slo_s = slo;
-  const double vb = core::vcr(replay.batch.result, 3600.0, 13.0 * 3600.0,
-                              vopts);
-  const double vd = core::vcr(replay.deepbat.result, 3600.0, 13.0 * 3600.0,
-                              vopts);
-  std::printf("\n12-hour VCR: BATCH %.2f%%, DeepBAT %.2f%%\n", vb, vd);
+  const double vb =
+      core::vcr(replay.batch.result, 3600.0, hours * 3600.0, vopts);
+  const double vd =
+      core::vcr(replay.deepbat.result, 3600.0, hours * 3600.0, vopts);
+  std::printf("\n%zu-hour VCR: BATCH %.2f%%, DeepBAT %.2f%%\n", vcr_hours,
+              vb, vd);
   std::printf("cost: BATCH %.3g $/req, DeepBAT %.3g $/req\n",
               replay.batch.result.cost_per_request(),
               replay.deepbat.result.cost_per_request());
   std::printf("Expected shape: DeepBAT's VCR far below BATCH's in the "
               "hours whose traffic departs from the previous hour.\n");
+
+  const Table summary = bench::replay_summary_table(replay, slo);
+  bench::JsonReport report("fig10_vcr_synthetic");
+  report.add("hourly_vcr", vcr_table);
+  report.add("summary", summary);
+  report.write(args.json_path);
   return 0;
 }

@@ -9,18 +9,21 @@
 
 using namespace deepbat;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_replay_args(
+      argc, argv, bench::replay_defaults(0.1, 4.0));
   bench::preamble("Fig. 11 — configurations chosen, synthetic hour 3-4",
                   "M / B / T from BATCH, DeepBAT, and ground truth per "
-                  "5-minute window; SLO 0.1 s");
+                  "5-minute window; SLO " + fmt(args.slo_s, 2) + " s");
   bench::Fixture fx;
-  const double slo = 0.1;
-  const workload::Trace& trace = fx.synthetic(4.0);
+  const double slo = args.slo_s;
+  const double hours = std::max(args.hours, 4.0);
+  const workload::Trace& trace = fx.synthetic(hours);
   const auto ft = fx.finetuned("synthetic", trace);
 
-  const workload::Trace serve = trace.slice(3600.0, 4.0 * 3600.0);
+  const workload::Trace serve = trace.slice(3600.0, hours * 3600.0);
   const auto replay =
-      bench::run_head_to_head(fx, serve, *ft.surrogate, ft.gamma, slo);
+      bench::run_head_to_head(fx, serve, *ft.surrogate, ft.gamma, slo, args);
 
   auto config_at = [](const sim::PlatformRun& run, double t) {
     lambda::Config cfg{1024, 1, 0.0};
@@ -52,5 +55,11 @@ int main() {
   std::printf("\nExpected shape: the DeepBAT column moves with the truth "
               "column across workload shifts; the BATCH column is constant "
               "within the hour.\n");
+
+  const Table summary = bench::replay_summary_table(replay, slo);
+  bench::JsonReport report("fig11_configs");
+  report.add("configs", t);
+  report.add("summary", summary);
+  report.write(args.json_path);
   return 0;
 }

@@ -2,6 +2,12 @@
 // Shared replay harness for the Alibaba / synthetic head-to-head figures
 // (Figs. 7-12): run a trace through BATCH and (fine-tuned) DeepBAT, report
 // windowed latency/cost series and hourly VCR.
+//
+// Since the control-plane refactor the head-to-head replay runs both
+// systems as tenants of ONE sim::Runtime sharing a batched sequence
+// encoder, so the figures exercise the same code path as fleet-scale
+// multi-tenant runs (per-tenant results are bit-identical to solo
+// run_platform replays; see tests/sim/test_runtime.cpp).
 
 #include <algorithm>
 #include <iostream>
@@ -17,26 +23,56 @@ struct Replay {
   sim::PlatformRun batch;
   double deepbat_ms_per_decision = 0.0;
   double batch_seconds_per_refit = 0.0;
+  // Control-plane counters from the shared runtime (bench/§IV-F evidence:
+  // encoder calls < control ticks when the window cache hits).
+  sim::RuntimeStats runtime_stats;
+  std::size_t encoder_calls = 0;
+  std::size_t encoder_windows = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
 };
 
 /// Replay `trace` (already sliced to the serving horizon) under both
-/// systems. `deepbat_model` should be the fine-tuned surrogate for OOD
-/// workloads.
+/// systems, merged into one multi-tenant runtime. `deepbat_model` should be
+/// the fine-tuned surrogate for OOD workloads.
 inline Replay run_head_to_head(Fixture& fx, const workload::Trace& trace,
-                               core::Surrogate& deepbat_model, double gamma,
-                               double slo) {
+                               const core::Surrogate& deepbat_model,
+                               double gamma, double slo,
+                               const ReplayArgs& args = {}) {
   Replay replay;
   core::DeepBatController deepbat(deepbat_model,
                                   fx.controller_options(slo, gamma));
   batchlib::BatchController batch(fx.model(), fx.batch_options(slo));
+  core::SurrogateBatchEncoder encoder(deepbat_model);
+  sim::Runtime runtime(&encoder);
+
   sim::PlatformOptions popts;
-  popts.control_interval_s = 30.0;
-  std::printf("[replay] DeepBAT over %.1f h...\n", trace.duration() / 3600.0);
-  replay.deepbat =
-      sim::run_platform(trace, deepbat, fx.model(), {1024, 1, 0.0}, popts);
-  std::printf("[replay] BATCH over %.1f h...\n", trace.duration() / 3600.0);
-  replay.batch =
-      sim::run_platform(trace, batch, fx.model(), {1024, 1, 0.0}, popts);
+  popts.control_interval_s = args.control_interval_s;
+  popts.cold_start_seed = args.cold_start_seed;
+  sim::TenantSpec spec;
+  spec.trace = &trace;
+  spec.model = &fx.model();
+  spec.initial_config = {1024, 1, 0.0};
+  spec.options = popts;
+
+  spec.name = deepbat.name();
+  spec.controller = &deepbat;
+  runtime.add_tenant(spec);
+  spec.name = batch.name();
+  spec.controller = &batch;
+  runtime.add_tenant(spec);
+
+  std::printf("[replay] DeepBAT + BATCH (shared runtime) over %.1f h...\n",
+              trace.duration() / 3600.0);
+  auto runs = runtime.run();
+  replay.deepbat = std::move(runs[0]);
+  replay.batch = std::move(runs[1]);
+  replay.runtime_stats = runtime.stats();
+  replay.encoder_calls = encoder.calls();
+  replay.encoder_windows = encoder.windows_encoded();
+  replay.cache_hits = deepbat.cache_hits();
+  replay.cache_misses = deepbat.cache_misses();
+
   if (deepbat.decision_count() > 0) {
     replay.deepbat_ms_per_decision =
         1e3 *
@@ -77,10 +113,10 @@ inline WindowStats window_stats(const sim::SimResult& r, double a, double b) {
 }
 
 /// Windowed P95 latency + cost series over [t0, t1) (paper Figs. 7/9).
-inline void print_latency_cost_window(const sim::SimResult& batch,
-                                      const sim::SimResult& deepbat,
-                                      double t0, double t1, double window_s,
-                                      double slo, std::ostream& os) {
+inline Table latency_cost_window_table(const sim::SimResult& batch,
+                                       const sim::SimResult& deepbat,
+                                       double t0, double t1, double window_s,
+                                       double slo) {
   Table t({"t_min", "batch_p95_ms", "deepbat_p95_ms", "batch_cost",
            "deepbat_cost", "slo_ms"});
   for (double a = t0; a < t1 - 1e-9; a += window_s) {
@@ -93,13 +129,20 @@ inline void print_latency_cost_window(const sim::SimResult& batch,
                fmt_sci(wb.cost_per_request, 2),
                fmt_sci(wd.cost_per_request, 2), fmt(slo * 1e3, 0)});
   }
-  t.print(os);
+  return t;
+}
+
+inline void print_latency_cost_window(const sim::SimResult& batch,
+                                      const sim::SimResult& deepbat,
+                                      double t0, double t1, double window_s,
+                                      double slo, std::ostream& os) {
+  latency_cost_window_table(batch, deepbat, t0, t1, window_s, slo).print(os);
 }
 
 /// Hourly VCR table for up to three systems (paper Figs. 8/10).
-inline void print_hourly_vcr(
+inline Table hourly_vcr_table(
     const std::vector<std::pair<std::string, const sim::SimResult*>>& systems,
-    double start, std::size_t hours, double slo, std::ostream& os) {
+    double start, std::size_t hours, double slo) {
   core::VcrOptions vopts;
   vopts.slo_s = slo;
   std::vector<std::string> header{"hour"};
@@ -116,7 +159,36 @@ inline void print_hourly_vcr(
     }
     t.add_row(std::move(row));
   }
-  t.print(os);
+  return t;
+}
+
+inline void print_hourly_vcr(
+    const std::vector<std::pair<std::string, const sim::SimResult*>>& systems,
+    double start, std::size_t hours, double slo, std::ostream& os) {
+  hourly_vcr_table(systems, start, hours, slo).print(os);
+}
+
+/// Per-system replay summary plus the shared runtime's control-plane
+/// counters — the standard trailer of every head-to-head bench and the
+/// backbone of its --json output.
+inline Table replay_summary_table(const Replay& replay, double slo) {
+  Table t({"metric", "batch", "deepbat"});
+  t.add_row({"p95_ms", fmt(replay.batch.result.latency_quantile(0.95) * 1e3, 1),
+             fmt(replay.deepbat.result.latency_quantile(0.95) * 1e3, 1)});
+  t.add_row({"cost_usd_per_req", fmt_sci(replay.batch.result.cost_per_request(), 3),
+             fmt_sci(replay.deepbat.result.cost_per_request(), 3)});
+  t.add_row({"slo_ms", fmt(slo * 1e3, 0), fmt(slo * 1e3, 0)});
+  t.add_row({"decisions", std::to_string(replay.batch.decisions.size()),
+             std::to_string(replay.deepbat.decisions.size())});
+  t.add_row({"decision_cost",
+             fmt(replay.batch_seconds_per_refit, 3) + " s/refit",
+             fmt(replay.deepbat_ms_per_decision, 3) + " ms/tick"});
+  t.add_row({"encoder_forwards", "-", std::to_string(replay.encoder_calls)});
+  t.add_row({"encoder_windows", "-", std::to_string(replay.encoder_windows)});
+  t.add_row({"window_cache_hits", "-", std::to_string(replay.cache_hits)});
+  t.add_row({"window_cache_misses", "-",
+             std::to_string(replay.cache_misses)});
+  return t;
 }
 
 }  // namespace deepbat::bench

@@ -12,11 +12,13 @@
 
 using namespace deepbat;
 
-int main() {
+int main(int argc, char** argv) {
+  // Standard replay CLI; only --slo and --json apply to this table.
+  const auto args = bench::parse_replay_args(argc, argv, bench::replay_defaults(0.1));
   bench::preamble("Table (§IV-F) — optimization time: BATCH vs DeepBAT",
                   "full 616-config grid, 3 repetitions");
   bench::Fixture fx;
-  const double slo = 0.1;
+  const double slo = args.slo_s;
   const workload::Trace& trace = fx.azure(13.0);
   core::Surrogate& surrogate = fx.pretrained();
   const auto configs = fx.grid().enumerate();
@@ -63,5 +65,10 @@ int main() {
   std::printf("BATCH additionally needs up to an hour of data collection "
               "before it can fit at all (§IV-F), which DeepBAT's parser "
               "avoids entirely.\n");
+
+  bench::JsonReport report("tab_speedup");
+  report.add("speedup", t);
+  report.add_scalar("mean_speedup_x", total_batch / total_deepbat);
+  report.write(args.json_path);
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/grid_search.hpp"
 #include "common/parallel.hpp"
 
 namespace deepbat::batchlib {
@@ -371,25 +372,13 @@ AnalyticSearchResult analytic_grid_search(const BatchAnalyticModel& model,
         return model.evaluate(configs[i], percentile, slo_s);
       },
       /*grain=*/1);  // each item solves a full queueing model — always split
+  const GridSearchResult scan = grid_search_argmin(
+      evals.size(), [&](std::size_t i) { return evals[i].feasible; },
+      [&](std::size_t i) { return evals[i].latency_percentile; },
+      [&](std::size_t i) { return evals[i].cost_per_request; });
   AnalyticSearchResult result;
-  bool have_best = false;
-  AnalyticEvaluation fallback;  // smallest latency if nothing is feasible
-  bool have_fallback = false;
-  for (const auto& eval : evals) {
-    if (eval.feasible) {
-      result.any_feasible = true;
-      if (!have_best || eval.cost_per_request < result.best.cost_per_request) {
-        result.best = eval;
-        have_best = true;
-      }
-    }
-    if (!have_fallback ||
-        eval.latency_percentile < fallback.latency_percentile) {
-      fallback = eval;
-      have_fallback = true;
-    }
-  }
-  if (!have_best) result.best = fallback;
+  result.best = evals[scan.best];
+  result.any_feasible = scan.any_feasible;
   const auto t1 = std::chrono::steady_clock::now();
   result.solve_seconds = std::chrono::duration<double>(t1 - t0).count();
   return result;

@@ -1,0 +1,55 @@
+#pragma once
+// Shared config-grid selection: both optimizers (DeepBAT's surrogate-driven
+// Policy stage and BATCH's analytic solver) pick a configuration the same
+// way — keep the candidates whose predicted latency meets the SLO, take the
+// cheapest, and fall back to the lowest-latency candidate when nothing is
+// feasible. The scan itself lives here so the two systems cannot drift.
+
+#include <cstddef>
+
+#include "common/error.hpp"
+
+namespace deepbat {
+
+struct GridSearchResult {
+  /// Index of the selected candidate: the cheapest feasible one, or the
+  /// fastest overall when nothing is feasible.
+  std::size_t best = 0;
+  /// Index of the candidate with the smallest latency metric (the fallback).
+  std::size_t fastest = 0;
+  bool any_feasible = false;
+};
+
+/// Scan `count` candidates. `latency(i)` is the SLO metric of candidate i,
+/// `cost(i)` its objective, `feasible(i)` whether it meets the (possibly
+/// tightened) SLO. Ties keep the earliest index, matching the historical
+/// behaviour of both optimizers (the grid enumeration order is part of the
+/// reproduction's determinism contract).
+template <typename FeasibleFn, typename LatencyFn, typename CostFn>
+GridSearchResult grid_search_argmin(std::size_t count, FeasibleFn&& feasible,
+                                    LatencyFn&& latency, CostFn&& cost) {
+  DEEPBAT_CHECK(count > 0, "grid_search_argmin: no candidates");
+  GridSearchResult result;
+  bool have_best = false;
+  double best_cost = 0.0;
+  double fastest_latency = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double lat = latency(i);
+    if (i == 0 || lat < fastest_latency) {
+      result.fastest = i;
+      fastest_latency = lat;
+    }
+    if (!feasible(i)) continue;
+    result.any_feasible = true;
+    const double c = cost(i);
+    if (!have_best || c < best_cost) {
+      result.best = i;
+      best_cost = c;
+      have_best = true;
+    }
+  }
+  if (!have_best) result.best = result.fastest;
+  return result;
+}
+
+}  // namespace deepbat

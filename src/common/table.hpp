@@ -20,6 +20,8 @@ class Table {
   void add_row_values(const std::vector<double>& values, int precision = 4);
 
   std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& data() const { return rows_; }
 
   /// Render with 2-space column gaps and a dashed rule under the header.
   void print(std::ostream& os) const;

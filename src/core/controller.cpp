@@ -1,43 +1,53 @@
 #include "core/controller.hpp"
 
-#include "common/error.hpp"
-
 namespace deepbat::core {
 
-DeepBatController::DeepBatController(Surrogate& surrogate,
-                                     DeepBatControllerOptions options)
-    : surrogate_(surrogate),
-      options_(std::move(options)),
-      configs_(options_.grid.enumerate()) {
-  DEEPBAT_CHECK(!configs_.empty(), "DeepBatController: empty grid");
+namespace {
+
+DecisionEngineOptions engine_options(const DeepBatControllerOptions& options) {
+  DecisionEngineOptions eo;
+  eo.slo_s = options.slo_s;
+  eo.gamma = options.gamma;
+  eo.grid = options.grid;
+  eo.pad_gap_s = options.pad_gap_s;
+  eo.encoder_cache_capacity = options.encoder_cache_capacity;
+  return eo;
 }
 
-void DeepBatController::set_gamma(double gamma) {
-  DEEPBAT_CHECK(gamma >= 0.0 && gamma < 1.0,
-                "DeepBatController: gamma out of [0, 1)");
-  options_.gamma = gamma;
+}  // namespace
+
+DeepBatController::DeepBatController(const Surrogate& surrogate,
+                                     DeepBatControllerOptions options)
+    : engine_(surrogate, engine_options(options)) {}
+
+lambda::Config DeepBatController::record(EngineDecision decision) {
+  ++decisions_;
+  predict_seconds_ += decision.encode_seconds + decision.score_seconds;
+  search_seconds_ += decision.search_seconds;
+  const lambda::Config chosen = decision.choice.config;
+  OptimizationOutcome outcome;
+  outcome.choice = decision.choice;
+  outcome.predictions = std::move(decision.predictions);
+  outcome.predict_seconds = decision.encode_seconds + decision.score_seconds;
+  outcome.search_seconds = decision.search_seconds;
+  last_outcome_ = std::move(outcome);
+  return chosen;
 }
 
 lambda::Config DeepBatController::decide(const workload::Trace& history,
                                          double now) {
-  // Workload Parser: the last l inter-arrival times before `now`, padded if
-  // the history is still short.
-  const auto l = static_cast<std::size_t>(
-      surrogate_.config().sequence_length);
-  const auto gaps = history.window_before(now, l, options_.pad_gap_s);
-  const auto encoded = encode_window(gaps);
+  return record(engine_.decide(history, now));
+}
 
-  OptimizerOptions opt;
-  opt.slo_s = options_.slo_s;
-  opt.gamma = options_.gamma;
-  OptimizationOutcome outcome = optimize(surrogate_, encoded, configs_, opt);
+sim::SplitController::TickRequest DeepBatController::begin_tick(
+    const workload::Trace& history, double now) {
+  const DecisionEngine::Prepared prepared = engine_.begin(history, now);
+  return TickRequest{prepared.needs_encoding, prepared.window};
+}
 
-  ++decisions_;
-  predict_seconds_ += outcome.predict_seconds;
-  search_seconds_ += outcome.search_seconds;
-  const lambda::Config chosen = outcome.choice.config;
-  last_outcome_ = std::move(outcome);
-  return chosen;
+lambda::Config DeepBatController::finish_tick(
+    std::span<const float> encoding) {
+  return record(engine_.finish(encoding));
 }
 
 }  // namespace deepbat::core

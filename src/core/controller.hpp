@@ -1,12 +1,13 @@
 #pragma once
 // The full DeepBAT controller (paper Fig. 2): Workload Parser (sliding
 // window over the arrival history) -> Deep Surrogate Model -> SLO-aware
-// Optimizer. Plugs into sim::run_platform next to the BATCH baseline.
+// Optimizer. Since the control-plane refactor this is a thin adapter over
+// core::DecisionEngine; it also implements sim::SplitController so the
+// multi-tenant runtime can batch the encoder stage across tenants.
 
-#include <memory>
+#include <optional>
 
-#include "core/optimizer.hpp"
-#include "sim/platform.hpp"
+#include "core/decision_engine.hpp"
 
 namespace deepbat::core {
 
@@ -18,18 +19,28 @@ struct DeepBatControllerOptions {
   /// (paper §III-A: "techniques for padding ... can be used"). A large gap
   /// reads as "no traffic".
   double pad_gap_s = 10.0;
+  /// Entries held by the engine's window-encoding cache.
+  std::size_t encoder_cache_capacity = 512;
 };
 
-class DeepBatController : public sim::Controller {
+class DeepBatController : public sim::SplitController {
  public:
-  /// The controller borrows the surrogate (trained/fine-tuned elsewhere).
-  DeepBatController(Surrogate& surrogate, DeepBatControllerOptions options);
+  /// The controller borrows the surrogate (trained/fine-tuned elsewhere);
+  /// inference runs under NoGradGuard, so a const reference suffices.
+  DeepBatController(const Surrogate& surrogate,
+                    DeepBatControllerOptions options);
 
   lambda::Config decide(const workload::Trace& history, double now) override;
   std::string name() const override { return "DeepBAT"; }
 
-  void set_gamma(double gamma);
-  double gamma() const { return options_.gamma; }
+  // Split-phase path (multi-tenant runtime); produces decisions identical
+  // to decide() — the shared batched encode is bit-equal per row to the
+  // solo forward.
+  TickRequest begin_tick(const workload::Trace& history, double now) override;
+  lambda::Config finish_tick(std::span<const float> encoding) override;
+
+  void set_gamma(double gamma) { engine_.set_gamma(gamma); }
+  double gamma() const { return engine_.gamma(); }
 
   // --- instrumentation (speedup experiment, §IV-F) ---
   std::size_t decision_count() const { return decisions_; }
@@ -38,11 +49,15 @@ class DeepBatController : public sim::Controller {
   const std::optional<OptimizationOutcome>& last_outcome() const {
     return last_outcome_;
   }
+  std::size_t cache_hits() const { return engine_.encoder().cache_hits(); }
+  std::size_t cache_misses() const { return engine_.encoder().cache_misses(); }
+
+  const DecisionEngine& engine() const { return engine_; }
 
  private:
-  Surrogate& surrogate_;
-  DeepBatControllerOptions options_;
-  std::vector<lambda::Config> configs_;
+  lambda::Config record(EngineDecision decision);
+
+  DecisionEngine engine_;
   std::size_t decisions_ = 0;
   double predict_seconds_ = 0.0;
   double search_seconds_ = 0.0;

@@ -1,0 +1,226 @@
+#include "core/decision_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "nn/arena.hpp"
+#include "nn/autograd.hpp"
+
+namespace deepbat::core {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- parser --
+
+WindowParser::WindowParser(std::size_t window_length, double pad_gap_s)
+    : window_length_(window_length), pad_gap_s_(pad_gap_s) {
+  DEEPBAT_CHECK(window_length_ > 0, "WindowParser: window length must be > 0");
+  encoded_.resize(window_length_);
+}
+
+std::span<const float> WindowParser::parse(const workload::Trace& history,
+                                           double now) {
+  const auto gaps = history.window_before(now, window_length_, pad_gap_s_);
+  for (std::size_t i = 0; i < window_length_; ++i) {
+    encoded_[i] = encode_gap(gaps[i]);
+  }
+  return encoded_;
+}
+
+// --------------------------------------------------------------- encoder --
+
+SequenceEncoder::SequenceEncoder(const Surrogate& surrogate,
+                                 std::size_t cache_capacity)
+    : surrogate_(surrogate), capacity_(std::max<std::size_t>(cache_capacity, 1)) {}
+
+std::size_t SequenceEncoder::KeyHash::operator()(
+    const std::vector<float>& key) const {
+  // FNV-1a over the float bit patterns; windows are produced by the same
+  // deterministic encode path, so bitwise equality is the right notion.
+  std::size_t h = 1469598103934665603ULL;
+  for (const float v : key) {
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    h ^= bits;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::size_t SequenceEncoder::window_length() const {
+  return static_cast<std::size_t>(surrogate_.config().sequence_length);
+}
+
+std::size_t SequenceEncoder::encoding_dim() const {
+  return static_cast<std::size_t>(surrogate_.config().model_dim);
+}
+
+const std::vector<float>* SequenceEncoder::lookup(
+    std::span<const float> window) {
+  key_.assign(window.begin(), window.end());
+  const auto it = cache_.find(key_);
+  if (it == cache_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+std::span<const float> SequenceEncoder::insert(std::span<const float> window,
+                                               std::span<const float> e1) {
+  DEEPBAT_CHECK(window.size() == window_length(),
+                "SequenceEncoder: window length mismatch");
+  DEEPBAT_CHECK(e1.size() == encoding_dim(),
+                "SequenceEncoder: encoding dimension mismatch");
+  if (cache_.size() >= capacity_) cache_.clear();  // epoch eviction
+  key_.assign(window.begin(), window.end());
+  auto [it, unused] =
+      cache_.insert_or_assign(key_, std::vector<float>(e1.begin(), e1.end()));
+  return it->second;
+}
+
+void SequenceEncoder::forward_single(std::span<const float> window,
+                                     std::span<float> out) const {
+  DEEPBAT_CHECK(window.size() == window_length(),
+                "SequenceEncoder: window length mismatch");
+  DEEPBAT_CHECK(out.size() == encoding_dim(),
+                "SequenceEncoder: output dimension mismatch");
+  nn::NoGradGuard no_grad;
+  nn::arena::Scope arena_scope;
+  nn::Tensor seq({1, surrogate_.config().sequence_length, 1});
+  std::copy(window.begin(), window.end(), seq.data());
+  const nn::Tensor e1 = surrogate_.encode_sequence(seq);
+  std::copy(e1.data(), e1.data() + out.size(), out.begin());
+}
+
+// ---------------------------------------------------------------- scorer --
+
+GridScorer::GridScorer(const Surrogate& surrogate,
+                       std::vector<lambda::Config> configs)
+    : surrogate_(surrogate), configs_(std::move(configs)) {
+  DEEPBAT_CHECK(!configs_.empty(), "GridScorer: empty config grid");
+}
+
+std::vector<PredictionTarget> GridScorer::score(
+    std::span<const float> e1) const {
+  return surrogate_.predict_grid_from_e1(e1, configs_);
+}
+
+// ---------------------------------------------------------------- engine --
+
+DecisionEngine::DecisionEngine(const Surrogate& surrogate,
+                               DecisionEngineOptions options)
+    : options_(std::move(options)),
+      parser_(static_cast<std::size_t>(surrogate.config().sequence_length),
+              options_.pad_gap_s),
+      encoder_(surrogate, options_.encoder_cache_capacity),
+      scorer_(surrogate, options_.grid.enumerate()) {
+  DEEPBAT_CHECK(options_.gamma >= 0.0 && options_.gamma < 1.0,
+                "DecisionEngine: gamma out of [0, 1)");
+}
+
+void DecisionEngine::set_gamma(double gamma) {
+  DEEPBAT_CHECK(gamma >= 0.0 && gamma < 1.0,
+                "DecisionEngine: gamma out of [0, 1)");
+  options_.gamma = gamma;
+}
+
+DecisionEngine::Prepared DecisionEngine::begin(const workload::Trace& history,
+                                               double now) {
+  DEEPBAT_CHECK(!pending_, "DecisionEngine: begin() called twice");
+  pending_ = true;
+  pending_window_ = parser_.parse(history, now);
+  const std::vector<float>* cached = encoder_.lookup(pending_window_);
+  if (cached != nullptr) {
+    pending_hit_ = true;
+    pending_e1_ = *cached;
+    return Prepared{false, {}};
+  }
+  pending_hit_ = false;
+  return Prepared{true, pending_window_};
+}
+
+EngineDecision DecisionEngine::finish(std::span<const float> encoding) {
+  DEEPBAT_CHECK(pending_, "DecisionEngine: finish() without begin()");
+  pending_ = false;
+
+  EngineDecision decision;
+  std::span<const float> e1;
+  if (pending_hit_) {
+    decision.cache_hit = true;
+    e1 = pending_e1_;
+  } else {
+    DEEPBAT_CHECK(encoding.size() == encoder_.encoding_dim(),
+                  "DecisionEngine: finish() expected an encoding row");
+    // The cache stores its own copy; the runtime's batch buffer is reused.
+    e1 = encoder_.insert(pending_window_, encoding);
+  }
+
+  const auto score_start = std::chrono::steady_clock::now();
+  decision.predictions = scorer_.score(e1);
+  decision.score_seconds = seconds_since(score_start);
+
+  OptimizerOptions opt;
+  opt.slo_s = options_.slo_s;
+  opt.gamma = options_.gamma;
+  opt.percentile_index = options_.percentile_index;
+  const auto search_start = std::chrono::steady_clock::now();
+  decision.choice = select_config(decision.predictions, scorer_.configs(), opt);
+  decision.search_seconds = seconds_since(search_start);
+  return decision;
+}
+
+EngineDecision DecisionEngine::decide(const workload::Trace& history,
+                                      double now) {
+  const Prepared prepared = begin(history, now);
+  if (!prepared.needs_encoding) return finish({});
+  const auto encode_start = std::chrono::steady_clock::now();
+  std::vector<float> e1(encoder_.encoding_dim());
+  encoder_.forward_single(prepared.window, e1);
+  const double encode_seconds = seconds_since(encode_start);
+  EngineDecision decision = finish(e1);
+  decision.encode_seconds = encode_seconds;
+  return decision;
+}
+
+// --------------------------------------------------------- batch encoder --
+
+std::size_t SurrogateBatchEncoder::window_length() const {
+  return static_cast<std::size_t>(surrogate_.config().sequence_length);
+}
+
+std::size_t SurrogateBatchEncoder::encoding_dim() const {
+  return static_cast<std::size_t>(surrogate_.config().model_dim);
+}
+
+void SurrogateBatchEncoder::encode(std::span<const float> windows,
+                                   std::size_t count, std::span<float> out) {
+  const std::size_t l = window_length();
+  const std::size_t d = encoding_dim();
+  DEEPBAT_CHECK(count > 0, "SurrogateBatchEncoder: empty batch");
+  DEEPBAT_CHECK(windows.size() == count * l,
+                "SurrogateBatchEncoder: window buffer size mismatch");
+  DEEPBAT_CHECK(out.size() == count * d,
+                "SurrogateBatchEncoder: output buffer size mismatch");
+  nn::NoGradGuard no_grad;
+  nn::arena::Scope arena_scope;
+  nn::Tensor seq({static_cast<std::int64_t>(count),
+                  surrogate_.config().sequence_length, 1});
+  std::copy(windows.begin(), windows.end(), seq.data());
+  const nn::Tensor e1 = surrogate_.encode_sequence(seq);
+  std::copy(e1.data(), e1.data() + out.size(), out.begin());
+  count_call(count);
+}
+
+}  // namespace deepbat::core

@@ -1,0 +1,187 @@
+#pragma once
+// The staged DeepBAT control plane (paper Fig. 2, restructured as an
+// explicit pipeline):
+//
+//   WindowParser     — slice the last l inter-arrival gaps before `now`
+//                      from the history, left-pad short windows, encode.
+//   SequenceEncoder  — the expensive stage: one Surrogate::encode_sequence
+//                      per tick, behind a window-keyed cache so identical /
+//                      idle windows skip the Transformer forward entirely.
+//   GridScorer       — the cheap per-config head: broadcast E_1 over the
+//                      candidate grid and predict (cost, percentiles).
+//   Policy           — gamma-tightened feasibility scan + cost argmin
+//                      (select_config / common GridSearch).
+//
+// The engine exposes both a one-shot decide() and a split begin()/finish()
+// pair; the split form lets sim::Runtime batch the encoder stage of many
+// tenants into a single forward (one [k, l, 1] encode_sequence per control
+// tick for the whole fleet). DeepBatController is a thin adapter over this
+// class.
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "sim/runtime.hpp"
+
+namespace deepbat::core {
+
+/// Stage 1 — the Workload Parser's window slicing + padding + encoding.
+class WindowParser {
+ public:
+  WindowParser(std::size_t window_length, double pad_gap_s);
+
+  /// The encoded window for a decision at `now`. The returned span points
+  /// into an internal buffer that stays valid until the next parse().
+  std::span<const float> parse(const workload::Trace& history, double now);
+
+  std::size_t window_length() const { return window_length_; }
+  double pad_gap_s() const { return pad_gap_s_; }
+
+ private:
+  std::size_t window_length_;
+  double pad_gap_s_;
+  std::vector<float> encoded_;
+};
+
+/// Stage 2 — encode-once with a window-keyed cache. A control tick over an
+/// idle or repeating workload re-parses the identical window; the cache
+/// turns those ticks into O(l) lookups instead of Transformer forwards.
+class SequenceEncoder {
+ public:
+  SequenceEncoder(const Surrogate& surrogate, std::size_t cache_capacity);
+
+  /// Cached E_1 row for `window`, or nullptr on a miss (counts the probe).
+  const std::vector<float>* lookup(std::span<const float> window);
+
+  /// Store an externally computed E_1 row (e.g. from the runtime's shared
+  /// batched forward) and return a stable span of the cached copy. When
+  /// the cache is full it is cleared first (deterministic epoch eviction).
+  std::span<const float> insert(std::span<const float> window,
+                                std::span<const float> e1);
+
+  /// Encode one window with a single [1, l, 1] forward (no cache insert;
+  /// callers pair this with insert()).
+  void forward_single(std::span<const float> window,
+                      std::span<float> out) const;
+
+  std::size_t window_length() const;
+  std::size_t encoding_dim() const;
+  std::size_t cache_hits() const { return hits_; }
+  std::size_t cache_misses() const { return misses_; }
+  std::size_t cache_size() const { return cache_.size(); }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const std::vector<float>& key) const;
+  };
+
+  const Surrogate& surrogate_;
+  std::size_t capacity_;
+  std::unordered_map<std::vector<float>, std::vector<float>, KeyHash> cache_;
+  std::vector<float> key_;  // scratch, reused across probes
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+/// Stage 3 — per-config scoring off one E_1 row (the millisecond path the
+/// paper's §IV-F speedup rests on).
+class GridScorer {
+ public:
+  GridScorer(const Surrogate& surrogate, std::vector<lambda::Config> configs);
+
+  std::vector<PredictionTarget> score(std::span<const float> e1) const;
+
+  const std::vector<lambda::Config>& configs() const { return configs_; }
+
+ private:
+  const Surrogate& surrogate_;
+  std::vector<lambda::Config> configs_;
+};
+
+struct DecisionEngineOptions {
+  double slo_s = 0.1;
+  double gamma = 0.0;  // penalty factor (see §III-D); set after fine-tuning
+  lambda::ConfigGrid grid = lambda::ConfigGrid::standard();
+  /// Gap value used to left-pad windows with fewer arrivals than l
+  /// (paper §III-A: "techniques for padding ... can be used"). A large gap
+  /// reads as "no traffic".
+  double pad_gap_s = 10.0;
+  std::size_t percentile_index = kSloPercentileIndex;
+  /// Entries held by the encoder's window cache before an epoch clear.
+  std::size_t encoder_cache_capacity = 512;
+};
+
+struct EngineDecision {
+  OptimizedChoice choice;
+  /// Surrogate predictions for the full grid (same order as configs()).
+  std::vector<PredictionTarget> predictions;
+  bool cache_hit = false;
+  double encode_seconds = 0.0;  // 0 on a cache hit or a batched encode
+  double score_seconds = 0.0;
+  double search_seconds = 0.0;
+};
+
+class DecisionEngine {
+ public:
+  DecisionEngine(const Surrogate& surrogate, DecisionEngineOptions options);
+
+  /// One-shot decision: parse -> encode (cache / single forward) -> score
+  /// -> select.
+  EngineDecision decide(const workload::Trace& history, double now);
+
+  /// Split-phase decision for the multi-tenant runtime: begin() parses and
+  /// probes the cache; when it asks for an encoding, the caller computes it
+  /// (possibly batched with other tenants) and passes the E_1 row to
+  /// finish(). begin()/finish() must alternate strictly.
+  struct Prepared {
+    bool needs_encoding = false;
+    std::span<const float> window;  // valid until finish() returns
+  };
+  Prepared begin(const workload::Trace& history, double now);
+  EngineDecision finish(std::span<const float> encoding);
+
+  void set_gamma(double gamma);
+  double gamma() const { return options_.gamma; }
+  const DecisionEngineOptions& options() const { return options_; }
+
+  std::size_t window_length() const { return parser_.window_length(); }
+  std::size_t encoding_dim() const { return encoder_.encoding_dim(); }
+  const std::vector<lambda::Config>& configs() const {
+    return scorer_.configs();
+  }
+  const SequenceEncoder& encoder() const { return encoder_; }
+
+ private:
+  DecisionEngineOptions options_;
+  WindowParser parser_;
+  SequenceEncoder encoder_;
+  GridScorer scorer_;
+  // Pending state between begin() and finish().
+  std::span<const float> pending_window_;
+  std::span<const float> pending_e1_;  // set on a cache hit
+  bool pending_ = false;
+  bool pending_hit_ = false;
+};
+
+/// sim::BatchEncoder over the surrogate: encodes k tenant windows in one
+/// [k, l, 1] encode_sequence call. The kernels' per-row determinism makes
+/// each row bit-identical to a solo [1, l, 1] encode, which is what keeps
+/// multi-tenant runs bit-identical to independent single-tenant replays.
+class SurrogateBatchEncoder final : public sim::BatchEncoder {
+ public:
+  explicit SurrogateBatchEncoder(const Surrogate& surrogate)
+      : surrogate_(surrogate) {}
+
+  std::size_t window_length() const override;
+  std::size_t encoding_dim() const override;
+  void encode(std::span<const float> windows, std::size_t count,
+              std::span<float> out) override;
+
+ private:
+  const Surrogate& surrogate_;
+};
+
+}  // namespace deepbat::core

@@ -19,6 +19,8 @@
 #include "batchlib/controller.hpp"   // BATCH baseline: hourly controller
 #include "core/controller.hpp"       // DeepBAT controller (Fig. 2)
 #include "core/dataset_builder.hpp"  // offline training-set construction
+#include "core/decision_engine.hpp"  // staged control plane (parser ->
+                                     // encoder -> scorer -> policy)
 #include "core/encoding.hpp"         // input/target encodings
 #include "core/optimizer.hpp"        // SLO-aware optimizer (Eq. 10)
 #include "core/pretrained.hpp"       // train-once / load-cached helper
@@ -29,6 +31,7 @@
 #include "sim/batch_sim.hpp"         // ground-truth batching simulator
 #include "sim/ground_truth.hpp"      // exhaustive ground-truth search
 #include "sim/platform.hpp"          // controller-in-the-loop replay
+#include "sim/runtime.hpp"           // multi-tenant runtime (batched ticks)
 #include "workload/map_fit.hpp"      // MMPP(2) fitting (BATCH front-end)
 #include "workload/map_process.hpp"  // Markovian arrival processes
 #include "workload/synth.hpp"        // the four evaluation workloads

@@ -3,45 +3,50 @@
 #include <chrono>
 
 #include "common/error.hpp"
+#include "common/grid_search.hpp"
 
 namespace deepbat::core {
 
-OptimizationOutcome optimize(Surrogate& model,
+OptimizedChoice select_config(std::span<const PredictionTarget> predictions,
+                              std::span<const lambda::Config> configs,
+                              const OptimizerOptions& options) {
+  DEEPBAT_CHECK(!configs.empty(), "select_config: no candidate configs");
+  DEEPBAT_CHECK(predictions.size() == configs.size(),
+                "select_config: predictions/configs size mismatch");
+  DEEPBAT_CHECK(options.gamma >= 0.0 && options.gamma < 1.0,
+                "select_config: gamma must be in [0, 1)");
+  DEEPBAT_CHECK(options.percentile_index < kPercentiles.size(),
+                "select_config: percentile index out of range");
+
+  const double effective_slo = options.slo_s * (1.0 - options.gamma);
+  const auto latency = [&](std::size_t i) {
+    return predictions[i].latency_s[options.percentile_index];
+  };
+  const GridSearchResult scan = grid_search_argmin(
+      configs.size(),
+      [&](std::size_t i) { return latency(i) <= effective_slo; }, latency,
+      [&](std::size_t i) { return predictions[i].cost_usd_per_request; });
+
+  OptimizedChoice choice;
+  choice.config = configs[scan.best];
+  choice.prediction = predictions[scan.best];
+  choice.feasible = scan.any_feasible;
+  return choice;
+}
+
+OptimizationOutcome optimize(const Surrogate& model,
                              std::span<const float> encoded_window,
                              std::span<const lambda::Config> configs,
                              const OptimizerOptions& options) {
   DEEPBAT_CHECK(!configs.empty(), "optimize: no candidate configs");
   DEEPBAT_CHECK(options.gamma >= 0.0 && options.gamma < 1.0,
                 "optimize: gamma must be in [0, 1)");
-  DEEPBAT_CHECK(options.percentile_index < kPercentiles.size(),
-                "optimize: percentile index out of range");
 
   OptimizationOutcome outcome;
   const auto t0 = std::chrono::steady_clock::now();
   outcome.predictions = model.predict_grid(encoded_window, configs);
   const auto t1 = std::chrono::steady_clock::now();
-
-  const double effective_slo = options.slo_s * (1.0 - options.gamma);
-  std::optional<std::size_t> best;
-  std::size_t fastest = 0;
-  for (std::size_t i = 0; i < configs.size(); ++i) {
-    const PredictionTarget& p = outcome.predictions[i];
-    const double lat = p.latency_s[options.percentile_index];
-    if (lat <
-        outcome.predictions[fastest].latency_s[options.percentile_index]) {
-      fastest = i;
-    }
-    if (lat > effective_slo) continue;
-    if (!best.has_value() ||
-        p.cost_usd_per_request <
-            outcome.predictions[*best].cost_usd_per_request) {
-      best = i;
-    }
-  }
-  const std::size_t chosen = best.value_or(fastest);
-  outcome.choice.config = configs[chosen];
-  outcome.choice.prediction = outcome.predictions[chosen];
-  outcome.choice.feasible = best.has_value();
+  outcome.choice = select_config(outcome.predictions, configs, options);
   const auto t2 = std::chrono::steady_clock::now();
   outcome.predict_seconds = std::chrono::duration<double>(t1 - t0).count();
   outcome.search_seconds = std::chrono::duration<double>(t2 - t1).count();

@@ -37,11 +37,17 @@ struct OptimizationOutcome {
   double search_seconds = 0.0;   // feasibility scan + argmin time
 };
 
-/// Two-step optimization: (1) keep configs whose predicted latency
-/// percentile meets the tightened SLO, (2) among them pick the predicted
-/// cheapest. If none is feasible, fall back to the config with the lowest
-/// predicted latency percentile (serve as fast as possible).
-OptimizationOutcome optimize(Surrogate& model,
+/// The Policy stage on its own: (1) keep configs whose predicted latency
+/// percentile meets the gamma-tightened SLO, (2) among them pick the
+/// predicted cheapest. If none is feasible, fall back to the config with
+/// the lowest predicted latency percentile (serve as fast as possible).
+/// Used by optimize() below and by the DecisionEngine's Policy stage.
+OptimizedChoice select_config(std::span<const PredictionTarget> predictions,
+                              std::span<const lambda::Config> configs,
+                              const OptimizerOptions& options);
+
+/// Two-step optimization: surrogate grid prediction + select_config().
+OptimizationOutcome optimize(const Surrogate& model,
                              std::span<const float> encoded_window,
                              std::span<const lambda::Config> configs,
                              const OptimizerOptions& options);

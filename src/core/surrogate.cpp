@@ -97,7 +97,7 @@ Surrogate::Surrogate(const SurrogateConfig& config,
   register_module("output_ff", &output_ff_);
 }
 
-nn::Var Surrogate::sequence_branch(const nn::Var& sequences) {
+nn::Var Surrogate::sequence_branch(const nn::Var& sequences) const {
   DEEPBAT_CHECK(sequences && sequences->value.ndim() == 3 &&
                     sequences->value.dim(2) == 1,
                 "Surrogate: sequences must be [batch, l, 1]");
@@ -122,7 +122,7 @@ nn::Var Surrogate::sequence_branch(const nn::Var& sequences) {
   return nn::reshape(e1, {batch, config_.model_dim});
 }
 
-nn::Var Surrogate::head(const nn::Var& e1, const nn::Var& raw_features) {
+nn::Var Surrogate::head(const nn::Var& e1, const nn::Var& raw_features) const {
   // Eq. 5: standardize + feed-forward the features.
   nn::Var std_feats =
       nn::make_leaf(standardizer_.apply(raw_features->value), false,
@@ -136,47 +136,37 @@ nn::Var Surrogate::forward(const nn::Var& sequences, const nn::Var& features) {
   return head(sequence_branch(sequences), features);
 }
 
-nn::Tensor Surrogate::encode_sequence(const nn::Tensor& sequences) {
-  nn::NoGradGuard no_grad;
+nn::Tensor Surrogate::encode_sequence(const nn::Tensor& sequences) const {
+  nn::NoGradGuard no_grad;  // also forces dropout off (Dropout::is_active)
   nn::Var x = nn::make_leaf(sequences, false, "sequences");
   return sequence_branch(x)->value;
 }
 
-nn::Tensor Surrogate::predict_with_features(const nn::Tensor& e1,
-                                            const nn::Tensor& raw_features) {
+nn::Tensor Surrogate::predict_with_features(
+    const nn::Tensor& e1, const nn::Tensor& raw_features) const {
   nn::NoGradGuard no_grad;
   nn::Var e1v = nn::make_leaf(e1, false, "e1");
   nn::Var fv = nn::make_leaf(raw_features, false, "features");
   return head(e1v, fv)->value;
 }
 
-std::vector<PredictionTarget> Surrogate::predict_grid(
-    std::span<const float> encoded_window,
-    std::span<const lambda::Config> configs) {
-  DEEPBAT_CHECK(!configs.empty(), "predict_grid: no configs");
-  DEEPBAT_CHECK(static_cast<std::int64_t>(encoded_window.size()) ==
-                    config_.sequence_length,
-                "predict_grid: window length mismatch");
-  const bool was_training = training();
-  set_training(false);
-  // One arena scope per decision: every intermediate tensor below (encoder
-  // activations, broadcast E_1, grid predictions) is bump-allocated and
-  // released in O(1) on return; the extracted PredictionTargets are plain
-  // structs. No gradient tracking for the whole pass.
+std::vector<PredictionTarget> Surrogate::predict_grid_from_e1(
+    std::span<const float> e1_row,
+    std::span<const lambda::Config> configs) const {
+  DEEPBAT_CHECK(!configs.empty(), "predict_grid_from_e1: no configs");
+  DEEPBAT_CHECK(static_cast<std::int64_t>(e1_row.size()) == config_.model_dim,
+                "predict_grid_from_e1: E_1 dimension mismatch");
+  // One arena scope per scoring pass: the broadcast E_1, the feature
+  // tensor, and the head activations are bump-allocated and released in
+  // O(1) on return; the extracted PredictionTargets are plain structs.
   nn::NoGradGuard no_grad;
   nn::arena::Scope arena_scope;
-
-  // Encode the sequence once.
-  nn::Tensor seq({1, config_.sequence_length, 1});
-  std::copy(encoded_window.begin(), encoded_window.end(), seq.data());
-  const nn::Tensor e1_single = encode_sequence(seq);
 
   // Broadcast E_1 across the candidate configurations.
   const auto n = static_cast<std::int64_t>(configs.size());
   nn::Tensor e1({n, config_.model_dim});
   for (std::int64_t r = 0; r < n; ++r) {
-    std::copy(e1_single.data(), e1_single.data() + config_.model_dim,
-              e1.data() + r * config_.model_dim);
+    std::copy(e1_row.begin(), e1_row.end(), e1.data() + r * config_.model_dim);
   }
   nn::Tensor feats({n, config_.feature_dim});
   for (std::int64_t r = 0; r < n; ++r) {
@@ -192,8 +182,26 @@ std::vector<PredictionTarget> Surrogate::predict_grid(
         {out.data() + r * config_.output_dim,
          static_cast<std::size_t>(config_.output_dim)}));
   }
-  set_training(was_training);
   return targets;
+}
+
+std::vector<PredictionTarget> Surrogate::predict_grid(
+    std::span<const float> encoded_window,
+    std::span<const lambda::Config> configs) const {
+  DEEPBAT_CHECK(!configs.empty(), "predict_grid: no configs");
+  DEEPBAT_CHECK(static_cast<std::int64_t>(encoded_window.size()) ==
+                    config_.sequence_length,
+                "predict_grid: window length mismatch");
+  nn::NoGradGuard no_grad;
+  nn::arena::Scope arena_scope;
+
+  // Encode the sequence once, then score the whole grid off that row.
+  nn::Tensor seq({1, config_.sequence_length, 1});
+  std::copy(encoded_window.begin(), encoded_window.end(), seq.data());
+  const nn::Tensor e1_single = encode_sequence(seq);
+  return predict_grid_from_e1(
+      {e1_single.data(), static_cast<std::size_t>(config_.model_dim)},
+      configs);
 }
 
 void Surrogate::set_record_attention(bool record) {

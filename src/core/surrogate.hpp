@@ -72,18 +72,27 @@ class Surrogate : public nn::Module {
   nn::Var forward(const nn::Var& sequences, const nn::Var& features);
 
   /// Sequence branch only: [batch, l, 1] -> pooled E_1 values [batch, d].
-  /// Runs without gradient tracking; used by the online optimizer.
-  nn::Tensor encode_sequence(const nn::Tensor& sequences);
+  /// Runs under NoGradGuard (no gradient tracking, dropout off), so it is
+  /// callable on a const model; used by the online optimizer and the
+  /// multi-tenant runtime's shared batched encoder.
+  nn::Tensor encode_sequence(const nn::Tensor& sequences) const;
 
   /// Head only: E_1 rows [n, d] (typically one row broadcast n times) +
   /// raw features [n, 3] -> predictions [n, output_dim].
   nn::Tensor predict_with_features(const nn::Tensor& e1,
-                                   const nn::Tensor& raw_features);
+                                   const nn::Tensor& raw_features) const;
 
-  /// Convenience: predict every config for a single encoded window.
+  /// Score every config against one already-encoded E_1 row [d] (the
+  /// GridScorer stage: broadcast + feature head, no sequence forward).
+  std::vector<PredictionTarget> predict_grid_from_e1(
+      std::span<const float> e1_row,
+      std::span<const lambda::Config> configs) const;
+
+  /// Convenience: predict every config for a single encoded window
+  /// (encode_sequence once + predict_grid_from_e1).
   std::vector<PredictionTarget> predict_grid(
       std::span<const float> encoded_window,
-      std::span<const lambda::Config> configs);
+      std::span<const lambda::Config> configs) const;
 
   /// Record encoder self-attention of the last forward (paper Fig. 14).
   void set_record_attention(bool record);
@@ -93,8 +102,8 @@ class Surrogate : public nn::Module {
   std::vector<float> last_attention_profile() const;
 
  private:
-  nn::Var sequence_branch(const nn::Var& sequences);
-  nn::Var head(const nn::Var& e1, const nn::Var& raw_features);
+  nn::Var sequence_branch(const nn::Var& sequences) const;
+  nn::Var head(const nn::Var& e1, const nn::Var& raw_features) const;
 
   SurrogateConfig config_;
   FeatureStandardizer standardizer_;

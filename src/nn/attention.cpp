@@ -31,7 +31,7 @@ MultiHeadAttention::MultiHeadAttention(std::int64_t model_dim,
 }
 
 Var MultiHeadAttention::forward(const Var& query, const Var& key,
-                                const Var& value, const Var& mask) {
+                                const Var& value, const Var& mask) const {
   DEEPBAT_CHECK(query && key && value, "MultiHeadAttention: null input");
   DEEPBAT_CHECK(query->value.ndim() == 3, "MultiHeadAttention: expect [B,L,D]");
   const std::int64_t B = query->value.dim(0);

@@ -20,7 +20,7 @@ class MultiHeadAttention : public Module {
   /// added to the pre-softmax scores and must broadcast as a suffix of
   /// [B, H, Lq, Lk] (e.g. shape [Lq, Lk] with -inf at disallowed positions).
   Var forward(const Var& query, const Var& key, const Var& value,
-              const Var& mask = nullptr);
+              const Var& mask = nullptr) const;
 
   /// When enabled, forward() stores a copy of the post-softmax attention
   /// tensor ([B, H, Lq, Lk]) retrievable via last_attention().
@@ -41,7 +41,9 @@ class MultiHeadAttention : public Module {
   Linear wo_;
   Dropout attn_dropout_;
   bool record_attention_ = false;
-  std::optional<Tensor> last_attention_;
+  // Written by the (const) forward when recording is on; a diagnostic
+  // side-channel, not part of the model's logical state.
+  mutable std::optional<Tensor> last_attention_;
 };
 
 }  // namespace deepbat::nn

@@ -21,7 +21,7 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
   }
 }
 
-Var Linear::forward(const Var& x) {
+Var Linear::forward(const Var& x) const {
   DEEPBAT_CHECK(x && x->value.dim(-1) == in_,
                 "Linear: input feature dim mismatch");
   Var y = matmul(x, weight_);
@@ -35,7 +35,7 @@ LayerNorm::LayerNorm(std::int64_t dim, float eps) : eps_(eps) {
   beta_ = register_parameter("beta", Tensor::zeros({dim}));
 }
 
-Var LayerNorm::forward(const Var& x) {
+Var LayerNorm::forward(const Var& x) const {
   return layer_norm(x, gamma_, beta_, eps_);
 }
 
@@ -43,8 +43,9 @@ Dropout::Dropout(float p, std::uint64_t seed) : p_(p), rng_(seed) {
   DEEPBAT_CHECK(p >= 0.0F && p < 1.0F, "Dropout: p must be in [0, 1)");
 }
 
-Var Dropout::forward(const Var& x) {
-  return dropout(x, p_, training(), rng_);
+Var Dropout::forward(const Var& x) const {
+  if (!is_active()) return x;
+  return dropout(x, p_, /*training=*/true, rng_);
 }
 
 FeedForward::FeedForward(std::int64_t in_dim, std::int64_t hidden_dim,
@@ -54,7 +55,7 @@ FeedForward::FeedForward(std::int64_t in_dim, std::int64_t hidden_dim,
   register_module("fc2", &fc2_);
 }
 
-Var FeedForward::forward(const Var& x) {
+Var FeedForward::forward(const Var& x) const {
   return fc2_.forward(relu(fc1_.forward(x)));
 }
 

@@ -16,7 +16,7 @@ class Linear : public Module {
   Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
          bool bias = true);
 
-  Var forward(const Var& x);
+  Var forward(const Var& x) const;
 
   std::int64_t in_features() const { return in_; }
   std::int64_t out_features() const { return out_; }
@@ -33,7 +33,7 @@ class LayerNorm : public Module {
  public:
   explicit LayerNorm(std::int64_t dim, float eps = 1e-5F);
 
-  Var forward(const Var& x);
+  Var forward(const Var& x) const;
 
  private:
   float eps_;
@@ -41,21 +41,23 @@ class LayerNorm : public Module {
   Var beta_;
 };
 
-/// Inverted dropout; identity in eval mode. Owns its RNG stream so repeated
-/// training runs with the same seed are bit-reproducible.
+/// Inverted dropout; identity in eval mode and under NoGradGuard (inference
+/// never masks, so the const forward path is deterministic). Owns its RNG
+/// stream so repeated training runs with the same seed are bit-reproducible.
 class Dropout : public Module {
  public:
   Dropout(float p, std::uint64_t seed);
 
-  Var forward(const Var& x);
+  Var forward(const Var& x) const;
 
-  /// True when forward() actually masks (training mode and p > 0); fused
-  /// kernels must fall back to the composed path in that case.
-  bool is_active() const { return p_ > 0.0F && training(); }
+  /// True when forward() actually masks (training mode, gradients enabled,
+  /// and p > 0); fused kernels must fall back to the composed path in that
+  /// case.
+  bool is_active() const { return p_ > 0.0F && training() && grad_enabled(); }
 
  private:
   float p_;
-  Rng rng_;
+  mutable Rng rng_;  // consumed only while is_active()
 };
 
 /// Position-wise feed-forward: Linear(d, hidden) -> ReLU -> Linear(hidden, d_out).
@@ -64,7 +66,7 @@ class FeedForward : public Module {
   FeedForward(std::int64_t in_dim, std::int64_t hidden_dim,
               std::int64_t out_dim, Rng& rng);
 
-  Var forward(const Var& x);
+  Var forward(const Var& x) const;
 
  private:
   Linear fc1_;

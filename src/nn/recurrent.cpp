@@ -62,7 +62,7 @@ LstmCell::LstmCell(std::int64_t input_dim, std::int64_t hidden_dim, Rng& rng)
   bias_ = register_parameter("bias", std::move(bias));
 }
 
-LstmCell::State LstmCell::step(const Var& x, const State& state) {
+LstmCell::State LstmCell::step(const Var& x, const State& state) const {
   DEEPBAT_CHECK(x && x->value.dim(-1) == input_, "LstmCell: input dim");
   Var gates = add(add(matmul(x, w_x_), matmul(state.h, w_h_)), bias_);
   const Var i = sigmoid(narrow_cols(gates, 0, hidden_));
@@ -87,7 +87,7 @@ Lstm::Lstm(std::int64_t input_dim, std::int64_t hidden_dim, Rng& rng)
   register_module("cell", &cell_);
 }
 
-Var Lstm::forward(const Var& sequence) {
+Var Lstm::forward(const Var& sequence) const {
   DEEPBAT_CHECK(sequence && sequence->value.ndim() == 3,
                 "Lstm: expected [B, L, D]");
   const std::int64_t B = sequence->value.dim(0);
@@ -103,7 +103,7 @@ Var Lstm::forward(const Var& sequence) {
   return out;
 }
 
-Var Lstm::encode(const Var& sequence) {
+Var Lstm::encode(const Var& sequence) const {
   DEEPBAT_CHECK(sequence && sequence->value.ndim() == 3,
                 "Lstm: expected [B, L, D]");
   const std::int64_t B = sequence->value.dim(0);

@@ -24,7 +24,7 @@ class LstmCell : public Module {
   };
 
   /// One step: x [B, input_dim], state {h, c} [B, hidden_dim].
-  State step(const Var& x, const State& state);
+  State step(const Var& x, const State& state) const;
 
   /// Zero initial state for a batch.
   State initial_state(std::int64_t batch) const;
@@ -48,10 +48,10 @@ class Lstm : public Module {
   Lstm(std::int64_t input_dim, std::int64_t hidden_dim, Rng& rng);
 
   /// Full hidden sequence [B, L, H].
-  Var forward(const Var& sequence);
+  Var forward(const Var& sequence) const;
 
   /// Final hidden state [B, H] (the usual sequence summary).
-  Var encode(const Var& sequence);
+  Var encode(const Var& sequence) const;
 
   std::int64_t hidden_dim() const { return cell_.hidden_dim(); }
 

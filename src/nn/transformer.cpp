@@ -27,7 +27,7 @@ PositionalEncoding::PositionalEncoding(std::int64_t model_dim,
   }
 }
 
-Var PositionalEncoding::forward(const Var& x) {
+Var PositionalEncoding::forward(const Var& x) const {
   DEEPBAT_CHECK(x && x->value.ndim() == 3,
                 "PositionalEncoding: expect [B, L, D]");
   const std::int64_t L = x->value.dim(1);
@@ -57,7 +57,7 @@ TransformerEncoderLayer::TransformerEncoderLayer(const TransformerConfig& cfg,
   register_module("drop2", &drop2_);
 }
 
-Var TransformerEncoderLayer::forward(const Var& x, const Var& mask) {
+Var TransformerEncoderLayer::forward(const Var& x, const Var& mask) const {
   Var h = norm1_.forward(add(x, drop1_.forward(attn_.forward(x, x, x, mask))));
   return norm2_.forward(add(h, drop2_.forward(ffn_.forward(h))));
 }
@@ -73,7 +73,7 @@ TransformerEncoder::TransformerEncoder(const TransformerConfig& cfg, Rng& rng,
   }
 }
 
-Var TransformerEncoder::forward(const Var& x, const Var& mask) {
+Var TransformerEncoder::forward(const Var& x, const Var& mask) const {
   Var h = x;
   for (auto& layer : layers_) {
     h = layer->forward(h, mask);

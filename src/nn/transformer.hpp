@@ -17,7 +17,7 @@ class PositionalEncoding : public Module {
   PositionalEncoding(std::int64_t model_dim, std::int64_t max_len);
 
   /// x: [B, L, D] with L <= max_len; returns x + PE[0:L].
-  Var forward(const Var& x);
+  Var forward(const Var& x) const;
 
  private:
   std::int64_t max_len_;
@@ -41,7 +41,7 @@ class TransformerEncoderLayer : public Module {
   TransformerEncoderLayer(const TransformerConfig& cfg, Rng& rng,
                           std::uint64_t seed);
 
-  Var forward(const Var& x, const Var& mask = nullptr);
+  Var forward(const Var& x, const Var& mask = nullptr) const;
 
   MultiHeadAttention& self_attention() { return attn_; }
   const MultiHeadAttention& self_attention() const { return attn_; }
@@ -61,7 +61,7 @@ class TransformerEncoder : public Module {
   TransformerEncoder(const TransformerConfig& cfg, Rng& rng,
                      std::uint64_t seed);
 
-  Var forward(const Var& x, const Var& mask = nullptr);
+  Var forward(const Var& x, const Var& mask = nullptr) const;
 
   std::int64_t num_layers() const {
     return static_cast<std::int64_t>(layers_.size());

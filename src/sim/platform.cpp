@@ -1,6 +1,7 @@
 #include "sim/platform.hpp"
 
 #include "common/error.hpp"
+#include "sim/runtime.hpp"
 
 namespace deepbat::sim {
 
@@ -8,36 +9,20 @@ PlatformRun run_platform(const workload::Trace& trace, Controller& controller,
                          const lambda::LambdaModel& model,
                          lambda::Config initial_config,
                          const PlatformOptions& options) {
-  DEEPBAT_CHECK(options.control_interval_s > 0.0,
-                "run_platform: control interval must be positive");
-  PlatformRun run;
-  if (trace.empty()) return run;
-
-  BatchSimulator sim(model, initial_config, options.cold_start_seed);
-
-  // Merge-join of the arrival stream with the control-point stream. This is
-  // semantically identical to scheduling each arrival on the event queue
-  // (arrivals at exactly a control time are delivered first, as the DES
-  // insertion order would) but allocation-free, which matters for the
-  // multi-hour replays in bench/.
-  const double start = trace.start_time();
-  const double end = trace.end_time();
-  std::size_t next_arrival = 0;
-  for (double t = start; t <= end; t += options.control_interval_s) {
-    while (next_arrival < trace.size() && trace[next_arrival] <= t) {
-      sim.offer(trace[next_arrival++]);
-    }
-    sim.advance_to(t);
-    const lambda::Config cfg = controller.decide(trace, t);
-    sim.set_config(cfg);
-    run.decisions.push_back(ControlDecision{t, cfg});
-  }
-  while (next_arrival < trace.size()) {
-    sim.offer(trace[next_arrival++]);
-  }
-  sim.finalize();
-  run.result = sim.result();
-  return run;
+  // Single-tenant special case of the multi-tenant runtime loop
+  // (sim/runtime.hpp); no shared encoder, so the controller runs its plain
+  // decide() path.
+  Runtime runtime;
+  TenantSpec spec;
+  spec.name = controller.name();
+  spec.trace = &trace;
+  spec.controller = &controller;
+  spec.model = &model;
+  spec.initial_config = initial_config;
+  spec.options = options;
+  runtime.add_tenant(std::move(spec));
+  auto runs = runtime.run();
+  return std::move(runs.front());
 }
 
 }  // namespace deepbat::sim

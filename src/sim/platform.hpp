@@ -60,8 +60,9 @@ struct PlatformRun {
 };
 
 /// Replay `trace` through the batching buffer; the controller re-decides the
-/// configuration every `control_interval_s` seconds (first decision at the
-/// trace start).
+/// configuration every `control_interval_s` seconds, on the global tick grid
+/// (multiples of the interval), starting at the grid instant at or just
+/// before the trace start.
 PlatformRun run_platform(const workload::Trace& trace, Controller& controller,
                          const lambda::LambdaModel& model,
                          lambda::Config initial_config,

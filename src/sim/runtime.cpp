@@ -1,0 +1,152 @@
+#include "sim/runtime.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace deepbat::sim {
+
+void Runtime::add_tenant(TenantSpec spec) {
+  DEEPBAT_CHECK(spec.trace != nullptr, "Runtime: tenant trace is null");
+  DEEPBAT_CHECK(spec.controller != nullptr,
+                "Runtime: tenant controller is null");
+  DEEPBAT_CHECK(spec.model != nullptr, "Runtime: tenant lambda model is null");
+  DEEPBAT_CHECK(spec.options.control_interval_s > 0.0,
+                "Runtime: control interval must be positive");
+  tenants_.push_back(std::move(spec));
+}
+
+std::vector<PlatformRun> Runtime::run() {
+  // Per-tenant replay state. Control ticks live on a GLOBAL grid: tick k
+  // fires at k * control_interval_s, computed by multiplication (never by
+  // accumulation) so two tenants sharing an interval produce bitwise-equal
+  // tick times and fold into one batched encoding. run_platform() wraps
+  // this loop, so solo runs sit on the same grid and stay bit-identical.
+  struct State {
+    const TenantSpec* spec = nullptr;
+    std::optional<BatchSimulator> sim;
+    SplitController* split = nullptr;
+    std::size_t next_arrival = 0;
+    std::int64_t tick_index = 0;  // tick time = tick_index * interval
+    double interval = 0.0;
+    double end = 0.0;
+    bool ticks_done = false;
+    SplitController::TickRequest request;  // valid within one tick group
+    std::size_t batch_slot = 0;            // row in this tick's batch
+  };
+  const auto tick_time = [](const State& st) {
+    return static_cast<double>(st.tick_index) * st.interval;
+  };
+
+  std::vector<State> states(tenants_.size());
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    State& st = states[i];
+    st.spec = &tenants_[i];
+    if (st.spec->trace->empty()) {
+      st.ticks_done = true;  // empty replay: no sim, no decisions
+      continue;
+    }
+    st.sim.emplace(*st.spec->model, st.spec->initial_config,
+                   st.spec->options.cold_start_seed);
+    st.split = encoder_ != nullptr
+                   ? dynamic_cast<SplitController*>(st.spec->controller)
+                   : nullptr;
+    st.interval = st.spec->options.control_interval_s;
+    // First tick: the grid instant at or immediately before the trace start
+    // (a trace starting on the grid keeps its historical first tick).
+    st.tick_index = static_cast<std::int64_t>(
+        std::floor(st.spec->trace->start_time() / st.interval));
+    st.end = st.spec->trace->end_time();
+  }
+
+  std::vector<PlatformRun> runs(tenants_.size());
+  std::vector<std::size_t> group;
+  std::vector<float> batch_windows;
+  std::vector<float> batch_out;
+
+  for (;;) {
+    // Next control instant across all tenants; tenants whose ticks coincide
+    // form one group and share the batched encoding below.
+    double t = std::numeric_limits<double>::infinity();
+    for (const State& st : states) {
+      if (!st.ticks_done && tick_time(st) < t) t = tick_time(st);
+    }
+    if (t == std::numeric_limits<double>::infinity()) break;
+    group.clear();
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      if (!states[i].ticks_done && tick_time(states[i]) == t) {
+        group.push_back(i);
+      }
+    }
+
+    // Phase 1 — per tenant: deliver arrivals up to t, dispatch due batches,
+    // and let split controllers parse their window / probe their cache.
+    batch_windows.clear();
+    std::size_t batch_count = 0;
+    for (const std::size_t i : group) {
+      State& st = states[i];
+      const workload::Trace& trace = *st.spec->trace;
+      while (st.next_arrival < trace.size() && trace[st.next_arrival] <= t) {
+        st.sim->offer(trace[st.next_arrival++]);
+      }
+      st.sim->advance_to(t);
+      if (st.split != nullptr) {
+        st.request = st.split->begin_tick(trace, t);
+        if (st.request.needs_encoding) {
+          DEEPBAT_CHECK(st.request.window.size() == encoder_->window_length(),
+                        "Runtime: tenant window length differs from the "
+                        "shared encoder's");
+          batch_windows.insert(batch_windows.end(), st.request.window.begin(),
+                               st.request.window.end());
+          st.batch_slot = batch_count++;
+        }
+      }
+    }
+
+    // Phase 2 — ONE batched forward for every cache miss in this tick.
+    const std::size_t d = encoder_ != nullptr ? encoder_->encoding_dim() : 0;
+    if (batch_count > 0) {
+      batch_out.resize(batch_count * d);
+      encoder_->encode(batch_windows, batch_count, batch_out);
+      stats_.batched_windows += batch_count;
+    }
+
+    // Phase 3 — per tenant: finish the decision and apply the new config.
+    for (const std::size_t i : group) {
+      State& st = states[i];
+      lambda::Config cfg;
+      if (st.split != nullptr) {
+        const std::span<const float> row =
+            st.request.needs_encoding
+                ? std::span<const float>(batch_out.data() + st.batch_slot * d,
+                                         d)
+                : std::span<const float>{};
+        cfg = st.split->finish_tick(row);
+      } else {
+        cfg = st.spec->controller->decide(*st.spec->trace, t);
+      }
+      st.sim->set_config(cfg);
+      runs[i].decisions.push_back(ControlDecision{t, cfg});
+      ++stats_.control_ticks;
+      ++st.tick_index;
+      if (tick_time(st) > st.end) st.ticks_done = true;
+    }
+    ++stats_.tick_groups;
+  }
+
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    State& st = states[i];
+    if (!st.sim.has_value()) continue;  // empty trace
+    const workload::Trace& trace = *st.spec->trace;
+    while (st.next_arrival < trace.size()) {
+      st.sim->offer(trace[st.next_arrival++]);
+    }
+    st.sim->finalize();
+    runs[i].result = st.sim->result();
+  }
+  return runs;
+}
+
+}  // namespace deepbat::sim

@@ -1,0 +1,132 @@
+#pragma once
+// Multi-tenant serverless runtime: N applications (tenants), each with its
+// own trace, SLO/controller, and batching buffer, replayed in ONE merged
+// event loop. Tenants are independent at the workload level — the shared
+// resource is the controller's model evaluation: DeepBAT tenants split
+// their decision into parse/encode/select phases (SplitController) so the
+// runtime can batch every tenant's per-tick sequence encoding into a single
+// surrogate forward (paper §IV-F's encode-once split, amortized fleet-wide
+// as in HarmonyBatch, arXiv:2405.05633).
+//
+// Control ticks live on a global grid — tick k fires at k * interval — so
+// tenants sharing a control interval tick at bitwise-identical instants
+// and their encodings fold into one forward.
+//
+// run_platform() (platform.hpp) is now a thin single-tenant wrapper over
+// this loop, so solo replays and fleet replays share one code path (and
+// the same tick grid); a multi-tenant run is bit-identical per tenant to
+// N independent solo runs.
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/platform.hpp"
+
+namespace deepbat::sim {
+
+/// Shared encoding service implemented over the surrogate (core layer).
+/// Kept abstract here so sim/ stays free of the nn dependency: the currency
+/// is plain float spans.
+class BatchEncoder {
+ public:
+  virtual ~BatchEncoder() = default;
+
+  /// Window length l every submitted window must have.
+  virtual std::size_t window_length() const = 0;
+  /// Dimension d of one encoded row.
+  virtual std::size_t encoding_dim() const = 0;
+
+  /// Encode `count` windows (concatenated row-major: count * window_length
+  /// floats) into `out` (count * encoding_dim floats) with a SINGLE model
+  /// forward. Row k of `out` must be bit-identical to encoding window k
+  /// alone — the kernels' per-row determinism contract makes the batch
+  /// split invisible to results.
+  virtual void encode(std::span<const float> windows, std::size_t count,
+                      std::span<float> out) = 0;
+
+  /// Number of encode() calls / total windows shipped (bench counters).
+  std::size_t calls() const { return calls_; }
+  std::size_t windows_encoded() const { return windows_; }
+
+ protected:
+  void count_call(std::size_t windows) {
+    ++calls_;
+    windows_ += windows;
+  }
+
+ private:
+  std::size_t calls_ = 0;
+  std::size_t windows_ = 0;
+};
+
+/// Controller whose decision splits into phases so the expensive shared
+/// stage can be batched across tenants:
+///   begin_tick()  — parse the window, probe the encoder cache;
+///   (runtime batch-encodes the cache misses of every tenant in the tick)
+///   finish_tick() — score the grid and select the configuration.
+/// Implementations must also provide the plain decide() (Controller) for
+/// single-tenant use; both paths must produce identical decisions.
+class SplitController : public Controller {
+ public:
+  struct TickRequest {
+    /// True when the runtime must supply an encoding to finish_tick();
+    /// false when the controller already has one (window-cache hit).
+    bool needs_encoding = false;
+    /// The parsed+encoded window (length = BatchEncoder::window_length()),
+    /// valid until finish_tick() returns. Empty when !needs_encoding.
+    std::span<const float> window;
+  };
+
+  virtual TickRequest begin_tick(const workload::Trace& history,
+                                 double now) = 0;
+  /// `encoding`: one encoded row (encoding_dim floats) when the matching
+  /// begin_tick() asked for one; empty otherwise.
+  virtual lambda::Config finish_tick(std::span<const float> encoding) = 0;
+};
+
+/// One application replayed by the runtime.
+struct TenantSpec {
+  std::string name;
+  const workload::Trace* trace = nullptr;
+  Controller* controller = nullptr;
+  /// Lambda cost/latency model serving this tenant (tenants may differ).
+  const lambda::LambdaModel* model = nullptr;
+  lambda::Config initial_config;
+  PlatformOptions options;  // per-tenant control interval + cold-start seed
+};
+
+struct RuntimeStats {
+  std::size_t tick_groups = 0;      // distinct control-tick times processed
+  std::size_t control_ticks = 0;    // per-tenant control decisions
+  std::size_t batched_windows = 0;  // windows routed through the shared
+                                    // encoder (cache misses)
+};
+
+/// The merged event loop. With a shared encoder, all SplitController
+/// tenants ticking at the same instant are encoded in one forward; without
+/// one, every controller runs its plain decide() (still one loop).
+class Runtime {
+ public:
+  explicit Runtime(BatchEncoder* shared_encoder = nullptr)
+      : encoder_(shared_encoder) {}
+
+  void add_tenant(TenantSpec spec);
+  std::size_t tenant_count() const { return tenants_.size(); }
+
+  /// Replay every tenant to the end of its trace. Returns one PlatformRun
+  /// per tenant, in add_tenant() order. Each tenant's run is bit-identical
+  /// to a solo run_platform() with the same spec.
+  std::vector<PlatformRun> run();
+
+  const RuntimeStats& stats() const { return stats_; }
+
+ private:
+  BatchEncoder* encoder_;
+  std::vector<TenantSpec> tenants_;
+  RuntimeStats stats_;
+};
+
+}  // namespace deepbat::sim

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/grid_search.hpp"
+
+namespace deepbat {
+namespace {
+
+struct Eval {
+  bool feasible;
+  double latency;
+  double cost;
+};
+
+GridSearchResult run(const std::vector<Eval>& evals) {
+  return grid_search_argmin(
+      evals.size(), [&](std::size_t i) { return evals[i].feasible; },
+      [&](std::size_t i) { return evals[i].latency; },
+      [&](std::size_t i) { return evals[i].cost; });
+}
+
+TEST(GridSearch, PicksCheapestFeasible) {
+  const auto r = run({{true, 0.2, 3.0},
+                      {true, 0.3, 1.0},
+                      {false, 0.1, 0.5},
+                      {true, 0.4, 2.0}});
+  EXPECT_TRUE(r.any_feasible);
+  EXPECT_EQ(r.best, 1u);  // cheapest among the feasible, not index 2
+}
+
+TEST(GridSearch, FallsBackToFastestWhenNothingFeasible) {
+  const auto r = run({{false, 0.5, 1.0}, {false, 0.2, 9.0}, {false, 0.3, 0.1}});
+  EXPECT_FALSE(r.any_feasible);
+  EXPECT_EQ(r.best, 1u);  // lowest latency
+  EXPECT_EQ(r.fastest, 1u);
+}
+
+TEST(GridSearch, TiesKeepEarliestIndex) {
+  // Equal costs: the historical scan kept the first minimum; the shared
+  // utility must preserve that (determinism of the optimizers).
+  const auto cost_tie = run({{true, 0.3, 1.0}, {true, 0.2, 1.0}});
+  EXPECT_EQ(cost_tie.best, 0u);
+  const auto lat_tie = run({{false, 0.2, 2.0}, {false, 0.2, 1.0}});
+  EXPECT_EQ(lat_tie.best, 0u);
+}
+
+TEST(GridSearch, SingleCandidate) {
+  const auto feasible = run({{true, 0.1, 1.0}});
+  EXPECT_TRUE(feasible.any_feasible);
+  EXPECT_EQ(feasible.best, 0u);
+  const auto infeasible = run({{false, 0.1, 1.0}});
+  EXPECT_FALSE(infeasible.any_feasible);
+  EXPECT_EQ(infeasible.best, 0u);
+}
+
+TEST(GridSearch, FastestTracksAllCandidatesNotJustFeasible) {
+  const auto r = run({{true, 0.5, 1.0}, {false, 0.1, 2.0}});
+  EXPECT_TRUE(r.any_feasible);
+  EXPECT_EQ(r.best, 0u);
+  EXPECT_EQ(r.fastest, 1u);
+}
+
+}  // namespace
+}  // namespace deepbat

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/decision_engine.hpp"
+#include "workload/synth.hpp"
+
+namespace deepbat::core {
+namespace {
+
+SurrogateConfig tiny_config() {
+  SurrogateConfig cfg;
+  cfg.sequence_length = 16;
+  cfg.dropout = 0.0F;
+  return cfg;
+}
+
+DecisionEngineOptions small_options() {
+  DecisionEngineOptions opts;
+  opts.grid = lambda::ConfigGrid::small();
+  return opts;
+}
+
+TEST(WindowParserTest, PadsEmptyHistory) {
+  WindowParser parser(8, 10.0);
+  const workload::Trace empty;
+  const auto window = parser.parse(empty, 5.0);
+  ASSERT_EQ(window.size(), 8u);
+  const float pad = encode_gap(10.0);
+  for (const float v : window) EXPECT_EQ(v, pad);
+}
+
+TEST(WindowParserTest, PadsShortHistoryOnTheLeft) {
+  WindowParser parser(4, 10.0);
+  // Two arrivals -> one real gap; the rest of the window is pad values.
+  const workload::Trace thin({0.0, 0.5});
+  const auto window = parser.parse(thin, 1.0);
+  ASSERT_EQ(window.size(), 4u);
+  const float pad = encode_gap(10.0);
+  EXPECT_EQ(window[0], pad);
+  EXPECT_EQ(window[1], pad);
+  EXPECT_EQ(window[2], pad);
+  EXPECT_EQ(window[3], encode_gap(0.5));
+}
+
+TEST(WindowParserTest, ExactlyFullWindowHasNoPadding) {
+  WindowParser parser(3, 10.0);
+  const workload::Trace trace({0.0, 1.0, 1.5, 3.5});  // 3 gaps
+  const auto window = parser.parse(trace, 4.0);
+  ASSERT_EQ(window.size(), 3u);
+  EXPECT_EQ(window[0], encode_gap(1.0));
+  EXPECT_EQ(window[1], encode_gap(0.5));
+  EXPECT_EQ(window[2], encode_gap(2.0));
+}
+
+TEST(DecisionEngineTest, DecidesOnEmptyHistory) {
+  Surrogate model(tiny_config(), lambda::ConfigGrid::small());
+  model.set_training(false);
+  DecisionEngine engine(model, small_options());
+  const workload::Trace empty;
+  const auto decision = engine.decide(empty, 0.0);
+  EXPECT_GE(decision.choice.config.batch_size, 1);
+  EXPECT_EQ(decision.predictions.size(), engine.configs().size());
+  EXPECT_FALSE(decision.cache_hit);
+}
+
+TEST(DecisionEngineTest, CacheHitsOnIdenticalWindow) {
+  Surrogate model(tiny_config(), lambda::ConfigGrid::small());
+  model.set_training(false);
+  DecisionEngine engine(model, small_options());
+  const workload::Trace trace({0.0, 0.5, 1.0});
+
+  const auto first = engine.decide(trace, 2.0);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_EQ(engine.encoder().cache_misses(), 1u);
+  EXPECT_EQ(engine.encoder().cache_hits(), 0u);
+
+  // Same history and instant -> same window -> cache hit, same decision.
+  const auto second = engine.decide(trace, 2.0);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(engine.encoder().cache_hits(), 1u);
+  EXPECT_EQ(second.choice.config.memory_mb, first.choice.config.memory_mb);
+  EXPECT_EQ(second.choice.config.batch_size, first.choice.config.batch_size);
+  EXPECT_EQ(second.choice.config.timeout_s, first.choice.config.timeout_s);
+  ASSERT_EQ(second.predictions.size(), first.predictions.size());
+  for (std::size_t i = 0; i < first.predictions.size(); ++i) {
+    EXPECT_EQ(second.predictions[i].cost_usd_per_request,
+              first.predictions[i].cost_usd_per_request);
+    EXPECT_EQ(second.predictions[i].p95(), first.predictions[i].p95());
+  }
+  EXPECT_EQ(second.encode_seconds, 0.0);  // no forward on a hit
+
+  // A different window is a miss again.
+  const workload::Trace other({0.0, 0.1, 0.2, 1.9});
+  const auto third = engine.decide(other, 2.0);
+  EXPECT_FALSE(third.cache_hit);
+  EXPECT_EQ(engine.encoder().cache_misses(), 2u);
+}
+
+TEST(DecisionEngineTest, CacheEpochEvictionKeepsDeciding) {
+  Surrogate model(tiny_config(), lambda::ConfigGrid::small());
+  model.set_training(false);
+  DecisionEngineOptions opts = small_options();
+  opts.encoder_cache_capacity = 2;  // force epoch clears
+  DecisionEngine engine(model, opts);
+  const workload::Trace trace = workload::twitter_like({.hours = 0.01}, 7);
+  for (int i = 0; i < 6; ++i) {
+    const auto d = engine.decide(trace, 1.0 + i * 3.0);
+    EXPECT_EQ(d.predictions.size(), engine.configs().size());
+  }
+  EXPECT_LE(engine.encoder().cache_size(), 2u);
+  EXPECT_EQ(engine.encoder().cache_hits() + engine.encoder().cache_misses(),
+            6u);
+}
+
+TEST(DecisionEngineTest, GammaTightenedInfeasibleGridFallsBackToFastest) {
+  Surrogate model(tiny_config(), lambda::ConfigGrid::small());
+  model.set_training(false);
+  DecisionEngineOptions opts = small_options();
+  // The untrained surrogate can predict negative latencies, so only a
+  // negative SLO guarantees infeasibility (same idiom as the optimizer
+  // tests); gamma tightening must not flip the sign of the verdict.
+  opts.slo_s = -1e9;
+  opts.gamma = 0.99;
+  DecisionEngine engine(model, opts);
+  const workload::Trace trace({0.0, 0.5, 1.0});
+  const auto decision = engine.decide(trace, 2.0);
+  EXPECT_FALSE(decision.choice.feasible);
+  // Fallback picks the lowest predicted SLO-percentile latency.
+  for (const auto& p : decision.predictions) {
+    EXPECT_LE(decision.choice.prediction.p95(), p.p95() + 1e-12);
+  }
+}
+
+TEST(DecisionEngineTest, SplitPhaseMatchesOneShot) {
+  Surrogate model(tiny_config(), lambda::ConfigGrid::small());
+  model.set_training(false);
+  DecisionEngine one_shot(model, small_options());
+  DecisionEngine split(model, small_options());
+  const workload::Trace trace = workload::twitter_like({.hours = 0.01}, 3);
+
+  for (const double now : {5.0, 10.0, 15.0, 20.0}) {
+    const auto direct = one_shot.decide(trace, now);
+    const auto prepared = split.begin(trace, now);
+    std::vector<float> e1;
+    if (prepared.needs_encoding) {
+      e1.resize(split.encoding_dim());
+      // Same single forward the runtime's batch encoder would issue.
+      SurrogateBatchEncoder encoder(model);
+      encoder.encode(prepared.window, 1, e1);
+    }
+    const auto phased = split.finish(e1);
+    EXPECT_EQ(phased.choice.config.memory_mb, direct.choice.config.memory_mb);
+    EXPECT_EQ(phased.choice.config.batch_size,
+              direct.choice.config.batch_size);
+    EXPECT_EQ(phased.choice.config.timeout_s, direct.choice.config.timeout_s);
+  }
+}
+
+TEST(DecisionEngineTest, ProtocolViolationsThrow) {
+  Surrogate model(tiny_config(), lambda::ConfigGrid::small());
+  model.set_training(false);
+  DecisionEngine engine(model, small_options());
+  const workload::Trace trace({0.0, 0.5});
+  EXPECT_THROW(engine.finish({}), Error);  // finish without begin
+  const auto prepared = engine.begin(trace, 1.0);
+  EXPECT_TRUE(prepared.needs_encoding);
+  EXPECT_THROW(engine.begin(trace, 1.0), Error);  // begin twice
+  EXPECT_THROW(engine.finish({}), Error);  // miss requires an encoding row
+}
+
+TEST(DecisionEngineTest, GammaValidation) {
+  Surrogate model(tiny_config(), lambda::ConfigGrid::small());
+  DecisionEngineOptions opts = small_options();
+  opts.gamma = 1.5;
+  EXPECT_THROW(DecisionEngine(model, opts), Error);
+  DecisionEngine engine(model, small_options());
+  engine.set_gamma(0.3);
+  EXPECT_DOUBLE_EQ(engine.gamma(), 0.3);
+  EXPECT_THROW(engine.set_gamma(-0.1), Error);
+}
+
+TEST(SurrogateBatchEncoderTest, BatchedRowsBitIdenticalToSoloForwards) {
+  Surrogate model(tiny_config(), lambda::ConfigGrid::small());
+  model.set_training(false);
+  SurrogateBatchEncoder encoder(model);
+  const std::size_t l = encoder.window_length();
+  const std::size_t d = encoder.encoding_dim();
+
+  // Three distinct windows batched together...
+  std::vector<float> windows(3 * l);
+  for (std::size_t k = 0; k < 3; ++k) {
+    for (std::size_t i = 0; i < l; ++i) {
+      windows[k * l + i] = encode_gap(0.1 + 0.3 * static_cast<double>(k) +
+                                      0.01 * static_cast<double>(i));
+    }
+  }
+  std::vector<float> batched(3 * d);
+  encoder.encode(windows, 3, batched);
+
+  // ...must match each window encoded alone, bit for bit (the kernels'
+  // per-row determinism contract the multi-tenant runtime relies on).
+  for (std::size_t k = 0; k < 3; ++k) {
+    std::vector<float> solo(d);
+    encoder.encode({windows.data() + k * l, l}, 1, solo);
+    for (std::size_t j = 0; j < d; ++j) {
+      EXPECT_EQ(solo[j], batched[k * d + j]) << "row " << k << " dim " << j;
+    }
+  }
+  EXPECT_EQ(encoder.calls(), 4u);
+  EXPECT_EQ(encoder.windows_encoded(), 6u);
+}
+
+}  // namespace
+}  // namespace deepbat::core

@@ -1,0 +1,208 @@
+// The multi-tenant runtime's contract: replaying N tenants through one
+// merged loop with a shared batched encoder yields results bit-identical,
+// per tenant, to N independent run_platform() replays — while issuing one
+// batched encode_sequence per control tick for all cache-missing tenants.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+#include "batchlib/controller.hpp"
+#include "core/controller.hpp"
+#include "sim/runtime.hpp"
+#include "workload/synth.hpp"
+
+namespace deepbat::sim {
+namespace {
+
+core::SurrogateConfig tiny_config() {
+  core::SurrogateConfig cfg;
+  cfg.sequence_length = 16;
+  cfg.dropout = 0.0F;
+  return cfg;
+}
+
+core::DeepBatControllerOptions controller_options() {
+  core::DeepBatControllerOptions opts;
+  opts.grid = lambda::ConfigGrid::small();
+  return opts;
+}
+
+void expect_bit_identical(const PlatformRun& a, const PlatformRun& b) {
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (std::size_t k = 0; k < a.decisions.size(); ++k) {
+    EXPECT_EQ(a.decisions[k].time, b.decisions[k].time);
+    EXPECT_EQ(a.decisions[k].config.memory_mb, b.decisions[k].config.memory_mb);
+    EXPECT_EQ(a.decisions[k].config.batch_size,
+              b.decisions[k].config.batch_size);
+    EXPECT_EQ(a.decisions[k].config.timeout_s, b.decisions[k].config.timeout_s);
+  }
+  ASSERT_EQ(a.result.requests.size(), b.result.requests.size());
+  for (std::size_t k = 0; k < a.result.requests.size(); ++k) {
+    const auto& ra = a.result.requests[k];
+    const auto& rb = b.result.requests[k];
+    EXPECT_EQ(ra.arrival, rb.arrival);
+    EXPECT_EQ(ra.dispatch, rb.dispatch);
+    EXPECT_EQ(ra.completion, rb.completion);
+    EXPECT_EQ(ra.batch_actual, rb.batch_actual);
+    EXPECT_EQ(ra.cost_share, rb.cost_share);
+  }
+  EXPECT_EQ(a.result.invocations, b.result.invocations);
+  EXPECT_EQ(a.result.total_cost, b.result.total_cost);
+}
+
+TEST(RuntimeTest, MultiTenantBitIdenticalToIndependentSoloRuns) {
+  core::Surrogate model(tiny_config(), lambda::ConfigGrid::small());
+  model.set_training(false);
+  const lambda::LambdaModel lm;
+  PlatformOptions popts;
+  popts.control_interval_s = 30.0;
+
+  // Three tenants on different traces (different burst structure so their
+  // decisions genuinely differ), all sharing one surrogate.
+  const std::vector<workload::Trace> traces = {
+      workload::twitter_like({.hours = 0.05}, 31),
+      workload::azure_like({.hours = 0.05}, 17),
+      workload::twitter_like({.hours = 0.04}, 99),
+  };
+
+  // Reference: N independent solo replays.
+  std::vector<PlatformRun> solo;
+  for (const auto& trace : traces) {
+    core::DeepBatController ctl(model, controller_options());
+    solo.push_back(run_platform(trace, ctl, lm, {1024, 1, 0.0}, popts));
+  }
+
+  // One merged runtime with the shared batched encoder.
+  core::SurrogateBatchEncoder encoder(model);
+  Runtime runtime(&encoder);
+  std::vector<std::unique_ptr<core::DeepBatController>> controllers;
+  for (const auto& trace : traces) {
+    controllers.push_back(std::make_unique<core::DeepBatController>(
+        model, controller_options()));
+    TenantSpec spec;
+    spec.name = "tenant";
+    spec.trace = &trace;
+    spec.controller = controllers.back().get();
+    spec.model = &lm;
+    spec.initial_config = {1024, 1, 0.0};
+    spec.options = popts;
+    runtime.add_tenant(std::move(spec));
+  }
+  const auto merged = runtime.run();
+
+  ASSERT_EQ(merged.size(), traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    SCOPED_TRACE("tenant " + std::to_string(i));
+    expect_bit_identical(solo[i], merged[i]);
+  }
+
+  // The control plane actually batched: every window went through the
+  // shared encoder, and coinciding ticks were folded into single forwards.
+  const RuntimeStats& stats = runtime.stats();
+  EXPECT_GT(stats.control_ticks, 0u);
+  EXPECT_EQ(stats.batched_windows, encoder.windows_encoded());
+  EXPECT_GT(encoder.calls(), 0u);
+  EXPECT_LT(encoder.calls(), stats.control_ticks);  // ticks were folded
+  EXPECT_LT(stats.tick_groups, stats.control_ticks);
+}
+
+TEST(RuntimeTest, MixedControllersShareTheLoop) {
+  // A DeepBAT (split) tenant and a BATCH (plain Controller) tenant replayed
+  // by one runtime: the plain controller takes the decide() path and both
+  // still match their solo replays.
+  core::Surrogate model(tiny_config(), lambda::ConfigGrid::small());
+  model.set_training(false);
+  const lambda::LambdaModel lm;
+  PlatformOptions popts;
+  popts.control_interval_s = 30.0;
+  const workload::Trace trace = workload::twitter_like({.hours = 0.05}, 31);
+
+  batchlib::BatchControllerOptions bopts;
+  bopts.grid = lambda::ConfigGrid::small();
+
+  PlatformRun solo_deepbat;
+  PlatformRun solo_batch;
+  {
+    core::DeepBatController deepbat(model, controller_options());
+    solo_deepbat = run_platform(trace, deepbat, lm, {1024, 1, 0.0}, popts);
+    batchlib::BatchController batch(lm, bopts);
+    solo_batch = run_platform(trace, batch, lm, {1024, 1, 0.0}, popts);
+  }
+
+  core::SurrogateBatchEncoder encoder(model);
+  Runtime runtime(&encoder);
+  core::DeepBatController deepbat(model, controller_options());
+  batchlib::BatchController batch(lm, bopts);
+  TenantSpec spec;
+  spec.trace = &trace;
+  spec.model = &lm;
+  spec.initial_config = {1024, 1, 0.0};
+  spec.options = popts;
+  spec.name = "deepbat";
+  spec.controller = &deepbat;
+  runtime.add_tenant(spec);
+  spec.name = "batch";
+  spec.controller = &batch;
+  runtime.add_tenant(spec);
+  const auto merged = runtime.run();
+
+  ASSERT_EQ(merged.size(), 2u);
+  {
+    SCOPED_TRACE("deepbat tenant");
+    expect_bit_identical(solo_deepbat, merged[0]);
+  }
+  {
+    SCOPED_TRACE("batch tenant");
+    expect_bit_identical(solo_batch, merged[1]);
+  }
+}
+
+TEST(RuntimeTest, EmptyTraceYieldsEmptyRun) {
+  core::Surrogate model(tiny_config(), lambda::ConfigGrid::small());
+  model.set_training(false);
+  const lambda::LambdaModel lm;
+  const workload::Trace empty;
+  const workload::Trace busy = workload::twitter_like({.hours = 0.02}, 5);
+
+  core::DeepBatController a(model, controller_options());
+  core::DeepBatController b(model, controller_options());
+  core::SurrogateBatchEncoder encoder(model);
+  Runtime runtime(&encoder);
+  TenantSpec spec;
+  spec.model = &lm;
+  spec.initial_config = {1024, 1, 0.0};
+  spec.options.control_interval_s = 30.0;
+  spec.name = "empty";
+  spec.trace = &empty;
+  spec.controller = &a;
+  runtime.add_tenant(spec);
+  spec.name = "busy";
+  spec.trace = &busy;
+  spec.controller = &b;
+  runtime.add_tenant(spec);
+
+  const auto runs = runtime.run();
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_TRUE(runs[0].decisions.empty());
+  EXPECT_EQ(runs[0].result.served(), 0u);
+  EXPECT_EQ(runs[1].result.served(), busy.size());
+}
+
+TEST(RuntimeTest, AddTenantValidates) {
+  Runtime runtime;
+  const workload::Trace trace({0.0, 1.0});
+  const lambda::LambdaModel lm;
+  TenantSpec spec;  // null trace/controller/model
+  EXPECT_THROW(runtime.add_tenant(spec), Error);
+  FixedController fixed({1024, 1, 0.0});
+  spec.trace = &trace;
+  spec.controller = &fixed;
+  spec.model = &lm;
+  spec.options.control_interval_s = 0.0;
+  EXPECT_THROW(runtime.add_tenant(spec), Error);
+}
+
+}  // namespace
+}  // namespace deepbat::sim
