@@ -57,6 +57,8 @@ int main(int argc, char** argv) {
 
   bench::JsonReport report("abl_cold_start");
   report.add("cold_start_sweep", t);
+  report.set_metrics(obs::MetricsRegistry::instance().snapshot());
   report.write(args.json_path);
+  bench::write_metrics_snapshot(args.metrics_path);
   return 0;
 }

@@ -222,7 +222,8 @@ ReplayArgs parse_replay_args(int argc, const char* const* argv,
                              ReplayArgs defaults) {
   try {
     const CliFlags flags(argc, argv);
-    flags.check_known({"slo", "hours", "interval", "cold-seed", "json"});
+    flags.check_known(
+        {"slo", "hours", "interval", "cold-seed", "json", "metrics"});
     defaults.slo_s = flags.get_double("slo", defaults.slo_s);
     defaults.hours = flags.get_double("hours", defaults.hours);
     defaults.control_interval_s =
@@ -230,13 +231,14 @@ ReplayArgs parse_replay_args(int argc, const char* const* argv,
     defaults.cold_start_seed = static_cast<std::uint64_t>(flags.get_int(
         "cold-seed", static_cast<std::int64_t>(defaults.cold_start_seed)));
     defaults.json_path = flags.get("json", defaults.json_path);
+    defaults.metrics_path = flags.get("metrics", defaults.metrics_path);
     DEEPBAT_CHECK(defaults.slo_s > 0.0, "replay args: --slo must be positive");
     DEEPBAT_CHECK(defaults.control_interval_s > 0.0,
                   "replay args: --interval must be positive");
   } catch (const Error& e) {
     std::fprintf(stderr,
                  "%s\nusage: %s [--slo S] [--hours H] [--interval S] "
-                 "[--cold-seed N] [--json PATH]\n",
+                 "[--cold-seed N] [--json PATH] [--metrics PATH]\n",
                  e.what(), argc > 0 ? argv[0] : "bench");
     std::exit(2);
   }
@@ -284,6 +286,10 @@ void JsonReport::add_scalar(const std::string& key, double value) {
   scalars_.emplace_back(key, value);
 }
 
+void JsonReport::set_metrics(const obs::MetricsSnapshot& snapshot) {
+  metrics_json_ = obs::to_json(snapshot, obs::recent_spans());
+}
+
 void JsonReport::write(const std::string& path) const {
   if (path.empty()) return;
   std::ofstream os(path);
@@ -303,8 +309,23 @@ void JsonReport::write(const std::string& path) const {
     os << ": ";
     json_table(os, *tables_[i].second);
   }
-  os << "}}\n";
+  os << "}";
+  if (!metrics_json_.empty()) {
+    os << ",\n \"metrics\": " << metrics_json_;
+  }
+  os << "}\n";
   std::printf("[json] wrote %s\n", path.c_str());
+}
+
+void write_metrics_snapshot(const std::string& path) {
+  if (!obs::dump_snapshot_json(path)) return;  // empty path: flag not given
+  if (obs::enabled()) {
+    std::printf("[metrics] wrote %s\n", path.c_str());
+  } else {
+    std::printf("[metrics] wrote %s (observability disabled; snapshot is "
+                "empty — unset DEEPBAT_OBS to enable)\n",
+                path.c_str());
+  }
 }
 
 }  // namespace deepbat::bench

@@ -19,6 +19,7 @@
 
 #include "common/table.hpp"
 #include "core/deepbat.hpp"
+#include "obs/export.hpp"
 
 namespace deepbat::bench {
 
@@ -96,12 +97,14 @@ void preamble(const std::string& figure, const std::string& description);
 ///   --interval <seconds> control interval (default 30)
 ///   --cold-seed <n>      cold-start injection seed (0 = warm platform)
 ///   --json <path>        also emit the bench's tables as one JSON document
+///   --metrics <path>     dump an obs registry snapshot (JSON) after the run
 struct ReplayArgs {
   double slo_s = 0.1;
   double hours = 0.0;
   double control_interval_s = 30.0;
   std::uint64_t cold_start_seed = 0;
   std::string json_path;
+  std::string metrics_path;
 };
 
 /// Parse the standard replay flags over per-figure defaults. Unknown flags
@@ -129,14 +132,24 @@ class JsonReport {
   void add(const std::string& key, const Table& table);
   void add_scalar(const std::string& key, double value);
 
-  /// Write {"bench": ..., "scalars": {...}, "tables": {...}}; no-op when
-  /// `path` is empty.
+  /// Embed an observability snapshot (serialized immediately) so the bench
+  /// document carries its metrics under a "metrics" key.
+  void set_metrics(const obs::MetricsSnapshot& snapshot);
+
+  /// Write {"bench": ..., "scalars": {...}, "tables": {...}[, "metrics":
+  /// {...}]}; no-op when `path` is empty.
   void write(const std::string& path) const;
 
  private:
   std::string bench_;
   std::vector<std::pair<std::string, double>> scalars_;
   std::vector<std::pair<std::string, const Table*>> tables_;
+  std::string metrics_json_;
 };
+
+/// Dump a metrics-registry snapshot (plus the recent span trace) to `path`
+/// as JSON — the implementation of every replay bench's --metrics flag.
+/// No-op when `path` is empty.
+void write_metrics_snapshot(const std::string& path);
 
 }  // namespace deepbat::bench

@@ -97,6 +97,8 @@ int main(int argc, char** argv) {
 
   bench::JsonReport report("fig06_azure_cost");
   report.add("minutes", t);
+  report.set_metrics(obs::MetricsRegistry::instance().snapshot());
   report.write(args.json_path);
+  bench::write_metrics_snapshot(args.metrics_path);
   return 0;
 }

@@ -74,6 +74,8 @@ int main(int argc, char** argv) {
   bench::JsonReport report("fig08_vcr_alibaba");
   report.add("hourly_vcr", vcr_table);
   report.add("summary", summary);
+  report.set_metrics(obs::MetricsRegistry::instance().snapshot());
   report.write(args.json_path);
+  bench::write_metrics_snapshot(args.metrics_path);
   return 0;
 }

@@ -60,6 +60,8 @@ int main(int argc, char** argv) {
   bench::JsonReport report("fig11_configs");
   report.add("configs", t);
   report.add("summary", summary);
+  report.set_metrics(obs::MetricsRegistry::instance().snapshot());
   report.write(args.json_path);
+  bench::write_metrics_snapshot(args.metrics_path);
   return 0;
 }

@@ -24,7 +24,9 @@ struct Replay {
   double deepbat_ms_per_decision = 0.0;
   double batch_seconds_per_refit = 0.0;
   // Control-plane counters from the shared runtime (bench/§IV-F evidence:
-  // encoder calls < control ticks when the window cache hits).
+  // encoder calls < control ticks when the window cache hits). cache_hits /
+  // cache_misses come from runtime_stats — the single source of truth for
+  // window-cache accounting (DESIGN.md §9) — not from controller internals.
   sim::RuntimeStats runtime_stats;
   std::size_t encoder_calls = 0;
   std::size_t encoder_windows = 0;
@@ -39,6 +41,11 @@ inline Replay run_head_to_head(Fixture& fx, const workload::Trace& trace,
                                const core::Surrogate& deepbat_model,
                                double gamma, double slo,
                                const ReplayArgs& args = {}) {
+  // Fresh registry window: a --metrics snapshot taken after this replay
+  // describes this replay alone, not fixture training or earlier runs.
+  obs::MetricsRegistry::instance().reset();
+  obs::clear_spans();
+
   Replay replay;
   core::DeepBatController deepbat(deepbat_model,
                                   fx.controller_options(slo, gamma));
@@ -70,8 +77,8 @@ inline Replay run_head_to_head(Fixture& fx, const workload::Trace& trace,
   replay.runtime_stats = runtime.stats();
   replay.encoder_calls = encoder.calls();
   replay.encoder_windows = encoder.windows_encoded();
-  replay.cache_hits = deepbat.cache_hits();
-  replay.cache_misses = deepbat.cache_misses();
+  replay.cache_hits = replay.runtime_stats.cache_hits;
+  replay.cache_misses = replay.runtime_stats.cache_misses;
 
   if (deepbat.decision_count() > 0) {
     replay.deepbat_ms_per_decision =

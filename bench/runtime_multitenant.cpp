@@ -85,6 +85,10 @@ int main(int argc, char** argv) {
     spec.options = popts;
     runtime.add_tenant(std::move(spec));
   }
+  // Fresh registry window so a --metrics snapshot describes the batched
+  // run alone (the solo pass above also routes through sim::Runtime).
+  obs::MetricsRegistry::instance().reset();
+  obs::clear_spans();
   const auto t_batched = std::chrono::steady_clock::now();
   const auto batched = runtime.run();
   const double batched_seconds = wall_seconds(t_batched);
@@ -110,14 +114,20 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::size_t hits = 0;
-  std::size_t misses = 0;
+  // Window-cache accounting comes from the runtime itself: RuntimeStats is
+  // the single source of truth for hit rates (DESIGN.md §9) — this bench
+  // used to re-derive it from controller internals, which silently diverged
+  // whenever the controllers' counters meant something subtly different.
+  // The controllers' own counters are kept only as a consistency check.
+  const double hit_rate = 100.0 * stats.cache_hit_rate();
+  std::size_t ctl_hits = 0;
+  std::size_t ctl_misses = 0;
   for (const auto& ctl : controllers) {
-    hits += ctl->cache_hits();
-    misses += ctl->cache_misses();
+    ctl_hits += ctl->cache_hits();
+    ctl_misses += ctl->cache_misses();
   }
-  const double probes = static_cast<double>(hits + misses);
-  const double hit_rate = probes > 0.0 ? 100.0 * hits / probes : 0.0;
+  const bool cache_consistent =
+      ctl_hits == stats.cache_hits && ctl_misses == stats.cache_misses;
   const double solo_ms_per_tick =
       solo_ticks > 0 ? 1e3 * solo_seconds / solo_ticks : 0.0;
   const double batched_ms_per_tick =
@@ -136,6 +146,8 @@ int main(int argc, char** argv) {
   t.add_row({"windows_encoded", "-",
              std::to_string(encoder.windows_encoded())});
   t.add_row({"cache_hit_rate_pct", "-", fmt(hit_rate, 1)});
+  t.add_row({"cache_counters_consistent", "-",
+             cache_consistent ? "yes" : "NO"});
   t.add_row({"decisions_identical", "-", identical ? "yes" : "NO"});
   t.print(std::cout);
   std::printf("\nReading: the shared runtime folds coinciding control ticks "
@@ -148,6 +160,8 @@ int main(int argc, char** argv) {
   report.add_scalar("cache_hit_rate_pct", hit_rate);
   report.add_scalar("solo_ms_per_tick", solo_ms_per_tick);
   report.add_scalar("batched_ms_per_tick", batched_ms_per_tick);
+  report.set_metrics(obs::MetricsRegistry::instance().snapshot());
   report.write(args.json_path);
-  return identical ? 0 : 1;
+  bench::write_metrics_snapshot(args.metrics_path);
+  return identical && cache_consistent ? 0 : 1;
 }

@@ -69,6 +69,8 @@ int main(int argc, char** argv) {
   bench::JsonReport report("tab_speedup");
   report.add("speedup", t);
   report.add_scalar("mean_speedup_x", total_batch / total_deepbat);
+  report.set_metrics(obs::MetricsRegistry::instance().snapshot());
   report.write(args.json_path);
+  bench::write_metrics_snapshot(args.metrics_path);
   return 0;
 }

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus an AddressSanitizer pass over the kernel layer.
+# Tier-1 verification plus sanitizer passes over the kernel and obs layers.
 #
-#   scripts/check.sh          # plain build + full ctest, then ASan kernel tests
-#   scripts/check.sh --fast   # skip the ASan rebuild
+#   scripts/check.sh          # build + full ctest, then ASan + TSan stages
+#   scripts/check.sh --fast   # skip the sanitizer rebuilds
 #
 # The ASan stage rebuilds into build-asan/ with DEEPBAT_SANITIZE=address and
-# runs the nn/kernel/arena test binaries (the code this layer touches most);
-# the slow integration suite stays in the plain tier-1 run.
+# runs the nn/kernel/arena test binaries plus the obs registry tests; the
+# TSan stage rebuilds into build-tsan/ and runs the obs tests alone — their
+# concurrent-increment cases are the code path where a data race in the
+# lock-free metric shards would surface. The slow integration suite stays
+# in the plain tier-1 run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,7 +24,7 @@ echo "== tier-1: ctest =="
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 if [[ "$FAST" == "1" ]]; then
-  echo "== skipping ASan pass (--fast) =="
+  echo "== skipping sanitizer passes (--fast) =="
   exit 0
 fi
 
@@ -29,11 +32,20 @@ echo "== asan: build =="
 cmake -B build-asan -S . -DDEEPBAT_SANITIZE=address -DDEEPBAT_NATIVE=OFF \
   >/dev/null
 cmake --build build-asan -j"$(nproc)" --target \
-  test_nn_kernels test_nn_tensor test_nn_autograd test_nn_modules
+  test_nn_kernels test_nn_tensor test_nn_autograd test_nn_modules test_obs
 
 echo "== asan: run =="
-for t in test_nn_kernels test_nn_tensor test_nn_autograd test_nn_modules; do
+for t in test_nn_kernels test_nn_tensor test_nn_autograd test_nn_modules \
+         test_obs; do
   ./build-asan/tests/"$t"
 done
+
+echo "== tsan: build =="
+cmake -B build-tsan -S . -DDEEPBAT_SANITIZE=thread -DDEEPBAT_NATIVE=OFF \
+  >/dev/null
+cmake --build build-tsan -j"$(nproc)" --target test_obs
+
+echo "== tsan: run =="
+./build-tsan/tests/test_obs
 
 echo "== all checks passed =="

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "nn/arena.hpp"
 #include "nn/autograd.hpp"
+#include "obs/trace.hpp"
 
 namespace deepbat::core {
 
@@ -41,7 +42,14 @@ std::span<const float> WindowParser::parse(const workload::Trace& history,
 
 SequenceEncoder::SequenceEncoder(const Surrogate& surrogate,
                                  std::size_t cache_capacity)
-    : surrogate_(surrogate), capacity_(std::max<std::size_t>(cache_capacity, 1)) {}
+    : surrogate_(surrogate),
+      capacity_(std::max<std::size_t>(cache_capacity, 1)) {
+  auto& registry = obs::MetricsRegistry::instance();
+  hit_counter_ = &registry.counter("core.encoder.cache_hit");
+  miss_counter_ = &registry.counter("core.encoder.cache_miss");
+  evict_counter_ = &registry.counter("core.encoder.cache_evict");
+  size_gauge_ = &registry.gauge("core.encoder.cache_size");
+}
 
 std::size_t SequenceEncoder::KeyHash::operator()(
     const std::vector<float>& key) const {
@@ -65,16 +73,25 @@ std::size_t SequenceEncoder::encoding_dim() const {
   return static_cast<std::size_t>(surrogate_.config().model_dim);
 }
 
+void SequenceEncoder::touch(Entry& entry) {
+  if (entry.lru_pos != lru_.begin()) {
+    lru_.splice(lru_.begin(), lru_, entry.lru_pos);
+  }
+}
+
 const std::vector<float>* SequenceEncoder::lookup(
     std::span<const float> window) {
   key_.assign(window.begin(), window.end());
   const auto it = cache_.find(key_);
   if (it == cache_.end()) {
     ++misses_;
+    miss_counter_->add();
     return nullptr;
   }
   ++hits_;
-  return &it->second;
+  hit_counter_->add();
+  touch(it->second);
+  return &it->second.e1;
 }
 
 std::span<const float> SequenceEncoder::insert(std::span<const float> window,
@@ -83,11 +100,28 @@ std::span<const float> SequenceEncoder::insert(std::span<const float> window,
                 "SequenceEncoder: window length mismatch");
   DEEPBAT_CHECK(e1.size() == encoding_dim(),
                 "SequenceEncoder: encoding dimension mismatch");
-  if (cache_.size() >= capacity_) cache_.clear();  // epoch eviction
   key_.assign(window.begin(), window.end());
-  auto [it, unused] =
-      cache_.insert_or_assign(key_, std::vector<float>(e1.begin(), e1.end()));
-  return it->second;
+  const auto it = cache_.find(key_);
+  if (it != cache_.end()) {  // re-insert of a cached window: refresh in place
+    it->second.e1.assign(e1.begin(), e1.end());
+    touch(it->second);
+    return it->second.e1;
+  }
+  if (cache_.size() >= capacity_) {  // evict the least-recently-used entry
+    // Copy the key out first: erase() would otherwise be fed a reference
+    // into the node it is destroying.
+    const std::vector<float> victim = *lru_.back();
+    lru_.pop_back();
+    cache_.erase(victim);
+    ++evictions_;
+    evict_counter_->add();
+  }
+  auto [pos, inserted] = cache_.emplace(
+      key_, Entry{std::vector<float>(e1.begin(), e1.end()), lru_.end()});
+  lru_.push_front(&pos->first);
+  pos->second.lru_pos = lru_.begin();
+  size_gauge_->set(static_cast<double>(cache_.size()));
+  return pos->second.e1;
 }
 
 void SequenceEncoder::forward_single(std::span<const float> window,
@@ -128,6 +162,11 @@ DecisionEngine::DecisionEngine(const Surrogate& surrogate,
       scorer_(surrogate, options_.grid.enumerate()) {
   DEEPBAT_CHECK(options_.gamma >= 0.0 && options_.gamma < 1.0,
                 "DecisionEngine: gamma out of [0, 1)");
+  auto& registry = obs::MetricsRegistry::instance();
+  parse_hist_ = &registry.histogram("core.engine.parse_seconds");
+  encode_hist_ = &registry.histogram("core.engine.encode_seconds");
+  score_hist_ = &registry.histogram("core.engine.score_seconds");
+  search_hist_ = &registry.histogram("core.engine.search_seconds");
 }
 
 void DecisionEngine::set_gamma(double gamma) {
@@ -140,6 +179,8 @@ DecisionEngine::Prepared DecisionEngine::begin(const workload::Trace& history,
                                                double now) {
   DEEPBAT_CHECK(!pending_, "DecisionEngine: begin() called twice");
   pending_ = true;
+  obs::ScopedTimer parse_timer(*parse_hist_);
+  obs::Span span("core.engine.parse");
   pending_window_ = parser_.parse(history, now);
   const std::vector<float>* cached = encoder_.lookup(pending_window_);
   if (cached != nullptr) {
@@ -167,17 +208,26 @@ EngineDecision DecisionEngine::finish(std::span<const float> encoding) {
     e1 = encoder_.insert(pending_window_, encoding);
   }
 
-  const auto score_start = std::chrono::steady_clock::now();
-  decision.predictions = scorer_.score(e1);
-  decision.score_seconds = seconds_since(score_start);
+  {
+    obs::Span span("core.engine.score");
+    const auto score_start = std::chrono::steady_clock::now();
+    decision.predictions = scorer_.score(e1);
+    decision.score_seconds = seconds_since(score_start);
+  }
+  score_hist_->observe(decision.score_seconds);
 
   OptimizerOptions opt;
   opt.slo_s = options_.slo_s;
   opt.gamma = options_.gamma;
   opt.percentile_index = options_.percentile_index;
-  const auto search_start = std::chrono::steady_clock::now();
-  decision.choice = select_config(decision.predictions, scorer_.configs(), opt);
-  decision.search_seconds = seconds_since(search_start);
+  {
+    obs::Span span("core.engine.search");
+    const auto search_start = std::chrono::steady_clock::now();
+    decision.choice =
+        select_config(decision.predictions, scorer_.configs(), opt);
+    decision.search_seconds = seconds_since(search_start);
+  }
+  search_hist_->observe(decision.search_seconds);
   return decision;
 }
 
@@ -185,10 +235,15 @@ EngineDecision DecisionEngine::decide(const workload::Trace& history,
                                       double now) {
   const Prepared prepared = begin(history, now);
   if (!prepared.needs_encoding) return finish({});
-  const auto encode_start = std::chrono::steady_clock::now();
   std::vector<float> e1(encoder_.encoding_dim());
-  encoder_.forward_single(prepared.window, e1);
-  const double encode_seconds = seconds_since(encode_start);
+  double encode_seconds = 0.0;
+  {
+    obs::Span span("core.engine.encode");
+    const auto encode_start = std::chrono::steady_clock::now();
+    encoder_.forward_single(prepared.window, e1);
+    encode_seconds = seconds_since(encode_start);
+  }
+  encode_hist_->observe(encode_seconds);
   EngineDecision decision = finish(e1);
   decision.encode_seconds = encode_seconds;
   return decision;

@@ -18,12 +18,14 @@
 // tick for the whole fleet). DeepBatController is a thin adapter over this
 // class.
 
+#include <list>
 #include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "core/optimizer.hpp"
+#include "obs/metrics.hpp"
 #include "sim/runtime.hpp"
 
 namespace deepbat::core {
@@ -46,19 +48,24 @@ class WindowParser {
   std::vector<float> encoded_;
 };
 
-/// Stage 2 — encode-once with a window-keyed cache. A control tick over an
-/// idle or repeating workload re-parses the identical window; the cache
+/// Stage 2 — encode-once with a window-keyed LRU cache. A control tick over
+/// an idle or repeating workload re-parses the identical window; the cache
 /// turns those ticks into O(l) lookups instead of Transformer forwards.
+/// When full, the least-recently-used entry is evicted; recency depends
+/// only on the probe/insert sequence, so eviction (like everything else in
+/// the engine) is deterministic. Probes and evictions also feed the
+/// core.encoder.* registry metrics (DESIGN.md §9).
 class SequenceEncoder {
  public:
   SequenceEncoder(const Surrogate& surrogate, std::size_t cache_capacity);
 
   /// Cached E_1 row for `window`, or nullptr on a miss (counts the probe).
+  /// A hit promotes the entry to most-recently-used.
   const std::vector<float>* lookup(std::span<const float> window);
 
   /// Store an externally computed E_1 row (e.g. from the runtime's shared
   /// batched forward) and return a stable span of the cached copy. When
-  /// the cache is full it is cleared first (deterministic epoch eviction).
+  /// the cache is full the least-recently-used entry is evicted first.
   std::span<const float> insert(std::span<const float> window,
                                 std::span<const float> e1);
 
@@ -71,19 +78,35 @@ class SequenceEncoder {
   std::size_t encoding_dim() const;
   std::size_t cache_hits() const { return hits_; }
   std::size_t cache_misses() const { return misses_; }
+  std::size_t cache_evictions() const { return evictions_; }
   std::size_t cache_size() const { return cache_.size(); }
+  std::size_t cache_capacity() const { return capacity_; }
 
  private:
   struct KeyHash {
     std::size_t operator()(const std::vector<float>& key) const;
   };
+  /// Cached row plus its recency-list position. The list stores pointers to
+  /// the map keys (node-stable in unordered_map), so a window is held once.
+  struct Entry {
+    std::vector<float> e1;
+    std::list<const std::vector<float>*>::iterator lru_pos;
+  };
+
+  void touch(Entry& entry);  // move to most-recently-used
 
   const Surrogate& surrogate_;
   std::size_t capacity_;
-  std::unordered_map<std::vector<float>, std::vector<float>, KeyHash> cache_;
+  std::unordered_map<std::vector<float>, Entry, KeyHash> cache_;
+  std::list<const std::vector<float>*> lru_;  // front = most recent
   std::vector<float> key_;  // scratch, reused across probes
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t evictions_ = 0;
+  obs::Counter* hit_counter_;    // core.encoder.cache_hit
+  obs::Counter* miss_counter_;   // core.encoder.cache_miss
+  obs::Counter* evict_counter_;  // core.encoder.cache_evict
+  obs::Gauge* size_gauge_;       // core.encoder.cache_size
 };
 
 /// Stage 3 — per-config scoring off one E_1 row (the millisecond path the
@@ -159,6 +182,12 @@ class DecisionEngine {
   WindowParser parser_;
   SequenceEncoder encoder_;
   GridScorer scorer_;
+  // Stage-latency histograms (core.engine.*_seconds, DESIGN.md §9);
+  // registry handles cached for the hot tick path.
+  obs::Histogram* parse_hist_;
+  obs::Histogram* encode_hist_;
+  obs::Histogram* score_hist_;
+  obs::Histogram* search_hist_;
   // Pending state between begin() and finish().
   std::span<const float> pending_window_;
   std::span<const float> pending_e1_;  // set on a cache hit

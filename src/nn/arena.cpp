@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace deepbat::nn::arena {
 
@@ -89,6 +90,13 @@ Scope::~Scope() {
   if (!active_) return;
   tl_arena.rewind_to(chunk_, offset_);
   tl_active = static_cast<ArenaImpl*>(prev_);
+  // Outermost scope: publish this thread's high-water mark (max across
+  // threads) to the registry. One relaxed-CAS max per forward pass.
+  if (prev_ == nullptr && obs::enabled()) {
+    static obs::Gauge& peak_gauge =
+        obs::MetricsRegistry::instance().gauge("nn.arena.peak_bytes");
+    peak_gauge.set_max(static_cast<double>(tl_arena.peak * sizeof(float)));
+  }
 }
 
 Pause::Pause() {

@@ -2,17 +2,35 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <vector>
 
 #include "common/parallel.hpp"
+#include "obs/metrics.hpp"
 
 namespace deepbat::nn::kernels {
 
 namespace {
 
 std::atomic<bool> g_reference_mode{false};
+
+// Kernel wall-time histograms (nn.kernels.*, DESIGN.md §9). Timed at the
+// kernel entry point on the calling thread, so a batched matmul issued from
+// a parallel region records one sample per caller. Handles are function-
+// local statics: thread-safe init once, then a guard load per call.
+obs::Histogram& gemm_hist() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::instance().histogram("nn.kernels.gemm_seconds");
+  return h;
+}
+
+obs::Histogram& sdpa_hist() {
+  static obs::Histogram& h = obs::MetricsRegistry::instance().histogram(
+      "nn.kernels.attention_seconds");
+  return h;
+}
 
 // Packing scratch, one buffer pair per thread so batched matmuls can pack
 // concurrently. Capacity is retained across calls.
@@ -164,9 +182,11 @@ void gemm_naive(const float* A, const float* B, float* C, std::int64_t m,
   }
 }
 
-void gemm(const float* A, const float* B, float* C, std::int64_t m,
-          std::int64_t k, std::int64_t n, bool trans_a, bool trans_b,
-          bool accumulate) {
+namespace {
+
+void gemm_dispatch(const float* A, const float* B, float* C, std::int64_t m,
+                   std::int64_t k, std::int64_t n, bool trans_a, bool trans_b,
+                   bool accumulate) {
   if (reference_mode()) {
     gemm_naive(A, B, C, m, k, n, trans_a, trans_b, accumulate);
     return;
@@ -195,10 +215,28 @@ void gemm(const float* A, const float* B, float* C, std::int64_t m,
   gemm_blocked_nn(a, b, C, m, k, n, accumulate);
 }
 
-void fused_sdpa(const float* q, const float* k, const float* v, float* out,
-                std::int64_t batch, std::int64_t lq, std::int64_t lk,
-                std::int64_t heads, std::int64_t dim, float scale,
-                const float* mask) {
+}  // namespace
+
+void gemm(const float* A, const float* B, float* C, std::int64_t m,
+          std::int64_t k, std::int64_t n, bool trans_a, bool trans_b,
+          bool accumulate) {
+  if (!obs::enabled()) {
+    gemm_dispatch(A, B, C, m, k, n, trans_a, trans_b, accumulate);
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  gemm_dispatch(A, B, C, m, k, n, trans_a, trans_b, accumulate);
+  gemm_hist().observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+namespace {
+
+void fused_sdpa_impl(const float* q, const float* k, const float* v,
+                     float* out, std::int64_t batch, std::int64_t lq,
+                     std::int64_t lk, std::int64_t heads, std::int64_t dim,
+                     float scale, const float* mask) {
   const std::int64_t dh = dim / heads;
   const std::int64_t tasks = batch * heads;
   // ~4 flops per (i, j, d) triple: QK^T dot plus the PV accumulation.
@@ -291,6 +329,23 @@ void fused_sdpa(const float* q, const float* k, const float* v, float* out,
         }
       },
       grain);
+}
+
+}  // namespace
+
+void fused_sdpa(const float* q, const float* k, const float* v, float* out,
+                std::int64_t batch, std::int64_t lq, std::int64_t lk,
+                std::int64_t heads, std::int64_t dim, float scale,
+                const float* mask) {
+  if (!obs::enabled()) {
+    fused_sdpa_impl(q, k, v, out, batch, lq, lk, heads, dim, scale, mask);
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  fused_sdpa_impl(q, k, v, out, batch, lq, lk, heads, dim, scale, mask);
+  sdpa_hist().observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
 }
 
 }  // namespace deepbat::nn::kernels

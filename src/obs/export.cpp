@@ -1,0 +1,155 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace deepbat::obs {
+
+namespace {
+
+void json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+/// JSON has no inf/nan; clamp to null-free, finite output.
+void json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  os << v;
+}
+
+void json_histogram(std::ostream& os, const HistogramSnapshot& h) {
+  os << "{\"count\": " << h.count << ", \"sum\": ";
+  json_number(os, h.sum);
+  os << ", \"min\": ";
+  json_number(os, h.min);
+  os << ", \"max\": ";
+  json_number(os, h.max);
+  os << ", \"mean\": ";
+  json_number(os, h.mean());
+  os << ", \"p50\": ";
+  json_number(os, h.quantile(0.50));
+  os << ", \"p95\": ";
+  json_number(os, h.quantile(0.95));
+  os << ", \"p99\": ";
+  json_number(os, h.quantile(0.99));
+  os << ", \"bounds\": [";
+  for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+    if (i > 0) os << ", ";
+    json_number(os, h.bounds[i]);
+  }
+  os << "], \"counts\": [";
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << h.counts[i];
+  }
+  os << "]}";
+}
+
+/// layer.component.metric -> deepbat_layer_component_metric
+std::string prometheus_name(const std::string& name) {
+  std::string out = "deepbat_";
+  for (const char c : name) {
+    out.push_back(c == '.' || c == '-' ? '_' : c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_json(const MetricsSnapshot& snap, std::ostream& os,
+                std::span<const SpanRecord> spans) {
+  os << "{\"enabled\": " << (enabled() ? "true" : "false");
+  os << ",\n \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i > 0) os << ", ";
+    json_string(os, snap.counters[i].name);
+    os << ": " << snap.counters[i].value;
+  }
+  os << "},\n \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i > 0) os << ", ";
+    json_string(os, snap.gauges[i].name);
+    os << ": ";
+    json_number(os, snap.gauges[i].value);
+  }
+  os << "},\n \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    if (i > 0) os << ",\n   ";
+    json_string(os, snap.histograms[i].name);
+    os << ": ";
+    json_histogram(os, snap.histograms[i]);
+  }
+  os << "},\n \"spans\": [";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) os << ",\n   ";
+    const SpanRecord& s = spans[i];
+    os << "{\"name\": ";
+    json_string(os, s.name != nullptr ? s.name : "");
+    os << ", \"depth\": " << s.depth << ", \"thread\": " << s.thread
+       << ", \"start_s\": ";
+    json_number(os, s.start_s);
+    os << ", \"duration_s\": ";
+    json_number(os, s.duration_s);
+    os << "}";
+  }
+  os << "]}\n";
+}
+
+std::string to_json(const MetricsSnapshot& snap,
+                    std::span<const SpanRecord> spans) {
+  std::ostringstream os;
+  write_json(snap, os, spans);
+  return os.str();
+}
+
+void write_prometheus(const MetricsSnapshot& snap, std::ostream& os) {
+  for (const auto& c : snap.counters) {
+    const std::string name = prometheus_name(c.name) + "_total";
+    os << "# TYPE " << name << " counter\n";
+    os << name << ' ' << c.value << '\n';
+  }
+  for (const auto& g : snap.gauges) {
+    const std::string name = prometheus_name(g.name);
+    os << "# TYPE " << name << " gauge\n";
+    os << name << ' ' << g.value << '\n';
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string name = prometheus_name(h.name);
+    os << "# TYPE " << name << " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      cum += h.counts[b];
+      os << name << "_bucket{le=\"" << h.bounds[b] << "\"} " << cum << '\n';
+    }
+    os << name << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+    os << name << "_sum " << h.sum << '\n';
+    os << name << "_count " << h.count << '\n';
+  }
+}
+
+std::string to_prometheus(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  write_prometheus(snap, os);
+  return os.str();
+}
+
+bool dump_snapshot_json(const std::string& path) {
+  if (path.empty()) return false;
+  std::ofstream os(path);
+  DEEPBAT_CHECK(os.good(), "obs: cannot open metrics path " + path);
+  const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+  const std::vector<SpanRecord> spans = recent_spans();
+  write_json(snap, os, spans);
+  return true;
+}
+
+}  // namespace deepbat::obs

@@ -1,0 +1,40 @@
+#pragma once
+// Exporters for MetricsSnapshot: a JSON document (machine-readable, plugs
+// into bench::JsonReport and the replay harness's --metrics flag) and the
+// Prometheus text exposition format (for eyeballing / scraping).
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace deepbat::obs {
+
+/// JSON document:
+///   {"enabled": true,
+///    "counters": {"core.encoder.cache_hit": 12, ...},
+///    "gauges": {...},
+///    "histograms": {"core.engine.score_seconds":
+///        {"count": N, "sum": S, "min": m, "max": M, "mean": u,
+///         "p50": ..., "p95": ..., "p99": ...,
+///         "bounds": [...], "counts": [...]}, ...},
+///    "spans": [{"name": ..., "depth": d, "thread": t,
+///               "start_s": ..., "duration_s": ...}, ...]}
+void write_json(const MetricsSnapshot& snap, std::ostream& os,
+                std::span<const SpanRecord> spans = {});
+std::string to_json(const MetricsSnapshot& snap,
+                    std::span<const SpanRecord> spans = {});
+
+/// Prometheus text format; dots in metric names become underscores and
+/// every family is prefixed `deepbat_` (core.encoder.cache_hit ->
+/// deepbat_core_encoder_cache_hit_total).
+void write_prometheus(const MetricsSnapshot& snap, std::ostream& os);
+std::string to_prometheus(const MetricsSnapshot& snap);
+
+/// Snapshot the process registry (plus the recent span trace) and write it
+/// to `path` as JSON. No-op on an empty path; returns true when written.
+bool dump_snapshot_json(const std::string& path);
+
+}  // namespace deepbat::obs

@@ -1,0 +1,271 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace deepbat::obs {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{enabled_from_env_value(std::getenv("DEEPBAT_OBS"))};
+std::atomic<std::size_t> g_next_shard{0};
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool enabled_from_env_value(const char* value) {
+  if (value == nullptr) return true;
+  std::string v(value);
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return !(v == "off" || v == "0" || v == "false" || v == "no");
+}
+
+// ------------------------------------------------------------- counters --
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::reset() {
+  for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+}
+
+// ----------------------------------------------------------- histograms --
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cum += counts[i];
+    if (static_cast<double>(cum) >= target && counts[i] > 0) {
+      // Bucket bounds, capped by the observed extrema so sparse tails do
+      // not report a full bucket width of slack.
+      const double lo = i == 0 ? min : std::max(min, bounds[i - 1]);
+      const double hi = i < bounds.size() ? std::min(max, bounds[i]) : max;
+      const double before = static_cast<double>(cum - counts[i]);
+      const double frac =
+          (target - before) / static_cast<double>(counts[i]);
+      return std::clamp(lo + frac * (hi - lo), min, max);
+    }
+  }
+  return max;
+}
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+  DEEPBAT_CHECK(!bounds_.empty(), "Histogram: empty bucket bounds");
+  DEEPBAT_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "Histogram: bucket bounds must be ascending");
+  const std::size_t buckets = bounds_.size() + 1;
+  // Pad each shard's bucket row to a cache-line multiple so two shards
+  // never share a line.
+  stride_ = (buckets + 7) & ~std::size_t{7};
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(kShards * stride_);
+  for (std::size_t i = 0; i < kShards * stride_; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  aggs_ = std::make_unique<Agg[]>(kShards);
+}
+
+std::size_t Histogram::bucket_index(double v) const noexcept {
+  // First bound >= v (le semantics); past-the-end = overflow bucket.
+  return static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.name = name_;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  double mn = std::numeric_limits<double>::infinity();
+  double mx = -std::numeric_limits<double>::infinity();
+  for (std::size_t s = 0; s < kShards; ++s) {
+    for (std::size_t b = 0; b < snap.counts.size(); ++b) {
+      snap.counts[b] += buckets_[s * stride_ + b].load(std::memory_order_relaxed);
+    }
+    const Agg& agg = aggs_[s];
+    snap.count += agg.count.load(std::memory_order_relaxed);
+    snap.sum += agg.sum.load(std::memory_order_relaxed);
+    mn = std::min(mn, agg.min.load(std::memory_order_relaxed));
+    mx = std::max(mx, agg.max.load(std::memory_order_relaxed));
+  }
+  snap.min = snap.count > 0 ? mn : 0.0;
+  snap.max = snap.count > 0 ? mx : 0.0;
+  return snap;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i < kShards * stride_; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  for (std::size_t s = 0; s < kShards; ++s) {
+    aggs_[s].count.store(0, std::memory_order_relaxed);
+    aggs_[s].sum.store(0.0, std::memory_order_relaxed);
+    aggs_[s].min.store(std::numeric_limits<double>::infinity(),
+                       std::memory_order_relaxed);
+    aggs_[s].max.store(-std::numeric_limits<double>::infinity(),
+                       std::memory_order_relaxed);
+  }
+}
+
+// ------------------------------------------------------------- registry --
+
+const CounterSnapshot* MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const GaugeSnapshot* MetricsSnapshot::gauge(std::string_view name) const {
+  for (const auto& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    std::string_view name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+// Singleton state. std::map keeps sections sorted by name, which is what
+// makes snapshots deterministic for free; std::less<> enables string_view
+// lookups without temporary strings.
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+
+  bool name_taken_elsewhere(std::string_view name, const void* self) const {
+    const auto in = [&](const auto& m) {
+      return m.find(name) != m.end() && static_cast<const void*>(&m) != self;
+    };
+    return in(counters) || in(gauges) || in(histograms);
+  }
+};
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.counters.find(name);
+  if (it == im.counters.end()) {
+    DEEPBAT_CHECK(!im.name_taken_elsewhere(name, &im.counters),
+                  "MetricsRegistry: '" + std::string(name) +
+                      "' already registered as a different metric type");
+    it = im.counters
+             .emplace(std::string(name),
+                      std::make_unique<Counter>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.gauges.find(name);
+  if (it == im.gauges.end()) {
+    DEEPBAT_CHECK(!im.name_taken_elsewhere(name, &im.gauges),
+                  "MetricsRegistry: '" + std::string(name) +
+                      "' already registered as a different metric type");
+    it = im.gauges
+             .emplace(std::string(name), std::make_unique<Gauge>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return histogram(name, default_latency_bounds_s());
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.histograms.find(name);
+  if (it == im.histograms.end()) {
+    DEEPBAT_CHECK(!im.name_taken_elsewhere(name, &im.histograms),
+                  "MetricsRegistry: '" + std::string(name) +
+                      "' already registered as a different metric type");
+    it = im.histograms
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::string(name),
+                                                  std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  if (!enabled()) return snap;  // the off switch yields an empty document
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  snap.counters.reserve(im.counters.size());
+  for (const auto& [name, c] : im.counters) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(im.gauges.size());
+  for (const auto& [name, g] : im.gauges) {
+    snap.gauges.push_back({name, g->value()});
+  }
+  snap.histograms.reserve(im.histograms.size());
+  for (const auto& [name, h] : im.histograms) {
+    snap.histograms.push_back(h->snapshot());
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (auto& [name, c] : im.counters) c->reset();
+  for (auto& [name, g] : im.gauges) g->reset();
+  for (auto& [name, h] : im.histograms) h->reset();
+}
+
+std::vector<double> MetricsRegistry::default_latency_bounds_s() {
+  std::vector<double> bounds;
+  for (double decade = 1e-7; decade < 20.0; decade *= 10.0) {
+    for (const double step : {1.0, 2.0, 5.0}) {
+      const double b = decade * step;
+      if (b > 10.0 + 1e-12) break;
+      bounds.push_back(b);
+    }
+  }
+  return bounds;
+}
+
+}  // namespace deepbat::obs

@@ -1,0 +1,267 @@
+#pragma once
+// Low-overhead observability: a process-wide registry of named counters,
+// gauges, and fixed-bucket latency histograms (DESIGN.md §9).
+//
+// Design rules:
+//  * Hot-path writes are lock-free. Every metric is striped over
+//    cache-line-aligned shards; a thread picks one shard on first use
+//    (thread-local round-robin assignment) and then increments it with
+//    relaxed atomics, so in steady state concurrent writers touch disjoint
+//    cache lines.
+//  * Reads merge the shards. snapshot() is monotone but not atomic across
+//    metrics: a snapshot taken mid-run is a consistent-enough view for
+//    reporting, never an input to control decisions.
+//  * The subsystem is a runtime switch. DEEPBAT_OBS=off|0|false (or
+//    set_enabled(false)) turns every write into one relaxed load plus a
+//    predictable branch and makes snapshot() return an empty document.
+//    Registration still works while disabled, so call sites cache handles
+//    unconditionally.
+//  * Names follow layer.component.metric (core.encoder.cache_hit,
+//    sim.runtime.batch_encode_seconds, ...); the scheme and the full
+//    inventory live in DESIGN.md §9. Counters are named after the event
+//    they count (singular); histograms carry a unit suffix (_seconds,
+//    _bytes).
+//
+// Handles returned by MetricsRegistry live as long as the process; cache
+// them (member pointer or function-local static) instead of re-looking up
+// by name on the hot path — the lookup takes the registry mutex.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deepbat::obs {
+
+/// Shards per metric. More shards = less write contention, slower merge.
+inline constexpr std::size_t kShards = 16;
+
+namespace detail {
+
+extern std::atomic<bool> g_enabled;
+extern std::atomic<std::size_t> g_next_shard;
+
+/// Stable per-thread shard slot, assigned round-robin on first use.
+inline std::size_t shard_index() {
+  thread_local const std::size_t idx =
+      g_next_shard.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return idx;
+}
+
+/// Relaxed CAS add for doubles (atomic<double>::fetch_add is C++20 but not
+/// universally lowered well; the CAS loop is portable and uncontended in
+/// the sharded design).
+inline void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+/// Global observability switch (relaxed load; safe from any thread).
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on);
+
+/// DEEPBAT_OBS parsing: off|0|false|no (any case) disable; anything else —
+/// including an unset variable (nullptr) — leaves observability on.
+bool enabled_from_env_value(const char* value);
+
+// ------------------------------------------------------------- counters --
+
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n = 1) noexcept {
+    if (!enabled()) return;
+    shards_[detail::shard_index()].value.fetch_add(n,
+                                                   std::memory_order_relaxed);
+  }
+
+  /// Merged value over all shards.
+  std::uint64_t value() const;
+  const std::string& name() const { return name_; }
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::string name_;
+  Shard shards_[kShards];
+};
+
+// --------------------------------------------------------------- gauges --
+
+/// Last-write-wins scalar (or a running max via set_max). One atomic: a
+/// gauge write is rare compared to counter/histogram traffic.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double v) noexcept {
+    if (!enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  /// Keep the maximum of all observations (high-water marks).
+  void set_max(double v) noexcept {
+    if (!enabled()) return;
+    detail::atomic_max(value_, v);
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+// ----------------------------------------------------------- histograms --
+
+/// Merged, immutable view of one histogram (see Histogram::snapshot()).
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;          // ascending upper bounds (le)
+  std::vector<std::uint64_t> counts;   // bounds.size() + 1 (last = overflow)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  /// Quantile estimate: exact bucket selection, linear interpolation within
+  /// the bucket (so the error is bounded by the bucket width). The first
+  /// and last buckets are capped by the observed min/max.
+  double quantile(double q) const;
+};
+
+/// Fixed-bucket histogram. A value v lands in the first bucket whose upper
+/// bound satisfies v <= bound (Prometheus `le` semantics); values above the
+/// last bound land in the overflow bucket.
+class Histogram {
+ public:
+  Histogram(std::string name, std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double v) noexcept {
+    if (!enabled()) return;
+    const std::size_t s = detail::shard_index();
+    buckets_[s * stride_ + bucket_index(v)].fetch_add(
+        1, std::memory_order_relaxed);
+    Agg& agg = aggs_[s];
+    agg.count.fetch_add(1, std::memory_order_relaxed);
+    detail::atomic_add(agg.sum, v);
+    detail::atomic_min(agg.min, v);
+    detail::atomic_max(agg.max, v);
+  }
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  HistogramSnapshot snapshot() const;
+  void reset();
+
+ private:
+  struct alignas(64) Agg {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+  };
+
+  std::size_t bucket_index(double v) const noexcept;
+
+  std::string name_;
+  std::vector<double> bounds_;
+  std::size_t stride_ = 0;  // padded bucket row per shard
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::unique_ptr<Agg[]> aggs_;
+};
+
+// ------------------------------------------------------------- registry --
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Point-in-time view of the whole registry, sorted by name in every
+/// section (snapshot determinism: equal state => equal snapshot).
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  const CounterSnapshot* counter(std::string_view name) const;
+  const GaugeSnapshot* gauge(std::string_view name) const;
+  const HistogramSnapshot* histogram(std::string_view name) const;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry.
+  static MetricsRegistry& instance();
+
+  /// Find-or-create by name. A name is permanently bound to its metric
+  /// type; asking for it as a different type throws.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Histogram with the default latency buckets (100 ns .. 10 s, 1-2-5).
+  Histogram& histogram(std::string_view name);
+  /// Histogram with caller-supplied ascending bucket bounds. Re-requesting
+  /// an existing histogram ignores `bounds`.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Merge every metric; empty when observability is disabled.
+  MetricsSnapshot snapshot() const;
+
+  /// Zero every registered metric (bench/test isolation). Handles stay
+  /// valid.
+  void reset();
+
+  /// 1-2-5 ladder over 100 ns .. 10 s: the shared bucket layout for every
+  /// *_seconds histogram, so per-stage latencies line up column-for-column.
+  static std::vector<double> default_latency_bounds_s();
+
+ private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace deepbat::obs

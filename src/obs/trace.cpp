@@ -1,0 +1,132 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+namespace deepbat::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_seq{0};
+std::atomic<std::uint32_t> g_next_thread_id{0};
+
+std::chrono::steady_clock::time_point epoch() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+/// Fixed-capacity per-thread ring. The owner thread writes records; any
+/// thread may read under the ring mutex (recent_spans). Rings register
+/// themselves in a global list on first use and unregister on thread exit.
+struct SpanRing {
+  std::mutex mu;
+  std::uint32_t thread_id;
+  std::vector<SpanRecord> slots;
+  std::size_t next = 0;
+  std::size_t size = 0;
+
+  SpanRing();
+  ~SpanRing();
+
+  void push(const SpanRecord& rec) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (slots.empty()) slots.resize(kSpanRingCapacity);
+    slots[next] = rec;
+    next = (next + 1) % slots.size();
+    size = std::min(size + 1, slots.size());
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu);
+    next = 0;
+    size = 0;
+  }
+};
+
+struct RingRegistry {
+  std::mutex mu;
+  std::vector<SpanRing*> rings;
+};
+
+RingRegistry& ring_registry() {
+  static RingRegistry* reg = new RingRegistry();  // leaked: outlives
+  return *reg;                                    // thread-local dtors
+}
+
+SpanRing::SpanRing()
+    : thread_id(g_next_thread_id.fetch_add(1, std::memory_order_relaxed)) {
+  RingRegistry& reg = ring_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.rings.push_back(this);
+}
+
+SpanRing::~SpanRing() {
+  RingRegistry& reg = ring_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.rings.erase(std::remove(reg.rings.begin(), reg.rings.end(), this),
+                  reg.rings.end());
+}
+
+SpanRing& local_ring() {
+  thread_local SpanRing ring;
+  return ring;
+}
+
+thread_local std::uint32_t tl_depth = 0;
+
+}  // namespace
+
+double trace_now_s() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch())
+      .count();
+}
+
+Span::Span(const char* name) noexcept {
+  if (!enabled()) return;
+  name_ = name;
+  start_s_ = trace_now_s();
+  ++tl_depth;
+}
+
+Span::~Span() {
+  if (name_ == nullptr) return;
+  --tl_depth;
+  SpanRecord rec;
+  rec.name = name_;
+  rec.depth = tl_depth;
+  rec.seq = g_seq.fetch_add(1, std::memory_order_relaxed);
+  rec.start_s = start_s_;
+  rec.duration_s = trace_now_s() - start_s_;
+  SpanRing& ring = local_ring();
+  rec.thread = ring.thread_id;
+  ring.push(rec);
+}
+
+std::vector<SpanRecord> recent_spans(std::size_t max) {
+  std::vector<SpanRecord> all;
+  if (!enabled()) return all;
+  RingRegistry& reg = ring_registry();
+  std::lock_guard<std::mutex> reg_lock(reg.mu);
+  for (SpanRing* ring : reg.rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    for (std::size_t i = 0; i < ring->size; ++i) {
+      all.push_back(ring->slots[i]);
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const SpanRecord& a, const SpanRecord& b) { return a.seq < b.seq; });
+  if (all.size() > max) {
+    all.erase(all.begin(), all.end() - static_cast<std::ptrdiff_t>(max));
+  }
+  return all;
+}
+
+void clear_spans() {
+  RingRegistry& reg = ring_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (SpanRing* ring : reg.rings) ring->clear();
+}
+
+}  // namespace deepbat::obs

@@ -1,0 +1,84 @@
+#pragma once
+// Stage-level tracing: scoped Spans collected into per-thread ring buffers,
+// plus a ScopedTimer that feeds a latency Histogram (DESIGN.md §9).
+//
+// A Span names one stage of work (core.engine.parse, sim.runtime.tick_group,
+// ...). Spans nest: the thread-local depth at construction time records the
+// parent/child structure, so a drained ring reads as an indented stage
+// trace. Completed spans land in a fixed-capacity thread-local ring — old
+// records are overwritten, never allocated — and recent_spans() merges the
+// rings of every thread that ever traced.
+//
+// Cost model: a Span is two steady_clock reads plus one short mutex-guarded
+// ring store on destruction (the mutex is only ever contended by a
+// concurrent snapshot), so spans belong at stage granularity (per control
+// tick, per batched forward), NOT inside kernels. When observability is
+// off, construction is one relaxed load and nothing is recorded.
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace deepbat::obs {
+
+/// Completed spans a ring holds per thread.
+inline constexpr std::size_t kSpanRingCapacity = 1024;
+
+struct SpanRecord {
+  const char* name = nullptr;  // static-lifetime string passed to Span
+  std::uint32_t depth = 0;     // nesting depth (0 = root stage)
+  std::uint32_t thread = 0;    // ring owner (dense id, first-trace order)
+  std::uint64_t seq = 0;       // global completion order
+  double start_s = 0.0;        // relative to the process trace epoch
+  double duration_s = 0.0;
+};
+
+/// RAII stage marker. `name` must have static lifetime (string literal).
+class Span {
+ public:
+  explicit Span(const char* name) noexcept;
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // nullptr = disabled at construction
+  double start_s_ = 0.0;
+};
+
+/// RAII latency sample: observes elapsed seconds into `hist` on scope exit.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist) noexcept
+      : hist_(enabled() ? &hist : nullptr) {
+    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (hist_ != nullptr) {
+      hist_->observe(std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count());
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// The most recent `max` completed spans across all threads, oldest first
+/// (global seq order). Returns {} while observability is off.
+std::vector<SpanRecord> recent_spans(std::size_t max = 256);
+
+/// Drop every recorded span (bench/test isolation).
+void clear_spans();
+
+/// Seconds since the process trace epoch (first obs use); span start times
+/// are expressed on this clock.
+double trace_now_s();
+
+}  // namespace deepbat::obs

@@ -1,10 +1,12 @@
 #include "sim/runtime.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <limits>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace deepbat::sim {
 
@@ -66,6 +68,25 @@ std::vector<PlatformRun> Runtime::run() {
   std::vector<float> batch_windows;
   std::vector<float> batch_out;
 
+  // Registry mirrors of RuntimeStats (sim.runtime.*, DESIGN.md §9); handles
+  // resolved once per run, outside the loop.
+  auto& registry = obs::MetricsRegistry::instance();
+  obs::Counter& c_tick_groups = registry.counter("sim.runtime.tick_group");
+  obs::Counter& c_control_ticks = registry.counter("sim.runtime.control_tick");
+  obs::Counter& c_batched = registry.counter("sim.runtime.batched_window");
+  obs::Counter& c_hits = registry.counter("sim.runtime.cache_hit");
+  obs::Counter& c_misses = registry.counter("sim.runtime.cache_miss");
+  obs::Histogram& h_encode =
+      registry.histogram("sim.runtime.batch_encode_seconds");
+  obs::Histogram& h_group = registry.histogram("sim.runtime.tick_group_seconds");
+  obs::Histogram& h_tenant =
+      registry.histogram("sim.runtime.tenant_phase_seconds");
+  const auto seconds_since = [](std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
   for (;;) {
     // Next control instant across all tenants; tenants whose ticks coincide
     // form one group and share the batched encoding below.
@@ -80,6 +101,9 @@ std::vector<PlatformRun> Runtime::run() {
         group.push_back(i);
       }
     }
+
+    obs::Span group_span("sim.runtime.tick_group");
+    const auto group_start = std::chrono::steady_clock::now();
 
     // Phase 1 — per tenant: deliver arrivals up to t, dispatch due batches,
     // and let split controllers parse their window / probe their cache.
@@ -101,16 +125,28 @@ std::vector<PlatformRun> Runtime::run() {
           batch_windows.insert(batch_windows.end(), st.request.window.begin(),
                                st.request.window.end());
           st.batch_slot = batch_count++;
+          ++stats_.cache_misses;
+          c_misses.add();
+        } else {
+          ++stats_.cache_hits;
+          c_hits.add();
         }
       }
     }
 
     // Phase 2 — ONE batched forward for every cache miss in this tick.
     const std::size_t d = encoder_ != nullptr ? encoder_->encoding_dim() : 0;
+    double encode_seconds = 0.0;
     if (batch_count > 0) {
+      obs::Span encode_span("sim.runtime.batch_encode");
+      const auto encode_start = std::chrono::steady_clock::now();
       batch_out.resize(batch_count * d);
       encoder_->encode(batch_windows, batch_count, batch_out);
+      encode_seconds = seconds_since(encode_start);
       stats_.batched_windows += batch_count;
+      stats_.encode_seconds += encode_seconds;
+      c_batched.add(batch_count);
+      h_encode.observe(encode_seconds);
     }
 
     // Phase 3 — per tenant: finish the decision and apply the new config.
@@ -130,10 +166,17 @@ std::vector<PlatformRun> Runtime::run() {
       st.sim->set_config(cfg);
       runs[i].decisions.push_back(ControlDecision{t, cfg});
       ++stats_.control_ticks;
+      c_control_ticks.add();
       ++st.tick_index;
       if (tick_time(st) > st.end) st.ticks_done = true;
     }
     ++stats_.tick_groups;
+    c_tick_groups.add();
+    const double group_seconds = seconds_since(group_start);
+    h_group.observe(group_seconds);
+    // Tenant event-loop share of the group: everything except the shared
+    // batched forward.
+    h_tenant.observe(group_seconds - encode_seconds);
   }
 
   for (std::size_t i = 0; i < states.size(); ++i) {

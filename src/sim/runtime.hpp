@@ -98,11 +98,32 @@ struct TenantSpec {
   PlatformOptions options;  // per-tenant control interval + cold-start seed
 };
 
+/// Per-run counters, kept as a plain snapshot view for callers; every field
+/// is also mirrored into the process metrics registry under sim.runtime.*
+/// (counters tick_group / control_tick / batched_window / cache_hit /
+/// cache_miss, histograms batch_encode_seconds / tick_group_seconds /
+/// tenant_phase_seconds — DESIGN.md §9).
 struct RuntimeStats {
   std::size_t tick_groups = 0;      // distinct control-tick times processed
   std::size_t control_ticks = 0;    // per-tenant control decisions
   std::size_t batched_windows = 0;  // windows routed through the shared
                                     // encoder (cache misses)
+  /// Split-controller window-cache accounting, derived from the tick
+  /// requests the runtime itself sees (a split tick that needs no encoding
+  /// IS a window-cache hit). This is the single source of truth for
+  /// solo-vs-batched hit-rate comparisons — benches must not re-derive hit
+  /// rates from controller internals.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  /// Total wall time inside the shared encoder's batched forwards.
+  double encode_seconds = 0.0;
+
+  double cache_hit_rate() const {
+    const std::size_t probes = cache_hits + cache_misses;
+    return probes > 0 ? static_cast<double>(cache_hits) /
+                            static_cast<double>(probes)
+                      : 0.0;
+  }
 };
 
 /// The merged event loop. With a shared encoder, all SplitController

@@ -98,11 +98,11 @@ TEST(DecisionEngineTest, CacheHitsOnIdenticalWindow) {
   EXPECT_EQ(engine.encoder().cache_misses(), 2u);
 }
 
-TEST(DecisionEngineTest, CacheEpochEvictionKeepsDeciding) {
+TEST(DecisionEngineTest, CacheEvictionKeepsDeciding) {
   Surrogate model(tiny_config(), lambda::ConfigGrid::small());
   model.set_training(false);
   DecisionEngineOptions opts = small_options();
-  opts.encoder_cache_capacity = 2;  // force epoch clears
+  opts.encoder_cache_capacity = 2;  // force LRU evictions
   DecisionEngine engine(model, opts);
   const workload::Trace trace = workload::twitter_like({.hours = 0.01}, 7);
   for (int i = 0; i < 6; ++i) {
@@ -112,6 +112,33 @@ TEST(DecisionEngineTest, CacheEpochEvictionKeepsDeciding) {
   EXPECT_LE(engine.encoder().cache_size(), 2u);
   EXPECT_EQ(engine.encoder().cache_hits() + engine.encoder().cache_misses(),
             6u);
+}
+
+TEST(DecisionEngineTest, CacheEvictsLeastRecentlyUsedEntry) {
+  Surrogate model(tiny_config(), lambda::ConfigGrid::small());
+  model.set_training(false);
+  DecisionEngineOptions opts = small_options();
+  opts.encoder_cache_capacity = 2;
+  DecisionEngine engine(model, opts);
+  // Three distinct windows (the traces differ in their trailing gaps).
+  const workload::Trace a({0.0, 0.5, 1.0});
+  const workload::Trace b({0.0, 0.1, 0.2, 1.9});
+  const workload::Trace c({0.0, 1.0, 1.5});
+
+  engine.decide(a, 2.0);                          // miss: {a}
+  engine.decide(b, 2.0);                          // miss: {a, b}
+  EXPECT_TRUE(engine.decide(a, 2.0).cache_hit);   // a becomes MRU; b is LRU
+  engine.decide(c, 2.0);                          // miss: evicts b, not a
+  EXPECT_EQ(engine.encoder().cache_evictions(), 1u);
+  // Under the old clear-on-full policy this would now miss; LRU keeps the
+  // recently touched entry.
+  EXPECT_TRUE(engine.decide(a, 2.0).cache_hit);
+  EXPECT_FALSE(engine.decide(b, 2.0).cache_hit);  // b was the victim
+  EXPECT_EQ(engine.encoder().cache_evictions(), 2u);  // c evicted in turn
+  EXPECT_EQ(engine.encoder().cache_hits(), 2u);
+  EXPECT_EQ(engine.encoder().cache_misses(), 4u);
+  EXPECT_EQ(engine.encoder().cache_size(), 2u);
+  EXPECT_EQ(engine.encoder().cache_capacity(), 2u);
 }
 
 TEST(DecisionEngineTest, GammaTightenedInfeasibleGridFallsBackToFastest) {

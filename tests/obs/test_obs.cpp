@@ -1,0 +1,267 @@
+// Observability layer (DESIGN.md §9): histogram bucket/quantile accuracy
+// against exact percentiles, lossless concurrent increments (the TSan/ASan
+// target of scripts/check.sh), snapshot determinism, the DEEPBAT_OBS off
+// switch, and the span/timer tracing primitives.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace deepbat::obs {
+namespace {
+
+/// Every test starts and ends with a clean, enabled registry — the registry
+/// is process-wide, so tests isolate through reset(), not fresh instances.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    MetricsRegistry::instance().reset();
+    clear_spans();
+  }
+  void TearDown() override {
+    set_enabled(true);
+    MetricsRegistry::instance().reset();
+    clear_spans();
+  }
+};
+
+std::size_t bucket_of(const std::vector<double>& bounds, double v) {
+  return static_cast<std::size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), v) - bounds.begin());
+}
+
+TEST_F(ObsTest, CounterAccumulatesAndResets) {
+  auto& registry = MetricsRegistry::instance();
+  Counter& c = registry.counter("test.obs.counter");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(&registry.counter("test.obs.counter"), &c);  // find-or-create
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);  // handle survives the reset
+}
+
+TEST_F(ObsTest, GaugeSetAndHighWaterMark) {
+  Gauge& g = MetricsRegistry::instance().gauge("test.obs.gauge");
+  g.set(3.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.set_max(1.0);  // below the current value: no change
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.set_max(7.5);
+  EXPECT_DOUBLE_EQ(g.value(), 7.5);
+}
+
+TEST_F(ObsTest, HistogramBucketAssignmentUsesLeSemantics) {
+  auto& registry = MetricsRegistry::instance();
+  Histogram& h =
+      registry.histogram("test.obs.buckets", std::vector<double>{1.0, 2.0, 5.0});
+  h.observe(0.5);  // bucket 0
+  h.observe(1.0);  // le: exactly on the bound stays in bucket 0
+  h.observe(1.5);  // bucket 1
+  h.observe(5.0);  // bucket 2
+  h.observe(9.0);  // overflow
+  const HistogramSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 9.0);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 1.5 + 5.0 + 9.0);
+}
+
+TEST_F(ObsTest, QuantilesLandInTheExactPercentilesBucket) {
+  // The contract: p50/p95/p99 are exact up to bucket resolution. Draw a
+  // deterministic log-uniform latency sample, compare the histogram's
+  // estimate with the exact sorted percentile, and require both to fall in
+  // the same bucket of the shared 1-2-5 ladder.
+  auto& registry = MetricsRegistry::instance();
+  Histogram& h = registry.histogram("test.obs.quantiles_seconds");
+  const std::vector<double> bounds = h.bounds();
+  std::mt19937 rng(1234);
+  std::uniform_real_distribution<double> log_u(std::log(1e-6), std::log(1.0));
+  std::vector<double> values(20000);
+  for (double& v : values) {
+    v = std::exp(log_u(rng));
+    h.observe(v);
+  }
+  std::sort(values.begin(), values.end());
+  const HistogramSnapshot snap = h.snapshot();
+  for (const double q : {0.50, 0.95, 0.99}) {
+    const double exact =
+        values[static_cast<std::size_t>(q * (values.size() - 1))];
+    const double est = snap.quantile(q);
+    EXPECT_EQ(bucket_of(bounds, est), bucket_of(bounds, exact))
+        << "q=" << q << " exact=" << exact << " est=" << est;
+    EXPECT_GE(est, snap.min);
+    EXPECT_LE(est, snap.max);
+  }
+}
+
+TEST_F(ObsTest, ConcurrentWritersLoseNothing) {
+  // Lock-free sharding must not drop increments under contention. Observing
+  // 1.0 keeps the double sum exact, so sum == count is a strict check.
+  auto& registry = MetricsRegistry::instance();
+  Counter& c = registry.counter("test.obs.mt_counter");
+  Histogram& h = registry.histogram("test.obs.mt_hist");
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kAdds = 100000;
+  constexpr std::uint64_t kObserves = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kAdds; ++i) c.add();
+      for (std::uint64_t i = 0; i < kObserves; ++i) h.observe(1.0);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kAdds);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, kThreads * kObserves);
+  EXPECT_DOUBLE_EQ(snap.sum, static_cast<double>(kThreads * kObserves));
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 1.0);
+}
+
+TEST_F(ObsTest, SnapshotIsDeterministicAndSorted) {
+  auto& registry = MetricsRegistry::instance();
+  // Register out of order; snapshots must sort by name.
+  registry.counter("test.obs.z").add(1);
+  registry.counter("test.obs.a").add(2);
+  registry.gauge("test.obs.m").set(4.0);
+  registry.histogram("test.obs.h").observe(0.5);
+
+  const MetricsSnapshot s1 = registry.snapshot();
+  const MetricsSnapshot s2 = registry.snapshot();
+  EXPECT_EQ(to_json(s1), to_json(s2));  // equal state => equal document
+  // Sections are sorted by name (registration order does not leak through;
+  // metrics registered by other tests persist after reset(), so assert
+  // relative order, not absolute positions).
+  ASSERT_GE(s1.counters.size(), 2u);
+  for (std::size_t i = 1; i < s1.counters.size(); ++i) {
+    EXPECT_LT(s1.counters[i - 1].name, s1.counters[i].name);
+  }
+  ASSERT_NE(s1.counter("test.obs.a"), nullptr);
+  EXPECT_EQ(s1.counter("test.obs.a")->value, 2u);
+  ASSERT_NE(s1.counter("test.obs.z"), nullptr);
+  EXPECT_EQ(s1.counter("test.obs.z")->value, 1u);
+  EXPECT_EQ(s1.counter("test.obs.missing"), nullptr);
+  ASSERT_NE(s1.histogram("test.obs.h"), nullptr);
+  EXPECT_EQ(s1.histogram("test.obs.h")->count, 1u);
+}
+
+TEST_F(ObsTest, DisabledWritesNothingAndSnapshotsEmpty) {
+  auto& registry = MetricsRegistry::instance();
+  Counter& c = registry.counter("test.obs.off_counter");
+  Histogram& h = registry.histogram("test.obs.off_hist");
+  set_enabled(false);
+  c.add(10);
+  h.observe(0.5);
+  {
+    Span span("test.obs.off_span");
+  }
+  EXPECT_TRUE(registry.snapshot().empty());
+  EXPECT_TRUE(recent_spans().empty());
+  set_enabled(true);
+  // Nothing leaked through while disabled.
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+TEST_F(ObsTest, EnvSwitchParsing) {
+  EXPECT_TRUE(enabled_from_env_value(nullptr));  // unset: on
+  EXPECT_TRUE(enabled_from_env_value("on"));
+  EXPECT_TRUE(enabled_from_env_value("1"));
+  EXPECT_TRUE(enabled_from_env_value("anything-else"));
+  EXPECT_FALSE(enabled_from_env_value("off"));
+  EXPECT_FALSE(enabled_from_env_value("OFF"));
+  EXPECT_FALSE(enabled_from_env_value("0"));
+  EXPECT_FALSE(enabled_from_env_value("false"));
+  EXPECT_FALSE(enabled_from_env_value("no"));
+}
+
+TEST_F(ObsTest, NameIsBoundToOneMetricType) {
+  auto& registry = MetricsRegistry::instance();
+  registry.counter("test.obs.typed");
+  EXPECT_THROW(registry.gauge("test.obs.typed"), Error);
+  EXPECT_THROW(registry.histogram("test.obs.typed"), Error);
+}
+
+TEST_F(ObsTest, SpansRecordDepthAndCompletionOrder) {
+  {
+    Span outer("test.obs.outer");
+    {
+      Span inner("test.obs.inner");
+    }
+  }
+  const std::vector<SpanRecord> spans = recent_spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Completion order: the child closes before its parent.
+  EXPECT_STREQ(spans[0].name, "test.obs.inner");
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_STREQ(spans[1].name, "test.obs.outer");
+  EXPECT_EQ(spans[1].depth, 0u);
+  EXPECT_LT(spans[0].seq, spans[1].seq);
+  EXPECT_GE(spans[0].start_s, spans[1].start_s);
+  EXPECT_LE(spans[0].duration_s, spans[1].duration_s + 1e-9);
+  clear_spans();
+  EXPECT_TRUE(recent_spans().empty());
+}
+
+TEST_F(ObsTest, ScopedTimerFeedsHistogram) {
+  Histogram& h = MetricsRegistry::instance().histogram("test.obs.timed");
+  {
+    ScopedTimer timer(h);
+  }
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_GE(snap.min, 0.0);
+}
+
+TEST_F(ObsTest, DefaultLatencyBoundsAreAscending) {
+  const std::vector<double> bounds = MetricsRegistry::default_latency_bounds_s();
+  ASSERT_GE(bounds.size(), 2u);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-7);   // 100 ns
+  EXPECT_NEAR(bounds.back(), 10.0, 1e-9);   // 10 s (1-2-5 ladder top)
+}
+
+TEST_F(ObsTest, ExportersCarryTheNamingScheme) {
+  auto& registry = MetricsRegistry::instance();
+  registry.counter("test.obs.events").add(3);
+  registry.histogram("test.obs.lat_seconds",
+                     std::vector<double>{0.1, 1.0})
+      .observe(0.05);
+  const MetricsSnapshot snap = registry.snapshot();
+
+  const std::string json = to_json(snap, recent_spans());
+  EXPECT_NE(json.find("\"enabled\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"test.obs.events\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.obs.lat_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+
+  const std::string prom = to_prometheus(snap);
+  EXPECT_NE(prom.find("deepbat_test_obs_events_total 3"), std::string::npos);
+  EXPECT_NE(prom.find("deepbat_test_obs_lat_seconds_bucket{le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("deepbat_test_obs_lat_seconds_count 1"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace deepbat::obs
