@@ -223,22 +223,28 @@ ReplayArgs parse_replay_args(int argc, const char* const* argv,
   try {
     const CliFlags flags(argc, argv);
     flags.check_known(
-        {"slo", "hours", "interval", "cold-seed", "json", "metrics"});
+        {"slo", "hours", "interval", "cold-seed", "shards", "json",
+         "metrics"});
     defaults.slo_s = flags.get_double("slo", defaults.slo_s);
     defaults.hours = flags.get_double("hours", defaults.hours);
     defaults.control_interval_s =
         flags.get_double("interval", defaults.control_interval_s);
     defaults.cold_start_seed = static_cast<std::uint64_t>(flags.get_int(
         "cold-seed", static_cast<std::int64_t>(defaults.cold_start_seed)));
+    defaults.shards = static_cast<std::size_t>(
+        flags.get_int("shards", static_cast<std::int64_t>(defaults.shards)));
     defaults.json_path = flags.get("json", defaults.json_path);
     defaults.metrics_path = flags.get("metrics", defaults.metrics_path);
     DEEPBAT_CHECK(defaults.slo_s > 0.0, "replay args: --slo must be positive");
     DEEPBAT_CHECK(defaults.control_interval_s > 0.0,
                   "replay args: --interval must be positive");
+    DEEPBAT_CHECK(defaults.shards >= 1,
+                  "replay args: --shards must be at least 1");
   } catch (const Error& e) {
     std::fprintf(stderr,
                  "%s\nusage: %s [--slo S] [--hours H] [--interval S] "
-                 "[--cold-seed N] [--json PATH] [--metrics PATH]\n",
+                 "[--cold-seed N] [--shards N] [--json PATH] "
+                 "[--metrics PATH]\n",
                  e.what(), argc > 0 ? argv[0] : "bench");
     std::exit(2);
   }

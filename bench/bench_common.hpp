@@ -96,6 +96,8 @@ void preamble(const std::string& figure, const std::string& description);
 ///   --hours <h>          trace horizon (benches clamp to their minimum)
 ///   --interval <seconds> control interval (default 30)
 ///   --cold-seed <n>      cold-start injection seed (0 = warm platform)
+///   --shards <n>         runtime shard count for multi-tenant replays
+///                        (default 1; results are shard-invariant)
 ///   --json <path>        also emit the bench's tables as one JSON document
 ///   --metrics <path>     dump an obs registry snapshot (JSON) after the run
 struct ReplayArgs {
@@ -103,6 +105,7 @@ struct ReplayArgs {
   double hours = 0.0;
   double control_interval_s = 30.0;
   std::uint64_t cold_start_seed = 0;
+  std::size_t shards = 1;
   std::string json_path;
   std::string metrics_path;
 };

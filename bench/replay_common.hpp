@@ -51,7 +51,9 @@ inline Replay run_head_to_head(Fixture& fx, const workload::Trace& trace,
                                   fx.controller_options(slo, gamma));
   batchlib::BatchController batch(fx.model(), fx.batch_options(slo));
   core::SurrogateBatchEncoder encoder(deepbat_model);
-  sim::Runtime runtime(&encoder);
+  sim::RuntimeOptions ropts;
+  ropts.shards = args.shards;  // shard-invariant: any count, same replay
+  sim::Runtime runtime(&encoder, ropts);
 
   sim::PlatformOptions popts;
   popts.control_interval_s = args.control_interval_s;

@@ -1,13 +1,18 @@
 // Multi-tenant runtime — control-plane scaling evidence for the refactor:
 // N tenants (one per canonical workload) replayed (a) sequentially as N
 // independent run_platform() loops and (b) through one sim::Runtime with a
-// shared batched sequence encoder. Reports per-tick control latency for
-// both modes, the encoder-cache hit rate, and how many Transformer
-// forwards the batched mode issued; verifies the per-tenant decisions are
-// identical across modes (the bit-identity contract of the runtime —
-// tests/sim/test_runtime.cpp enforces it request-by-request).
+// shared batched sequence encoder, partitioned over --shards runtime
+// shards. Reports per-tick control latency for both modes, the
+// encoder-cache hit rate, and how many Transformer forwards the batched
+// mode issued; verifies the per-tenant decisions are identical across
+// modes AND across shard counts (the shard-invariance contract —
+// tests/sim/test_runtime.cpp enforces it request-by-request). A final
+// sweep replays the fleet at 1/2/4 shards and writes the measured
+// tenants/sec curve to BENCH_runtime_scaling.json; ANY divergence from the
+// 1-shard replay fails the bench.
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <vector>
@@ -22,6 +27,29 @@ namespace {
 double wall_seconds(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+// Decision-level divergence check (the tests assert full request-level
+// bit-identity; decisions + total cost are the bench-speed proxy).
+bool runs_identical(const std::vector<sim::PlatformRun>& a,
+                    const std::vector<sim::PlatformRun>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].decisions.size() != b[i].decisions.size()) return false;
+    for (std::size_t k = 0; k < a[i].decisions.size(); ++k) {
+      const auto& x = a[i].decisions[k];
+      const auto& y = b[i].decisions[k];
+      if (x.time != y.time || x.config.memory_mb != y.config.memory_mb ||
+          x.config.batch_size != y.config.batch_size ||
+          x.config.timeout_s != y.config.timeout_s) {
+        return false;
+      }
+    }
+    if (a[i].result.cost_per_request() != b[i].result.cost_per_request()) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -70,10 +98,12 @@ int main(int argc, char** argv) {
   std::printf("[solo] %zu tenants, %zu control ticks, %.2f s\n",
               traces.size(), solo_ticks, solo_seconds);
 
-  // --- (b) batched: one runtime, one shared encoder -----------------------
+  // --- (b) batched: one runtime, one shared encoder, --shards shards ------
   std::vector<std::unique_ptr<core::DeepBatController>> controllers;
   core::SurrogateBatchEncoder encoder(surrogate);
-  sim::Runtime runtime(&encoder);
+  sim::RuntimeOptions ropts;
+  ropts.shards = args.shards;
+  sim::Runtime runtime(&encoder, ropts);
   for (std::size_t i = 0; i < traces.size(); ++i) {
     controllers.push_back(make_controller());
     sim::TenantSpec spec;
@@ -93,8 +123,10 @@ int main(int argc, char** argv) {
   const auto batched = runtime.run();
   const double batched_seconds = wall_seconds(t_batched);
   const sim::RuntimeStats& stats = runtime.stats();
-  std::printf("[batched] %zu tick groups, %zu control ticks, %.2f s\n",
-              stats.tick_groups, stats.control_ticks, batched_seconds);
+  std::printf("[batched] %zu shard(s), %zu tick groups, %zu control ticks, "
+              "%.2f s\n",
+              args.shards, stats.tick_groups, stats.control_ticks,
+              batched_seconds);
 
   // --- decisions must be identical across the two modes -------------------
   bool identical = solo.size() == batched.size();
@@ -163,5 +195,73 @@ int main(int argc, char** argv) {
   report.set_metrics(obs::MetricsRegistry::instance().snapshot());
   report.write(args.json_path);
   bench::write_metrics_snapshot(args.metrics_path);
-  return identical && cache_consistent ? 0 : 1;
+
+  // --- shard-scaling sweep: 1 -> 2 -> 4 shards, same fleet ----------------
+  // Each point is a fresh replay of the full fleet (fresh controllers +
+  // encoder so no cache warms across points); tenants/sec = tenants / wall.
+  // Divergence from the 1-shard replay fails the bench — determinism is the
+  // contract, the throughput numbers are reporting (on a single-core host
+  // the curve is flat; the sweep still proves shard invariance).
+  std::printf("\n[scaling] replaying %zu tenants at 1/2/4 shards...\n",
+              traces.size());
+  struct ScalingPoint {
+    std::size_t shards;
+    double wall_seconds;
+    double tenants_per_second;
+  };
+  std::vector<ScalingPoint> curve;
+  std::vector<sim::PlatformRun> one_shard_runs;
+  bool scaling_identical = true;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}}) {
+    std::vector<std::unique_ptr<core::DeepBatController>> ctls;
+    core::SurrogateBatchEncoder enc(surrogate);
+    sim::RuntimeOptions sweep_opts;
+    sweep_opts.shards = shards;
+    sim::Runtime sweep(&enc, sweep_opts);
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      ctls.push_back(make_controller());
+      sim::TenantSpec spec;
+      spec.name = workloads[i];
+      spec.trace = traces[i];
+      spec.controller = ctls[i].get();
+      spec.model = &fx.model();
+      spec.initial_config = {1024, 1, 0.0};
+      spec.options = popts;
+      sweep.add_tenant(std::move(spec));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    auto runs = sweep.run();
+    const double wall = wall_seconds(t0);
+    if (shards == 1) {
+      one_shard_runs = std::move(runs);
+    } else if (!runs_identical(one_shard_runs, runs)) {
+      scaling_identical = false;
+      std::printf("[scaling] DIVERGENCE at %zu shards\n", shards);
+    }
+    curve.push_back({shards, wall, wall > 0.0 ? traces.size() / wall : 0.0});
+    std::printf("[scaling] %zu shard(s): %.2f s, %.2f tenants/sec\n", shards,
+                wall, curve.back().tenants_per_second);
+  }
+  {
+    std::ofstream out("BENCH_runtime_scaling.json");
+    out << "{\n  \"bench\": \"runtime_scaling\",\n  \"tenants\": "
+        << traces.size() << ",\n  \"hours\": " << hours
+        << ",\n  \"identical_across_shards\": "
+        << (scaling_identical ? "true" : "false") << ",\n  \"points\": [\n";
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+      const ScalingPoint& p = curve[i];
+      out << "    {\"shards\": " << p.shards << ", \"wall_seconds\": "
+          << p.wall_seconds << ", \"tenants_per_second\": "
+          << p.tenants_per_second << ", \"speedup_vs_1shard\": "
+          << (p.wall_seconds > 0.0 ? curve[0].wall_seconds / p.wall_seconds
+                                   : 0.0)
+          << "}" << (i + 1 < curve.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+  }
+  std::printf("[scaling] wrote BENCH_runtime_scaling.json (identical=%s)\n",
+              scaling_identical ? "yes" : "NO");
+
+  return identical && cache_consistent && scaling_identical ? 0 : 1;
 }

@@ -5,11 +5,15 @@
 #   scripts/check.sh --fast   # skip the sanitizer rebuilds
 #
 # The ASan stage rebuilds into build-asan/ with DEEPBAT_SANITIZE=address and
-# runs the nn/kernel/arena test binaries plus the obs registry tests; the
-# TSan stage rebuilds into build-tsan/ and runs the obs tests alone — their
-# concurrent-increment cases are the code path where a data race in the
-# lock-free metric shards would surface. The slow integration suite stays
-# in the plain tier-1 run.
+# runs the nn/kernel/arena test binaries plus the obs registry and sharded
+# runtime tests; the TSan stage rebuilds into build-tsan/ and runs the obs
+# tests (concurrent increments against the lock-free metric shards) plus
+# test_runtime and test_common, whose WorkerPool / concurrent-shard stress
+# cases are where a race in the sharded executor would surface. The TSan
+# runtime stage pins OMP_NUM_THREADS=1: libgomp's barriers are opaque to
+# TSan and report false positives; the WorkerPool threads (the PR 4
+# concurrency under test) are plain std::threads TSan understands. The
+# slow integration suite stays in the plain tier-1 run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,20 +36,24 @@ echo "== asan: build =="
 cmake -B build-asan -S . -DDEEPBAT_SANITIZE=address -DDEEPBAT_NATIVE=OFF \
   >/dev/null
 cmake --build build-asan -j"$(nproc)" --target \
-  test_nn_kernels test_nn_tensor test_nn_autograd test_nn_modules test_obs
+  test_nn_kernels test_nn_tensor test_nn_autograd test_nn_modules test_obs \
+  test_common test_runtime
 
 echo "== asan: run =="
 for t in test_nn_kernels test_nn_tensor test_nn_autograd test_nn_modules \
-         test_obs; do
+         test_obs test_common test_runtime; do
   ./build-asan/tests/"$t"
 done
 
 echo "== tsan: build =="
 cmake -B build-tsan -S . -DDEEPBAT_SANITIZE=thread -DDEEPBAT_NATIVE=OFF \
   >/dev/null
-cmake --build build-tsan -j"$(nproc)" --target test_obs
+cmake --build build-tsan -j"$(nproc)" --target test_obs test_common \
+  test_runtime
 
 echo "== tsan: run =="
 ./build-tsan/tests/test_obs
+OMP_NUM_THREADS=1 ./build-tsan/tests/test_common
+OMP_NUM_THREADS=1 ./build-tsan/tests/test_runtime
 
 echo "== all checks passed =="

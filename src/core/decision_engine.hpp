@@ -133,7 +133,8 @@ struct DecisionEngineOptions {
   /// reads as "no traffic".
   double pad_gap_s = 10.0;
   std::size_t percentile_index = kSloPercentileIndex;
-  /// Entries held by the encoder's window cache before an epoch clear.
+  /// Entries held by the encoder's window cache; when full, the
+  /// least-recently-used window is evicted (true LRU since PR 3).
   std::size_t encoder_cache_capacity = 512;
 };
 
@@ -199,6 +200,14 @@ class DecisionEngine {
 /// [k, l, 1] encode_sequence call. The kernels' per-row determinism makes
 /// each row bit-identical to a solo [1, l, 1] encode, which is what keeps
 /// multi-tenant runs bit-identical to independent single-tenant replays.
+///
+/// Shard safety: encode() is safe to call concurrently from several
+/// runtime shards, on distinct instances over one surrogate or on a single
+/// shared instance — the forward reads a const model under thread-local
+/// NoGradGuard/arena scopes, keeps its scratch tensor on the stack, and
+/// the base-class call counters are relaxed atomics. (Each tenant's
+/// SequenceEncoder cache, by contrast, is single-writer: a tenant belongs
+/// to exactly one shard.)
 class SurrogateBatchEncoder final : public sim::BatchEncoder {
  public:
   explicit SurrogateBatchEncoder(const Surrogate& surrogate)

@@ -94,8 +94,9 @@ void write_json(const MetricsSnapshot& snap, std::ostream& os,
     const SpanRecord& s = spans[i];
     os << "{\"name\": ";
     json_string(os, s.name != nullptr ? s.name : "");
-    os << ", \"depth\": " << s.depth << ", \"thread\": " << s.thread
-       << ", \"start_s\": ";
+    os << ", \"depth\": " << s.depth << ", \"thread\": " << s.thread;
+    if (s.shard != kNoShard) os << ", \"shard\": " << s.shard;
+    os << ", \"start_s\": ";
     json_number(os, s.start_s);
     os << ", \"duration_s\": ";
     json_number(os, s.duration_s);

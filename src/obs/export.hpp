@@ -22,6 +22,8 @@ namespace deepbat::obs {
 ///         "bounds": [...], "counts": [...]}, ...},
 ///    "spans": [{"name": ..., "depth": d, "thread": t,
 ///               "start_s": ..., "duration_s": ...}, ...]}
+/// A span completed inside a runtime shard additionally carries
+/// "shard": k (omitted for spans recorded outside any shard).
 void write_json(const MetricsSnapshot& snap, std::ostream& os,
                 std::span<const SpanRecord> spans = {});
 std::string to_json(const MetricsSnapshot& snap,

@@ -18,7 +18,10 @@ std::chrono::steady_clock::time_point epoch() {
 
 /// Fixed-capacity per-thread ring. The owner thread writes records; any
 /// thread may read under the ring mutex (recent_spans). Rings register
-/// themselves in a global list on first use and unregister on thread exit.
+/// themselves in a global list on first use; on thread exit the ring
+/// retires its records into the registry (bounded) instead of dropping
+/// them, so spans from short-lived WorkerPool threads — e.g. runtime
+/// shards — survive the join and still reach a --metrics snapshot.
 struct SpanRing {
   std::mutex mu;
   std::uint32_t thread_id;
@@ -47,6 +50,9 @@ struct SpanRing {
 struct RingRegistry {
   std::mutex mu;
   std::vector<SpanRing*> rings;
+  /// Records inherited from exited threads, oldest first; trimmed to the
+  /// newest kSpanRingCapacity so dead threads cannot grow memory unbounded.
+  std::vector<SpanRecord> retired;
 };
 
 RingRegistry& ring_registry() {
@@ -66,6 +72,16 @@ SpanRing::~SpanRing() {
   std::lock_guard<std::mutex> lock(reg.mu);
   reg.rings.erase(std::remove(reg.rings.begin(), reg.rings.end(), this),
                   reg.rings.end());
+  for (std::size_t i = 0; i < size; ++i) {
+    // Oldest-first ring order: start after the write cursor when full.
+    const std::size_t at = size < slots.size() ? i : (next + i) % slots.size();
+    reg.retired.push_back(slots[at]);
+  }
+  if (reg.retired.size() > kSpanRingCapacity) {
+    reg.retired.erase(reg.retired.begin(),
+                      reg.retired.end() -
+                          static_cast<std::ptrdiff_t>(kSpanRingCapacity));
+  }
 }
 
 SpanRing& local_ring() {
@@ -74,8 +90,13 @@ SpanRing& local_ring() {
 }
 
 thread_local std::uint32_t tl_depth = 0;
+thread_local std::uint32_t tl_shard = kNoShard;
 
 }  // namespace
+
+void set_current_shard(std::uint32_t shard) noexcept { tl_shard = shard; }
+
+std::uint32_t current_shard() noexcept { return tl_shard; }
 
 double trace_now_s() {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -96,6 +117,7 @@ Span::~Span() {
   SpanRecord rec;
   rec.name = name_;
   rec.depth = tl_depth;
+  rec.shard = tl_shard;
   rec.seq = g_seq.fetch_add(1, std::memory_order_relaxed);
   rec.start_s = start_s_;
   rec.duration_s = trace_now_s() - start_s_;
@@ -109,6 +131,7 @@ std::vector<SpanRecord> recent_spans(std::size_t max) {
   if (!enabled()) return all;
   RingRegistry& reg = ring_registry();
   std::lock_guard<std::mutex> reg_lock(reg.mu);
+  all = reg.retired;
   for (SpanRing* ring : reg.rings) {
     std::lock_guard<std::mutex> lock(ring->mu);
     for (std::size_t i = 0; i < ring->size; ++i) {
@@ -127,6 +150,7 @@ void clear_spans() {
   RingRegistry& reg = ring_registry();
   std::lock_guard<std::mutex> lock(reg.mu);
   for (SpanRing* ring : reg.rings) ring->clear();
+  reg.retired.clear();
 }
 
 }  // namespace deepbat::obs

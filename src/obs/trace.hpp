@@ -26,10 +26,14 @@ namespace deepbat::obs {
 /// Completed spans a ring holds per thread.
 inline constexpr std::size_t kSpanRingCapacity = 1024;
 
+/// Shard value of a span recorded outside any runtime shard.
+inline constexpr std::uint32_t kNoShard = 0xFFFFFFFFU;
+
 struct SpanRecord {
   const char* name = nullptr;  // static-lifetime string passed to Span
   std::uint32_t depth = 0;     // nesting depth (0 = root stage)
   std::uint32_t thread = 0;    // ring owner (dense id, first-trace order)
+  std::uint32_t shard = kNoShard;  // runtime shard active at completion
   std::uint64_t seq = 0;       // global completion order
   double start_s = 0.0;        // relative to the process trace epoch
   double duration_s = 0.0;
@@ -68,6 +72,30 @@ class ScopedTimer {
  private:
   Histogram* hist_;
   std::chrono::steady_clock::time_point start_;
+};
+
+/// Tag spans completed on this thread with a runtime shard id (a plain
+/// thread-local store — no locks). The sharded sim::Runtime sets it on each
+/// worker while a shard executes there, so a drained trace attributes
+/// sim.runtime.* stages per shard even when shards migrate across pool
+/// threads. Pass kNoShard to clear.
+void set_current_shard(std::uint32_t shard) noexcept;
+std::uint32_t current_shard() noexcept;
+
+/// RAII shard tag: sets the calling thread's shard id, restores the
+/// previous value on scope exit (worker threads are reused across shards).
+class ShardScope {
+ public:
+  explicit ShardScope(std::uint32_t shard) noexcept
+      : saved_(current_shard()) {
+    set_current_shard(shard);
+  }
+  ~ShardScope() { set_current_shard(saved_); }
+  ShardScope(const ShardScope&) = delete;
+  ShardScope& operator=(const ShardScope&) = delete;
+
+ private:
+  std::uint32_t saved_;
 };
 
 /// The most recent `max` completed spans across all threads, oldest first

@@ -9,10 +9,11 @@ PlatformRun run_platform(const workload::Trace& trace, Controller& controller,
                          const lambda::LambdaModel& model,
                          lambda::Config initial_config,
                          const PlatformOptions& options) {
-  // Single-tenant special case of the multi-tenant runtime loop
-  // (sim/runtime.hpp); no shared encoder, so the controller runs its plain
-  // decide() path.
-  Runtime runtime;
+  // Single-tenant, single-shard, non-overlapped special case of the
+  // sharded runtime (sim/runtime.hpp); no batch encoder, so the controller
+  // runs its plain decide() path and no worker threads are spawned. Every
+  // sharded run is bit-identical per tenant to this wrapper.
+  Runtime runtime(nullptr, RuntimeOptions{.shards = 1, .overlap_encode = false});
   TenantSpec spec;
   spec.name = controller.name();
   spec.trace = &trace;

@@ -1,12 +1,14 @@
 #include "sim/runtime.hpp"
 
-#include <chrono>
-#include <cmath>
-#include <cstdint>
-#include <limits>
+#include <algorithm>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <utility>
 
 #include "common/error.hpp"
-#include "obs/trace.hpp"
+#include "common/parallel.hpp"
+#include "sim/runtime_shard.hpp"
 
 namespace deepbat::sim {
 
@@ -21,174 +23,77 @@ void Runtime::add_tenant(TenantSpec spec) {
 }
 
 std::vector<PlatformRun> Runtime::run() {
-  // Per-tenant replay state. Control ticks live on a GLOBAL grid: tick k
-  // fires at k * control_interval_s, computed by multiplication (never by
-  // accumulation) so two tenants sharing an interval produce bitwise-equal
-  // tick times and fold into one batched encoding. run_platform() wraps
-  // this loop, so solo runs sit on the same grid and stay bit-identical.
-  struct State {
-    const TenantSpec* spec = nullptr;
-    std::optional<BatchSimulator> sim;
-    SplitController* split = nullptr;
-    std::size_t next_arrival = 0;
-    std::int64_t tick_index = 0;  // tick time = tick_index * interval
-    double interval = 0.0;
-    double end = 0.0;
-    bool ticks_done = false;
-    SplitController::TickRequest request;  // valid within one tick group
-    std::size_t batch_slot = 0;            // row in this tick's batch
-  };
-  const auto tick_time = [](const State& st) {
-    return static_cast<double>(st.tick_index) * st.interval;
-  };
-
-  std::vector<State> states(tenants_.size());
-  for (std::size_t i = 0; i < tenants_.size(); ++i) {
-    State& st = states[i];
-    st.spec = &tenants_[i];
-    if (st.spec->trace->empty()) {
-      st.ticks_done = true;  // empty replay: no sim, no decisions
-      continue;
-    }
-    st.sim.emplace(*st.spec->model, st.spec->initial_config,
-                   st.spec->options.cold_start_seed);
-    st.split = encoder_ != nullptr
-                   ? dynamic_cast<SplitController*>(st.spec->controller)
-                   : nullptr;
-    st.interval = st.spec->options.control_interval_s;
-    // First tick: the grid instant at or immediately before the trace start
-    // (a trace starting on the grid keeps its historical first tick).
-    st.tick_index = static_cast<std::int64_t>(
-        std::floor(st.spec->trace->start_time() / st.interval));
-    st.end = st.spec->trace->end_time();
-  }
-
   std::vector<PlatformRun> runs(tenants_.size());
-  std::vector<std::size_t> group;
-  std::vector<float> batch_windows;
-  std::vector<float> batch_out;
+  if (tenants_.empty()) return runs;
+  stats_ = RuntimeStats{};
 
-  // Registry mirrors of RuntimeStats (sim.runtime.*, DESIGN.md §9); handles
-  // resolved once per run, outside the loop.
-  auto& registry = obs::MetricsRegistry::instance();
-  obs::Counter& c_tick_groups = registry.counter("sim.runtime.tick_group");
-  obs::Counter& c_control_ticks = registry.counter("sim.runtime.control_tick");
-  obs::Counter& c_batched = registry.counter("sim.runtime.batched_window");
-  obs::Counter& c_hits = registry.counter("sim.runtime.cache_hit");
-  obs::Counter& c_misses = registry.counter("sim.runtime.cache_miss");
-  obs::Histogram& h_encode =
-      registry.histogram("sim.runtime.batch_encode_seconds");
-  obs::Histogram& h_group = registry.histogram("sim.runtime.tick_group_seconds");
-  obs::Histogram& h_tenant =
-      registry.histogram("sim.runtime.tenant_phase_seconds");
-  const auto seconds_since = [](std::chrono::steady_clock::time_point start) {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start)
-        .count();
-  };
+  // Deterministic partition: tenant i -> shard i mod S. The assignment is
+  // part of no contract — the per-row determinism of the batched encode
+  // makes EVERY partition produce bit-identical per-tenant results — but a
+  // fixed rule keeps stats and metrics reproducible run over run.
+  const std::size_t shard_count =
+      std::clamp<std::size_t>(options_.shards, 1, tenants_.size());
 
-  for (;;) {
-    // Next control instant across all tenants; tenants whose ticks coincide
-    // form one group and share the batched encoding below.
-    double t = std::numeric_limits<double>::infinity();
-    for (const State& st : states) {
-      if (!st.ticks_done && tick_time(st) < t) t = tick_time(st);
-    }
-    if (t == std::numeric_limits<double>::infinity()) break;
-    group.clear();
-    for (std::size_t i = 0; i < states.size(); ++i) {
-      if (!states[i].ticks_done && tick_time(states[i]) == t) {
-        group.push_back(i);
+  std::vector<std::unique_ptr<BatchEncoder>> owned_encoders;
+  std::vector<std::unique_ptr<RuntimeShard>> shards;
+  shards.reserve(shard_count);
+
+  // Overlap needs a pool slot for the in-flight encode; it can only pay
+  // off in a shard that owns at least two tenants (otherwise there is
+  // nothing to pre-advance while the forward runs).
+  const bool overlap = options_.overlap_encode && encoder_ != nullptr &&
+                       tenants_.size() > shard_count;
+  const std::size_t pool_threads = (shard_count - 1) + (overlap ? 1 : 0);
+  std::optional<WorkerPool> pool;
+  if (pool_threads > 0) pool.emplace(pool_threads);
+
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    BatchEncoder* encoder = encoder_;
+    if (encoder_ != nullptr && encoder_factory_ && shard_count > 1) {
+      owned_encoders.push_back(encoder_factory_());
+      if (owned_encoders.back() != nullptr) {
+        encoder = owned_encoders.back().get();
       }
     }
-
-    obs::Span group_span("sim.runtime.tick_group");
-    const auto group_start = std::chrono::steady_clock::now();
-
-    // Phase 1 — per tenant: deliver arrivals up to t, dispatch due batches,
-    // and let split controllers parse their window / probe their cache.
-    batch_windows.clear();
-    std::size_t batch_count = 0;
-    for (const std::size_t i : group) {
-      State& st = states[i];
-      const workload::Trace& trace = *st.spec->trace;
-      while (st.next_arrival < trace.size() && trace[st.next_arrival] <= t) {
-        st.sim->offer(trace[st.next_arrival++]);
-      }
-      st.sim->advance_to(t);
-      if (st.split != nullptr) {
-        st.request = st.split->begin_tick(trace, t);
-        if (st.request.needs_encoding) {
-          DEEPBAT_CHECK(st.request.window.size() == encoder_->window_length(),
-                        "Runtime: tenant window length differs from the "
-                        "shared encoder's");
-          batch_windows.insert(batch_windows.end(), st.request.window.begin(),
-                               st.request.window.end());
-          st.batch_slot = batch_count++;
-          ++stats_.cache_misses;
-          c_misses.add();
-        } else {
-          ++stats_.cache_hits;
-          c_hits.add();
-        }
-      }
-    }
-
-    // Phase 2 — ONE batched forward for every cache miss in this tick.
-    const std::size_t d = encoder_ != nullptr ? encoder_->encoding_dim() : 0;
-    double encode_seconds = 0.0;
-    if (batch_count > 0) {
-      obs::Span encode_span("sim.runtime.batch_encode");
-      const auto encode_start = std::chrono::steady_clock::now();
-      batch_out.resize(batch_count * d);
-      encoder_->encode(batch_windows, batch_count, batch_out);
-      encode_seconds = seconds_since(encode_start);
-      stats_.batched_windows += batch_count;
-      stats_.encode_seconds += encode_seconds;
-      c_batched.add(batch_count);
-      h_encode.observe(encode_seconds);
-    }
-
-    // Phase 3 — per tenant: finish the decision and apply the new config.
-    for (const std::size_t i : group) {
-      State& st = states[i];
-      lambda::Config cfg;
-      if (st.split != nullptr) {
-        const std::span<const float> row =
-            st.request.needs_encoding
-                ? std::span<const float>(batch_out.data() + st.batch_slot * d,
-                                         d)
-                : std::span<const float>{};
-        cfg = st.split->finish_tick(row);
-      } else {
-        cfg = st.spec->controller->decide(*st.spec->trace, t);
-      }
-      st.sim->set_config(cfg);
-      runs[i].decisions.push_back(ControlDecision{t, cfg});
-      ++stats_.control_ticks;
-      c_control_ticks.add();
-      ++st.tick_index;
-      if (tick_time(st) > st.end) st.ticks_done = true;
-    }
-    ++stats_.tick_groups;
-    c_tick_groups.add();
-    const double group_seconds = seconds_since(group_start);
-    h_group.observe(group_seconds);
-    // Tenant event-loop share of the group: everything except the shared
-    // batched forward.
-    h_tenant.observe(group_seconds - encode_seconds);
+    RuntimeShard::Options sopts;
+    sopts.shard_id = s;
+    sopts.shard_count = shard_count;
+    sopts.overlap_encode = overlap;
+    sopts.pool = pool.has_value() ? &*pool : nullptr;
+    shards.push_back(std::make_unique<RuntimeShard>(sopts, encoder));
+  }
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    shards[i % shard_count]->add_tenant(tenants_[i], &runs[i]);
   }
 
-  for (std::size_t i = 0; i < states.size(); ++i) {
-    State& st = states[i];
-    if (!st.sim.has_value()) continue;  // empty trace
-    const workload::Trace& trace = *st.spec->trace;
-    while (st.next_arrival < trace.size()) {
-      st.sim->offer(trace[st.next_arrival++]);
-    }
-    st.sim->finalize();
-    runs[i].result = st.sim->result();
+  // Shards 1..S-1 run as pool tasks; shard 0 runs on the calling thread
+  // (the helping wait in WorkerPool would pull it onto this thread
+  // anyway). Wait for every shard before rethrowing so no shard is left
+  // touching its PlatformRuns when an error unwinds.
+  std::vector<WorkerPool::Handle> handles;
+  handles.reserve(shard_count > 0 ? shard_count - 1 : 0);
+  for (std::size_t s = 1; s < shard_count; ++s) {
+    handles.push_back(pool->submit([shard = shards[s].get()] { shard->run(); }));
   }
+  std::exception_ptr error;
+  try {
+    shards[0]->run();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  for (WorkerPool::Handle& h : handles) h.wait();
+  for (WorkerPool::Handle& h : handles) {
+    if (error != nullptr) break;
+    try {
+      h.rethrow();
+    } catch (...) {
+      error = std::current_exception();
+    }
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+
+  // Fold per-shard stats in shard order: counts sum, rates recompute.
+  for (const auto& shard : shards) stats_.merge(shard->stats());
   return runs;
 }
 

@@ -1,23 +1,39 @@
 #pragma once
 // Multi-tenant serverless runtime: N applications (tenants), each with its
-// own trace, SLO/controller, and batching buffer, replayed in ONE merged
-// event loop. Tenants are independent at the workload level — the shared
-// resource is the controller's model evaluation: DeepBAT tenants split
-// their decision into parse/encode/select phases (SplitController) so the
-// runtime can batch every tenant's per-tick sequence encoding into a single
-// surrogate forward (paper §IV-F's encode-once split, amortized fleet-wide
-// as in HarmonyBatch, arXiv:2405.05633).
+// own trace, SLO/controller, and batching buffer, replayed by a SHARDED
+// ASYNC executor. Tenants are independent at the workload level — the
+// shared resource is the controller's model evaluation: DeepBAT tenants
+// split their decision into parse/encode/select phases (SplitController)
+// so each shard can batch its tenants' per-tick sequence encodings into a
+// single surrogate forward (paper §IV-F's encode-once split, amortized
+// fleet-wide as in HarmonyBatch, arXiv:2405.05633).
 //
-// Control ticks live on a global grid — tick k fires at k * interval — so
-// tenants sharing a control interval tick at bitwise-identical instants
-// and their encodings fold into one forward.
+// Execution model (DESIGN.md §10):
+//   TickScheduler   — the global tick grid: tick k fires at k * interval,
+//                     computed by multiplication so coinciding ticks are
+//                     bitwise-equal across tenants, shards, and solo runs.
+//   RuntimeShard    — one execution unit owning a deterministic subset of
+//                     tenants (slot i -> shard i mod S), their simulators
+//                     and engines (single-writer caches by construction),
+//                     and its own batch-encoder view. Within a shard, tick
+//                     groups are double-buffered: while group k's batched
+//                     encode() runs on the pool, the shard pre-advances
+//                     non-member tenants' arrival events to the next tick
+//                     instant, hiding control latency behind simulation
+//                     work.
+//   Runtime         — partitions tenants, runs shards on a WorkerPool
+//                     (common/parallel.hpp), and merges per-shard
+//                     RuntimeStats at join.
 //
-// run_platform() (platform.hpp) is now a thin single-tenant wrapper over
-// this loop, so solo replays and fleet replays share one code path (and
-// the same tick grid); a multi-tenant run is bit-identical per tenant to
-// N independent solo runs.
+// Determinism contract (tests/sim/test_runtime.cpp): a run with ANY shard
+// count and with or without encode overlap is bit-identical per tenant to
+// N independent run_platform() replays. run_platform() itself is a
+// single-tenant, single-shard, non-overlapped wrapper over this loop.
 
 #include <cstddef>
+#include <atomic>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -30,6 +46,13 @@ namespace deepbat::sim {
 /// Shared encoding service implemented over the surrogate (core layer).
 /// Kept abstract here so sim/ stays free of the nn dependency: the currency
 /// is plain float spans.
+///
+/// Concurrency: encode() may be called from several runtime shards at
+/// once — on distinct per-shard instances or on one shared instance.
+/// Implementations must therefore be stateless across calls apart from the
+/// base-class counters (which are relaxed atomics); SurrogateBatchEncoder
+/// satisfies this by running a const model forward under thread-local
+/// no-grad and arena scopes.
 class BatchEncoder {
  public:
   virtual ~BatchEncoder() = default;
@@ -48,24 +71,26 @@ class BatchEncoder {
                       std::span<float> out) = 0;
 
   /// Number of encode() calls / total windows shipped (bench counters).
-  std::size_t calls() const { return calls_; }
-  std::size_t windows_encoded() const { return windows_; }
+  std::size_t calls() const { return calls_.load(std::memory_order_relaxed); }
+  std::size_t windows_encoded() const {
+    return windows_.load(std::memory_order_relaxed);
+  }
 
  protected:
   void count_call(std::size_t windows) {
-    ++calls_;
-    windows_ += windows;
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    windows_.fetch_add(windows, std::memory_order_relaxed);
   }
 
  private:
-  std::size_t calls_ = 0;
-  std::size_t windows_ = 0;
+  std::atomic<std::size_t> calls_{0};
+  std::atomic<std::size_t> windows_{0};
 };
 
 /// Controller whose decision splits into phases so the expensive shared
 /// stage can be batched across tenants:
 ///   begin_tick()  — parse the window, probe the encoder cache;
-///   (runtime batch-encodes the cache misses of every tenant in the tick)
+///   (the shard batch-encodes the cache misses of every tenant in the tick)
 ///   finish_tick() — score the grid and select the configuration.
 /// Implementations must also provide the plain decide() (Controller) for
 /// single-tenant use; both paths must produce identical decisions.
@@ -100,14 +125,20 @@ struct TenantSpec {
 
 /// Per-run counters, kept as a plain snapshot view for callers; every field
 /// is also mirrored into the process metrics registry under sim.runtime.*
-/// (counters tick_group / control_tick / batched_window / cache_hit /
-/// cache_miss, histograms batch_encode_seconds / tick_group_seconds /
-/// tenant_phase_seconds — DESIGN.md §9).
+/// (counters tick_group / control_tick / batched_window / encode_call /
+/// cache_hit / cache_miss, histograms batch_encode_seconds /
+/// tick_group_seconds / tenant_phase_seconds — DESIGN.md §9; multi-shard
+/// runs additionally record sim.runtime.shard<k>.* histograms).
+///
+/// In a sharded run each RuntimeShard accumulates its own instance
+/// (single-writer) and the Runtime folds them with merge() at join, so the
+/// caller always sees fleet totals.
 struct RuntimeStats {
-  std::size_t tick_groups = 0;      // distinct control-tick times processed
+  std::size_t tick_groups = 0;      // tick instants processed (per shard)
   std::size_t control_ticks = 0;    // per-tenant control decisions
   std::size_t batched_windows = 0;  // windows routed through the shared
                                     // encoder (cache misses)
+  std::size_t encode_calls = 0;     // batched forwards issued
   /// Split-controller window-cache accounting, derived from the tick
   /// requests the runtime itself sees (a split tick that needs no encoding
   /// IS a window-cache hit). This is the single source of truth for
@@ -124,28 +155,70 @@ struct RuntimeStats {
                             static_cast<double>(probes)
                       : 0.0;
   }
+
+  /// Fold another shard's stats into this one: every count and every
+  /// seconds total SUMS; derived rates (cache_hit_rate) recompute from the
+  /// summed counts — they are never averaged across shards.
+  void merge(const RuntimeStats& other) {
+    tick_groups += other.tick_groups;
+    control_ticks += other.control_ticks;
+    batched_windows += other.batched_windows;
+    encode_calls += other.encode_calls;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    encode_seconds += other.encode_seconds;
+  }
 };
 
-/// The merged event loop. With a shared encoder, all SplitController
-/// tenants ticking at the same instant are encoded in one forward; without
-/// one, every controller runs its plain decide() (still one loop).
+struct RuntimeOptions {
+  /// Worker shards tenants are partitioned over (slot i -> shard i mod
+  /// shards, clamped to the tenant count). 1 replays every tenant on the
+  /// calling thread, exactly the pre-sharding loop.
+  std::size_t shards = 1;
+  /// Double-buffer tick groups: run each tick group's batched encode()
+  /// forward on the worker pool while the owning shard pre-advances
+  /// non-member tenants to the next tick instant. Only takes effect where
+  /// it can help — a shard with at least two tenants and a batch encoder.
+  /// Results are bit-identical either way.
+  bool overlap_encode = true;
+};
+
+/// The sharded executor. With a batch encoder, all SplitController tenants
+/// of one shard ticking at the same instant are encoded in one forward;
+/// without one, every controller runs its plain decide() (still one loop
+/// per shard).
 class Runtime {
  public:
-  explicit Runtime(BatchEncoder* shared_encoder = nullptr)
-      : encoder_(shared_encoder) {}
+  explicit Runtime(BatchEncoder* shared_encoder = nullptr,
+                   RuntimeOptions options = {})
+      : encoder_(shared_encoder), options_(options) {}
+
+  /// Per-shard encoder instances: when set (and non-null per call), each
+  /// shard encodes through its own factory-made instance, keeping even the
+  /// encoder's bench counters single-writer. Without a factory every shard
+  /// shares `shared_encoder`, which is safe (see BatchEncoder) but merges
+  /// all shards' calls()/windows_encoded() into one instance.
+  using EncoderFactory = std::function<std::unique_ptr<BatchEncoder>()>;
+  void set_encoder_factory(EncoderFactory factory) {
+    encoder_factory_ = std::move(factory);
+  }
 
   void add_tenant(TenantSpec spec);
   std::size_t tenant_count() const { return tenants_.size(); }
 
+  const RuntimeOptions& options() const { return options_; }
+
   /// Replay every tenant to the end of its trace. Returns one PlatformRun
   /// per tenant, in add_tenant() order. Each tenant's run is bit-identical
-  /// to a solo run_platform() with the same spec.
+  /// to a solo run_platform() with the same spec, for every shard count.
   std::vector<PlatformRun> run();
 
   const RuntimeStats& stats() const { return stats_; }
 
  private:
   BatchEncoder* encoder_;
+  RuntimeOptions options_;
+  EncoderFactory encoder_factory_;
   std::vector<TenantSpec> tenants_;
   RuntimeStats stats_;
 };

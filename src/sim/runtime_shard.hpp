@@ -1,0 +1,100 @@
+#pragma once
+// One execution unit of the sharded multi-tenant runtime (DESIGN.md §10).
+// A RuntimeShard owns a subset of tenants end-to-end: their batching
+// simulators, their controllers (and therefore each controller's
+// DecisionEngine / SequenceEncoder cache — single-writer by construction,
+// since a tenant belongs to exactly one shard), a TickScheduler over that
+// subset, and a BatchEncoder view for the shard's batched forwards.
+//
+// run() replays the shard to completion with double-buffered tick groups:
+// while tick group k's batched encode() forward runs as a WorkerPool task,
+// the shard pre-advances every NON-member tenant's arrival events up to
+// the next tick instant (TickScheduler::next_instant_after). That horizon
+// is safe because no configuration can change before it; pre-advanced
+// tenants see exactly the offer()/advance_to() sequence — under exactly
+// the same configs — that the synchronous loop would replay later, so
+// results stay bit-identical with overlap on or off.
+//
+// Instrumentation: spans and sim.runtime.* metrics tick as before; a
+// multi-shard run additionally records sim.runtime.shard<k>.* histogram
+// variants and tags every span completed inside the shard with its id
+// (obs::ShardScope), all without hot-path locks.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "sim/batch_sim.hpp"
+#include "sim/runtime.hpp"
+#include "sim/tick_scheduler.hpp"
+
+namespace deepbat::sim {
+
+class RuntimeShard {
+ public:
+  struct Options {
+    std::size_t shard_id = 0;
+    std::size_t shard_count = 1;
+    /// Double-buffer tick groups through `pool`. Requires pool != nullptr;
+    /// quietly degrades to the synchronous path for shards where overlap
+    /// cannot help (single tenant, no encoder).
+    bool overlap_encode = false;
+    WorkerPool* pool = nullptr;
+  };
+
+  RuntimeShard(Options options, BatchEncoder* encoder);
+
+  /// Register one tenant; `out` receives its PlatformRun (decisions +
+  /// result) and must stay valid until run() returns. Specs are assumed
+  /// validated by Runtime::add_tenant.
+  void add_tenant(const TenantSpec& spec, PlatformRun* out);
+
+  std::size_t tenant_count() const { return tenants_.size(); }
+
+  /// Replay every owned tenant to the end of its trace. Called at most
+  /// once, from exactly one thread (the pool worker or the caller).
+  void run();
+
+  const RuntimeStats& stats() const { return stats_; }
+
+ private:
+  struct TenantState {
+    const TenantSpec* spec = nullptr;
+    PlatformRun* out = nullptr;
+    std::optional<BatchSimulator> sim;
+    SplitController* split = nullptr;
+    std::size_t next_arrival = 0;
+    SplitController::TickRequest request;  // valid within one tick group
+    std::size_t batch_slot = 0;            // row in this tick's batch
+  };
+
+  /// Deliver arrivals up to `t` and fire any batch deadline that elapsed.
+  void process_events(TenantState& st, double t);
+
+  Options options_;
+  BatchEncoder* encoder_;
+  TickScheduler scheduler_;
+  std::vector<TenantState> tenants_;
+  RuntimeStats stats_;
+
+  // Registry mirrors (sim.runtime.*); resolved once at construction, off
+  // the hot path. Counters are global across shards (their writes are
+  // lock-free and sharded); the histograms get an extra per-shard variant
+  // in multi-shard runs.
+  obs::Counter* c_tick_groups_;
+  obs::Counter* c_control_ticks_;
+  obs::Counter* c_batched_;
+  obs::Counter* c_encode_calls_;
+  obs::Counter* c_hits_;
+  obs::Counter* c_misses_;
+  obs::Histogram* h_encode_;
+  obs::Histogram* h_group_;
+  obs::Histogram* h_tenant_;
+  obs::Histogram* h_shard_encode_ = nullptr;  // sim.runtime.shard<k>.*
+  obs::Histogram* h_shard_group_ = nullptr;   // (multi-shard runs only)
+};
+
+}  // namespace deepbat::sim

@@ -1,0 +1,59 @@
+#include "sim/tick_scheduler.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace deepbat::sim {
+
+std::size_t TickScheduler::add(double interval_s, double start_time,
+                               double end_time, bool never_ticks) {
+  DEEPBAT_CHECK(interval_s > 0.0,
+                "TickScheduler: control interval must be positive");
+  Slot slot;
+  slot.interval = interval_s;
+  slot.end = end_time;
+  slot.done = never_ticks;
+  slot.tick_index =
+      static_cast<std::int64_t>(std::floor(start_time / interval_s));
+  slots_.push_back(slot);
+  return slots_.size() - 1;
+}
+
+std::optional<double> TickScheduler::next_group(
+    std::vector<std::size_t>& group) const {
+  double t = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].done && tick_time(i) < t) t = tick_time(i);
+  }
+  if (t == std::numeric_limits<double>::infinity()) return std::nullopt;
+  group.clear();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].done && tick_time(i) == t) group.push_back(i);
+  }
+  return t;
+}
+
+double TickScheduler::next_instant_after(double t) const {
+  double next = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    if (s.done) continue;
+    double candidate = tick_time(i);
+    if (candidate == t) {  // group member: its next tick is one grid step on
+      candidate = static_cast<double>(s.tick_index + 1) * s.interval;
+      if (candidate > s.end) continue;  // will retire after this tick
+    }
+    if (candidate < next) next = candidate;
+  }
+  return next;
+}
+
+void TickScheduler::complete_tick(std::size_t i) {
+  Slot& s = slots_[i];
+  ++s.tick_index;
+  if (tick_time(i) > s.end) s.done = true;
+}
+
+}  // namespace deepbat::sim

@@ -1,0 +1,67 @@
+#pragma once
+// Global-tick-grid scheduling for the sharded multi-tenant runtime. Every
+// tenant's control ticks live at k * control_interval_s — computed by
+// MULTIPLICATION, never by accumulation — so two tenants sharing an
+// interval produce bitwise-equal tick instants no matter which shard (or
+// solo replay) computes them. The scheduler owns only the tick arithmetic:
+// who ticks when, which slots fold into one tick group, and how far a
+// shard may safely run ahead while a group's batched encode is in flight.
+// Execution state (simulators, controllers, encoders) lives in
+// RuntimeShard.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace deepbat::sim {
+
+class TickScheduler {
+ public:
+  /// Register one tenant; returns its slot index. The first tick is the
+  /// grid instant at or immediately before `start_time` (a trace starting
+  /// on the grid keeps its historical first tick). A tenant with
+  /// `never_ticks` (empty trace) is born retired.
+  std::size_t add(double interval_s, double start_time, double end_time,
+                  bool never_ticks);
+
+  std::size_t size() const { return slots_.size(); }
+
+  /// Next tick instant of slot i: tick_index * interval.
+  double tick_time(std::size_t i) const {
+    const Slot& s = slots_[i];
+    return static_cast<double>(s.tick_index) * s.interval;
+  }
+
+  bool done(std::size_t i) const { return slots_[i].done; }
+
+  /// Form the next tick group: the earliest pending tick instant across
+  /// all live slots, and every slot whose next tick is bitwise-equal to
+  /// it. `group` is overwritten, in slot order. Returns std::nullopt when
+  /// every slot is retired.
+  std::optional<double> next_group(std::vector<std::size_t>& group) const;
+
+  /// The earliest tick instant strictly after a group at time `t`,
+  /// assuming that group's members tick next at their following grid
+  /// point. No slot can tick — and therefore no tenant's configuration can
+  /// change — before this instant, so it is the horizon a shard may
+  /// pre-advance the group's NON-members to while the group's batched
+  /// encode runs (the double-buffered tick overlap). +infinity when no
+  /// further tick exists.
+  double next_instant_after(double t) const;
+
+  /// Slot i ticked at its current grid point: advance to the next one and
+  /// retire the slot once that passes its trace end.
+  void complete_tick(std::size_t i);
+
+ private:
+  struct Slot {
+    std::int64_t tick_index = 0;  // next tick = tick_index * interval
+    double interval = 0.0;
+    double end = 0.0;
+    bool done = false;
+  };
+  std::vector<Slot> slots_;
+};
+
+}  // namespace deepbat::sim

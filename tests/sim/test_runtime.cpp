@@ -1,10 +1,14 @@
-// The multi-tenant runtime's contract: replaying N tenants through one
-// merged loop with a shared batched encoder yields results bit-identical,
-// per tenant, to N independent run_platform() replays — while issuing one
-// batched encode_sequence per control tick for all cache-missing tenants.
+// The multi-tenant runtime's contract: replaying N tenants through the
+// sharded executor yields results bit-identical, per tenant, to N
+// independent run_platform() replays — for EVERY shard count, with or
+// without the shared batched encoder, and with or without double-buffered
+// (overlapped) encode — while each shard issues one batched
+// encode_sequence per control tick for its cache-missing tenants.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
@@ -50,6 +54,204 @@ void expect_bit_identical(const PlatformRun& a, const PlatformRun& b) {
   }
   EXPECT_EQ(a.result.invocations, b.result.invocations);
   EXPECT_EQ(a.result.total_cost, b.result.total_cost);
+}
+
+// ------------------------------------------------ shard invariance ------
+
+struct ShardCase {
+  std::size_t shards;
+  bool shared_encoder;
+  bool overlap;
+};
+
+std::string shard_case_name(const ::testing::TestParamInfo<ShardCase>& info) {
+  const ShardCase& c = info.param;
+  return "Shards" + std::to_string(c.shards) +
+         (c.shared_encoder ? "_Encoder" : "_NoEncoder") +
+         (c.overlap ? "_Overlap" : "_Sync");
+}
+
+class RuntimeShardInvariance : public ::testing::TestWithParam<ShardCase> {};
+
+// Five tenants on mixed control intervals (30/45/60 s), so tick groups
+// interleave and the double-buffer path actually pre-advances non-members,
+// replayed at the parameterized shard count. Every configuration must be
+// bit-identical, request by request, to five independent solo replays.
+TEST_P(RuntimeShardInvariance, BitIdenticalToSoloRuns) {
+  const ShardCase c = GetParam();
+  core::Surrogate model(tiny_config(), lambda::ConfigGrid::small());
+  model.set_training(false);
+  const lambda::LambdaModel lm;
+
+  struct TenantDef {
+    workload::Trace trace;
+    double interval;
+  };
+  std::vector<TenantDef> defs;
+  defs.push_back({workload::twitter_like({.hours = 0.05}, 31), 30.0});
+  defs.push_back({workload::azure_like({.hours = 0.05}, 17), 45.0});
+  defs.push_back({workload::twitter_like({.hours = 0.04}, 99), 30.0});
+  defs.push_back({workload::azure_like({.hours = 0.04}, 7), 60.0});
+  defs.push_back({workload::twitter_like({.hours = 0.03}, 55), 45.0});
+
+  std::vector<PlatformRun> solo;
+  for (const TenantDef& def : defs) {
+    core::DeepBatController ctl(model, controller_options());
+    PlatformOptions popts;
+    popts.control_interval_s = def.interval;
+    solo.push_back(run_platform(def.trace, ctl, lm, {1024, 1, 0.0}, popts));
+  }
+
+  core::SurrogateBatchEncoder encoder(model);
+  RuntimeOptions ropts;
+  ropts.shards = c.shards;
+  ropts.overlap_encode = c.overlap;
+  Runtime runtime(c.shared_encoder ? &encoder : nullptr, ropts);
+  std::vector<std::unique_ptr<core::DeepBatController>> controllers;
+  for (const TenantDef& def : defs) {
+    controllers.push_back(std::make_unique<core::DeepBatController>(
+        model, controller_options()));
+    TenantSpec spec;
+    spec.name = "tenant";
+    spec.trace = &def.trace;
+    spec.controller = controllers.back().get();
+    spec.model = &lm;
+    spec.initial_config = {1024, 1, 0.0};
+    spec.options.control_interval_s = def.interval;
+    runtime.add_tenant(std::move(spec));
+  }
+  const auto merged = runtime.run();
+
+  ASSERT_EQ(merged.size(), defs.size());
+  for (std::size_t i = 0; i < defs.size(); ++i) {
+    SCOPED_TRACE("tenant " + std::to_string(i));
+    expect_bit_identical(solo[i], merged[i]);
+  }
+
+  const RuntimeStats& stats = runtime.stats();
+  std::size_t total_decisions = 0;
+  for (const auto& run : merged) total_decisions += run.decisions.size();
+  EXPECT_EQ(stats.control_ticks, total_decisions);
+  if (c.shared_encoder) {
+    // Every window that missed the cache went through the one shared
+    // encoder instance, whatever shard encoded it.
+    EXPECT_EQ(stats.batched_windows, encoder.windows_encoded());
+    EXPECT_EQ(stats.encode_calls, encoder.calls());
+    EXPECT_GT(stats.cache_hits + stats.cache_misses, 0u);
+  } else {
+    EXPECT_EQ(stats.batched_windows, 0u);
+    EXPECT_EQ(stats.encode_calls, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardCounts, RuntimeShardInvariance,
+    ::testing::Values(ShardCase{1, true, true}, ShardCase{1, true, false},
+                      ShardCase{2, true, true}, ShardCase{2, true, false},
+                      ShardCase{2, false, true}, ShardCase{5, true, true},
+                      ShardCase{5, true, false}, ShardCase{5, false, true}),
+    shard_case_name);
+
+// TSan target (scripts/check.sh): 8 tenants over 4 shards with overlapped
+// encodes, once with per-shard encoder instances (factory) and once with a
+// single instance shared by all four shards — both legal per the
+// BatchEncoder concurrency contract, both bit-identical to solo replays.
+TEST(RuntimeTest, ConcurrentShardsStressMatchesSolo) {
+  core::Surrogate model(tiny_config(), lambda::ConfigGrid::small());
+  model.set_training(false);
+  const lambda::LambdaModel lm;
+  PlatformOptions popts;
+  popts.control_interval_s = 30.0;
+
+  std::vector<workload::Trace> traces;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    traces.push_back(seed % 2 == 0
+                         ? workload::azure_like({.hours = 0.03}, seed)
+                         : workload::twitter_like({.hours = 0.03}, seed));
+  }
+  std::vector<PlatformRun> solo;
+  for (const auto& trace : traces) {
+    core::DeepBatController ctl(model, controller_options());
+    solo.push_back(run_platform(trace, ctl, lm, {1024, 1, 0.0}, popts));
+  }
+
+  for (const bool per_shard_encoders : {true, false}) {
+    SCOPED_TRACE(per_shard_encoders ? "factory encoders" : "shared encoder");
+    core::SurrogateBatchEncoder encoder(model);
+    RuntimeOptions ropts;
+    ropts.shards = 4;
+    ropts.overlap_encode = true;
+    Runtime runtime(&encoder, ropts);
+    if (per_shard_encoders) {
+      runtime.set_encoder_factory([&model] {
+        return std::make_unique<core::SurrogateBatchEncoder>(model);
+      });
+    }
+    std::vector<std::unique_ptr<core::DeepBatController>> controllers;
+    for (const auto& trace : traces) {
+      controllers.push_back(std::make_unique<core::DeepBatController>(
+          model, controller_options()));
+      TenantSpec spec;
+      spec.name = "tenant";
+      spec.trace = &trace;
+      spec.controller = controllers.back().get();
+      spec.model = &lm;
+      spec.initial_config = {1024, 1, 0.0};
+      spec.options = popts;
+      runtime.add_tenant(std::move(spec));
+    }
+    const auto merged = runtime.run();
+    ASSERT_EQ(merged.size(), traces.size());
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      SCOPED_TRACE("tenant " + std::to_string(i));
+      expect_bit_identical(solo[i], merged[i]);
+    }
+  }
+}
+
+// ---------------------------------------------------- stats folding ------
+
+TEST(RuntimeStatsTest, MergeSumsCountsAndRecomputesHitRate) {
+  RuntimeStats a;
+  a.tick_groups = 3;
+  a.control_ticks = 7;
+  a.batched_windows = 5;
+  a.encode_calls = 2;
+  a.cache_hits = 9;
+  a.cache_misses = 1;
+  a.encode_seconds = 0.25;
+  RuntimeStats b;
+  b.tick_groups = 4;
+  b.control_ticks = 11;
+  b.batched_windows = 8;
+  b.encode_calls = 3;
+  b.cache_hits = 0;
+  b.cache_misses = 10;
+  b.encode_seconds = 0.5;
+
+  a.merge(b);
+  EXPECT_EQ(a.tick_groups, 7u);
+  EXPECT_EQ(a.control_ticks, 18u);
+  EXPECT_EQ(a.batched_windows, 13u);
+  EXPECT_EQ(a.encode_calls, 5u);
+  EXPECT_EQ(a.cache_hits, 9u);
+  EXPECT_EQ(a.cache_misses, 11u);
+  EXPECT_DOUBLE_EQ(a.encode_seconds, 0.75);
+  // The folded hit rate comes from the summed counts (9 / 20), NOT the
+  // mean of the per-shard rates (0.9 and 0.0 would average to 0.45 too —
+  // so check a second, asymmetric fold where the two disagree).
+  EXPECT_DOUBLE_EQ(a.cache_hit_rate(), 9.0 / 20.0);
+
+  RuntimeStats c;  // 1 probe, 100% hits
+  c.cache_hits = 1;
+  RuntimeStats d;  // 99 probes, 0% hits
+  d.cache_misses = 99;
+  c.merge(d);
+  EXPECT_DOUBLE_EQ(c.cache_hit_rate(), 1.0 / 100.0);  // not (1.0 + 0.0) / 2
+
+  RuntimeStats empty;
+  empty.merge(RuntimeStats{});
+  EXPECT_DOUBLE_EQ(empty.cache_hit_rate(), 0.0);
 }
 
 TEST(RuntimeTest, MultiTenantBitIdenticalToIndependentSoloRuns) {
