@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
     core::VcrOptions vopts;
     vopts.slo_s = slo;
     t.add_row({fmt(cold_p, 2),
-               fmt(run.result.latency_quantile(0.95) * 1e3, 1),
+               fmt(run.result.latency_quantile(0.95).value_or(0.0) * 1e3, 1),
                fmt(core::vcr(run.result, serve.start_time(),
                              serve.end_time() + 1.0, vopts),
                    2),

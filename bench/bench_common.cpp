@@ -8,6 +8,7 @@
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "nn/serialize.hpp"
+#include "sim/faults.hpp"
 
 namespace deepbat::bench {
 
@@ -223,8 +224,8 @@ ReplayArgs parse_replay_args(int argc, const char* const* argv,
   try {
     const CliFlags flags(argc, argv);
     flags.check_known(
-        {"slo", "hours", "interval", "cold-seed", "shards", "json",
-         "metrics"});
+        {"slo", "hours", "interval", "cold-seed", "shards", "faults",
+         "fault-seed", "json", "metrics"});
     defaults.slo_s = flags.get_double("slo", defaults.slo_s);
     defaults.hours = flags.get_double("hours", defaults.hours);
     defaults.control_interval_s =
@@ -233,8 +234,15 @@ ReplayArgs parse_replay_args(int argc, const char* const* argv,
         "cold-seed", static_cast<std::int64_t>(defaults.cold_start_seed)));
     defaults.shards = static_cast<std::size_t>(
         flags.get_int("shards", static_cast<std::int64_t>(defaults.shards)));
+    defaults.fault_scenario = flags.get("faults", defaults.fault_scenario);
+    defaults.fault_seed = static_cast<std::uint64_t>(flags.get_int(
+        "fault-seed", static_cast<std::int64_t>(defaults.fault_seed)));
     defaults.json_path = flags.get("json", defaults.json_path);
     defaults.metrics_path = flags.get("metrics", defaults.metrics_path);
+    if (!defaults.fault_scenario.empty()) {
+      // Validate eagerly so a typo fails with the scenario list at startup.
+      (void)sim::fault_scenario(defaults.fault_scenario, defaults.fault_seed);
+    }
     DEEPBAT_CHECK(defaults.slo_s > 0.0, "replay args: --slo must be positive");
     DEEPBAT_CHECK(defaults.control_interval_s > 0.0,
                   "replay args: --interval must be positive");
@@ -243,8 +251,9 @@ ReplayArgs parse_replay_args(int argc, const char* const* argv,
   } catch (const Error& e) {
     std::fprintf(stderr,
                  "%s\nusage: %s [--slo S] [--hours H] [--interval S] "
-                 "[--cold-seed N] [--shards N] [--json PATH] "
-                 "[--metrics PATH]\n",
+                 "[--cold-seed N] [--shards N] "
+                 "[--faults calm|coldburst|flaky|throttled|chaos] "
+                 "[--fault-seed N] [--json PATH] [--metrics PATH]\n",
                  e.what(), argc > 0 ? argv[0] : "bench");
     std::exit(2);
   }

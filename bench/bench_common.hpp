@@ -98,6 +98,10 @@ void preamble(const std::string& figure, const std::string& description);
 ///   --cold-seed <n>      cold-start injection seed (0 = warm platform)
 ///   --shards <n>         runtime shard count for multi-tenant replays
 ///                        (default 1; results are shard-invariant)
+///   --faults <scenario>  fault-injection scenario applied to both tenants
+///                        (calm|coldburst|flaky|throttled|chaos; default
+///                        none — the byte-stable fair-weather replay)
+///   --fault-seed <n>     FaultPlan seed for --faults (default 7)
 ///   --json <path>        also emit the bench's tables as one JSON document
 ///   --metrics <path>     dump an obs registry snapshot (JSON) after the run
 struct ReplayArgs {
@@ -106,6 +110,9 @@ struct ReplayArgs {
   double control_interval_s = 30.0;
   std::uint64_t cold_start_seed = 0;
   std::size_t shards = 1;
+  /// Empty = no fault layer (not even the "calm" plan object).
+  std::string fault_scenario;
+  std::uint64_t fault_seed = 7;
   std::string json_path;
   std::string metrics_path;
 };

@@ -1,0 +1,260 @@
+// Chaos replay — DeepBAT vs BATCH under injected platform faults
+// (DESIGN.md §11). For each fault scenario (default: calm, coldburst,
+// flaky, throttled; --faults X runs X alone) the Azure-like trace is
+// replayed head-to-head through the shared multi-tenant runtime and the
+// harness reports SLO-violation rate (dropped requests count as
+// violations), drop rate, cost, retries, and DeepBAT's breaker activity,
+// writing everything to BENCH_chaos.json.
+//
+// The bench is also a correctness gate, extending the shard-invariance
+// contract to faulted runs; it exits 1 when
+//   * served + dropped != offered for any system (lost requests),
+//   * a scenario without transient failures drops anything,
+//   * a tenant's faulted runtime replay differs bit-for-bit from its solo
+//     run_platform() replay, or
+//   * the faulted replay at shards {1, 2, 5} diverges from 1 shard.
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "replay_common.hpp"
+
+using namespace deepbat;
+
+namespace {
+
+// Full request-level bit-identity (the tests' expect_bit_identical, as a
+// predicate): decisions, served requests, drops, retries, cost.
+bool identical(const sim::PlatformRun& a, const sim::PlatformRun& b) {
+  if (a.decisions.size() != b.decisions.size()) return false;
+  for (std::size_t k = 0; k < a.decisions.size(); ++k) {
+    const auto& x = a.decisions[k];
+    const auto& y = b.decisions[k];
+    if (x.time != y.time || !(x.config == y.config)) return false;
+  }
+  const sim::SimResult& ra = a.result;
+  const sim::SimResult& rb = b.result;
+  if (ra.requests.size() != rb.requests.size() ||
+      ra.invocations != rb.invocations || ra.total_cost != rb.total_cost ||
+      ra.retries != rb.retries || ra.dropped != rb.dropped ||
+      ra.dropped_arrivals != rb.dropped_arrivals) {
+    return false;
+  }
+  for (std::size_t k = 0; k < ra.requests.size(); ++k) {
+    const auto& x = ra.requests[k];
+    const auto& y = rb.requests[k];
+    if (x.arrival != y.arrival || x.dispatch != y.dispatch ||
+        x.completion != y.completion || x.batch_actual != y.batch_actual ||
+        x.cost_share != y.cost_share) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct SystemStats {
+  std::size_t offered = 0;
+  std::size_t served = 0;
+  std::size_t dropped = 0;
+  std::size_t retries = 0;
+  std::size_t invocations = 0;
+  double slo_violation_rate = 0.0;
+  double drop_rate = 0.0;
+  double cost_per_request = 0.0;
+};
+
+SystemStats system_stats(const sim::SimResult& r, double slo) {
+  SystemStats s;
+  s.offered = r.offered();
+  s.served = r.served();
+  s.dropped = r.dropped;
+  s.retries = r.retries;
+  s.invocations = r.invocations;
+  s.drop_rate = r.drop_rate();
+  s.cost_per_request = r.cost_per_request();
+  std::size_t violations = r.dropped;  // a dropped request can't meet an SLO
+  for (const auto& req : r.requests) {
+    if (req.latency() > slo) ++violations;
+  }
+  if (s.offered > 0) {
+    s.slo_violation_rate =
+        static_cast<double>(violations) / static_cast<double>(s.offered);
+  }
+  return s;
+}
+
+void json_system(std::ostream& os, const SystemStats& s) {
+  os << "{\"offered\": " << s.offered << ", \"served\": " << s.served
+     << ", \"dropped\": " << s.dropped << ", \"retries\": " << s.retries
+     << ", \"invocations\": " << s.invocations
+     << ", \"slo_violation_rate\": " << s.slo_violation_rate
+     << ", \"drop_rate\": " << s.drop_rate
+     << ", \"cost_per_request\": " << s.cost_per_request << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_replay_args(
+      argc, argv, bench::replay_defaults(0.1, 0.5));
+  bench::preamble("Chaos replay — fault scenarios, retries, and fallbacks",
+                  "DeepBAT vs BATCH under injected cold bursts / failures / "
+                  "throttling; shard-invariance extended to faulted runs");
+  bench::Fixture fx;
+  const double hours = std::max(args.hours, 0.25);
+  const workload::Trace& serve = fx.azure(hours);
+  const core::Surrogate& surrogate = fx.pretrained();
+  const double gamma = fx.pretrained_gamma();
+
+  const std::vector<std::string> scenarios =
+      args.fault_scenario.empty()
+          ? std::vector<std::string>{"calm", "coldburst", "flaky", "throttled"}
+          : std::vector<std::string>{args.fault_scenario};
+
+  struct ScenarioRow {
+    std::string name;
+    SystemStats deepbat;
+    SystemStats batch;
+    std::size_t fallbacks = 0;
+    std::size_t breaker_trips = 0;
+  };
+  std::vector<ScenarioRow> rows;
+  bool accounting_ok = true;
+  bool no_unexpected_drops = true;
+  bool solo_identical = true;
+
+  for (const std::string& scenario : scenarios) {
+    bench::ReplayArgs sargs = args;
+    sargs.fault_scenario = scenario;
+    std::printf("\n--- scenario: %s (seed %llu) ---\n", scenario.c_str(),
+                static_cast<unsigned long long>(sargs.fault_seed));
+    const bench::Replay replay =
+        bench::run_head_to_head(fx, serve, surrogate, gamma, args.slo_s, sargs);
+
+    ScenarioRow row;
+    row.name = scenario;
+    row.deepbat = system_stats(replay.deepbat.result, args.slo_s);
+    row.batch = system_stats(replay.batch.result, args.slo_s);
+    row.fallbacks = replay.deepbat_fallbacks;
+    row.breaker_trips = replay.deepbat_breaker_trips;
+
+    // Conservation: every offered request is either served or a recorded
+    // drop — nothing vanishes inside the retry loop.
+    for (const SystemStats* s : {&row.deepbat, &row.batch}) {
+      if (s->served + s->dropped != s->offered ||
+          s->offered != serve.size()) {
+        accounting_ok = false;
+        std::printf("[chaos] ACCOUNTING VIOLATION in %s\n", scenario.c_str());
+      }
+    }
+    const sim::FaultPlan plan =
+        sim::fault_scenario(scenario, sargs.fault_seed);
+    if (!plan.failures.enabled &&
+        row.deepbat.dropped + row.batch.dropped > 0) {
+      no_unexpected_drops = false;
+      std::printf("[chaos] UNEXPECTED DROPS in %s (no failures enabled)\n",
+                  scenario.c_str());
+    }
+
+    // Solo cross-check: each tenant's faulted runtime replay must be
+    // bit-identical to an independent run_platform() with the same options
+    // (including its fault stream).
+    sim::PlatformOptions popts;
+    popts.control_interval_s = args.control_interval_s;
+    popts.cold_start_seed = args.cold_start_seed;
+    popts.faults = plan;
+    core::DeepBatController solo_deepbat(
+        surrogate, fx.controller_options(args.slo_s, gamma));
+    batchlib::BatchController solo_batch(fx.model(),
+                                         fx.batch_options(args.slo_s));
+    popts.fault_stream = 0;
+    const sim::PlatformRun solo_d = sim::run_platform(
+        serve, solo_deepbat, fx.model(), {1024, 1, 0.0}, popts);
+    popts.fault_stream = 1;
+    const sim::PlatformRun solo_b = sim::run_platform(
+        serve, solo_batch, fx.model(), {1024, 1, 0.0}, popts);
+    if (!identical(solo_d, replay.deepbat) ||
+        !identical(solo_b, replay.batch)) {
+      solo_identical = false;
+      std::printf("[chaos] SOLO DIVERGENCE in %s\n", scenario.c_str());
+    }
+
+    Table t({"metric", "batch", "deepbat"});
+    t.add_row({"slo_violation_rate_pct",
+               fmt(100.0 * row.batch.slo_violation_rate, 2),
+               fmt(100.0 * row.deepbat.slo_violation_rate, 2)});
+    t.add_row({"drop_rate_pct", fmt(100.0 * row.batch.drop_rate, 2),
+               fmt(100.0 * row.deepbat.drop_rate, 2)});
+    t.add_row({"cost_usd_per_req", fmt_sci(row.batch.cost_per_request, 3),
+               fmt_sci(row.deepbat.cost_per_request, 3)});
+    t.add_row({"retries", std::to_string(row.batch.retries),
+               std::to_string(row.deepbat.retries)});
+    t.add_row({"fallback_decisions", "-", std::to_string(row.fallbacks)});
+    t.add_row({"breaker_trips", "-", std::to_string(row.breaker_trips)});
+    t.print(std::cout);
+    rows.push_back(std::move(row));
+  }
+
+  // --- shard-invariance under faults: {1, 2, 5} vs 1 ----------------------
+  const std::string sweep_scenario =
+      args.fault_scenario.empty() ? "flaky" : args.fault_scenario;
+  std::printf("\n[shards] faulted replay (%s) at 1/2/5 shards...\n",
+              sweep_scenario.c_str());
+  bool shard_identical = true;
+  bench::Replay one_shard;
+  for (const std::size_t shards :
+       {std::size_t{1}, std::size_t{2}, std::size_t{5}}) {
+    bench::ReplayArgs sargs = args;
+    sargs.fault_scenario = sweep_scenario;
+    sargs.shards = shards;
+    bench::Replay replay =
+        bench::run_head_to_head(fx, serve, surrogate, gamma, args.slo_s, sargs);
+    if (shards == 1) {
+      one_shard = std::move(replay);
+    } else if (!identical(one_shard.deepbat, replay.deepbat) ||
+               !identical(one_shard.batch, replay.batch)) {
+      shard_identical = false;
+      std::printf("[shards] DIVERGENCE at %zu shards\n", shards);
+    }
+  }
+  std::printf("[shards] bit-identical across {1, 2, 5}: %s\n",
+              shard_identical ? "yes" : "NO");
+
+  {
+    std::ofstream out("BENCH_chaos.json");
+    out << "{\n  \"bench\": \"chaos_replay\",\n  \"hours\": " << hours
+        << ",\n  \"slo_s\": " << args.slo_s << ",\n  \"fault_seed\": "
+        << args.fault_seed << ",\n  \"accounting_ok\": "
+        << (accounting_ok ? "true" : "false")
+        << ",\n  \"no_unexpected_drops\": "
+        << (no_unexpected_drops ? "true" : "false")
+        << ",\n  \"solo_identical\": " << (solo_identical ? "true" : "false")
+        << ",\n  \"shard_invariant\": " << (shard_identical ? "true" : "false")
+        << ",\n  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const ScenarioRow& r = rows[i];
+      out << "    {\"name\": \"" << r.name << "\", \"fallback_decisions\": "
+          << r.fallbacks << ", \"breaker_trips\": " << r.breaker_trips
+          << ",\n     \"deepbat\": ";
+      json_system(out, r.deepbat);
+      out << ",\n     \"batch\": ";
+      json_system(out, r.batch);
+      out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+  }
+  std::printf("\n[chaos] wrote BENCH_chaos.json (accounting=%s, "
+              "unexpected_drops=%s, solo=%s, shards=%s)\n",
+              accounting_ok ? "ok" : "VIOLATED",
+              no_unexpected_drops ? "none" : "FOUND",
+              solo_identical ? "identical" : "DIVERGED",
+              shard_identical ? "invariant" : "DIVERGED");
+  bench::write_metrics_snapshot(args.metrics_path);
+
+  return accounting_ok && no_unexpected_drops && solo_identical &&
+                 shard_identical
+             ? 0
+             : 1;
+}

@@ -27,7 +27,8 @@ int main() {
     Table t({"memory_mb", "p95_latency_ms", "cost_usd_per_req"});
     for (const auto m : fx.grid().memories_mb) {
       const auto r = eval({m, 8, 0.1});
-      t.add_row({std::to_string(m), fmt(r.latency_quantile(0.95) * 1e3, 2),
+      t.add_row({std::to_string(m),
+                 fmt(r.latency_quantile(0.95).value_or(0.0) * 1e3, 2),
                  fmt_sci(r.cost_per_request(), 3)});
     }
     print_banner(std::cout, "Fig. 1a: sweep M (B=8, T=100 ms)");
@@ -37,7 +38,8 @@ int main() {
     Table t({"batch_size", "p95_latency_ms", "cost_usd_per_req"});
     for (const auto b : fx.grid().batch_sizes) {
       const auto r = eval({2048, b, 0.5});
-      t.add_row({std::to_string(b), fmt(r.latency_quantile(0.95) * 1e3, 2),
+      t.add_row({std::to_string(b),
+                 fmt(r.latency_quantile(0.95).value_or(0.0) * 1e3, 2),
                  fmt_sci(r.cost_per_request(), 3)});
     }
     print_banner(std::cout, "Fig. 1b: sweep B (M=2048, T=500 ms)");
@@ -47,7 +49,8 @@ int main() {
     Table t({"timeout_ms", "p95_latency_ms", "cost_usd_per_req"});
     for (const double tsec : fx.grid().timeouts_s) {
       const auto r = eval({2048, 64, tsec});
-      t.add_row({fmt(tsec * 1e3, 0), fmt(r.latency_quantile(0.95) * 1e3, 2),
+      t.add_row({fmt(tsec * 1e3, 0),
+                 fmt(r.latency_quantile(0.95).value_or(0.0) * 1e3, 2),
                  fmt_sci(r.cost_per_request(), 3)});
     }
     print_banner(std::cout, "Fig. 1c: sweep T (M=2048, B=64)");

@@ -32,6 +32,10 @@ struct Replay {
   std::size_t encoder_windows = 0;
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
+  // DeepBAT resilience counters (circuit breaker, DESIGN.md §11); stay 0 on
+  // fair-weather replays.
+  std::size_t deepbat_fallbacks = 0;
+  std::size_t deepbat_breaker_trips = 0;
 };
 
 /// Replay `trace` (already sliced to the serving horizon) under both
@@ -58,17 +62,25 @@ inline Replay run_head_to_head(Fixture& fx, const workload::Trace& trace,
   sim::PlatformOptions popts;
   popts.control_interval_s = args.control_interval_s;
   popts.cold_start_seed = args.cold_start_seed;
+  if (!args.fault_scenario.empty()) {
+    popts.faults = sim::fault_scenario(args.fault_scenario, args.fault_seed);
+  }
   sim::TenantSpec spec;
   spec.trace = &trace;
   spec.model = &fx.model();
   spec.initial_config = {1024, 1, 0.0};
   spec.options = popts;
 
+  // Distinct fault streams per tenant: the flaky-phase weather is shared
+  // (seeded by the plan alone) but per-attempt draws are independent, so
+  // neither system can ride the other's luck.
   spec.name = deepbat.name();
   spec.controller = &deepbat;
+  spec.options.fault_stream = 0;
   runtime.add_tenant(spec);
   spec.name = batch.name();
   spec.controller = &batch;
+  spec.options.fault_stream = 1;
   runtime.add_tenant(spec);
 
   std::printf("[replay] DeepBAT + BATCH (shared runtime) over %.1f h...\n",
@@ -81,6 +93,8 @@ inline Replay run_head_to_head(Fixture& fx, const workload::Trace& trace,
   replay.encoder_windows = encoder.windows_encoded();
   replay.cache_hits = replay.runtime_stats.cache_hits;
   replay.cache_misses = replay.runtime_stats.cache_misses;
+  replay.deepbat_fallbacks = deepbat.fallback_decisions();
+  replay.deepbat_breaker_trips = deepbat.breaker_trips();
 
   if (deepbat.decision_count() > 0) {
     replay.deepbat_ms_per_decision =
@@ -181,9 +195,12 @@ inline void print_hourly_vcr(
 /// counters — the standard trailer of every head-to-head bench and the
 /// backbone of its --json output.
 inline Table replay_summary_table(const Replay& replay, double slo) {
+  const auto p95 = [](const sim::SimResult& r) {
+    const auto q = r.latency_quantile(0.95);
+    return q.has_value() ? fmt(*q * 1e3, 1) : std::string("-");
+  };
   Table t({"metric", "batch", "deepbat"});
-  t.add_row({"p95_ms", fmt(replay.batch.result.latency_quantile(0.95) * 1e3, 1),
-             fmt(replay.deepbat.result.latency_quantile(0.95) * 1e3, 1)});
+  t.add_row({"p95_ms", p95(replay.batch.result), p95(replay.deepbat.result)});
   t.add_row({"cost_usd_per_req", fmt_sci(replay.batch.result.cost_per_request(), 3),
              fmt_sci(replay.deepbat.result.cost_per_request(), 3)});
   t.add_row({"slo_ms", fmt(slo * 1e3, 0), fmt(slo * 1e3, 0)});
@@ -197,6 +214,19 @@ inline Table replay_summary_table(const Replay& replay, double slo) {
   t.add_row({"window_cache_hits", "-", std::to_string(replay.cache_hits)});
   t.add_row({"window_cache_misses", "-",
              std::to_string(replay.cache_misses)});
+  // Resilience rows only appear when something actually went wrong, so the
+  // fair-weather trailer stays byte-stable with earlier releases.
+  if (replay.batch.result.dropped + replay.deepbat.result.dropped +
+          replay.batch.result.retries + replay.deepbat.result.retries +
+          replay.deepbat_fallbacks >
+      0) {
+    t.add_row({"dropped", std::to_string(replay.batch.result.dropped),
+               std::to_string(replay.deepbat.result.dropped)});
+    t.add_row({"retries", std::to_string(replay.batch.result.retries),
+               std::to_string(replay.deepbat.result.retries)});
+    t.add_row({"fallback_decisions", "-",
+               std::to_string(replay.deepbat_fallbacks)});
+  }
   return t;
 }
 

@@ -83,15 +83,25 @@ int main(int argc, char** argv) {
   sim::PlatformOptions popts;
   popts.control_interval_s = args.control_interval_s;
   popts.cold_start_seed = args.cold_start_seed;
+  if (!args.fault_scenario.empty()) {
+    popts.faults = sim::fault_scenario(args.fault_scenario, args.fault_seed);
+    std::printf("[faults] scenario %s, seed %llu\n",
+                args.fault_scenario.c_str(),
+                static_cast<unsigned long long>(args.fault_seed));
+  }
 
   // --- (a) sequential: N independent solo replays -------------------------
+  // Tenant i draws from fault stream i in every mode, so solo and batched
+  // replays stay comparable bit-for-bit even under injected faults.
   std::vector<sim::PlatformRun> solo;
   std::size_t solo_ticks = 0;
   const auto t_solo = std::chrono::steady_clock::now();
-  for (const workload::Trace* trace : traces) {
+  for (std::size_t i = 0; i < traces.size(); ++i) {
     auto ctl = make_controller();
-    solo.push_back(
-        sim::run_platform(*trace, *ctl, fx.model(), {1024, 1, 0.0}, popts));
+    sim::PlatformOptions solo_opts = popts;
+    solo_opts.fault_stream = i;
+    solo.push_back(sim::run_platform(*traces[i], *ctl, fx.model(),
+                                     {1024, 1, 0.0}, solo_opts));
     solo_ticks += ctl->decision_count();
   }
   const double solo_seconds = wall_seconds(t_solo);
@@ -113,6 +123,7 @@ int main(int argc, char** argv) {
     spec.model = &fx.model();
     spec.initial_config = {1024, 1, 0.0};
     spec.options = popts;
+    spec.options.fault_stream = i;
     runtime.add_tenant(std::move(spec));
   }
   // Fresh registry window so a --metrics snapshot describes the batched
@@ -228,6 +239,7 @@ int main(int argc, char** argv) {
       spec.model = &fx.model();
       spec.initial_config = {1024, 1, 0.0};
       spec.options = popts;
+      spec.options.fault_stream = i;
       sweep.add_tenant(std::move(spec));
     }
     const auto t0 = std::chrono::steady_clock::now();

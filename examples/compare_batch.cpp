@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
                       double decision_ms) {
     return std::vector<std::string>{
         who,
-        fmt(run.result.latency_quantile(0.95) * 1e3, 1),
+        fmt(run.result.latency_quantile(0.95).value_or(0.0) * 1e3, 1),
         fmt_sci(run.result.cost_per_request(), 2),
         fmt(core::vcr(run.result, serve.start_time(), serve.end_time() + 1.0,
                       vopts),

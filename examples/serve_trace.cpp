@@ -98,7 +98,7 @@ int main(int argc, char** argv) {
       run.result.served(), run.result.invocations,
       run.result.mean_batch_size());
   std::printf("P95 latency %.1f ms | cost %.3g $/req | VCR %.2f%%\n",
-              run.result.latency_quantile(0.95) * 1e3,
+              run.result.latency_quantile(0.95).value_or(0.0) * 1e3,
               run.result.cost_per_request(), overall_vcr);
   std::printf("controller: %zu decisions, %.2f ms per decision\n",
               controller.decision_count(),

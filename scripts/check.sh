@@ -5,8 +5,10 @@
 #   scripts/check.sh --fast   # skip the sanitizer rebuilds
 #
 # The ASan stage rebuilds into build-asan/ with DEEPBAT_SANITIZE=address and
-# runs the nn/kernel/arena test binaries plus the obs registry and sharded
-# runtime tests; the TSan stage rebuilds into build-tsan/ and runs the obs
+# runs the nn/kernel/arena test binaries plus the obs registry, the
+# fault-injection simulator (test_sim), and the sharded runtime tests (whose
+# faulted shard-invariance cases cover the retry/drop paths); the TSan stage
+# rebuilds into build-tsan/ and runs the obs
 # tests (concurrent increments against the lock-free metric shards) plus
 # test_runtime and test_common, whose WorkerPool / concurrent-shard stress
 # cases are where a race in the sharded executor would surface. The TSan
@@ -37,11 +39,11 @@ cmake -B build-asan -S . -DDEEPBAT_SANITIZE=address -DDEEPBAT_NATIVE=OFF \
   >/dev/null
 cmake --build build-asan -j"$(nproc)" --target \
   test_nn_kernels test_nn_tensor test_nn_autograd test_nn_modules test_obs \
-  test_common test_runtime
+  test_common test_sim test_runtime
 
 echo "== asan: run =="
 for t in test_nn_kernels test_nn_tensor test_nn_autograd test_nn_modules \
-         test_obs test_common test_runtime; do
+         test_obs test_common test_sim test_runtime; do
   ./build-asan/tests/"$t"
 done
 

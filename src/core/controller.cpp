@@ -11,6 +11,7 @@ DecisionEngineOptions engine_options(const DeepBatControllerOptions& options) {
   eo.grid = options.grid;
   eo.pad_gap_s = options.pad_gap_s;
   eo.encoder_cache_capacity = options.encoder_cache_capacity;
+  eo.guard = options.guard;
   return eo;
 }
 
@@ -42,7 +43,8 @@ lambda::Config DeepBatController::decide(const workload::Trace& history,
 sim::SplitController::TickRequest DeepBatController::begin_tick(
     const workload::Trace& history, double now) {
   const DecisionEngine::Prepared prepared = engine_.begin(history, now);
-  return TickRequest{prepared.needs_encoding, prepared.window};
+  return TickRequest{prepared.needs_encoding, prepared.window,
+                     prepared.bypassed};
 }
 
 lambda::Config DeepBatController::finish_tick(

@@ -21,6 +21,8 @@ struct DeepBatControllerOptions {
   double pad_gap_s = 10.0;
   /// Entries held by the engine's window-encoding cache.
   std::size_t encoder_cache_capacity = 512;
+  /// Surrogate guardrails + circuit breaker (DecisionEngine, DESIGN.md §11).
+  SurrogateGuardOptions guard;
 };
 
 class DeepBatController : public sim::SplitController {
@@ -51,6 +53,10 @@ class DeepBatController : public sim::SplitController {
   }
   std::size_t cache_hits() const { return engine_.encoder().cache_hits(); }
   std::size_t cache_misses() const { return engine_.encoder().cache_misses(); }
+  std::size_t fallback_decisions() const {
+    return engine_.fallback_decisions();
+  }
+  std::size_t breaker_trips() const { return engine_.breaker_trips(); }
 
   const DecisionEngine& engine() const { return engine_; }
 

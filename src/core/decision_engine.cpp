@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "common/error.hpp"
 #include "nn/arena.hpp"
@@ -167,6 +169,55 @@ DecisionEngine::DecisionEngine(const Surrogate& surrogate,
   encode_hist_ = &registry.histogram("core.engine.encode_seconds");
   score_hist_ = &registry.histogram("core.engine.score_seconds");
   search_hist_ = &registry.histogram("core.engine.search_seconds");
+  trip_counter_ = &registry.counter("core.engine.fallback_trip");
+  fallback_counter_ = &registry.counter("core.engine.fallback_decision");
+  reset_counter_ = &registry.counter("core.engine.fallback_reset");
+  // Cold fallback before any decision succeeded: the most conservative grid
+  // point — max memory (fastest service), smallest batch, shortest timeout
+  // (least batching delay). The grid is a cross product, so this combination
+  // is always a member.
+  conservative_ = scorer_.configs().front();
+  for (const lambda::Config& c : scorer_.configs()) {
+    conservative_.memory_mb = std::max(conservative_.memory_mb, c.memory_mb);
+    conservative_.batch_size = std::min(conservative_.batch_size, c.batch_size);
+    conservative_.timeout_s = std::min(conservative_.timeout_s, c.timeout_s);
+  }
+}
+
+bool DecisionEngine::guard_ok(const std::vector<PredictionTarget>& predictions,
+                              const SurrogateGuardOptions& guard) {
+  for (const PredictionTarget& p : predictions) {
+    if (!std::isfinite(p.cost_usd_per_request) ||
+        p.cost_usd_per_request < guard.cost_floor_usd) {
+      return false;
+    }
+    double prev = -std::numeric_limits<double>::infinity();
+    for (const double v : p.latency_s) {
+      if (!std::isfinite(v) || v < prev - guard.monotone_margin_s) {
+        return false;
+      }
+      prev = v;
+    }
+  }
+  return true;
+}
+
+void DecisionEngine::trip_breaker() {
+  breaker_ = options_.guard.cooldown_ticks > 0 ? BreakerState::kOpen
+                                               : BreakerState::kHalfOpen;
+  cooldown_left_ = options_.guard.cooldown_ticks;
+  ++breaker_trips_;
+  trip_counter_->add();
+}
+
+EngineDecision DecisionEngine::fallback_decision() {
+  EngineDecision decision;
+  decision.fallback = true;
+  decision.choice.config = last_good_.value_or(conservative_);
+  decision.choice.feasible = false;
+  ++fallback_decisions_;
+  fallback_counter_->add();
+  return decision;
 }
 
 void DecisionEngine::set_gamma(double gamma) {
@@ -179,6 +230,13 @@ DecisionEngine::Prepared DecisionEngine::begin(const workload::Trace& history,
                                                double now) {
   DEEPBAT_CHECK(!pending_, "DecisionEngine: begin() called twice");
   pending_ = true;
+  if (options_.guard.enabled && breaker_ == BreakerState::kOpen) {
+    // Breaker open: skip parse/cache/encode entirely; finish() serves the
+    // fallback config. Ticks spent here are neither hits nor misses.
+    pending_bypass_ = true;
+    return Prepared{false, {}, true};
+  }
+  pending_bypass_ = false;
   obs::ScopedTimer parse_timer(*parse_hist_);
   obs::Span span("core.engine.parse");
   pending_window_ = parser_.parse(history, now);
@@ -196,6 +254,12 @@ EngineDecision DecisionEngine::finish(std::span<const float> encoding) {
   DEEPBAT_CHECK(pending_, "DecisionEngine: finish() without begin()");
   pending_ = false;
 
+  if (pending_bypass_) {
+    pending_bypass_ = false;
+    if (--cooldown_left_ == 0) breaker_ = BreakerState::kHalfOpen;
+    return fallback_decision();
+  }
+
   EngineDecision decision;
   std::span<const float> e1;
   if (pending_hit_) {
@@ -204,8 +268,10 @@ EngineDecision DecisionEngine::finish(std::span<const float> encoding) {
   } else {
     DEEPBAT_CHECK(encoding.size() == encoder_.encoding_dim(),
                   "DecisionEngine: finish() expected an encoding row");
-    // The cache stores its own copy; the runtime's batch buffer is reused.
-    e1 = encoder_.insert(pending_window_, encoding);
+    // Score from the caller's row first; it is only inserted into the
+    // window cache below, once the guard has accepted the predictions, so
+    // a poisoned encoding can never be served from the cache later.
+    e1 = encoding;
   }
 
   {
@@ -215,6 +281,26 @@ EngineDecision DecisionEngine::finish(std::span<const float> encoding) {
     decision.score_seconds = seconds_since(score_start);
   }
   score_hist_->observe(decision.score_seconds);
+
+  if (options_.guard.enabled &&
+      !guard_ok(decision.predictions, options_.guard)) {
+    trip_breaker();
+    EngineDecision fallback = fallback_decision();
+    fallback.cache_hit = decision.cache_hit;
+    fallback.score_seconds = decision.score_seconds;
+    // Keep the rejected predictions visible to callers for diagnostics.
+    fallback.predictions = std::move(decision.predictions);
+    return fallback;
+  }
+  if (!pending_hit_) {
+    // The cache stores its own copy; the runtime's batch buffer is reused.
+    encoder_.insert(pending_window_, encoding);
+  }
+  if (breaker_ == BreakerState::kHalfOpen) {
+    breaker_ = BreakerState::kClosed;
+    ++breaker_resets_;
+    reset_counter_->add();
+  }
 
   OptimizerOptions opt;
   opt.slo_s = options_.slo_s;
@@ -228,6 +314,7 @@ EngineDecision DecisionEngine::finish(std::span<const float> encoding) {
     decision.search_seconds = seconds_since(search_start);
   }
   search_hist_->observe(decision.search_seconds);
+  last_good_ = decision.choice.config;
   return decision;
 }
 

@@ -124,6 +124,31 @@ class GridScorer {
   std::vector<lambda::Config> configs_;
 };
 
+/// Sanity bounds on surrogate output (DESIGN.md §11). A prediction batch
+/// violating them trips the engine's circuit breaker: the engine stops
+/// trusting the surrogate for `cooldown_ticks` decisions and falls back to
+/// the last-known-good configuration (cold fallback: the most conservative
+/// grid point) instead of chasing garbage.
+///
+/// The default margins are deliberately loose: an UNTRAINED surrogate
+/// legitimately emits small negative costs (~1e-6 USD after the 1e6 output
+/// scaling) and percentile vectors that wobble by a second or two, and the
+/// training/eval tests exercise exactly that regime. The breaker is for
+/// structurally broken output — NaN/Inf (always trips), wildly negative
+/// cost, grossly decreasing percentile curves — not for model error.
+struct SurrogateGuardOptions {
+  bool enabled = true;
+  /// Trip when any predicted cost_usd_per_request is below this.
+  double cost_floor_usd = -1e-3;
+  /// Trip when latency_s[i] < latency_s[i-1] - margin for any i (the
+  /// percentile vector must be monotone up to this tolerance).
+  double monotone_margin_s = 10.0;
+  /// Decisions served from the fallback config while the breaker is open;
+  /// after the cooldown one probe decision re-runs the surrogate
+  /// (half-open) and either closes the breaker or re-trips it.
+  std::size_t cooldown_ticks = 4;
+};
+
 struct DecisionEngineOptions {
   double slo_s = 0.1;
   double gamma = 0.0;  // penalty factor (see §III-D); set after fine-tuning
@@ -136,12 +161,19 @@ struct DecisionEngineOptions {
   /// Entries held by the encoder's window cache; when full, the
   /// least-recently-used window is evicted (true LRU since PR 3).
   std::size_t encoder_cache_capacity = 512;
+  /// Surrogate output guardrails + circuit breaker (DESIGN.md §11).
+  SurrogateGuardOptions guard;
 };
 
 struct EngineDecision {
   OptimizedChoice choice;
   /// Surrogate predictions for the full grid (same order as configs()).
+  /// On a fallback decision these are the REJECTED predictions when the
+  /// guard tripped this tick, empty when the breaker bypassed the surrogate.
   std::vector<PredictionTarget> predictions;
+  /// True when the surrogate was not trusted for this decision: the choice
+  /// is the last-known-good (or conservative) config, not an optimum.
+  bool fallback = false;
   bool cache_hit = false;
   double encode_seconds = 0.0;  // 0 on a cache hit or a batched encode
   double score_seconds = 0.0;
@@ -163,12 +195,33 @@ class DecisionEngine {
   struct Prepared {
     bool needs_encoding = false;
     std::span<const float> window;  // valid until finish() returns
+    /// True when the circuit breaker is open: parse/encode/score are all
+    /// skipped and finish() returns the fallback decision.
+    bool bypassed = false;
   };
   Prepared begin(const workload::Trace& history, double now);
   EngineDecision finish(std::span<const float> encoding);
 
+  /// True iff `predictions` pass the guard's sanity bounds (all entries
+  /// finite, cost above the floor, percentile vectors monotone within the
+  /// margin). Exposed for tests and external validators.
+  static bool guard_ok(const std::vector<PredictionTarget>& predictions,
+                       const SurrogateGuardOptions& guard);
+
+  // --- breaker observability ---
+  bool breaker_open() const { return breaker_ != BreakerState::kClosed; }
+  std::size_t breaker_trips() const { return breaker_trips_; }
+  std::size_t breaker_resets() const { return breaker_resets_; }
+  std::size_t fallback_decisions() const { return fallback_decisions_; }
+
   void set_gamma(double gamma);
   double gamma() const { return options_.gamma; }
+  /// Swap the guard bounds at runtime: operators can tighten or loosen the
+  /// sanity margins without rebuilding the engine (tests use an impossible
+  /// floor to force deterministic trips). Does not touch breaker state.
+  void set_guard(const SurrogateGuardOptions& guard) {
+    options_.guard = guard;
+  }
   const DecisionEngineOptions& options() const { return options_; }
 
   std::size_t window_length() const { return parser_.window_length(); }
@@ -179,6 +232,13 @@ class DecisionEngine {
   const SequenceEncoder& encoder() const { return encoder_; }
 
  private:
+  /// Closed = trusting the surrogate; Open = serving the fallback config
+  /// for the cooldown; HalfOpen = next decision probes the surrogate once.
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+  EngineDecision fallback_decision();
+  void trip_breaker();
+
   DecisionEngineOptions options_;
   WindowParser parser_;
   SequenceEncoder encoder_;
@@ -189,11 +249,24 @@ class DecisionEngine {
   obs::Histogram* encode_hist_;
   obs::Histogram* score_hist_;
   obs::Histogram* search_hist_;
+  // Breaker counters (core.engine.fallback_*).
+  obs::Counter* trip_counter_;
+  obs::Counter* fallback_counter_;
+  obs::Counter* reset_counter_;
   // Pending state between begin() and finish().
   std::span<const float> pending_window_;
   std::span<const float> pending_e1_;  // set on a cache hit
   bool pending_ = false;
   bool pending_hit_ = false;
+  bool pending_bypass_ = false;
+  // Breaker state.
+  BreakerState breaker_ = BreakerState::kClosed;
+  std::size_t cooldown_left_ = 0;
+  std::optional<lambda::Config> last_good_;
+  lambda::Config conservative_;  // cold fallback: most conservative grid pt
+  std::size_t breaker_trips_ = 0;
+  std::size_t breaker_resets_ = 0;
+  std::size_t fallback_decisions_ = 0;
 };
 
 /// sim::BatchEncoder over the surrogate: encodes k tenant windows in one

@@ -7,6 +7,12 @@
 
 namespace deepbat::sim {
 
+double SimResult::drop_rate() const {
+  const std::size_t total = offered();
+  return total == 0 ? 0.0
+                    : static_cast<double>(dropped) / static_cast<double>(total);
+}
+
 double SimResult::cost_per_request() const {
   return requests.empty() ? 0.0
                           : total_cost / static_cast<double>(requests.size());
@@ -19,8 +25,8 @@ std::vector<double> SimResult::latencies() const {
   return out;
 }
 
-double SimResult::latency_quantile(double q) const {
-  DEEPBAT_CHECK(!requests.empty(), "latency_quantile: nothing served");
+std::optional<double> SimResult::latency_quantile(double q) const {
+  if (requests.empty()) return std::nullopt;
   const auto lat = latencies();
   return quantile(lat, q);
 }
@@ -33,11 +39,16 @@ double SimResult::mean_batch_size() const {
 
 BatchSimulator::BatchSimulator(const lambda::LambdaModel& model,
                                lambda::Config config,
-                               std::optional<std::uint64_t> cold_start_seed)
+                               std::optional<std::uint64_t> cold_start_seed,
+                               const FaultPlan* faults,
+                               std::uint64_t fault_stream)
     : model_(model), config_(config) {
   model_.validate(config_);
   if (cold_start_seed.has_value()) {
-    cold_rng_.emplace(*cold_start_seed);
+    cold_rng_.emplace(mix_stream_seed(*cold_start_seed, fault_stream));
+  }
+  if (faults != nullptr && faults->enabled()) {
+    faults_.emplace(*faults, fault_stream);
   }
 }
 
@@ -75,6 +86,10 @@ void BatchSimulator::finalize() {
 }
 
 void BatchSimulator::dispatch(double time) {
+  if (faults_.has_value()) {
+    dispatch_faulted(time);
+    return;
+  }
   const auto batch = static_cast<std::int64_t>(open_arrivals_.size());
   double service = model_.service_time(config_.memory_mb, batch);
   if (cold_rng_.has_value() &&
@@ -98,11 +113,70 @@ void BatchSimulator::dispatch(double time) {
   open_arrivals_.clear();
 }
 
+void BatchSimulator::dispatch_faulted(double time) {
+  auto& faults = *faults_;
+  const auto batch = static_cast<std::int64_t>(open_arrivals_.size());
+  const std::int64_t max_attempts = faults.plan().retry.max_attempts;
+
+  faults.begin_batch(time);
+  // Every billed attempt (retries included) is accumulated into the batch's
+  // cost, so a retried batch re-bills into each request's cost_share.
+  double batch_cost = 0.0;
+  double first_dispatch = 0.0;
+  double completion = 0.0;
+  bool served = false;
+  double start = faults.admit(time);
+  for (std::int64_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt == 1) first_dispatch = start;
+    double service = model_.service_time(config_.memory_mb, batch);
+    if (cold_rng_.has_value() &&
+        model_.params().cold_start_probability > 0.0 &&
+        cold_rng_->uniform() < model_.params().cold_start_probability) {
+      service += model_.params().cold_start_penalty_s;
+    }
+    const auto outcome = faults.on_attempt(start);
+    service = service * outcome.service_multiplier + outcome.extra_service_s;
+    completion = start + service;
+    batch_cost += model_.invocation_cost(config_.memory_mb, service);
+    ++result_.invocations;
+    faults.on_completion(completion);
+    if (!outcome.failed) {
+      served = true;
+      break;
+    }
+    if (attempt < max_attempts) {
+      ++result_.retries;
+      start = faults.admit(completion + faults.backoff_delay(attempt));
+    }
+  }
+  result_.total_cost += batch_cost;
+  if (served) {
+    for (double arrival : open_arrivals_) {
+      RequestRecord rec;
+      rec.arrival = arrival;
+      rec.dispatch = first_dispatch;
+      rec.completion = completion;
+      rec.batch_actual = batch;
+      rec.cost_share = batch_cost / static_cast<double>(batch);
+      result_.requests.push_back(rec);
+    }
+  } else {
+    result_.dropped += open_arrivals_.size();
+    result_.dropped_arrivals.insert(result_.dropped_arrivals.end(),
+                                    open_arrivals_.begin(),
+                                    open_arrivals_.end());
+    faults.record_drop(open_arrivals_.size());
+  }
+  open_arrivals_.clear();
+}
+
 SimResult simulate_trace(std::span<const double> arrivals,
                          const lambda::Config& config,
                          const lambda::LambdaModel& model,
-                         std::optional<std::uint64_t> cold_start_seed) {
-  BatchSimulator sim(model, config, cold_start_seed);
+                         std::optional<std::uint64_t> cold_start_seed,
+                         const FaultPlan* faults,
+                         std::uint64_t fault_stream) {
+  BatchSimulator sim(model, config, cold_start_seed, faults, fault_stream);
   for (double t : arrivals) sim.offer(t);
   sim.finalize();
   return sim.result();

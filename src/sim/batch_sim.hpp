@@ -13,6 +13,14 @@
 //    probability.
 //
 // Request latency = (dispatch time - arrival time) + service time.
+//
+// Fault injection (strictly opt-in, DESIGN.md §11): construct with a
+// FaultPlan whose enabled() is true and the dispatch path grows retries —
+// a batch whose attempt fails transiently retries with capped exponential
+// backoff (every attempt is billed), and a batch exhausting
+// retry.max_attempts is dropped: its requests land in `dropped_arrivals`,
+// never in `requests`. Without a plan (or with a disabled one) the
+// simulator runs the exact pre-fault path, byte for byte.
 
 #include <optional>
 #include <span>
@@ -20,6 +28,7 @@
 
 #include "common/rng.hpp"
 #include "lambda/model.hpp"
+#include "sim/faults.hpp"
 
 namespace deepbat::sim {
 
@@ -33,15 +42,23 @@ struct RequestRecord {
 };
 
 struct SimResult {
-  std::vector<RequestRecord> requests;
-  std::size_t invocations = 0;
+  std::vector<RequestRecord> requests;  // served requests only
+  std::size_t invocations = 0;          // every billed attempt, incl. retries
   double total_cost = 0.0;
 
+  /// Arrival times of requests whose batch exhausted retry.max_attempts.
+  std::vector<double> dropped_arrivals;
+  std::size_t retries = 0;  // failed attempts that were retried
+  std::size_t dropped = 0;  // requests dropped after max_attempts
+
   std::size_t served() const { return requests.size(); }
+  std::size_t offered() const { return requests.size() + dropped; }
+  double drop_rate() const;
   double cost_per_request() const;
   std::vector<double> latencies() const;
-  /// q in [0, 1]; throws if nothing was served.
-  double latency_quantile(double q) const;
+  /// q in [0, 1]; nullopt if nothing was served (e.g. a zero-served window
+  /// or every request dropped).
+  std::optional<double> latency_quantile(double q) const;
   double mean_batch_size() const;
 };
 
@@ -52,8 +69,15 @@ struct SimResult {
 /// applies from the next batch on.
 class BatchSimulator {
  public:
+  /// `faults` may be null (no fault layer). When non-null and
+  /// faults->enabled(), all fault draws come from the per-tenant stream
+  /// (plan.seed, fault_stream); the legacy i.i.d. cold-start stream is
+  /// likewise re-seeded per tenant via mix_stream_seed(cold_start_seed,
+  /// fault_stream) — stream 0 keeps today's exact sequence.
   BatchSimulator(const lambda::LambdaModel& model, lambda::Config config,
-                 std::optional<std::uint64_t> cold_start_seed = std::nullopt);
+                 std::optional<std::uint64_t> cold_start_seed = std::nullopt,
+                 const FaultPlan* faults = nullptr,
+                 std::uint64_t fault_stream = 0);
 
   void set_config(const lambda::Config& config);
   const lambda::Config& config() const { return config_; }
@@ -77,10 +101,12 @@ class BatchSimulator {
 
  private:
   void dispatch(double time);
+  void dispatch_faulted(double time);
 
   const lambda::LambdaModel& model_;
   lambda::Config config_;
   std::optional<Rng> cold_rng_;
+  std::optional<FaultInjector> faults_;
   std::vector<double> open_arrivals_;
   double open_deadline_ = 0.0;
   std::int64_t open_batch_limit_ = 0;  // B captured when the batch opened
@@ -93,6 +119,8 @@ SimResult simulate_trace(std::span<const double> arrivals,
                          const lambda::Config& config,
                          const lambda::LambdaModel& model,
                          std::optional<std::uint64_t> cold_start_seed =
-                             std::nullopt);
+                             std::nullopt,
+                         const FaultPlan* faults = nullptr,
+                         std::uint64_t fault_stream = 0);
 
 }  // namespace deepbat::sim

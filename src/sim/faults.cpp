@@ -1,0 +1,217 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace deepbat::sim {
+
+namespace {
+
+// Salt the phase stream away from every per-tenant draw stream (tenant
+// streams use odd salts 2*stream + 1; the phase stream uses 0).
+constexpr std::uint64_t kPhaseSalt = 0;
+
+std::uint64_t mix(std::uint64_t seed, std::uint64_t salt) {
+  SplitMix64 sm(seed ^ (0x9E3779B97F4A7C15ULL * (salt + 1)));
+  return sm.next();
+}
+
+}  // namespace
+
+std::uint64_t mix_stream_seed(std::uint64_t seed, std::uint64_t stream) {
+  if (stream == 0) return seed;  // stream 0 = the solo replay's exact stream
+  return mix(seed, stream);
+}
+
+FaultPlan fault_scenario(const std::string& name, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  if (name == "calm") {
+    return plan;  // every section disabled: the opt-in control scenario
+  }
+  if (name == "coldburst") {
+    plan.cold.enabled = true;
+    plan.cold.idle_gap_s = 30.0;
+    plan.cold.burst_duration_s = 20.0;
+    plan.cold.probability = 0.9;
+    plan.cold.base_probability = 0.005;
+    plan.cold.penalty_s = 0.8;
+    return plan;
+  }
+  if (name == "flaky") {
+    plan.failures.enabled = true;
+    plan.failures.calm_rate = 0.01;
+    plan.failures.flaky_rate = 0.35;
+    plan.failures.mtbf_s = 300.0;
+    plan.failures.mttr_s = 90.0;
+    return plan;
+  }
+  if (name == "throttled") {
+    plan.throttle.enabled = true;
+    plan.throttle.max_concurrency = 2;
+    plan.spikes.enabled = true;
+    plan.spikes.probability = 0.05;
+    plan.spikes.multiplier = 3.0;
+    return plan;
+  }
+  if (name == "chaos") {
+    plan.cold.enabled = true;
+    plan.cold.idle_gap_s = 30.0;
+    plan.cold.burst_duration_s = 20.0;
+    plan.cold.probability = 0.9;
+    plan.cold.base_probability = 0.005;
+    plan.failures.enabled = true;
+    plan.failures.calm_rate = 0.01;
+    plan.failures.flaky_rate = 0.35;
+    plan.failures.mtbf_s = 300.0;
+    plan.failures.mttr_s = 90.0;
+    plan.throttle.enabled = true;
+    plan.throttle.max_concurrency = 4;
+    plan.spikes.enabled = true;
+    return plan;
+  }
+  DEEPBAT_FAIL("fault_scenario: unknown scenario '" + name +
+               "' (expected calm|coldburst|flaky|throttled|chaos)");
+}
+
+const std::vector<std::string>& fault_scenario_names() {
+  static const std::vector<std::string> names = {
+      "calm", "coldburst", "flaky", "throttled", "chaos"};
+  return names;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t fault_stream)
+    : plan_(plan),
+      draw_rng_(mix(plan.seed, 2 * fault_stream + 1)),
+      phase_rng_(mix(plan.seed, kPhaseSalt)) {
+  DEEPBAT_CHECK(plan_.retry.max_attempts >= 1,
+                "FaultPlan: retry.max_attempts must be >= 1");
+  DEEPBAT_CHECK(plan_.retry.base_backoff_s >= 0.0 &&
+                    plan_.retry.max_backoff_s >= plan_.retry.base_backoff_s,
+                "FaultPlan: backoff bounds must satisfy 0 <= base <= max");
+  DEEPBAT_CHECK(plan_.retry.jitter >= 0.0 && plan_.retry.jitter < 2.0,
+                "FaultPlan: retry.jitter out of [0, 2)");
+  DEEPBAT_CHECK(!plan_.throttle.enabled || plan_.throttle.max_concurrency >= 1,
+                "FaultPlan: throttle.max_concurrency must be >= 1");
+  DEEPBAT_CHECK(!plan_.failures.enabled ||
+                    (plan_.failures.mtbf_s > 0.0 && plan_.failures.mttr_s > 0.0),
+                "FaultPlan: failure MTBF/MTTR must be positive");
+  auto& registry = obs::MetricsRegistry::instance();
+  c_cold_ = &registry.counter("sim.faults.cold_start");
+  c_failure_ = &registry.counter("sim.faults.failure");
+  c_retry_ = &registry.counter("sim.faults.retry");
+  c_spike_ = &registry.counter("sim.faults.spike");
+  c_throttled_ = &registry.counter("sim.faults.throttled");
+  c_drop_ = &registry.counter("sim.faults.drop");
+  h_backoff_ = &registry.histogram("sim.faults.retry_backoff_seconds");
+  h_throttle_ = &registry.histogram("sim.faults.throttle_delay_seconds");
+}
+
+void FaultInjector::begin_batch(double dispatch_time) {
+  if (!plan_.cold.enabled) return;
+  const bool idle =
+      first_dispatch_ ||
+      dispatch_time - last_dispatch_ >= plan_.cold.idle_gap_s;
+  if (idle) {
+    in_burst_ = true;
+    burst_until_ = dispatch_time + plan_.cold.burst_duration_s;
+  } else if (in_burst_ && dispatch_time > burst_until_) {
+    in_burst_ = false;
+  }
+  first_dispatch_ = false;
+  last_dispatch_ = dispatch_time;
+}
+
+bool FaultInjector::flaky_at(double t) {
+  // Extend the alternating calm/flaky schedule until it covers t. Segments
+  // are drawn left-to-right from the dedicated phase stream only, so the
+  // schedule is identical whatever order attempt times are queried in.
+  while (phase_bounds_.empty() || phase_bounds_.back() <= t) {
+    const bool next_is_flaky = phase_bounds_.size() % 2 == 0;
+    const double mean =
+        next_is_flaky ? plan_.failures.mtbf_s : plan_.failures.mttr_s;
+    const double last = phase_bounds_.empty() ? 0.0 : phase_bounds_.back();
+    phase_bounds_.push_back(last + phase_rng_.exponential(1.0 / mean));
+  }
+  const auto it = std::upper_bound(phase_bounds_.begin(), phase_bounds_.end(),
+                                   t);
+  // Before bound 0 the platform is calm; each crossed bound toggles.
+  return (it - phase_bounds_.begin()) % 2 == 1;
+}
+
+FaultInjector::AttemptOutcome FaultInjector::on_attempt(double start_time) {
+  AttemptOutcome out;
+  if (plan_.cold.enabled) {
+    const bool bursting = in_burst_ && start_time <= burst_until_;
+    const double p =
+        bursting ? plan_.cold.probability : plan_.cold.base_probability;
+    // One draw per attempt whether or not p is 0, so the stream position
+    // never depends on burst timing.
+    if (draw_rng_.uniform() < p) {
+      out.cold = true;
+      out.extra_service_s = plan_.cold.penalty_s;
+      c_cold_->add();
+    }
+  }
+  if (plan_.spikes.enabled) {
+    if (draw_rng_.uniform() < plan_.spikes.probability) {
+      out.service_multiplier = plan_.spikes.multiplier;
+      c_spike_->add();
+    }
+  }
+  if (plan_.failures.enabled) {
+    const double rate = flaky_at(start_time) ? plan_.failures.flaky_rate
+                                             : plan_.failures.calm_rate;
+    if (draw_rng_.uniform() < rate) {
+      out.failed = true;
+      c_failure_->add();
+    }
+  }
+  return out;
+}
+
+double FaultInjector::backoff_delay(std::int64_t attempt) {
+  DEEPBAT_CHECK(attempt >= 1, "FaultInjector: backoff attempt must be >= 1");
+  double base = plan_.retry.base_backoff_s;
+  for (std::int64_t k = 1; k < attempt && base < plan_.retry.max_backoff_s;
+       ++k) {
+    base *= 2.0;
+  }
+  base = std::min(base, plan_.retry.max_backoff_s);
+  const double jitter =
+      1.0 + plan_.retry.jitter * (draw_rng_.uniform() - 0.5);
+  const double delay = base * jitter;
+  c_retry_->add();
+  h_backoff_->observe(delay);
+  return delay;
+}
+
+double FaultInjector::admit(double ready_time) {
+  if (!plan_.throttle.enabled) return ready_time;
+  while (!inflight_.empty() && inflight_.top() <= ready_time) {
+    inflight_.pop();
+  }
+  if (static_cast<std::int64_t>(inflight_.size()) <
+      plan_.throttle.max_concurrency) {
+    return ready_time;
+  }
+  // At capacity: start when the earliest running invocation completes.
+  const double start = inflight_.top();
+  inflight_.pop();
+  c_throttled_->add();
+  h_throttle_->observe(start - ready_time);
+  return start;
+}
+
+void FaultInjector::on_completion(double completion_time) {
+  if (!plan_.throttle.enabled) return;
+  inflight_.push(completion_time);
+}
+
+void FaultInjector::record_drop(std::size_t requests) {
+  c_drop_->add(requests);
+}
+
+}  // namespace deepbat::sim

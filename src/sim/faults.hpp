@@ -1,0 +1,192 @@
+#pragma once
+// Deterministic fault injection for the batching platform (DESIGN.md §11).
+//
+// Real FaaS platforms are not the fair-weather model the ground-truth
+// simulator assumes: cold starts cluster after idle gaps (not i.i.d. per
+// invocation), invocations fail transiently — often in phases, when a
+// dependency degrades — concurrency limits throttle dispatch, and service
+// times occasionally spike. A FaultPlan describes that weather; a
+// FaultInjector replays it deterministically:
+//
+//   cold starts  — idle-gap-triggered bursts: a dispatch after >= idle_gap_s
+//                  of silence opens a burst window during which invocations
+//                  go cold with elevated probability (extends the i.i.d.
+//                  cold_start_probability knob in lambda::LambdaModelParams,
+//                  which stays available for the legacy ablation).
+//   failures     — per-attempt transient failures whose rate alternates
+//                  between calm and flaky phases on an MTBF/MTTR schedule.
+//   throttling   — a concurrency cap: an invocation cannot start while
+//                  max_concurrency others are in flight; it waits for the
+//                  earliest completion instead.
+//   spikes       — rare multiplicative latency spikes.
+//
+// Determinism contract: every draw comes from a per-tenant `common/rng`
+// stream seeded by (plan.seed, fault_stream), so a faulted replay is
+// bit-reproducible and shard-invariant — the stream id is part of the
+// tenant's PlatformOptions, never of the execution layout. The MTBF phase
+// schedule draws from its own stream seeded by plan.seed alone, so every
+// tenant under one plan sees the SAME flaky phases (platform weather),
+// which keeps head-to-head comparisons fair.
+//
+// A default-constructed FaultPlan is fully disabled: BatchSimulator then
+// never constructs an injector and its dispatch path is byte-for-byte the
+// pre-fault one (the fault layer is strictly opt-in).
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "obs/metrics.hpp"
+
+namespace deepbat::sim {
+
+/// Derive the per-tenant seed for `stream` from a base seed. Stream 0 is
+/// the identity (so existing solo replays keep their exact draw sequence);
+/// other streams split off independent SplitMix64-mixed seeds.
+std::uint64_t mix_stream_seed(std::uint64_t seed, std::uint64_t stream);
+
+struct FaultPlan {
+  struct ColdStarts {
+    bool enabled = false;
+    /// Silence (since the previous dispatch) that opens a cold burst. The
+    /// first dispatch of a replay always opens one (everything is cold).
+    double idle_gap_s = 60.0;
+    /// Burst window after the triggering dispatch.
+    double burst_duration_s = 30.0;
+    /// Cold probability inside a burst / outside any burst.
+    double probability = 0.9;
+    double base_probability = 0.0;
+    /// Added to the attempt's service time when the draw comes up cold.
+    double penalty_s = 0.8;
+  } cold;
+
+  struct Failures {
+    bool enabled = false;
+    /// Per-attempt failure probability outside / inside flaky phases.
+    double calm_rate = 0.0;
+    double flaky_rate = 0.25;
+    /// Mean calm-phase (time between flaky phases) and mean flaky-phase
+    /// durations; both exponential, drawn from the shared phase stream.
+    double mtbf_s = 300.0;
+    double mttr_s = 60.0;
+  } failures;
+
+  struct Throttle {
+    bool enabled = false;
+    /// Maximum invocations in flight; further dispatches wait for the
+    /// earliest completion.
+    std::int64_t max_concurrency = 4;
+  } throttle;
+
+  struct Spikes {
+    bool enabled = false;
+    double probability = 0.05;
+    double multiplier = 3.0;  // service-time factor when a spike fires
+  } spikes;
+
+  /// Retry policy applied by BatchSimulator when failures are enabled:
+  /// capped exponential backoff with deterministic jitter. Attempt k >= 1
+  /// failing schedules attempt k+1 after
+  ///   min(base_backoff_s * 2^(k-1), max_backoff_s) * (1 + jitter*(u-1/2)).
+  /// A batch that fails max_attempts times is dropped.
+  struct Retry {
+    std::int64_t max_attempts = 3;
+    double base_backoff_s = 0.05;
+    double max_backoff_s = 1.0;
+    double jitter = 0.5;
+  } retry;
+
+  std::uint64_t seed = 1;
+
+  /// True when any fault section is active. False (the default) keeps
+  /// BatchSimulator on its exact pre-fault dispatch path.
+  bool enabled() const {
+    return cold.enabled || failures.enabled || throttle.enabled ||
+           spikes.enabled;
+  }
+};
+
+/// Named scenarios used by bench/chaos_replay and the --faults flag:
+///   calm      — plan with every section disabled (the opt-in control)
+///   coldburst — correlated cold-start bursts after idle gaps
+///   flaky     — transient failures with MTBF/MTTR phases (drops possible)
+///   throttled — tight concurrency cap delaying dispatch
+///   chaos     — everything at once
+/// Throws deepbat::Error for unknown names.
+FaultPlan fault_scenario(const std::string& name, std::uint64_t seed);
+
+/// The scenario names fault_scenario() accepts, in canonical order.
+const std::vector<std::string>& fault_scenario_names();
+
+/// Per-tenant deterministic fault source. One instance lives inside each
+/// faulted BatchSimulator; all methods are called from the single thread
+/// that owns that simulator (the tenant's runtime shard).
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, std::uint64_t fault_stream);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// What the fault layer did to one invocation attempt.
+  struct AttemptOutcome {
+    double extra_service_s = 0.0;    // cold-start penalty, if cold
+    double service_multiplier = 1.0; // latency spike factor
+    bool cold = false;
+    bool failed = false;             // transient failure: retry or drop
+  };
+
+  /// Cold-burst bookkeeping, once per batch at its nominal dispatch time
+  /// (before the first attempt). Call order must follow dispatch order.
+  void begin_batch(double dispatch_time);
+
+  /// Draw the fault outcome for one attempt starting at `start_time`.
+  /// Consumes the tenant stream in a fixed section order (cold, spike,
+  /// failure), one draw per enabled section.
+  AttemptOutcome on_attempt(double start_time);
+
+  /// Backoff delay after failed attempt number `attempt` (1-based).
+  double backoff_delay(std::int64_t attempt);
+
+  /// Throttle admission: earliest start >= ready_time at which a new
+  /// invocation may begin under the concurrency cap.
+  double admit(double ready_time);
+
+  /// Register an attempt's completion (frees its concurrency slot).
+  void on_completion(double completion_time);
+
+  /// Account a dropped batch (requests that exhausted max_attempts).
+  void record_drop(std::size_t requests);
+
+ private:
+  bool flaky_at(double t);
+
+  FaultPlan plan_;
+  Rng draw_rng_;   // per-tenant attempt draws
+  Rng phase_rng_;  // plan-wide MTBF/MTTR phase schedule (stream-independent)
+  /// Ascending phase-toggle instants, lazily extended from phase_rng_; the
+  /// interval before phase_bounds_[0] is calm, then states alternate. The
+  /// schedule is generated strictly left-to-right from a dedicated stream,
+  /// so queries may arrive in any time order (retries of an early batch can
+  /// be drawn after a later batch dispatched) without perturbing it.
+  std::vector<double> phase_bounds_;
+  std::priority_queue<double, std::vector<double>, std::greater<double>>
+      inflight_;  // completion times of running invocations (throttle)
+  bool first_dispatch_ = true;
+  double last_dispatch_ = 0.0;
+  double burst_until_ = 0.0;
+  bool in_burst_ = false;
+
+  // sim.faults.* registry mirrors (DESIGN.md §9), cached at construction.
+  obs::Counter* c_cold_;
+  obs::Counter* c_failure_;
+  obs::Counter* c_retry_;
+  obs::Counter* c_spike_;
+  obs::Counter* c_throttled_;
+  obs::Counter* c_drop_;
+  obs::Histogram* h_backoff_;
+  obs::Histogram* h_throttle_;
+};
+
+}  // namespace deepbat::sim

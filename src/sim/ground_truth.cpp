@@ -1,5 +1,7 @@
 #include "sim/ground_truth.hpp"
 
+#include <limits>
+
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 
@@ -15,7 +17,10 @@ ConfigEvaluation evaluate_config(std::span<const double> arrivals,
   const SimResult result = simulate_trace(arrivals, config, model);
   ConfigEvaluation eval;
   eval.config = config;
-  eval.latency_percentile = result.latency_quantile(percentile);
+  // A zero-served window (possible under fault injection) evaluates as
+  // +inf latency — never feasible, never the cost argmin.
+  eval.latency_percentile = result.latency_quantile(percentile)
+                                .value_or(std::numeric_limits<double>::infinity());
   eval.cost_per_request = result.cost_per_request();
   eval.feasible = eval.latency_percentile <= slo_s;
   return eval;

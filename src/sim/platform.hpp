@@ -47,6 +47,14 @@ class FixedController : public Controller {
 struct PlatformOptions {
   double control_interval_s = 30.0;  // how often the controller re-decides
   std::optional<std::uint64_t> cold_start_seed;
+  /// Fault weather applied to this tenant's batching buffer (DESIGN.md §11).
+  /// Default-constructed = disabled: the simulator runs the exact pre-fault
+  /// dispatch path.
+  FaultPlan faults;
+  /// Per-tenant fault/cold-start stream id. Part of the tenant's identity,
+  /// NOT of the execution layout, so replays stay shard-invariant; stream 0
+  /// leaves cold_start_seed untouched (solo-replay compatible).
+  std::uint64_t fault_stream = 0;
 };
 
 struct ControlDecision {

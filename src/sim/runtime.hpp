@@ -103,6 +103,11 @@ class SplitController : public Controller {
     /// The parsed+encoded window (length = BatchEncoder::window_length()),
     /// valid until finish_tick() returns. Empty when !needs_encoding.
     std::span<const float> window;
+    /// True when the controller skipped its surrogate path entirely (e.g.
+    /// DeepBAT's circuit breaker is open and the tick falls back to the
+    /// last-known-good config). Such a tick is neither a window-cache hit
+    /// nor a miss in RuntimeStats.
+    bool bypassed = false;
   };
 
   virtual TickRequest begin_tick(const workload::Trace& history,
@@ -146,6 +151,9 @@ struct RuntimeStats {
   /// rates from controller internals.
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
+  /// Split ticks that skipped the surrogate path entirely (controller
+  /// circuit breaker open); counted separately from hits and misses.
+  std::size_t bypassed_ticks = 0;
   /// Total wall time inside the shared encoder's batched forwards.
   double encode_seconds = 0.0;
 
@@ -166,6 +174,7 @@ struct RuntimeStats {
     encode_calls += other.encode_calls;
     cache_hits += other.cache_hits;
     cache_misses += other.cache_misses;
+    bypassed_ticks += other.bypassed_ticks;
     encode_seconds += other.encode_seconds;
   }
 };

@@ -30,6 +30,7 @@ RuntimeShard::RuntimeShard(Options options, BatchEncoder* encoder)
   c_encode_calls_ = &registry.counter("sim.runtime.encode_call");
   c_hits_ = &registry.counter("sim.runtime.cache_hit");
   c_misses_ = &registry.counter("sim.runtime.cache_miss");
+  c_bypassed_ = &registry.counter("sim.runtime.bypassed_tick");
   h_encode_ = &registry.histogram("sim.runtime.batch_encode_seconds");
   h_group_ = &registry.histogram("sim.runtime.tick_group_seconds");
   h_tenant_ = &registry.histogram("sim.runtime.tenant_phase_seconds");
@@ -48,7 +49,8 @@ void RuntimeShard::add_tenant(const TenantSpec& spec, PlatformRun* out) {
   const bool empty = spec.trace->empty();
   if (!empty) {
     st.sim.emplace(*spec.model, spec.initial_config,
-                   spec.options.cold_start_seed);
+                   spec.options.cold_start_seed, &spec.options.faults,
+                   spec.options.fault_stream);
     st.split = encoder_ != nullptr
                    ? dynamic_cast<SplitController*>(spec.controller)
                    : nullptr;
@@ -112,6 +114,10 @@ void RuntimeShard::run() {
           st.batch_slot = batch_count++;
           ++stats_.cache_misses;
           c_misses_->add();
+        } else if (st.request.bypassed) {
+          // Controller breaker open: surrogate skipped, neither hit nor miss.
+          ++stats_.bypassed_ticks;
+          c_bypassed_->add();
         } else {
           ++stats_.cache_hits;
           c_hits_->add();

@@ -90,6 +90,7 @@ class RuntimeShard {
   obs::Counter* c_encode_calls_;
   obs::Counter* c_hits_;
   obs::Counter* c_misses_;
+  obs::Counter* c_bypassed_;
   obs::Histogram* h_encode_;
   obs::Histogram* h_group_;
   obs::Histogram* h_tenant_;

@@ -104,7 +104,7 @@ TEST(Analytic, AgreesWithSimulationOnSameMap) {
     const auto analytic = am.evaluate(cfg, 0.95, 0.1);
     const sim::SimResult simulated =
         sim::simulate_trace(trace.times(), cfg, model());
-    const double sim_p95 = simulated.latency_quantile(0.95);
+    const double sim_p95 = simulated.latency_quantile(0.95).value();
     EXPECT_NEAR(analytic.latency_percentile, sim_p95, 0.15 * sim_p95 + 0.005)
         << cfg.to_string();
     const double sim_cost = simulated.cost_per_request();

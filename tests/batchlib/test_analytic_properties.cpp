@@ -77,7 +77,7 @@ TEST_P(AnalyticInvariants, MatchesMonteCarloPercentile) {
   Rng rng(99);
   const workload::Trace trace = map.sample_arrivals(80000, rng);
   const sim::SimResult mc = sim::simulate_trace(trace.times(), cfg, model());
-  const double sim_p95 = mc.latency_quantile(0.95);
+  const double sim_p95 = mc.latency_quantile(0.95).value();
   EXPECT_NEAR(eval.latency_percentile, sim_p95,
               0.18 * sim_p95 + 0.006)
       << "MAP " << spec.rate1 << "/" << spec.rate2 << " cfg "

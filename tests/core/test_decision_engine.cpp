@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <limits>
 #include <vector>
 
 #include "common/error.hpp"
@@ -206,6 +209,186 @@ TEST(DecisionEngineTest, GammaValidation) {
   engine.set_gamma(0.3);
   EXPECT_DOUBLE_EQ(engine.gamma(), 0.3);
   EXPECT_THROW(engine.set_gamma(-0.1), Error);
+}
+
+// ------------------------------------------- guardrails & breaker ------
+
+PredictionTarget pt(double cost, std::array<double, 7> latency) {
+  PredictionTarget p;
+  p.cost_usd_per_request = cost;
+  p.latency_s = latency;
+  return p;
+}
+
+TEST(SurrogateGuardTest, GuardOkChecksFinitenessFloorAndMonotonicity) {
+  SurrogateGuardOptions strict;
+  strict.cost_floor_usd = 0.0;
+  strict.monotone_margin_s = 0.0;
+  const auto mono =
+      pt(1e-6, {0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07});
+  EXPECT_TRUE(DecisionEngine::guard_ok({mono}, strict));
+  EXPECT_TRUE(DecisionEngine::guard_ok({}, strict));  // vacuously fine
+
+  // Cost below the floor.
+  EXPECT_FALSE(DecisionEngine::guard_ok(
+      {pt(-1e-6, mono.latency_s)}, strict));
+
+  // A dip in the percentile curve: rejected at zero margin, tolerated when
+  // the margin covers it.
+  const auto dip = pt(1e-6, {0.01, 0.02, 0.015, 0.04, 0.05, 0.06, 0.07});
+  EXPECT_FALSE(DecisionEngine::guard_ok({dip}, strict));
+  SurrogateGuardOptions tolerant = strict;
+  tolerant.monotone_margin_s = 0.1;
+  EXPECT_TRUE(DecisionEngine::guard_ok({dip}, tolerant));
+
+  // Non-finite values trip regardless of how loose the margins are.
+  SurrogateGuardOptions loose;  // defaults: floor -1e-3, margin 10 s
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(DecisionEngine::guard_ok({pt(nan, mono.latency_s)}, loose));
+  EXPECT_FALSE(DecisionEngine::guard_ok(
+      {pt(1e-6, {0.01, nan, 0.03, 0.04, 0.05, 0.06, 0.07})}, loose));
+  EXPECT_FALSE(DecisionEngine::guard_ok(
+      {pt(1e-6, {0.01, 0.02, inf, 0.04, 0.05, 0.06, 0.07})}, loose));
+  // One bad prediction in a batch of good ones is enough.
+  EXPECT_FALSE(
+      DecisionEngine::guard_ok({mono, pt(nan, mono.latency_s)}, loose));
+}
+
+TEST(DecisionEngineTest, BreakerTripsOnGuardViolationAndRecovers) {
+  Surrogate model(tiny_config(), lambda::ConfigGrid::small());
+  model.set_training(false);
+  DecisionEngineOptions opts = small_options();
+  opts.guard.cooldown_ticks = 2;
+  DecisionEngine engine(model, opts);
+  const workload::Trace trace = workload::twitter_like({.hours = 0.01}, 3);
+
+  // A healthy decision first, so the fallback has a last-known-good.
+  const auto good = engine.decide(trace, 5.0);
+  EXPECT_FALSE(good.fallback);
+  EXPECT_FALSE(engine.breaker_open());
+
+  // An impossible cost floor makes every real prediction a guard violation
+  // — the deterministic stand-in for a surrogate emitting garbage.
+  SurrogateGuardOptions broken = opts.guard;
+  broken.cost_floor_usd = 1e9;
+  engine.set_guard(broken);
+  auto prepared = engine.begin(trace, 10.0);
+  ASSERT_TRUE(prepared.needs_encoding);
+  std::vector<float> row(engine.encoding_dim());
+  SurrogateBatchEncoder batch_encoder(model);
+  batch_encoder.encode(prepared.window, 1, row);
+  const auto tripped = engine.finish(row);
+  EXPECT_TRUE(tripped.fallback);
+  EXPECT_FALSE(tripped.choice.feasible);
+  EXPECT_TRUE(engine.breaker_open());
+  EXPECT_EQ(engine.breaker_trips(), 1u);
+  // Last-known-good config, and the rejected predictions stay visible.
+  EXPECT_EQ(tripped.choice.config, good.choice.config);
+  EXPECT_EQ(tripped.predictions.size(), engine.configs().size());
+
+  // Open breaker: cooldown_ticks decisions are served from the fallback
+  // without touching the parser, the cache, or the surrogate.
+  const std::size_t hits0 = engine.encoder().cache_hits();
+  const std::size_t misses0 = engine.encoder().cache_misses();
+  for (int k = 0; k < 2; ++k) {
+    const auto p = engine.begin(trace, 15.0 + 5.0 * k);
+    EXPECT_TRUE(p.bypassed);
+    EXPECT_FALSE(p.needs_encoding);
+    const auto d = engine.finish({});
+    EXPECT_TRUE(d.fallback);
+    EXPECT_TRUE(d.predictions.empty());
+    EXPECT_EQ(d.choice.config, good.choice.config);
+  }
+  EXPECT_EQ(engine.encoder().cache_hits(), hits0);
+  EXPECT_EQ(engine.encoder().cache_misses(), misses0);
+  EXPECT_EQ(engine.fallback_decisions(), 3u);  // trip tick + 2 bypassed
+
+  // Cooldown over: the half-open probe re-runs the surrogate, and output
+  // that passes the (restored) guard closes the breaker.
+  engine.set_guard(opts.guard);
+  const auto probe = engine.begin(trace, 40.0);
+  EXPECT_FALSE(probe.bypassed);
+  ASSERT_TRUE(probe.needs_encoding);
+  std::vector<float> e1(engine.encoding_dim());
+  SurrogateBatchEncoder encoder(model);
+  encoder.encode(probe.window, 1, e1);
+  const auto recovered = engine.finish(e1);
+  EXPECT_FALSE(recovered.fallback);
+  EXPECT_FALSE(engine.breaker_open());
+  EXPECT_EQ(engine.breaker_resets(), 1u);
+  EXPECT_EQ(engine.breaker_trips(), 1u);
+}
+
+TEST(DecisionEngineTest, ColdFallbackIsConservativeAndHalfOpenCanRetrip) {
+  Surrogate model(tiny_config(), lambda::ConfigGrid::small());
+  model.set_training(false);
+  DecisionEngineOptions opts = small_options();
+  opts.guard.cooldown_ticks = 1;
+  opts.guard.cost_floor_usd = 1e9;  // every real prediction violates this
+  DecisionEngine engine(model, opts);
+  const workload::Trace trace({0.0, 0.5, 1.0});
+
+  // Tripping before any decision ever succeeded: the fallback is the most
+  // conservative grid point (max memory, smallest batch, shortest timeout).
+  const auto tripped = engine.decide(trace, 2.0);
+  lambda::Config conservative = engine.configs().front();
+  for (const lambda::Config& c : engine.configs()) {
+    conservative.memory_mb = std::max(conservative.memory_mb, c.memory_mb);
+    conservative.batch_size = std::min(conservative.batch_size, c.batch_size);
+    conservative.timeout_s = std::min(conservative.timeout_s, c.timeout_s);
+  }
+  EXPECT_TRUE(tripped.fallback);
+  EXPECT_EQ(tripped.choice.config, conservative);
+  EXPECT_EQ(engine.breaker_trips(), 1u);
+
+  // One bypassed tick, then the half-open probe still violates the guard:
+  // the breaker re-trips instead of closing.
+  EXPECT_TRUE(engine.begin(trace, 3.0).bypassed);
+  engine.finish({});
+  auto probe = engine.begin(trace, 4.0);
+  EXPECT_FALSE(probe.bypassed);
+  ASSERT_TRUE(probe.needs_encoding);  // the rejected row was never cached
+  std::vector<float> row(engine.encoding_dim());
+  SurrogateBatchEncoder encoder(model);
+  encoder.encode(probe.window, 1, row);
+  const auto retripped = engine.finish(row);
+  EXPECT_TRUE(retripped.fallback);
+  EXPECT_TRUE(engine.breaker_open());
+  EXPECT_EQ(engine.breaker_trips(), 2u);
+  EXPECT_EQ(engine.breaker_resets(), 0u);
+
+  // Restore a sane guard: after the cooldown the probe closes the breaker,
+  // and only now does the (identical) window enter the cache — a follow-up
+  // decide() is a clean hit, proof the rejected rows never poisoned it.
+  SurrogateGuardOptions sane = opts.guard;
+  sane.cost_floor_usd = -1e-3;
+  engine.set_guard(sane);
+  EXPECT_TRUE(engine.begin(trace, 5.0).bypassed);
+  engine.finish({});
+  auto probe2 = engine.begin(trace, 6.0);
+  ASSERT_TRUE(probe2.needs_encoding);
+  encoder.encode(probe2.window, 1, row);
+  const auto recovered = engine.finish(row);
+  EXPECT_FALSE(recovered.fallback);
+  EXPECT_EQ(engine.breaker_resets(), 1u);
+  const auto after = engine.decide(trace, 7.0);
+  EXPECT_TRUE(after.cache_hit);
+  EXPECT_FALSE(after.fallback);
+}
+
+TEST(DecisionEngineTest, GuardDisabledNeverTrips) {
+  Surrogate model(tiny_config(), lambda::ConfigGrid::small());
+  model.set_training(false);
+  DecisionEngineOptions opts = small_options();
+  opts.guard.enabled = false;
+  opts.guard.cost_floor_usd = 1e9;  // would trip every decision if enabled
+  DecisionEngine engine(model, opts);
+  const workload::Trace trace({0.0, 0.5, 1.0});
+  const auto decision = engine.decide(trace, 2.0);
+  EXPECT_FALSE(decision.fallback);
+  EXPECT_FALSE(engine.breaker_open());
+  EXPECT_EQ(engine.breaker_trips(), 0u);
 }
 
 TEST(SurrogateBatchEncoderTest, BatchedRowsBitIdenticalToSoloForwards) {

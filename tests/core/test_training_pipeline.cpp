@@ -77,7 +77,7 @@ TEST(SimulateTarget, MatchesDirectSimulation) {
   const PredictionTarget t = simulate_target(arrivals, cfg, model());
   const sim::SimResult r = sim::simulate_trace(arrivals, cfg, model());
   EXPECT_NEAR(t.cost_usd_per_request, r.cost_per_request(), 1e-12);
-  EXPECT_NEAR(t.p95(), r.latency_quantile(0.95), 1e-9);
+  EXPECT_NEAR(t.p95(), r.latency_quantile(0.95).value(), 1e-9);
 }
 
 TEST(Trainer, LossDecreasesOverEpochs) {

@@ -54,6 +54,9 @@ void expect_bit_identical(const PlatformRun& a, const PlatformRun& b) {
   }
   EXPECT_EQ(a.result.invocations, b.result.invocations);
   EXPECT_EQ(a.result.total_cost, b.result.total_cost);
+  EXPECT_EQ(a.result.retries, b.result.retries);
+  EXPECT_EQ(a.result.dropped, b.result.dropped);
+  EXPECT_EQ(a.result.dropped_arrivals, b.result.dropped_arrivals);
 }
 
 // ------------------------------------------------ shard invariance ------
@@ -152,6 +155,75 @@ INSTANTIATE_TEST_SUITE_P(
                       ShardCase{5, true, false}, ShardCase{5, false, true}),
     shard_case_name);
 
+// Shard invariance must survive the fault layer: the fault stream id lives
+// in PlatformOptions (tenant identity), never in the execution layout, so a
+// chaos-scenario replay at any shard count stays bit-identical — including
+// retries, drops, and throttle-delayed dispatches — to the tenant's solo
+// run_platform() with the same options.
+class FaultedShardInvariance : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FaultedShardInvariance, ChaosReplayBitIdenticalToSolo) {
+  const std::size_t shards = GetParam();
+  core::Surrogate model(tiny_config(), lambda::ConfigGrid::small());
+  model.set_training(false);
+  const lambda::LambdaModel lm;
+  const FaultPlan plan = fault_scenario("chaos", 23);
+
+  std::vector<workload::Trace> traces;
+  traces.push_back(workload::twitter_like({.hours = 0.05}, 31));
+  traces.push_back(workload::azure_like({.hours = 0.05}, 17));
+  traces.push_back(workload::twitter_like({.hours = 0.04}, 99));
+
+  std::vector<PlatformOptions> popts(traces.size());
+  std::vector<PlatformRun> solo;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    popts[i].control_interval_s = 30.0;
+    popts[i].cold_start_seed = 12345;  // legacy stream, re-seeded per tenant
+    popts[i].faults = plan;
+    popts[i].fault_stream = i;
+    core::DeepBatController ctl(model, controller_options());
+    solo.push_back(
+        run_platform(traces[i], ctl, lm, {1024, 1, 0.0}, popts[i]));
+  }
+  // The faults actually bit: at least one tenant retried or dropped.
+  std::size_t total_retries = 0;
+  for (const auto& run : solo) total_retries += run.result.retries;
+  EXPECT_GT(total_retries, 0u);
+
+  core::SurrogateBatchEncoder encoder(model);
+  RuntimeOptions ropts;
+  ropts.shards = shards;
+  ropts.overlap_encode = true;
+  Runtime runtime(&encoder, ropts);
+  std::vector<std::unique_ptr<core::DeepBatController>> controllers;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    controllers.push_back(std::make_unique<core::DeepBatController>(
+        model, controller_options()));
+    TenantSpec spec;
+    spec.name = "tenant";
+    spec.trace = &traces[i];
+    spec.controller = controllers.back().get();
+    spec.model = &lm;
+    spec.initial_config = {1024, 1, 0.0};
+    spec.options = popts[i];
+    runtime.add_tenant(std::move(spec));
+  }
+  const auto merged = runtime.run();
+
+  ASSERT_EQ(merged.size(), traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    SCOPED_TRACE("tenant " + std::to_string(i));
+    expect_bit_identical(solo[i], merged[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, FaultedShardInvariance,
+                         ::testing::Values(std::size_t{1}, std::size_t{2},
+                                           std::size_t{5}),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return "Shards" + std::to_string(info.param);
+                         });
+
 // TSan target (scripts/check.sh): 8 tenants over 4 shards with overlapped
 // encodes, once with per-shard encoder instances (factory) and once with a
 // single instance shared by all four shards — both legal per the
@@ -219,6 +291,7 @@ TEST(RuntimeStatsTest, MergeSumsCountsAndRecomputesHitRate) {
   a.encode_calls = 2;
   a.cache_hits = 9;
   a.cache_misses = 1;
+  a.bypassed_ticks = 2;
   a.encode_seconds = 0.25;
   RuntimeStats b;
   b.tick_groups = 4;
@@ -227,6 +300,7 @@ TEST(RuntimeStatsTest, MergeSumsCountsAndRecomputesHitRate) {
   b.encode_calls = 3;
   b.cache_hits = 0;
   b.cache_misses = 10;
+  b.bypassed_ticks = 3;
   b.encode_seconds = 0.5;
 
   a.merge(b);
@@ -236,6 +310,7 @@ TEST(RuntimeStatsTest, MergeSumsCountsAndRecomputesHitRate) {
   EXPECT_EQ(a.encode_calls, 5u);
   EXPECT_EQ(a.cache_hits, 9u);
   EXPECT_EQ(a.cache_misses, 11u);
+  EXPECT_EQ(a.bypassed_ticks, 5u);
   EXPECT_DOUBLE_EQ(a.encode_seconds, 0.75);
   // The folded hit rate comes from the summed counts (9 / 20), NOT the
   // mean of the per-shard rates (0.9 and 0.0 would average to 0.45 too —
