@@ -102,6 +102,8 @@ void preamble(const std::string& figure, const std::string& description);
 ///                        (calm|coldburst|flaky|throttled|chaos; default
 ///                        none — the byte-stable fair-weather replay)
 ///   --fault-seed <n>     FaultPlan seed for --faults (default 7)
+///   --precision <p>      grid-scoring arithmetic (fp32|fp16|int8, default
+///                        fp32 — the bit-exact replay; see DESIGN.md §12)
 ///   --json <path>        also emit the bench's tables as one JSON document
 ///   --metrics <path>     dump an obs registry snapshot (JSON) after the run
 struct ReplayArgs {
@@ -113,6 +115,7 @@ struct ReplayArgs {
   /// Empty = no fault layer (not even the "calm" plan object).
   std::string fault_scenario;
   std::uint64_t fault_seed = 7;
+  core::ScoringPrecision scoring_precision = core::ScoringPrecision::kFp32;
   std::string json_path;
   std::string metrics_path;
 };

@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -74,10 +75,32 @@ struct Result {
   std::string mode;
   int threads = 1;
   double ns_per_iter = 0.0;
-  double gflops = -1.0;  // < 0: not applicable
+  double gflops = -1.0;        // < 0: not applicable
+  double configs_per_s = -1.0; // grid-scoring throughput; < 0: n/a
 };
 
 std::vector<Result> g_results;
+
+/// ns_per_iter of a recorded result, or -1 if that cell was not run.
+double find_ns(const std::string& section, const std::string& name,
+               const std::string& mode, int threads) {
+  for (const auto& r : g_results) {
+    if (r.section == section && r.name == name && r.mode == mode &&
+        r.threads == threads) {
+      return r.ns_per_iter;
+    }
+  }
+  return -1.0;
+}
+
+/// "fused_<prec>_r1" without operator+ chains (GCC 12's -Wrestrict false
+/// positive, PR105329).
+std::string fused_r1_name(const char* prec) {
+  std::string name = "fused_";
+  name += prec;
+  name += "_r1";
+  return name;
+}
 
 void set_threads(int t) {
 #ifdef _OPENMP
@@ -91,6 +114,7 @@ void record(Result r) {
   std::printf("  %-10s %-28s %-9s t=%d  %12.0f ns/iter", r.section.c_str(),
               r.name.c_str(), r.mode.c_str(), r.threads, r.ns_per_iter);
   if (r.gflops >= 0) std::printf("  %7.2f GFLOP/s", r.gflops);
+  if (r.configs_per_s >= 0) std::printf("  %10.0f configs/s", r.configs_per_s);
   std::printf("\n");
   g_results.push_back(std::move(r));
 }
@@ -156,6 +180,8 @@ void bench_attention(const std::vector<int>& thread_counts,
                      double min_sample_s, int samples) {
   std::printf("[attention]\n");
   for (std::int64_t l : {64, 256, 512}) {
+    std::string lname = "L";
+    lname += std::to_string(l);
     Rng rng(7);
     MultiHeadAttention mha(16, 4, rng, 0.0F, 8);
     mha.set_training(false);
@@ -173,7 +199,7 @@ void bench_attention(const std::vector<int>& thread_counts,
               (void)sink;
             },
             min_sample_s, samples);
-        record({"attention", "L" + std::to_string(l), mode, t, ns, -1.0});
+        record({"attention", lname, mode, t, ns, -1.0});
       }
     }
   }
@@ -217,6 +243,88 @@ double bench_surrogate(const std::vector<int>& thread_counts,
   return *opt_1t > 0 ? *seed_1t / *opt_1t : 0.0;
 }
 
+void bench_grid_scoring(const std::vector<int>& thread_counts,
+                        double min_sample_s, int samples) {
+  // The Policy-side hot path in isolation (DESIGN.md §12): one already-
+  // encoded E_1 row scored against the full standard grid. "legacy" is the
+  // seed's per-tick recipe — broadcast E_1 over the grid, re-encode the
+  // config features, run the composed autograd head — and "fused" is the
+  // GridScoringCache pass at each precision, solo (r1) and batched across
+  // eight tenants of a tick group (r8).
+  std::printf("[grid_scoring] standard grid, precision sweep\n");
+  core::SurrogateConfig scfg;
+  scfg.sequence_length = 256;
+  core::Surrogate model(scfg, lambda::ConfigGrid::standard());
+  model.set_training(false);
+  const auto configs = lambda::ConfigGrid::standard().enumerate();
+  const auto grid_n = static_cast<std::int64_t>(configs.size());
+  const std::int64_t d = scfg.model_dim;
+  const std::int64_t f = scfg.feature_dim;
+  const std::int64_t o = scfg.output_dim;
+
+  // Encode one window outside the timed region (encoding is the other
+  // stage of the tick; its cost is covered by [surrogate_forward]).
+  Tensor seq({1, scfg.sequence_length, 1});
+  for (std::int64_t i = 0; i < scfg.sequence_length; ++i) {
+    seq.data()[i] = 1.0F + 0.1F * static_cast<float>(i % 7);
+  }
+  const Tensor e1t = model.encode_sequence(seq);
+  const std::vector<float> e1(e1t.data(), e1t.data() + d);
+
+  // legacy: per-tick broadcast + feature re-encode + composed head.
+  {
+    const double ns = time_ns(
+        [&] {
+          Tensor e1b({grid_n, d});
+          for (std::int64_t r = 0; r < grid_n; ++r) {
+            std::copy(e1.begin(), e1.end(), e1b.data() + r * d);
+          }
+          Tensor feats({grid_n, f});
+          for (std::int64_t r = 0; r < grid_n; ++r) {
+            const auto enc =
+                core::encode_features(configs[static_cast<std::size_t>(r)]);
+            std::copy(enc.begin(), enc.end(), feats.data() + r * f);
+          }
+          volatile float sink =
+              model.predict_with_features(e1b, feats).data()[0];
+          (void)sink;
+        },
+        min_sample_s, samples);
+    record({"grid_scoring", "legacy_r1", "seed", 1, ns, -1.0,
+            1e9 * static_cast<double>(grid_n) / ns});
+  }
+
+  // fused: GridScoringCache at fp32/fp16/int8, r1 and r8.
+  for (const core::ScoringPrecision precision :
+       {core::ScoringPrecision::kFp32, core::ScoringPrecision::kFp16,
+        core::ScoringPrecision::kInt8}) {
+    const auto cache = model.make_scoring_cache(configs, precision);
+    for (const std::size_t rows : {std::size_t{1}, std::size_t{8}}) {
+      std::vector<float> e1_rows;
+      for (std::size_t r = 0; r < rows; ++r) {
+        e1_rows.insert(e1_rows.end(), e1.begin(), e1.end());
+      }
+      std::vector<float> out(rows * static_cast<std::size_t>(grid_n * o));
+      const std::string name = std::string("fused_") +
+                               core::to_string(precision) + "_r" +
+                               std::to_string(rows);
+      for (int t : thread_counts) {
+        set_threads(t);
+        const double ns = time_ns(
+            [&] {
+              model.predict_grid_from_e1_batch(e1_rows, rows, cache, out);
+              volatile float sink = out[0];
+              (void)sink;
+            },
+            min_sample_s, samples);
+        record({"grid_scoring", name, "optimized", t, ns, -1.0,
+                1e9 * static_cast<double>(rows) * static_cast<double>(grid_n) /
+                    ns});
+      }
+    }
+  }
+}
+
 void write_json(const std::string& path, double speedup, double seed_1t,
                 double opt_1t) {
   std::ofstream out(path);
@@ -229,20 +337,122 @@ void write_json(const std::string& path, double speedup, double seed_1t,
         << "\", \"mode\": \"" << r.mode << "\", \"threads\": " << r.threads
         << ", \"ns_per_iter\": " << r.ns_per_iter;
     if (r.gflops >= 0) out << ", \"gflops\": " << r.gflops;
+    if (r.configs_per_s >= 0) out << ", \"configs_per_s\": " << r.configs_per_s;
     out << "}" << (i + 1 < g_results.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
   out << "  \"summary\": {\n";
+  // Host-portable ratios (same-run seed vs optimized), which is what the
+  // --gate compares against the committed baseline: absolute ns from a
+  // different machine would be meaningless.
+  for (const char* shape : {"m256_k256_n4", "m16_k2048_n16_tA"}) {
+    const double seed_ns = find_ns("gemm", shape, "seed", 1);
+    const double opt_ns = find_ns("gemm", shape, "optimized", 1);
+    out << "    \"gemm_speedup_" << shape << "_1t\": "
+        << (seed_ns > 0 && opt_ns > 0 ? seed_ns / opt_ns : 0.0) << ",\n";
+  }
+  {
+    const double legacy_ns = find_ns("grid_scoring", "legacy_r1", "seed", 1);
+    for (const char* prec : {"fp32", "fp16", "int8"}) {
+      const double fused_ns =
+          find_ns("grid_scoring", fused_r1_name(prec), "optimized", 1);
+      out << "    \"grid_scoring_fused_" << prec << "_speedup_1t\": "
+          << (legacy_ns > 0 && fused_ns > 0 ? legacy_ns / fused_ns : 0.0)
+          << ",\n";
+    }
+  }
   out << "    \"surrogate_forward_seed_ns_1t\": " << seed_1t << ",\n";
   out << "    \"surrogate_forward_optimized_ns_1t\": " << opt_1t << ",\n";
   out << "    \"surrogate_forward_speedup_1t\": " << speedup << "\n";
   out << "  }\n}\n";
 }
 
+/// Pull "key": <number> out of a baseline JSON (the files this bench
+/// writes; a full parser would be overkill for three scalar keys).
+double json_scalar(const std::string& text, const std::string& key) {
+  const auto pos = text.find("\"" + key + "\":");
+  if (pos == std::string::npos) return -1.0;
+  return std::strtod(text.c_str() + pos + key.size() + 3, nullptr);
+}
+
+/// CI smoke gate: named tall-skinny shapes must beat the seed kernel and
+/// never lose at 2 threads, and the same-run speedup ratios must stay
+/// within 10% of the committed baseline's. Returns the number of failures.
+int run_gate(const std::string& baseline_path) {
+  int failures = 0;
+  const auto fail = [&](const std::string& what) {
+    std::fprintf(stderr, "[gate] FAIL: %s\n", what.c_str());
+    ++failures;
+  };
+  for (const char* shape : {"m256_k256_n4", "m16_k2048_n16_tA"}) {
+    const double seed_ns = find_ns("gemm", shape, "seed", 1);
+    const double opt1 = find_ns("gemm", shape, "optimized", 1);
+    const double opt2 = find_ns("gemm", shape, "optimized", 2);
+    if (seed_ns > 0 && opt1 > 0 && opt1 >= seed_ns) {
+      fail(std::string(shape) + ": optimized 1t (" + std::to_string(opt1) +
+           " ns) does not beat seed (" + std::to_string(seed_ns) + " ns)");
+    }
+    // 10% timing-noise allowance; the real 2t < 1t regressions this caught
+    // were 2x-3x, not marginal.
+    if (opt1 > 0 && opt2 > 0 && opt2 > opt1 * 1.10) {
+      fail(std::string(shape) + ": 2 threads (" + std::to_string(opt2) +
+           " ns) lose to 1 thread (" + std::to_string(opt1) + " ns)");
+    }
+  }
+  for (const char* prec : {"fp32", "fp16", "int8"}) {
+    const std::string name = fused_r1_name(prec);
+    const double f1 = find_ns("grid_scoring", name, "optimized", 1);
+    const double f2 = find_ns("grid_scoring", name, "optimized", 2);
+    if (f1 > 0 && f2 > 0 && f2 > f1 * 1.10) {
+      fail("grid_scoring " + name + ": 2 threads lose to 1 thread");
+    }
+  }
+  std::ifstream in(baseline_path);
+  if (!in) {
+    fail("cannot read baseline " + baseline_path);
+    return failures;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string baseline = ss.str();
+  const auto check_ratio = [&](const std::string& key, double current) {
+    const double base = json_scalar(baseline, key);
+    if (base <= 0) {
+      fail("baseline missing " + key);
+      return;
+    }
+    if (current < base * 0.90) {
+      fail(key + ": " + std::to_string(current) + " regressed >10% vs baseline " +
+           std::to_string(base));
+    }
+  };
+  for (const char* shape : {"m256_k256_n4", "m16_k2048_n16_tA"}) {
+    const double seed_ns = find_ns("gemm", shape, "seed", 1);
+    const double opt_ns = find_ns("gemm", shape, "optimized", 1);
+    check_ratio("gemm_speedup_" + std::string(shape) + "_1t",
+                seed_ns > 0 && opt_ns > 0 ? seed_ns / opt_ns : 0.0);
+  }
+  {
+    const double legacy_ns = find_ns("grid_scoring", "legacy_r1", "seed", 1);
+    for (const char* prec : {"fp32", "fp16", "int8"}) {
+      const double fused_ns =
+          find_ns("grid_scoring", fused_r1_name(prec), "optimized", 1);
+      std::string key = "grid_scoring_fused_";
+      key += prec;
+      key += "_speedup_1t";
+      check_ratio(key,
+                  legacy_ns > 0 && fused_ns > 0 ? legacy_ns / fused_ns : 0.0);
+    }
+  }
+  if (failures == 0) std::printf("[gate] all checks passed\n");
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_kernels.json";
+  std::string gate_path;
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -250,8 +460,12 @@ int main(int argc, char** argv) {
       quick = true;
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg.rfind("--gate=", 0) == 0) {
+      gate_path = arg.substr(7);
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--json=PATH]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--json=PATH] [--gate=BASELINE]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -270,6 +484,7 @@ int main(int argc, char** argv) {
   std::printf("nn_kernels regression harness (hardware threads: %d)\n", hw);
   bench_gemm(thread_counts, min_sample_s, samples);
   bench_attention(thread_counts, min_sample_s, samples);
+  bench_grid_scoring(thread_counts, min_sample_s, samples);
   double seed_1t = 0.0;
   double opt_1t = 0.0;
   const double speedup =
@@ -279,5 +494,8 @@ int main(int argc, char** argv) {
               seed_1t / 1e6, opt_1t / 1e6, speedup);
   write_json(json_path, speedup, seed_1t, opt_1t);
   std::printf("wrote %s\n", json_path.c_str());
+  if (!gate_path.empty()) {
+    return run_gate(gate_path) == 0 ? 0 : 1;
+  }
   return 0;
 }

@@ -77,9 +77,12 @@ int main(int argc, char** argv) {
   for (const auto& w : workloads) traces.push_back(&fx.by_name(w, hours));
 
   auto make_controller = [&] {
-    return std::make_unique<core::DeepBatController>(
-        surrogate, fx.controller_options(args.slo_s, gamma));
+    auto copts = fx.controller_options(args.slo_s, gamma);
+    copts.scoring_precision = args.scoring_precision;
+    return std::make_unique<core::DeepBatController>(surrogate, copts);
   };
+  std::printf("[precision] grid scoring runs at %s\n",
+              core::to_string(args.scoring_precision));
   sim::PlatformOptions popts;
   popts.control_interval_s = args.control_interval_s;
   popts.cold_start_seed = args.cold_start_seed;
@@ -111,9 +114,13 @@ int main(int argc, char** argv) {
   // --- (b) batched: one runtime, one shared encoder, --shards shards ------
   std::vector<std::unique_ptr<core::DeepBatController>> controllers;
   core::SurrogateBatchEncoder encoder(surrogate);
+  core::SurrogateBatchScorer scorer(
+      surrogate, fx.controller_options(args.slo_s, gamma).grid.enumerate(),
+      args.scoring_precision);
   sim::RuntimeOptions ropts;
   ropts.shards = args.shards;
   sim::Runtime runtime(&encoder, ropts);
+  runtime.set_scorer(&scorer);
   for (std::size_t i = 0; i < traces.size(); ++i) {
     controllers.push_back(make_controller());
     sim::TenantSpec spec;
@@ -189,6 +196,8 @@ int main(int argc, char** argv) {
   t.add_row({"windows_encoded", "-",
              std::to_string(encoder.windows_encoded())});
   t.add_row({"cache_hit_rate_pct", "-", fmt(hit_rate, 1)});
+  t.add_row({"scored_rows", "-", std::to_string(stats.scored_rows)});
+  t.add_row({"score_calls", "-", std::to_string(stats.score_calls)});
   t.add_row({"cache_counters_consistent", "-",
              cache_consistent ? "yes" : "NO"});
   t.add_row({"decisions_identical", "-", identical ? "yes" : "NO"});
@@ -227,9 +236,13 @@ int main(int argc, char** argv) {
                                    std::size_t{4}}) {
     std::vector<std::unique_ptr<core::DeepBatController>> ctls;
     core::SurrogateBatchEncoder enc(surrogate);
+    core::SurrogateBatchScorer sweep_scorer(
+        surrogate, fx.controller_options(args.slo_s, gamma).grid.enumerate(),
+        args.scoring_precision);
     sim::RuntimeOptions sweep_opts;
     sweep_opts.shards = shards;
     sim::Runtime sweep(&enc, sweep_opts);
+    sweep.set_scorer(&sweep_scorer);
     for (std::size_t i = 0; i < traces.size(); ++i) {
       ctls.push_back(make_controller());
       sim::TenantSpec spec;

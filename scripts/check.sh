@@ -15,7 +15,9 @@
 # runtime stage pins OMP_NUM_THREADS=1: libgomp's barriers are opaque to
 # TSan and report false positives; the WorkerPool threads (the PR 4
 # concurrency under test) are plain std::threads TSan understands. The
-# slow integration suite stays in the plain tier-1 run.
+# slow integration suite stays in the plain tier-1 run. A final run of
+# bench/nn_kernels gates the kernel speedups against the committed
+# bench/BASELINE_kernels.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -51,11 +53,26 @@ echo "== tsan: build =="
 cmake -B build-tsan -S . -DDEEPBAT_SANITIZE=thread -DDEEPBAT_NATIVE=OFF \
   >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target test_obs test_common \
-  test_runtime
+  test_runtime test_nn_kernels
 
 echo "== tsan: run =="
 ./build-tsan/tests/test_obs
 OMP_NUM_THREADS=1 ./build-tsan/tests/test_common
 OMP_NUM_THREADS=1 ./build-tsan/tests/test_runtime
+# Covers the golden quant-GEMM tests (gemm_s8 / quantize_rows_s8 / gemm_f16w)
+# under TSan's runtime. Filtered: the bit-identity suites set OMP thread
+# counts internally, and libgomp's barriers are opaque to TSan (same false
+# positives as above — OMP_NUM_THREADS=1 cannot pin an explicit
+# omp_set_num_threads).
+OMP_NUM_THREADS=1 ./build-tsan/tests/test_nn_kernels \
+  --gtest_filter='Kernels.GemmS8*:Kernels.QuantizeRows*:Kernels.GemmF16w*:Kernels.Fp16*'
+
+echo "== kernel bench gate =="
+# Kernel bench against the committed speedup baseline: named tall-skinny
+# shapes must beat the seed kernels, 2 threads must not lose to 1, and
+# same-run speedup ratios must stay within 10% of the baseline. Full mode
+# (~35 s), not --quick: the short samples are too noisy for a 10% gate.
+./build/bench/nn_kernels --json=/tmp/deepbat_gate_kernels.json \
+  --gate=bench/BASELINE_kernels.json
 
 echo "== all checks passed =="

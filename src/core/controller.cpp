@@ -12,6 +12,7 @@ DecisionEngineOptions engine_options(const DeepBatControllerOptions& options) {
   eo.pad_gap_s = options.pad_gap_s;
   eo.encoder_cache_capacity = options.encoder_cache_capacity;
   eo.guard = options.guard;
+  eo.scoring_precision = options.scoring_precision;
   return eo;
 }
 
@@ -44,12 +45,17 @@ sim::SplitController::TickRequest DeepBatController::begin_tick(
     const workload::Trace& history, double now) {
   const DecisionEngine::Prepared prepared = engine_.begin(history, now);
   return TickRequest{prepared.needs_encoding, prepared.window,
-                     prepared.bypassed};
+                     prepared.bypassed, prepared.cached_encoding};
 }
 
 lambda::Config DeepBatController::finish_tick(
     std::span<const float> encoding) {
   return record(engine_.finish(encoding));
+}
+
+lambda::Config DeepBatController::finish_tick_scored(
+    std::span<const float> encoding, std::span<const float> raw_predictions) {
+  return record(engine_.finish_scored(encoding, raw_predictions));
 }
 
 }  // namespace deepbat::core

@@ -143,14 +143,35 @@ void SequenceEncoder::forward_single(std::span<const float> window,
 // ---------------------------------------------------------------- scorer --
 
 GridScorer::GridScorer(const Surrogate& surrogate,
-                       std::vector<lambda::Config> configs)
+                       std::vector<lambda::Config> configs,
+                       ScoringPrecision precision)
     : surrogate_(surrogate), configs_(std::move(configs)) {
   DEEPBAT_CHECK(!configs_.empty(), "GridScorer: empty config grid");
+  // Feature branch + head-weight slices (+ quantized images) are computed
+  // once here; score() only runs the per-tick fused pass.
+  cache_ = surrogate_.make_scoring_cache(configs_, precision);
 }
 
-std::vector<PredictionTarget> GridScorer::score(
+std::span<const PredictionTarget> GridScorer::score(
     std::span<const float> e1) const {
-  return surrogate_.predict_grid_from_e1(e1, configs_);
+  surrogate_.predict_grid_from_e1_batch(e1, 1, cache_, scored_);
+  return scored_;
+}
+
+std::span<const PredictionTarget> GridScorer::unpack(
+    std::span<const float> raw) const {
+  const std::size_t n = configs_.size();
+  DEEPBAT_CHECK(raw.size() == n * kTargetDim,
+                "GridScorer: raw prediction size mismatch");
+  scored_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scored_[i] = unpack_target(raw.subspan(i * kTargetDim, kTargetDim));
+  }
+  return scored_;
+}
+
+void GridScorer::calibrate(std::span<const float> windows, std::size_t count) {
+  surrogate_.calibrate_scoring_cache(cache_, windows, count);
 }
 
 // ---------------------------------------------------------------- engine --
@@ -161,7 +182,8 @@ DecisionEngine::DecisionEngine(const Surrogate& surrogate,
       parser_(static_cast<std::size_t>(surrogate.config().sequence_length),
               options_.pad_gap_s),
       encoder_(surrogate, options_.encoder_cache_capacity),
-      scorer_(surrogate, options_.grid.enumerate()) {
+      scorer_(surrogate, options_.grid.enumerate(),
+              options_.scoring_precision) {
   DEEPBAT_CHECK(options_.gamma >= 0.0 && options_.gamma < 1.0,
                 "DecisionEngine: gamma out of [0, 1)");
   auto& registry = obs::MetricsRegistry::instance();
@@ -184,7 +206,7 @@ DecisionEngine::DecisionEngine(const Surrogate& surrogate,
   }
 }
 
-bool DecisionEngine::guard_ok(const std::vector<PredictionTarget>& predictions,
+bool DecisionEngine::guard_ok(std::span<const PredictionTarget> predictions,
                               const SurrogateGuardOptions& guard) {
   for (const PredictionTarget& p : predictions) {
     if (!std::isfinite(p.cost_usd_per_request) ||
@@ -234,7 +256,7 @@ DecisionEngine::Prepared DecisionEngine::begin(const workload::Trace& history,
     // Breaker open: skip parse/cache/encode entirely; finish() serves the
     // fallback config. Ticks spent here are neither hits nor misses.
     pending_bypass_ = true;
-    return Prepared{false, {}, true};
+    return Prepared{false, {}, true, {}};
   }
   pending_bypass_ = false;
   obs::ScopedTimer parse_timer(*parse_hist_);
@@ -244,10 +266,14 @@ DecisionEngine::Prepared DecisionEngine::begin(const workload::Trace& history,
   if (cached != nullptr) {
     pending_hit_ = true;
     pending_e1_ = *cached;
-    return Prepared{false, {}};
+    // Expose the cached row so a batching runtime can fold this tenant into
+    // its fused scoring pass. The span stays valid: the entry cannot be
+    // evicted before finish() — eviction only happens on insert, and the
+    // engine inserts at most once per begin()/finish() pair, on a miss.
+    return Prepared{false, {}, false, pending_e1_};
   }
   pending_hit_ = false;
-  return Prepared{true, pending_window_};
+  return Prepared{true, pending_window_, false, {}};
 }
 
 EngineDecision DecisionEngine::finish(std::span<const float> encoding) {
@@ -260,36 +286,65 @@ EngineDecision DecisionEngine::finish(std::span<const float> encoding) {
     return fallback_decision();
   }
 
-  EngineDecision decision;
   std::span<const float> e1;
   if (pending_hit_) {
-    decision.cache_hit = true;
     e1 = pending_e1_;
   } else {
     DEEPBAT_CHECK(encoding.size() == encoder_.encoding_dim(),
                   "DecisionEngine: finish() expected an encoding row");
     // Score from the caller's row first; it is only inserted into the
-    // window cache below, once the guard has accepted the predictions, so
-    // a poisoned encoding can never be served from the cache later.
+    // window cache inside complete(), once the guard has accepted the
+    // predictions, so a poisoned encoding can never be served from the
+    // cache later.
     e1 = encoding;
   }
 
+  std::span<const PredictionTarget> scored;
+  double score_seconds = 0.0;
   {
     obs::Span span("core.engine.score");
     const auto score_start = std::chrono::steady_clock::now();
-    decision.predictions = scorer_.score(e1);
-    decision.score_seconds = seconds_since(score_start);
+    scored = scorer_.score(e1);
+    score_seconds = seconds_since(score_start);
   }
-  score_hist_->observe(decision.score_seconds);
+  score_hist_->observe(score_seconds);
+  return complete(encoding, scored, score_seconds);
+}
 
-  if (options_.guard.enabled &&
-      !guard_ok(decision.predictions, options_.guard)) {
+EngineDecision DecisionEngine::finish_scored(
+    std::span<const float> encoding, std::span<const float> raw_predictions) {
+  DEEPBAT_CHECK(pending_, "DecisionEngine: finish_scored() without begin()");
+  DEEPBAT_CHECK(!pending_bypass_,
+                "DecisionEngine: finish_scored() on a bypassed tick");
+  pending_ = false;
+  if (!pending_hit_) {
+    DEEPBAT_CHECK(encoding.size() == encoder_.encoding_dim(),
+                  "DecisionEngine: finish_scored() expected an encoding row");
+  }
+  // The fused batch pass already scored this tenant's grid slice; unpacking
+  // into the scorer's scratch is all that remains of the scoring stage.
+  // The shard-level batch_score histogram carries the fused timing, so the
+  // per-decision score_seconds stays 0 here (like encode_seconds on a
+  // batched encode).
+  const std::span<const PredictionTarget> scored =
+      scorer_.unpack(raw_predictions);
+  return complete(encoding, scored, 0.0);
+}
+
+EngineDecision DecisionEngine::complete(
+    std::span<const float> encoding,
+    std::span<const PredictionTarget> scored, double score_seconds) {
+  EngineDecision decision;
+  decision.cache_hit = pending_hit_;
+  decision.score_seconds = score_seconds;
+
+  if (options_.guard.enabled && !guard_ok(scored, options_.guard)) {
     trip_breaker();
     EngineDecision fallback = fallback_decision();
     fallback.cache_hit = decision.cache_hit;
     fallback.score_seconds = decision.score_seconds;
     // Keep the rejected predictions visible to callers for diagnostics.
-    fallback.predictions = std::move(decision.predictions);
+    fallback.predictions.assign(scored.begin(), scored.end());
     return fallback;
   }
   if (!pending_hit_) {
@@ -309,11 +364,14 @@ EngineDecision DecisionEngine::finish(std::span<const float> encoding) {
   {
     obs::Span span("core.engine.search");
     const auto search_start = std::chrono::steady_clock::now();
-    decision.choice =
-        select_config(decision.predictions, scorer_.configs(), opt);
+    decision.choice = select_config(scored, scorer_.configs(), opt);
     decision.search_seconds = seconds_since(search_start);
   }
   search_hist_->observe(decision.search_seconds);
+  // EngineDecision owns its prediction vector (callers move it into
+  // OptimizationOutcome), so the scorer's scratch is copied out here — the
+  // one per-tick PredictionTarget copy the public API mandates.
+  decision.predictions.assign(scored.begin(), scored.end());
   last_good_ = decision.choice.config;
   return decision;
 }
@@ -322,16 +380,17 @@ EngineDecision DecisionEngine::decide(const workload::Trace& history,
                                       double now) {
   const Prepared prepared = begin(history, now);
   if (!prepared.needs_encoding) return finish({});
-  std::vector<float> e1(encoder_.encoding_dim());
+  e1_scratch_.resize(encoder_.encoding_dim());  // member scratch: no per-tick
+                                                // allocation on misses
   double encode_seconds = 0.0;
   {
     obs::Span span("core.engine.encode");
     const auto encode_start = std::chrono::steady_clock::now();
-    encoder_.forward_single(prepared.window, e1);
+    encoder_.forward_single(prepared.window, e1_scratch_);
     encode_seconds = seconds_since(encode_start);
   }
   encode_hist_->observe(encode_seconds);
-  EngineDecision decision = finish(e1);
+  EngineDecision decision = finish(e1_scratch_);
   decision.encode_seconds = encode_seconds;
   return decision;
 }
@@ -363,6 +422,37 @@ void SurrogateBatchEncoder::encode(std::span<const float> windows,
   const nn::Tensor e1 = surrogate_.encode_sequence(seq);
   std::copy(e1.data(), e1.data() + out.size(), out.begin());
   count_call(count);
+}
+
+// ---------------------------------------------------------- batch scorer --
+
+SurrogateBatchScorer::SurrogateBatchScorer(const Surrogate& surrogate,
+                                           std::vector<lambda::Config> configs,
+                                           ScoringPrecision precision)
+    : surrogate_(surrogate), configs_(std::move(configs)) {
+  DEEPBAT_CHECK(!configs_.empty(), "SurrogateBatchScorer: empty config grid");
+  cache_ = surrogate_.make_scoring_cache(configs_, precision);
+}
+
+std::size_t SurrogateBatchScorer::encoding_dim() const {
+  return static_cast<std::size_t>(surrogate_.config().model_dim);
+}
+
+std::size_t SurrogateBatchScorer::grid_size() const {
+  return configs_.size();
+}
+
+std::size_t SurrogateBatchScorer::target_dim() const { return kTargetDim; }
+
+void SurrogateBatchScorer::score(std::span<const float> e1_rows,
+                                 std::size_t count, std::span<float> out) {
+  surrogate_.predict_grid_from_e1_batch(e1_rows, count, cache_, out);
+  count_call(count);
+}
+
+void SurrogateBatchScorer::calibrate(std::span<const float> windows,
+                                     std::size_t count) {
+  surrogate_.calibrate_scoring_cache(cache_, windows, count);
 }
 
 }  // namespace deepbat::core

@@ -110,18 +110,38 @@ class SequenceEncoder {
 };
 
 /// Stage 3 — per-config scoring off one E_1 row (the millisecond path the
-/// paper's §IV-F speedup rests on).
+/// paper's §IV-F speedup rests on). Holds a GridScoringCache so the feature
+/// branch, head-weight slices, and (for reduced precisions) the quantized
+/// weight images are computed once at construction instead of per tick, and
+/// a PredictionTarget scratch buffer so steady-state scoring allocates
+/// nothing (DESIGN.md §12).
 class GridScorer {
  public:
-  GridScorer(const Surrogate& surrogate, std::vector<lambda::Config> configs);
+  GridScorer(const Surrogate& surrogate, std::vector<lambda::Config> configs,
+             ScoringPrecision precision = ScoringPrecision::kFp32);
 
-  std::vector<PredictionTarget> score(std::span<const float> e1) const;
+  /// Score the grid against one E_1 row. The returned span points into the
+  /// scorer's scratch buffer and stays valid until the next score() /
+  /// unpack() call on this scorer.
+  std::span<const PredictionTarget> score(std::span<const float> e1) const;
+
+  /// Unpack raw fused-scoring output (grid_size * kTargetDim floats, e.g.
+  /// one tenant's slice of a runtime batch) into the scratch buffer.
+  std::span<const PredictionTarget> unpack(std::span<const float> raw) const;
+
+  /// Calibrate the cache's static int8 activation scale (see
+  /// Surrogate::calibrate_scoring_cache). No-op observable effect at fp32.
+  void calibrate(std::span<const float> windows, std::size_t count);
 
   const std::vector<lambda::Config>& configs() const { return configs_; }
+  ScoringPrecision precision() const { return cache_.precision(); }
+  const GridScoringCache& cache() const { return cache_; }
 
  private:
   const Surrogate& surrogate_;
   std::vector<lambda::Config> configs_;
+  GridScoringCache cache_;
+  mutable std::vector<PredictionTarget> scored_;  // reused across ticks
 };
 
 /// Sanity bounds on surrogate output (DESIGN.md §11). A prediction batch
@@ -163,6 +183,10 @@ struct DecisionEngineOptions {
   std::size_t encoder_cache_capacity = 512;
   /// Surrogate output guardrails + circuit breaker (DESIGN.md §11).
   SurrogateGuardOptions guard;
+  /// Arithmetic of the grid-scoring stage (DESIGN.md §12). kFp32 is
+  /// bit-identical to the composed surrogate head; kFp16/kInt8 trade a
+  /// bounded prediction error for a faster per-config GEMM.
+  ScoringPrecision scoring_precision = ScoringPrecision::kFp32;
 };
 
 struct EngineDecision {
@@ -198,15 +222,43 @@ class DecisionEngine {
     /// True when the circuit breaker is open: parse/encode/score are all
     /// skipped and finish() returns the fallback decision.
     bool bypassed = false;
+    /// On a window-cache hit: the cached E_1 row, so a batching runtime can
+    /// include this tenant in its fused grid-scoring pass without
+    /// re-encoding. Valid until finish()/finish_scored() returns.
+    std::span<const float> cached_encoding;
   };
   Prepared begin(const workload::Trace& history, double now);
   EngineDecision finish(std::span<const float> encoding);
 
+  /// finish() variant for runtimes that already scored the grid through the
+  /// fused batch pass (SurrogateBatchScorer): `raw_predictions` holds this
+  /// tenant's grid slice (configs().size() * kTargetDim floats). The guard,
+  /// cache-insert ordering (guard BEFORE insert), breaker transitions, and
+  /// policy stage are identical to finish(); only the scoring stage is
+  /// skipped. Must not be called on a bypassed tick (use finish()).
+  EngineDecision finish_scored(std::span<const float> encoding,
+                               std::span<const float> raw_predictions);
+
+  /// Calibrate the scorer's static int8 activation scale from sample
+  /// windows (`count` concatenated length-l windows). Optional: without it
+  /// the int8 path quantizes activations dynamically per row.
+  void calibrate_scoring(std::span<const float> windows, std::size_t count) {
+    scorer_.calibrate(windows, count);
+  }
+  ScoringPrecision scoring_precision() const { return scorer_.precision(); }
+
   /// True iff `predictions` pass the guard's sanity bounds (all entries
   /// finite, cost above the floor, percentile vectors monotone within the
   /// margin). Exposed for tests and external validators.
-  static bool guard_ok(const std::vector<PredictionTarget>& predictions,
+  static bool guard_ok(std::span<const PredictionTarget> predictions,
                        const SurrogateGuardOptions& guard);
+  static bool guard_ok(std::initializer_list<PredictionTarget> predictions,
+                       const SurrogateGuardOptions& guard) {
+    return guard_ok(
+        std::span<const PredictionTarget>(predictions.begin(),
+                                          predictions.size()),
+        guard);
+  }
 
   // --- breaker observability ---
   bool breaker_open() const { return breaker_ != BreakerState::kClosed; }
@@ -238,6 +290,11 @@ class DecisionEngine {
 
   EngineDecision fallback_decision();
   void trip_breaker();
+  /// Shared tail of finish()/finish_scored(): guard, cache insert, breaker
+  /// reset, policy. `scored` points into the scorer's scratch buffer.
+  EngineDecision complete(std::span<const float> encoding,
+                          std::span<const PredictionTarget> scored,
+                          double score_seconds);
 
   DecisionEngineOptions options_;
   WindowParser parser_;
@@ -259,6 +316,7 @@ class DecisionEngine {
   bool pending_ = false;
   bool pending_hit_ = false;
   bool pending_bypass_ = false;
+  std::vector<float> e1_scratch_;  // decide()'s encode output, reused
   // Breaker state.
   BreakerState breaker_ = BreakerState::kClosed;
   std::size_t cooldown_left_ = 0;
@@ -293,6 +351,43 @@ class SurrogateBatchEncoder final : public sim::BatchEncoder {
 
  private:
   const Surrogate& surrogate_;
+};
+
+/// sim::BatchScorer over the surrogate's fused grid-scoring pass: scores k
+/// tenants' E_1 rows against the whole config grid in one
+/// predict_grid_from_e1_batch call (DESIGN.md §12). Row r of the output is
+/// bit-identical to scoring row r alone at every precision (fp32 exactly
+/// reproduces the composed head; the quantized paths quantize activations
+/// row-locally), which is what keeps multi-tenant batched-scoring runs
+/// replay-invariant.
+///
+/// Shard safety: score() reads the model and the scoring cache const (the
+/// per-call scratch lives in thread-local arenas), so one instance — or
+/// several over one surrogate — may serve concurrent runtime shards.
+/// calibrate() mutates the cache and must happen-before any concurrent
+/// score().
+class SurrogateBatchScorer final : public sim::BatchScorer {
+ public:
+  SurrogateBatchScorer(const Surrogate& surrogate,
+                       std::vector<lambda::Config> configs,
+                       ScoringPrecision precision = ScoringPrecision::kFp32);
+
+  std::size_t encoding_dim() const override;
+  std::size_t grid_size() const override;
+  std::size_t target_dim() const override;
+  void score(std::span<const float> e1_rows, std::size_t count,
+             std::span<float> out) override;
+
+  /// Calibrate the static int8 activation scale (optional; see
+  /// Surrogate::calibrate_scoring_cache).
+  void calibrate(std::span<const float> windows, std::size_t count);
+
+  ScoringPrecision precision() const { return cache_.precision(); }
+
+ private:
+  const Surrogate& surrogate_;
+  std::vector<lambda::Config> configs_;
+  GridScoringCache cache_;
 };
 
 }  // namespace deepbat::core

@@ -1,9 +1,12 @@
 #include "core/surrogate.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/error.hpp"
 #include "nn/arena.hpp"
+#include "nn/kernels.hpp"
 
 namespace deepbat::core {
 
@@ -156,33 +159,258 @@ std::vector<PredictionTarget> Surrogate::predict_grid_from_e1(
   DEEPBAT_CHECK(!configs.empty(), "predict_grid_from_e1: no configs");
   DEEPBAT_CHECK(static_cast<std::int64_t>(e1_row.size()) == config_.model_dim,
                 "predict_grid_from_e1: E_1 dimension mismatch");
-  // One arena scope per scoring pass: the broadcast E_1, the feature
-  // tensor, and the head activations are bump-allocated and released in
-  // O(1) on return; the extracted PredictionTargets are plain structs.
-  nn::NoGradGuard no_grad;
-  nn::arena::Scope arena_scope;
-
-  // Broadcast E_1 across the candidate configurations.
-  const auto n = static_cast<std::int64_t>(configs.size());
-  nn::Tensor e1({n, config_.model_dim});
-  for (std::int64_t r = 0; r < n; ++r) {
-    std::copy(e1_row.begin(), e1_row.end(), e1.data() + r * config_.model_dim);
-  }
-  nn::Tensor feats({n, config_.feature_dim});
-  for (std::int64_t r = 0; r < n; ++r) {
-    const auto f = encode_features(configs[static_cast<std::size_t>(r)]);
-    std::copy(f.begin(), f.end(), feats.data() + r * config_.feature_dim);
-  }
-  const nn::Tensor out = predict_with_features(e1, feats);
-
+  // Compatibility wrapper: one-shot fused pass through a throwaway fp32
+  // cache (bit-identical to the composed head it used to call). Persistent
+  // callers hold their own GridScoringCache.
+  const GridScoringCache cache =
+      make_scoring_cache(configs, ScoringPrecision::kFp32);
   std::vector<PredictionTarget> targets;
-  targets.reserve(static_cast<std::size_t>(n));
-  for (std::int64_t r = 0; r < n; ++r) {
-    targets.push_back(unpack_target(
-        {out.data() + r * config_.output_dim,
-         static_cast<std::size_t>(config_.output_dim)}));
-  }
+  predict_grid_from_e1_batch(e1_row, 1, cache, targets);
   return targets;
+}
+
+const char* to_string(ScoringPrecision precision) {
+  switch (precision) {
+    case ScoringPrecision::kFp16:
+      return "fp16";
+    case ScoringPrecision::kInt8:
+      return "int8";
+    case ScoringPrecision::kFp32:
+      break;
+  }
+  return "fp32";
+}
+
+std::optional<ScoringPrecision> parse_scoring_precision(std::string_view name) {
+  if (name == "fp32") return ScoringPrecision::kFp32;
+  if (name == "fp16") return ScoringPrecision::kFp16;
+  if (name == "int8") return ScoringPrecision::kInt8;
+  return std::nullopt;
+}
+
+GridScoringCache Surrogate::make_scoring_cache(
+    std::span<const lambda::Config> configs, ScoringPrecision precision) const {
+  DEEPBAT_CHECK(!configs.empty(), "make_scoring_cache: no configs");
+  GridScoringCache cache;
+  cache.precision_ = precision;
+  const auto n = static_cast<std::int64_t>(configs.size());
+  cache.n_ = n;
+  const std::int64_t f = config_.feature_dim;
+  const std::int64_t d = config_.model_dim;
+  const std::int64_t fe = config_.feature_embed_dim;
+  const std::int64_t h = config_.ffn_hidden;
+  const std::int64_t o = config_.output_dim;
+  nn::NoGradGuard no_grad;
+
+  // Plain copies (features, weight slices) go straight to stable storage:
+  // the cache must outlive any caller arena scope.
+  {
+    nn::arena::Pause heap;
+    cache.features_ = nn::Tensor({n, f});
+    for (std::int64_t r = 0; r < n; ++r) {
+      const auto feats = encode_features(configs[static_cast<std::size_t>(r)]);
+      std::copy(feats.begin(), feats.end(), cache.features_.data() + r * f);
+    }
+    const nn::Tensor& w1 = output_ff_.fc1().weight()->value;  // [d + fe, h]
+    DEEPBAT_CHECK(w1.dim(0) == d + fe && w1.dim(1) == h,
+                  "make_scoring_cache: head fc1 shape mismatch");
+    cache.w1_ = w1.clone();
+    cache.w1_top_ = nn::Tensor({d, h});
+    std::memcpy(cache.w1_top_.data(), w1.data(),
+                static_cast<std::size_t>(d * h) * sizeof(float));
+    cache.w1_bot_ = nn::Tensor({fe, h});
+    std::memcpy(cache.w1_bot_.data(), w1.data() + d * h,
+                static_cast<std::size_t>(fe * h) * sizeof(float));
+    cache.b1_ = output_ff_.fc1().bias()->value.clone();
+    cache.w2_ = output_ff_.fc2().weight()->value.clone();
+    cache.b2_ = output_ff_.fc2().bias()->value.clone();
+  }
+
+  // E_2 through the same autograd ops as the composed head, so the fused
+  // fp32 pass consumes bit-identical feature embeddings.
+  {
+    nn::arena::Scope scope;
+    nn::Var std_feats =
+        nn::make_leaf(standardizer_.apply(cache.features_), false,
+                      "std_features");
+    const nn::Var e2 = feature_ff_.forward(std_feats);
+    nn::arena::Pause heap;
+    cache.e2_ = e2->value.clone();
+  }
+
+  // The feature half of head fc1 (+ its bias), constant per grid: the
+  // reduced-precision paths and calibration start from this instead of
+  // re-multiplying E_2 every tick.
+  {
+    nn::arena::Pause heap;
+    cache.h_feat_ = nn::Tensor({n, h});
+    nn::kernels::gemm(cache.e2_.data(), cache.w1_bot_.data(),
+                      cache.h_feat_.data(), n, fe, h, false, false, false);
+    const float* b1 = cache.b1_.data();
+    for (std::int64_t r = 0; r < n; ++r) {
+      float* row = cache.h_feat_.data() + r * h;
+      for (std::int64_t j = 0; j < h; ++j) row[j] += b1[j];
+    }
+  }
+
+  switch (precision) {
+    case ScoringPrecision::kFp16:
+      cache.w2_h_ = nn::HalfMatrix::from_tensor(cache.w2_);
+      break;
+    case ScoringPrecision::kInt8:
+      cache.w2_q_ = nn::QuantizedMatrix::from_tensor(cache.w2_);
+      break;
+    case ScoringPrecision::kFp32:
+      break;
+  }
+  (void)o;
+  return cache;
+}
+
+void Surrogate::calibrate_scoring_cache(GridScoringCache& cache,
+                                        std::span<const float> windows,
+                                        std::size_t count) const {
+  DEEPBAT_CHECK(cache.n_ > 0, "calibrate_scoring_cache: empty cache");
+  DEEPBAT_CHECK(count > 0, "calibrate_scoring_cache: no sample windows");
+  DEEPBAT_CHECK(static_cast<std::int64_t>(windows.size()) ==
+                    static_cast<std::int64_t>(count) * config_.sequence_length,
+                "calibrate_scoring_cache: window buffer size mismatch");
+  const std::int64_t d = config_.model_dim;
+  const std::int64_t h = config_.ffn_hidden;
+  const auto rows = static_cast<std::int64_t>(count);
+  nn::NoGradGuard no_grad;
+  nn::arena::Scope scope;
+  nn::Tensor seq({rows, config_.sequence_length, 1});
+  std::copy(windows.begin(), windows.end(), seq.data());
+  const nn::Tensor e1 = encode_sequence(seq);
+  nn::Tensor u({rows, h});
+  nn::kernels::gemm(e1.data(), cache.w1_top_.data(), u.data(), rows, d, h,
+                    false, false, false);
+  // Post-ReLU hidden activations are non-negative, so the absmax is just
+  // the largest positive pre-activation over every (window, config) pair.
+  float absmax = 0.0F;
+  const float* hf = cache.h_feat_.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* urow = u.data() + r * h;
+    for (std::int64_t i = 0; i < cache.n_; ++i) {
+      const float* frow = hf + i * h;
+      for (std::int64_t j = 0; j < h; ++j) {
+        absmax = std::max(absmax, frow[j] + urow[j]);
+      }
+    }
+  }
+  cache.hidden_scale_ = absmax / 127.0F;
+}
+
+void Surrogate::predict_grid_from_e1_batch(std::span<const float> e1_rows,
+                                           std::size_t row_count,
+                                           const GridScoringCache& cache,
+                                           std::span<float> out) const {
+  const auto R = static_cast<std::int64_t>(row_count);
+  const std::int64_t n = cache.n_;
+  const std::int64_t d = config_.model_dim;
+  const std::int64_t fe = config_.feature_embed_dim;
+  const std::int64_t h = config_.ffn_hidden;
+  const std::int64_t o = config_.output_dim;
+  DEEPBAT_CHECK(n > 0, "predict_grid_from_e1_batch: empty scoring cache");
+  DEEPBAT_CHECK(static_cast<std::int64_t>(e1_rows.size()) == R * d,
+                "predict_grid_from_e1_batch: E_1 buffer size mismatch");
+  DEEPBAT_CHECK(static_cast<std::int64_t>(out.size()) == R * n * o,
+                "predict_grid_from_e1_batch: output buffer size mismatch");
+  if (R == 0) return;
+  nn::NoGradGuard no_grad;
+  nn::arena::Scope scope;
+  const std::int64_t rows = R * n;
+
+  nn::Tensor hidden({rows, h});
+  float* hp = hidden.data();
+  if (cache.precision_ == ScoringPrecision::kFp32) {
+    // Exact path: materialize the concat(E_1, E_2) matrix and run the SAME
+    // full-k GEMM the composed autograd head runs (matmul collapses to one
+    // kernels::gemm call), so every hidden element reproduces the composed
+    // path's l-sequential accumulation bit-for-bit. Splitting the product
+    // into an E_1-half and an E_2-half GEMM would route the halves through
+    // different micro-kernel variants and can differ in the last ulp —
+    // enough to flip a borderline feasibility decision under a tightened
+    // SLO. What the fused pass still saves per tick: the feature branch
+    // (E_2 is cached), the per-call cache rebuild, and the per-tenant
+    // dispatch — and it batches all tenants into one pass.
+    nn::Tensor x({rows, d + fe});
+    for (std::int64_t r = 0; r < R; ++r) {
+      const float* e1_row = e1_rows.data() + r * d;
+      for (std::int64_t i = 0; i < n; ++i) {
+        float* xrow = x.data() + (r * n + i) * (d + fe);
+        std::memcpy(xrow, e1_row, static_cast<std::size_t>(d) * sizeof(float));
+        std::memcpy(xrow + d, cache.e2_.data() + i * fe,
+                    static_cast<std::size_t>(fe) * sizeof(float));
+      }
+    }
+    nn::kernels::gemm(x.data(), cache.w1_.data(), hp, rows, d + fe, h, false,
+                      false, false);
+    const float* b1 = cache.b1_.data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      float* row = hp + r * h;
+      for (std::int64_t j = 0; j < h; ++j) {
+        const float v = row[j] + b1[j];
+        row[j] = v > 0.0F ? v : 0.0F;
+      }
+    }
+    nn::kernels::gemm(hp, cache.w2_.data(), out.data(), rows, h, o, false,
+                      false, false);
+    const float* b2 = cache.b2_.data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      float* row = out.data() + r * o;
+      for (std::int64_t j = 0; j < o; ++j) row[j] += b2[j];
+    }
+    return;
+  }
+
+  // Reduced precision: the feature half (E_2 @ W1_bot + b1) is constant
+  // across ticks and cached, so the hidden layer is one broadcast add +
+  // ReLU; only the per-config output GEMM runs quantized. The live half of
+  // head fc1 — U = E_1 @ W1_top, [R, h] — stays fp32 at every precision:
+  // it is O(tenants), not O(tenants * grid).
+  nn::Tensor u({R, h});
+  nn::kernels::gemm(e1_rows.data(), cache.w1_top_.data(), u.data(), R, d, h,
+                    false, false, false);
+  const float* hf = cache.h_feat_.data();
+  for (std::int64_t r = 0; r < R; ++r) {
+    const float* urow = u.data() + r * h;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* frow = hf + i * h;
+      float* row = hp + (r * n + i) * h;
+      for (std::int64_t j = 0; j < h; ++j) {
+        const float v = frow[j] + urow[j];
+        row[j] = v > 0.0F ? v : 0.0F;
+      }
+    }
+  }
+  const std::span<const float> hidden_span{hp,
+                                           static_cast<std::size_t>(rows * h)};
+  const std::span<const float> b2_span{cache.b2_.data(),
+                                       static_cast<std::size_t>(o)};
+  if (cache.precision_ == ScoringPrecision::kFp16) {
+    nn::half_linear(hidden_span, rows, cache.w2_h_, b2_span, out);
+  } else {
+    nn::quantized_linear(hidden_span, rows, cache.w2_q_, b2_span, out,
+                         cache.hidden_scale_);
+  }
+}
+
+void Surrogate::predict_grid_from_e1_batch(
+    std::span<const float> e1_rows, std::size_t row_count,
+    const GridScoringCache& cache, std::vector<PredictionTarget>& out) const {
+  const std::int64_t o = config_.output_dim;
+  const auto total = static_cast<std::size_t>(cache.grid_size()) * row_count;
+  thread_local std::vector<float> raw;
+  raw.resize(total * static_cast<std::size_t>(o));
+  predict_grid_from_e1_batch(e1_rows, row_count, cache, raw);
+  out.resize(total);
+  for (std::size_t r = 0; r < total; ++r) {
+    out[r] = unpack_target(
+        {raw.data() + static_cast<std::int64_t>(r) * o,
+         static_cast<std::size_t>(o)});
+  }
 }
 
 std::vector<PredictionTarget> Surrogate::predict_grid(

@@ -36,6 +36,7 @@ obs::Histogram& sdpa_hist() {
 // concurrently. Capacity is retained across calls.
 thread_local std::vector<float> tl_pack_a;
 thread_local std::vector<float> tl_pack_b;
+thread_local std::vector<float> tl_f16_b;  // dequantized fp16 weight panel
 thread_local std::vector<float> tl_sdpa_row;
 thread_local std::vector<float> tl_sdpa_kt;
 thread_local std::vector<float> tl_sdpa_vt;
@@ -122,12 +123,23 @@ inline void micro_edge(const float* a, const float* b, float* c,
 /// Blocked C[m,n] (+)= a[m,k] * b[k,n], both row-major and contiguous.
 /// Parallel over kRowBlock row blocks; each output element is written by
 /// exactly one task, so results are thread-count independent.
+/// Row-block grain for an [m, k] x [k, n] product: flop-derived as before,
+/// but a GEMM under kMinFlopsParallel total flops is forced serial (grain =
+/// block count) — see the constant's comment in kernels.hpp.
+std::size_t row_block_grain(std::int64_t blocks, std::int64_t m, std::int64_t k,
+                            std::int64_t n) {
+  if (2 * m * k * n < kMinFlopsParallel) {
+    return static_cast<std::size_t>(std::max<std::int64_t>(blocks, 1));
+  }
+  const std::int64_t flops_per_block = 2 * kRowBlock * k * n;
+  return static_cast<std::size_t>(std::max<std::int64_t>(
+      1, kMinFlopsPerTask / std::max<std::int64_t>(flops_per_block, 1)));
+}
+
 void gemm_blocked_nn(const float* a, const float* b, float* c, std::int64_t m,
                      std::int64_t k, std::int64_t n, bool accumulate) {
   const std::int64_t blocks = (m + kRowBlock - 1) / kRowBlock;
-  const std::int64_t flops_per_block = 2 * kRowBlock * k * n;
-  const auto grain = static_cast<std::size_t>(std::max<std::int64_t>(
-      1, kMinFlopsPerTask / std::max<std::int64_t>(flops_per_block, 1)));
+  const std::size_t grain = row_block_grain(blocks, m, k, n);
   parallel_for(
       static_cast<std::size_t>(blocks),
       [&](std::size_t blk) {
@@ -147,6 +159,191 @@ void gemm_blocked_nn(const float* a, const float* b, float* c, std::int64_t m,
         }
       },
       grain);
+}
+
+// GCC's -O3 loop vectorizer rewrites the skinny-tile l-loops below into a
+// permute-heavy form (vpermt2ps gathers across iterations) that runs ~10x
+// SLOWER than the straightforward SLP code the same compiler emits at -O2:
+// broadcast each a-value, one FMA per accumulator row. Pin these functions
+// to SLP-only vectorization. Per-element math is unchanged (each output is
+// still the same l-sequential fma chain), so this is codegen-only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC push_options
+#pragma GCC optimize("no-tree-loop-vectorize")
+#endif
+
+/// One full kMr x N register tile anchored at row i0 (rows [i0, i0 + kMr)
+/// must all be in range). N is a compile-time constant so the j-loops fully
+/// unroll and vectorize; the per-element accumulation is the same
+/// l-sequential multiply-add chain as micro_full/micro_edge. Rows below
+/// `store_from` are computed and discarded — see gemm_small_n_rows.
+template <int N>
+inline void small_n_tile(const float* a, const float* b, float* c,
+                         std::int64_t k, std::int64_t i0,
+                         std::int64_t store_from, bool accumulate) {
+  float acc[kMr][N];
+  if (accumulate) {
+    for (std::int64_t r = 0; r < kMr; ++r) {
+      const float* crow = c + (i0 + r) * N;
+      for (int j = 0; j < N; ++j) acc[r][j] = crow[j];
+    }
+  } else {
+    for (std::int64_t r = 0; r < kMr; ++r) {
+      for (int j = 0; j < N; ++j) acc[r][j] = 0.0F;
+    }
+  }
+  for (std::int64_t l = 0; l < k; ++l) {
+    const float* brow = b + l * N;
+    const float v0 = a[(i0 + 0) * k + l];
+    const float v1 = a[(i0 + 1) * k + l];
+    const float v2 = a[(i0 + 2) * k + l];
+    const float v3 = a[(i0 + 3) * k + l];
+    for (int j = 0; j < N; ++j) {
+      const float bj = brow[j];
+      acc[0][j] += v0 * bj;
+      acc[1][j] += v1 * bj;
+      acc[2][j] += v2 * bj;
+      acc[3][j] += v3 * bj;
+    }
+  }
+  for (std::int64_t r = store_from; r < kMr; ++r) {
+    float* crow = c + (i0 + r) * N;
+    for (int j = 0; j < N; ++j) crow[j] = acc[r][j];
+  }
+}
+
+/// Skinny-output row span over [begin, end). Every row runs through the
+/// SAME full-tile code: a trailing partial tile is re-anchored at
+/// end - kMr so it overlaps the previous tile, recomputes the overlap rows
+/// bit-identically, and only stores the genuinely new ones (store_from).
+/// This matters because a row's result must not depend on which tile phase
+/// it lands in — a separate smaller tail loop compiles with its own FP
+/// contraction and then scoring row r inside a fused multi-tenant batch
+/// (m = tenants * grid) can differ in the last ulp from scoring it alone
+/// (m = grid), which is exactly the batched-scoring invariance the runtime
+/// promises. In accumulate mode the overlap rows' C values are already
+/// final, so their recomputed accumulators are garbage — and discarded.
+/// Callers guarantee end - begin >= kMr except when the whole GEMM has
+/// fewer than kMr rows; that remnant runs the one-row kernel below (a
+/// sub-kMr GEMM can never batch, so phase invariance is moot for it).
+template <int N>
+void gemm_small_n_rows(const float* a, const float* b, float* c,
+                       std::int64_t k, std::int64_t begin, std::int64_t end,
+                       bool accumulate) {
+  if (end - begin < kMr) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      float acc[N];
+      const float* crow = c + i * N;
+      for (int j = 0; j < N; ++j) acc[j] = accumulate ? crow[j] : 0.0F;
+      for (std::int64_t l = 0; l < k; ++l) {
+        const float* brow = b + l * N;
+        const float av = a[i * k + l];
+        for (int j = 0; j < N; ++j) acc[j] += av * brow[j];
+      }
+      float* out = c + i * N;
+      for (int j = 0; j < N; ++j) out[j] = acc[j];
+    }
+    return;
+  }
+  std::int64_t i0 = begin;
+  for (; i0 + kMr <= end; i0 += kMr) {
+    small_n_tile<N>(a, b, c, k, i0, 0, accumulate);
+  }
+  if (i0 < end) {
+    small_n_tile<N>(a, b, c, k, end - kMr, kMr - (end - i0), accumulate);
+  }
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC pop_options
+#endif
+
+/// Skinny-output kernel: C[m,n] (+)= a[m,k] * b[k,n] with B in its natural
+/// [k, n] layout (no pack — reading row l of B touches one cache line when
+/// n <= kSmallNMax), n dispatched to a compile-time-width row kernel.
+void gemm_small_n(const float* a, const float* b, float* c, std::int64_t m,
+                  std::int64_t k, std::int64_t n, bool accumulate) {
+  std::int64_t blocks = (m + kRowBlock - 1) / kRowBlock;
+  // Fold a sub-kMr trailing block into its neighbor so every task spans at
+  // least one full tile; the overlap trick above reads only rows inside the
+  // task's span, so tasks stay write- AND read-disjoint on C (no races in
+  // accumulate mode).
+  if (blocks > 1 && m - (blocks - 1) * kRowBlock < kMr) --blocks;
+  const std::size_t grain = row_block_grain(blocks, m, k, n);
+  parallel_for(
+      static_cast<std::size_t>(blocks),
+      [&](std::size_t blk) {
+        const std::int64_t begin = static_cast<std::int64_t>(blk) * kRowBlock;
+        const std::int64_t end = static_cast<std::int64_t>(blk) + 1 ==
+                                         static_cast<std::int64_t>(blocks)
+                                     ? m
+                                     : begin + kRowBlock;
+        switch (n) {
+          case 1: gemm_small_n_rows<1>(a, b, c, k, begin, end, accumulate); break;
+          case 2: gemm_small_n_rows<2>(a, b, c, k, begin, end, accumulate); break;
+          case 3: gemm_small_n_rows<3>(a, b, c, k, begin, end, accumulate); break;
+          case 4: gemm_small_n_rows<4>(a, b, c, k, begin, end, accumulate); break;
+          case 5: gemm_small_n_rows<5>(a, b, c, k, begin, end, accumulate); break;
+          case 6: gemm_small_n_rows<6>(a, b, c, k, begin, end, accumulate); break;
+          case 7: gemm_small_n_rows<7>(a, b, c, k, begin, end, accumulate); break;
+          default: gemm_small_n_rows<8>(a, b, c, k, begin, end, accumulate); break;
+        }
+      },
+      grain);
+}
+
+/// Direct trans_a kernel: C[m,n] (+)= a^T * b with a stored [k, m] and m at
+/// most kDirectTransAMaxM. For a fixed l the mr operand values a[l*m + i0 +
+/// r] sit contiguously, so no transpose pack is needed — the pack is pure
+/// overhead at these row counts (the m16_k2048_n16_tA gradient shape spent
+/// more time packing the [2048, 16] panel than multiplying). Dispatch only
+/// routes serial-regime GEMMs here; accumulation order per element matches
+/// the packed path (l-sequential), so results are bit-identical to it.
+void gemm_ta_direct(const float* a, const float* b, float* c, std::int64_t m,
+                    std::int64_t k, std::int64_t n, bool accumulate) {
+  for (std::int64_t i0 = 0; i0 < m; i0 += kMr) {
+    const std::int64_t mr = std::min<std::int64_t>(kMr, m - i0);
+    for (std::int64_t j0 = 0; j0 < n; j0 += kNr) {
+      const std::int64_t nr = std::min<std::int64_t>(kNr, n - j0);
+      float acc[kMr][kNr];
+      for (std::int64_t r = 0; r < mr; ++r) {
+        const float* crow = c + (i0 + r) * n + j0;
+        for (std::int64_t j = 0; j < nr; ++j) {
+          acc[r][j] = accumulate ? crow[j] : 0.0F;
+        }
+      }
+      if (mr == kMr && nr == kNr) {
+        for (std::int64_t l = 0; l < k; ++l) {
+          const float* arow = a + l * m + i0;
+          const float* brow = b + l * n + j0;
+          const float v0 = arow[0];
+          const float v1 = arow[1];
+          const float v2 = arow[2];
+          const float v3 = arow[3];
+          for (std::int64_t j = 0; j < kNr; ++j) {
+            const float bj = brow[j];
+            acc[0][j] += v0 * bj;
+            acc[1][j] += v1 * bj;
+            acc[2][j] += v2 * bj;
+            acc[3][j] += v3 * bj;
+          }
+        }
+      } else {
+        for (std::int64_t l = 0; l < k; ++l) {
+          const float* arow = a + l * m + i0;
+          const float* brow = b + l * n + j0;
+          for (std::int64_t r = 0; r < mr; ++r) {
+            const float av = arow[r];
+            for (std::int64_t j = 0; j < nr; ++j) acc[r][j] += av * brow[j];
+          }
+        }
+      }
+      for (std::int64_t r = 0; r < mr; ++r) {
+        float* crow = c + (i0 + r) * n + j0;
+        for (std::int64_t j = 0; j < nr; ++j) crow[j] = acc[r][j];
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -194,6 +391,39 @@ void gemm_dispatch(const float* A, const float* B, float* C, std::int64_t m,
   if (m == 0 || n == 0) return;
   if (k == 0) {
     if (!accumulate) std::fill(C, C + m * n, 0.0F);
+    return;
+  }
+  // Skinny outputs: compile-time-width row kernel over B in its natural
+  // [k, n] layout (no pack); a trans_b operand is packed back to [k, n].
+  if (n <= kSmallNMax && k >= kSmallNMinK) {
+    const float* a = A;
+    if (trans_a) {
+      const auto need = static_cast<std::size_t>(m * k);
+      if (tl_pack_a.size() < need) tl_pack_a.resize(need);
+      transpose_pack(A, k, m, tl_pack_a.data());
+      a = tl_pack_a.data();
+    }
+    const float* b = B;
+    if (trans_b) {
+      const auto need = static_cast<std::size_t>(k * n);
+      if (tl_pack_b.size() < need) tl_pack_b.resize(need);
+      transpose_pack(B, n, k, tl_pack_b.data());
+      b = tl_pack_b.data();
+    }
+    gemm_small_n(a, b, C, m, k, n, accumulate);
+    return;
+  }
+  // Few-row trans_a products in the serial regime read A [k, m] in place
+  // instead of paying for a strided transpose pack.
+  if (trans_a && m <= kDirectTransAMaxM && 2 * m * k * n < kMinFlopsParallel) {
+    const float* b = B;
+    if (trans_b) {
+      const auto need = static_cast<std::size_t>(k * n);
+      if (tl_pack_b.size() < need) tl_pack_b.resize(need);
+      transpose_pack(B, n, k, tl_pack_b.data());
+      b = tl_pack_b.data();
+    }
+    gemm_ta_direct(A, b, C, m, k, n, accumulate);
     return;
   }
   // Pack transposed operands into contiguous row-major panels so the inner
@@ -346,6 +576,208 @@ void fused_sdpa(const float* q, const float* k, const float* v, float* out,
   sdpa_hist().observe(
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count());
+}
+
+// Same -O3 loop-vectorizer pathology as the skinny float tiles above (and
+// integer accumulation is order-independent anyway, so there is not even a
+// bit-pattern question here): pin the int8 tile loops to SLP-only. The loops
+// live in a named function rather than in gemm_s8's parallel_for lambda
+// because the optimize pragma binds to functions *defined* in the region — a
+// lambda body inlined into parallel_for's instantiation (compiled outside the
+// region) silently loses the flag.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC push_options
+#pragma GCC optimize("no-tree-loop-vectorize")
+#endif
+
+namespace {
+
+// Compile-time-N tile for the skinny shapes the scoring path emits (n <= 8).
+// Fixed column bounds are what let GCC keep the j-loops as straight SLP code;
+// with runtime nr the no-loop-vectorize flag leaves them scalar (~3x slower).
+// The r < mr bound stays runtime on purpose: a sub-kMr tail then runs through
+// the SAME loop body as full tiles, and since int32 accumulation is exact the
+// per-row results are identical no matter how rows are grouped — no float
+// overlap trick needed here.
+template <int N>
+#if defined(__GNUC__) || defined(__clang__)
+// Inlining back into the lambda would discard the pragma above.
+__attribute__((noinline))
+#endif
+void gemm_s8_rows_n(const std::int8_t* A, const std::int8_t* B, float* C,
+                    std::int64_t k, std::int64_t begin, std::int64_t end,
+                    const float* row_scale, const float* col_scale,
+                    const float* bias, bool accumulate) {
+  for (std::int64_t i0 = begin; i0 < end; i0 += kMr) {
+    const std::int64_t mr = std::min<std::int64_t>(kMr, end - i0);
+    std::int32_t acc[kMr][N] = {};
+    for (std::int64_t l = 0; l < k; ++l) {
+      const std::int8_t* brow = B + l * N;
+      for (std::int64_t r = 0; r < mr; ++r) {
+        const auto av = static_cast<std::int32_t>(A[(i0 + r) * k + l]);
+        for (int j = 0; j < N; ++j) {
+          acc[r][j] += av * static_cast<std::int32_t>(brow[j]);
+        }
+      }
+    }
+    for (std::int64_t r = 0; r < mr; ++r) {
+      float* crow = C + (i0 + r) * N;
+      const float sa = row_scale[i0 + r];
+      for (int j = 0; j < N; ++j) {
+        // Fixed epilogue contract (see the golden test): one rounded product
+        // of the scales, then a single-rounded fma against the bias.
+        const float s = sa * col_scale[j];
+        const float af = static_cast<float>(acc[r][j]);
+        const float v = bias != nullptr ? std::fmaf(s, af, bias[j]) : s * af;
+        crow[j] = accumulate ? crow[j] + v : v;
+      }
+    }
+  }
+}
+
+// Generic runtime-bounds fallback for wider outputs.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((noinline))
+#endif
+void gemm_s8_rows(const std::int8_t* A, const std::int8_t* B, float* C,
+                  std::int64_t k, std::int64_t n, std::int64_t begin,
+                  std::int64_t end, const float* row_scale,
+                  const float* col_scale, const float* bias, bool accumulate) {
+  for (std::int64_t i0 = begin; i0 < end; i0 += kMr) {
+    const std::int64_t mr = std::min<std::int64_t>(kMr, end - i0);
+    for (std::int64_t j0 = 0; j0 < n; j0 += kNr) {
+      const std::int64_t nr = std::min<std::int64_t>(kNr, n - j0);
+      // int32 accumulation is exact, so unlike the float tiles there is no
+      // full/edge split to keep orders aligned — one bounded tile covers
+      // both.
+      std::int32_t acc[kMr][kNr] = {};
+      for (std::int64_t l = 0; l < k; ++l) {
+        const std::int8_t* brow = B + l * n + j0;
+        for (std::int64_t r = 0; r < mr; ++r) {
+          const auto av = static_cast<std::int32_t>(A[(i0 + r) * k + l]);
+          for (std::int64_t j = 0; j < nr; ++j) {
+            acc[r][j] += av * static_cast<std::int32_t>(brow[j]);
+          }
+        }
+      }
+      // Dequantizing epilogue, same fixed contract as the tile above.
+      for (std::int64_t r = 0; r < mr; ++r) {
+        float* crow = C + (i0 + r) * n + j0;
+        const float sa = row_scale[i0 + r];
+        for (std::int64_t j = 0; j < nr; ++j) {
+          const float s = sa * col_scale[j0 + j];
+          const float af = static_cast<float>(acc[r][j]);
+          const float v =
+              bias != nullptr ? std::fmaf(s, af, bias[j0 + j]) : s * af;
+          crow[j] = accumulate ? crow[j] + v : v;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC pop_options
+#endif
+
+void gemm_s8(const std::int8_t* A, const std::int8_t* B, float* C,
+             std::int64_t m, std::int64_t k, std::int64_t n,
+             const float* row_scale, const float* col_scale, const float* bias,
+             bool accumulate) {
+  if (m == 0 || n == 0) return;
+  const std::int64_t blocks = (m + kRowBlock - 1) / kRowBlock;
+  // Same grain policy as the float kernels; int8 MACs are cheaper than
+  // flops, so if anything this over-serializes, which is the safe side.
+  const std::size_t grain = row_block_grain(blocks, m, k, n);
+  parallel_for(
+      static_cast<std::size_t>(blocks),
+      [&](std::size_t blk) {
+        const std::int64_t begin = static_cast<std::int64_t>(blk) * kRowBlock;
+        const std::int64_t end = std::min(m, begin + kRowBlock);
+        switch (n) {
+          case 1:
+            gemm_s8_rows_n<1>(A, B, C, k, begin, end, row_scale, col_scale,
+                              bias, accumulate);
+            break;
+          case 2:
+            gemm_s8_rows_n<2>(A, B, C, k, begin, end, row_scale, col_scale,
+                              bias, accumulate);
+            break;
+          case 3:
+            gemm_s8_rows_n<3>(A, B, C, k, begin, end, row_scale, col_scale,
+                              bias, accumulate);
+            break;
+          case 4:
+            gemm_s8_rows_n<4>(A, B, C, k, begin, end, row_scale, col_scale,
+                              bias, accumulate);
+            break;
+          case 5:
+            gemm_s8_rows_n<5>(A, B, C, k, begin, end, row_scale, col_scale,
+                              bias, accumulate);
+            break;
+          case 6:
+            gemm_s8_rows_n<6>(A, B, C, k, begin, end, row_scale, col_scale,
+                              bias, accumulate);
+            break;
+          case 7:
+            gemm_s8_rows_n<7>(A, B, C, k, begin, end, row_scale, col_scale,
+                              bias, accumulate);
+            break;
+          case 8:
+            gemm_s8_rows_n<8>(A, B, C, k, begin, end, row_scale, col_scale,
+                              bias, accumulate);
+            break;
+          default:
+            gemm_s8_rows(A, B, C, k, n, begin, end, row_scale, col_scale,
+                         bias, accumulate);
+            break;
+        }
+      },
+      grain);
+}
+
+// Unlike the GEMM tiles above, this row-wise pass *wants* the loop vectorizer
+// (plain elementwise reductions and maps), so it sits outside the pragma
+// region. Both loops are written to vectorize: a branchless max instead of
+// std::max over libm fabs results, and __builtin_rintf — same
+// round-to-nearest-even semantics as lrintf but with a SIMD lowering.
+void quantize_rows_s8(const float* x, std::int64_t rows, std::int64_t cols,
+                      std::int8_t* q, float* scales, float static_scale) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = x + r * cols;
+    std::int8_t* qrow = q + r * cols;
+    float scale = static_scale;
+    if (scale <= 0.0F) {
+      float absmax = 0.0F;
+      for (std::int64_t c = 0; c < cols; ++c) {
+        const float a = std::fabs(row[c]);
+        absmax = absmax < a ? a : absmax;
+      }
+      scale = absmax / 127.0F;
+    }
+    scales[r] = scale;
+    if (scale == 0.0F) {
+      std::fill(qrow, qrow + cols, std::int8_t{0});
+      continue;
+    }
+    const float inv = 1.0F / scale;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const auto v = static_cast<std::int32_t>(__builtin_rintf(row[c] * inv));
+      qrow[c] = static_cast<std::int8_t>(std::clamp(v, -127, 127));
+    }
+  }
+}
+
+void gemm_f16w(const float* A, const std::uint16_t* B, float* C,
+               std::int64_t m, std::int64_t k, std::int64_t n,
+               bool accumulate) {
+  const auto need = static_cast<std::size_t>(k * n);
+  if (tl_f16_b.size() < need) tl_f16_b.resize(need);
+  float* panel = tl_f16_b.data();
+  for (std::size_t i = 0; i < need; ++i) panel[i] = fp16_to_fp32(B[i]);
+  gemm(A, panel, C, m, k, n, false, false, accumulate);
 }
 
 }  // namespace deepbat::nn::kernels

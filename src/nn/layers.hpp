@@ -21,6 +21,11 @@ class Linear : public Module {
   std::int64_t in_features() const { return in_; }
   std::int64_t out_features() const { return out_; }
 
+  /// Parameter access for fused/quantized inference paths that bypass the
+  /// autograd forward (e.g. the surrogate's grid-scoring cache).
+  const Var& weight() const { return weight_; }
+  const Var& bias() const { return bias_; }  // null Var when bias == false
+
  private:
   std::int64_t in_;
   std::int64_t out_;
@@ -67,6 +72,9 @@ class FeedForward : public Module {
               std::int64_t out_dim, Rng& rng);
 
   Var forward(const Var& x) const;
+
+  const Linear& fc1() const { return fc1_; }
+  const Linear& fc2() const { return fc2_; }
 
  private:
   Linear fc1_;

@@ -35,6 +35,7 @@ std::vector<PlatformRun> Runtime::run() {
       std::clamp<std::size_t>(options_.shards, 1, tenants_.size());
 
   std::vector<std::unique_ptr<BatchEncoder>> owned_encoders;
+  std::vector<std::unique_ptr<BatchScorer>> owned_scorers;
   std::vector<std::unique_ptr<RuntimeShard>> shards;
   shards.reserve(shard_count);
 
@@ -55,12 +56,21 @@ std::vector<PlatformRun> Runtime::run() {
         encoder = owned_encoders.back().get();
       }
     }
+    // The fused scorer rides the split path: without an encoder there are
+    // no split ticks to score.
+    BatchScorer* scorer = encoder != nullptr ? scorer_ : nullptr;
+    if (scorer != nullptr && scorer_factory_ && shard_count > 1) {
+      owned_scorers.push_back(scorer_factory_());
+      if (owned_scorers.back() != nullptr) {
+        scorer = owned_scorers.back().get();
+      }
+    }
     RuntimeShard::Options sopts;
     sopts.shard_id = s;
     sopts.shard_count = shard_count;
     sopts.overlap_encode = overlap;
     sopts.pool = pool.has_value() ? &*pool : nullptr;
-    shards.push_back(std::make_unique<RuntimeShard>(sopts, encoder));
+    shards.push_back(std::make_unique<RuntimeShard>(sopts, encoder, scorer));
   }
   for (std::size_t i = 0; i < tenants_.size(); ++i) {
     shards[i % shard_count]->add_tenant(tenants_[i], &runs[i]);

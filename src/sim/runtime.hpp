@@ -87,6 +87,50 @@ class BatchEncoder {
   std::atomic<std::size_t> windows_{0};
 };
 
+/// Shared grid-scoring service (core::SurrogateBatchScorer): scores k
+/// tenants' encoded rows against the whole candidate grid in one fused
+/// pass. Abstract for the same reason as BatchEncoder — sim/ trades in
+/// plain float spans, so it never depends on nn/ or the core prediction
+/// types.
+///
+/// Concurrency: score() may run on several shards at once (distinct or
+/// shared instances); implementations must be stateless across calls apart
+/// from the relaxed base-class counters.
+class BatchScorer {
+ public:
+  virtual ~BatchScorer() = default;
+
+  /// Dimension d of one encoded input row.
+  virtual std::size_t encoding_dim() const = 0;
+  /// Number of grid configurations scored per row.
+  virtual std::size_t grid_size() const = 0;
+  /// Floats emitted per (row, config) prediction.
+  virtual std::size_t target_dim() const = 0;
+
+  /// Score `count` encoded rows (concatenated, count * encoding_dim floats)
+  /// into `out` (count * grid_size * target_dim floats, tenant-major). Row
+  /// k's slice must be bit-identical to scoring row k alone — the fused
+  /// pass must be invisible to results at any batch split.
+  virtual void score(std::span<const float> e1_rows, std::size_t count,
+                     std::span<float> out) = 0;
+
+  /// Number of score() calls / total rows scored (bench counters).
+  std::size_t calls() const { return calls_.load(std::memory_order_relaxed); }
+  std::size_t rows_scored() const {
+    return rows_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  void count_call(std::size_t rows) {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    rows_.fetch_add(rows, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::size_t> calls_{0};
+  std::atomic<std::size_t> rows_{0};
+};
+
 /// Controller whose decision splits into phases so the expensive shared
 /// stage can be batched across tenants:
 ///   begin_tick()  — parse the window, probe the encoder cache;
@@ -108,6 +152,12 @@ class SplitController : public Controller {
     /// last-known-good config). Such a tick is neither a window-cache hit
     /// nor a miss in RuntimeStats.
     bool bypassed = false;
+    /// On a window-cache hit (!needs_encoding && !bypassed): the cached
+    /// encoded row, so a runtime with a BatchScorer can fold this tenant
+    /// into the tick group's fused scoring pass without re-encoding. Valid
+    /// until finish_tick()/finish_tick_scored() returns. Controllers that
+    /// do not support batched scoring may leave it empty.
+    std::span<const float> cached_encoding;
   };
 
   virtual TickRequest begin_tick(const workload::Trace& history,
@@ -115,6 +165,21 @@ class SplitController : public Controller {
   /// `encoding`: one encoded row (encoding_dim floats) when the matching
   /// begin_tick() asked for one; empty otherwise.
   virtual lambda::Config finish_tick(std::span<const float> encoding) = 0;
+
+  /// True when the controller can accept externally computed grid scores
+  /// via finish_tick_scored(). Controllers returning true must populate
+  /// TickRequest::cached_encoding on window-cache hits.
+  virtual bool supports_batched_scoring() const { return false; }
+  /// finish_tick() variant fed by the runtime's shared BatchScorer:
+  /// `raw_predictions` is this tenant's slice of the fused scoring output
+  /// (grid_size * target_dim floats). Only called on non-bypassed ticks of
+  /// controllers whose supports_batched_scoring() is true; the default
+  /// ignores the scores and re-scores via finish_tick().
+  virtual lambda::Config finish_tick_scored(
+      std::span<const float> encoding,
+      std::span<const float> /*raw_predictions*/) {
+    return finish_tick(encoding);
+  }
 };
 
 /// One application replayed by the runtime.
@@ -156,6 +221,12 @@ struct RuntimeStats {
   std::size_t bypassed_ticks = 0;
   /// Total wall time inside the shared encoder's batched forwards.
   double encode_seconds = 0.0;
+  /// Fused grid-scoring accounting (runs with a BatchScorer only):
+  /// tenant rows scored through the shared fused pass, passes issued, and
+  /// the wall time inside them.
+  std::size_t scored_rows = 0;
+  std::size_t score_calls = 0;
+  double score_seconds = 0.0;
 
   double cache_hit_rate() const {
     const std::size_t probes = cache_hits + cache_misses;
@@ -176,6 +247,9 @@ struct RuntimeStats {
     cache_misses += other.cache_misses;
     bypassed_ticks += other.bypassed_ticks;
     encode_seconds += other.encode_seconds;
+    scored_rows += other.scored_rows;
+    score_calls += other.score_calls;
+    score_seconds += other.score_seconds;
   }
 };
 
@@ -212,6 +286,20 @@ class Runtime {
     encoder_factory_ = std::move(factory);
   }
 
+  /// Shared fused grid scorer: when set, each shard scores all of a tick
+  /// group's batched-scoring tenants (cache hits included) in one
+  /// BatchScorer::score() pass and finishes them via finish_tick_scored().
+  /// Requires a batch encoder (the split path). Null keeps the per-tenant
+  /// scoring inside finish_tick(), exactly the pre-scorer loop.
+  void set_scorer(BatchScorer* scorer) { scorer_ = scorer; }
+  /// Per-shard scorer instances, mirroring set_encoder_factory: when set,
+  /// each shard scores through its own factory-made instance so even the
+  /// scorer's bench counters stay single-writer.
+  using ScorerFactory = std::function<std::unique_ptr<BatchScorer>()>;
+  void set_scorer_factory(ScorerFactory factory) {
+    scorer_factory_ = std::move(factory);
+  }
+
   void add_tenant(TenantSpec spec);
   std::size_t tenant_count() const { return tenants_.size(); }
 
@@ -226,8 +314,10 @@ class Runtime {
 
  private:
   BatchEncoder* encoder_;
+  BatchScorer* scorer_ = nullptr;
   RuntimeOptions options_;
   EncoderFactory encoder_factory_;
+  ScorerFactory scorer_factory_;
   std::vector<TenantSpec> tenants_;
   RuntimeStats stats_;
 };

@@ -21,8 +21,9 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-RuntimeShard::RuntimeShard(Options options, BatchEncoder* encoder)
-    : options_(options), encoder_(encoder) {
+RuntimeShard::RuntimeShard(Options options, BatchEncoder* encoder,
+                           BatchScorer* scorer)
+    : options_(options), encoder_(encoder), scorer_(scorer) {
   auto& registry = obs::MetricsRegistry::instance();
   c_tick_groups_ = &registry.counter("sim.runtime.tick_group");
   c_control_ticks_ = &registry.counter("sim.runtime.control_tick");
@@ -31,7 +32,10 @@ RuntimeShard::RuntimeShard(Options options, BatchEncoder* encoder)
   c_hits_ = &registry.counter("sim.runtime.cache_hit");
   c_misses_ = &registry.counter("sim.runtime.cache_miss");
   c_bypassed_ = &registry.counter("sim.runtime.bypassed_tick");
+  c_scored_rows_ = &registry.counter("sim.runtime.scored_row");
+  c_score_calls_ = &registry.counter("sim.runtime.score_call");
   h_encode_ = &registry.histogram("sim.runtime.batch_encode_seconds");
+  h_score_ = &registry.histogram("sim.runtime.batch_score_seconds");
   h_group_ = &registry.histogram("sim.runtime.tick_group_seconds");
   h_tenant_ = &registry.histogram("sim.runtime.tenant_phase_seconds");
   if (options_.shard_count > 1) {
@@ -83,10 +87,19 @@ void RuntimeShard::run() {
   const bool overlap = options_.overlap_encode && options_.pool != nullptr &&
                        encoder_ != nullptr && tenants_.size() > 1;
   const std::size_t d = encoder_ != nullptr ? encoder_->encoding_dim() : 0;
+  // Output floats per scored row (grid_size * target_dim).
+  const std::size_t row_out =
+      scorer_ != nullptr ? scorer_->grid_size() * scorer_->target_dim() : 0;
+  if (scorer_ != nullptr && encoder_ != nullptr) {
+    DEEPBAT_CHECK(scorer_->encoding_dim() == d,
+                  "Runtime: scorer encoding dim differs from the encoder's");
+  }
 
   std::vector<std::size_t> group;
   std::vector<float> batch_windows;
   std::vector<float> batch_out;
+  std::vector<float> score_in;
+  std::vector<float> score_out;
 
   for (;;) {
     const std::optional<double> t_opt = scheduler_.next_group(group);
@@ -165,6 +178,49 @@ void RuntimeShard::run() {
       if (h_shard_encode_ != nullptr) h_shard_encode_->observe(encode_seconds);
     }
 
+    // Phase 2.5 — ONE fused grid-scoring pass over every batched-scoring
+    // tenant of the group, window-cache hits included (their cached E_1
+    // rows ride along). Per-row determinism of the fused pass keeps each
+    // tenant's slice bit-identical to a solo score, so batching across
+    // tenants is invisible to results.
+    std::size_t score_count = 0;
+    if (scorer_ != nullptr) {
+      score_in.clear();
+      for (const std::size_t i : group) {
+        TenantState& st = tenants_[i];
+        st.scored = false;
+        if (st.split == nullptr || st.request.bypassed ||
+            !st.split->supports_batched_scoring()) {
+          continue;
+        }
+        std::span<const float> row;
+        if (st.request.needs_encoding) {
+          row = std::span<const float>(batch_out.data() + st.batch_slot * d, d);
+        } else {
+          row = st.request.cached_encoding;
+          DEEPBAT_CHECK(row.size() == d,
+                        "Runtime: batched-scoring controller returned no "
+                        "cached encoding on a window-cache hit");
+        }
+        score_in.insert(score_in.end(), row.begin(), row.end());
+        st.score_slot = score_count++;
+        st.scored = true;
+      }
+      if (score_count > 0) {
+        score_out.resize(score_count * row_out);
+        obs::Span score_span("sim.runtime.batch_score");
+        const auto score_start = std::chrono::steady_clock::now();
+        scorer_->score(score_in, score_count, score_out);
+        const double score_seconds = seconds_since(score_start);
+        stats_.scored_rows += score_count;
+        ++stats_.score_calls;
+        stats_.score_seconds += score_seconds;
+        c_scored_rows_->add(score_count);
+        c_score_calls_->add();
+        h_score_->observe(score_seconds);
+      }
+    }
+
     // Phase 3 — per member: finish the decision and apply the new config.
     for (const std::size_t i : group) {
       TenantState& st = tenants_[i];
@@ -175,7 +231,13 @@ void RuntimeShard::run() {
                 ? std::span<const float>(batch_out.data() + st.batch_slot * d,
                                          d)
                 : std::span<const float>{};
-        cfg = st.split->finish_tick(row);
+        if (st.scored) {
+          const std::span<const float> scores(
+              score_out.data() + st.score_slot * row_out, row_out);
+          cfg = st.split->finish_tick_scored(row, scores);
+        } else {
+          cfg = st.split->finish_tick(row);
+        }
       } else {
         cfg = st.spec->controller->decide(*st.spec->trace, t);
       }

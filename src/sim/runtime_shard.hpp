@@ -45,7 +45,12 @@ class RuntimeShard {
     WorkerPool* pool = nullptr;
   };
 
-  RuntimeShard(Options options, BatchEncoder* encoder);
+  /// `scorer` (optional) enables the fused grid-scoring pass: after the
+  /// batched encode, every batched-scoring tenant of the tick group — cache
+  /// hits included — is scored in one BatchScorer::score() call and
+  /// finished via finish_tick_scored().
+  RuntimeShard(Options options, BatchEncoder* encoder,
+               BatchScorer* scorer = nullptr);
 
   /// Register one tenant; `out` receives its PlatformRun (decisions +
   /// result) and must stay valid until run() returns. Specs are assumed
@@ -69,6 +74,8 @@ class RuntimeShard {
     std::size_t next_arrival = 0;
     SplitController::TickRequest request;  // valid within one tick group
     std::size_t batch_slot = 0;            // row in this tick's batch
+    std::size_t score_slot = 0;            // row in this tick's fused scoring
+    bool scored = false;                   // member of this tick's scoring
   };
 
   /// Deliver arrivals up to `t` and fire any batch deadline that elapsed.
@@ -76,6 +83,7 @@ class RuntimeShard {
 
   Options options_;
   BatchEncoder* encoder_;
+  BatchScorer* scorer_;
   TickScheduler scheduler_;
   std::vector<TenantState> tenants_;
   RuntimeStats stats_;
@@ -91,7 +99,10 @@ class RuntimeShard {
   obs::Counter* c_hits_;
   obs::Counter* c_misses_;
   obs::Counter* c_bypassed_;
+  obs::Counter* c_scored_rows_;
+  obs::Counter* c_score_calls_;
   obs::Histogram* h_encode_;
+  obs::Histogram* h_score_;
   obs::Histogram* h_group_;
   obs::Histogram* h_tenant_;
   obs::Histogram* h_shard_encode_ = nullptr;  // sim.runtime.shard<k>.*

@@ -467,6 +467,90 @@ TEST(RuntimeTest, EmptyTraceYieldsEmptyRun) {
   EXPECT_EQ(runs[1].result.served(), busy.size());
 }
 
+// ------------------------------------- cross-tenant batched scoring ------
+
+/// Five mixed-interval tenants replayed with the fused cross-tenant grid
+/// scorer attached, at the given precision and shard count, compared
+/// tenant-by-tenant against independent solo replays at the SAME precision.
+/// The fused pass must be invisible bit-for-bit: scoring is row-local at
+/// every precision, so batching tenants of a tick group into one pass (or
+/// changing the shard layout) never changes a decision, a request, or a
+/// cost cent.
+void expect_batched_scoring_invariant(core::ScoringPrecision precision,
+                                      std::size_t shards) {
+  core::Surrogate model(tiny_config(), lambda::ConfigGrid::small());
+  model.set_training(false);
+  const lambda::LambdaModel lm;
+  auto opts = controller_options();
+  opts.scoring_precision = precision;
+
+  struct TenantDef {
+    workload::Trace trace;
+    double interval;
+  };
+  std::vector<TenantDef> defs;
+  defs.push_back({workload::twitter_like({.hours = 0.05}, 31), 30.0});
+  defs.push_back({workload::azure_like({.hours = 0.05}, 17), 45.0});
+  defs.push_back({workload::twitter_like({.hours = 0.04}, 99), 30.0});
+  defs.push_back({workload::azure_like({.hours = 0.04}, 7), 60.0});
+  defs.push_back({workload::twitter_like({.hours = 0.03}, 55), 45.0});
+
+  std::vector<PlatformRun> solo;
+  for (const TenantDef& def : defs) {
+    core::DeepBatController ctl(model, opts);
+    PlatformOptions popts;
+    popts.control_interval_s = def.interval;
+    solo.push_back(run_platform(def.trace, ctl, lm, {1024, 1, 0.0}, popts));
+  }
+
+  core::SurrogateBatchEncoder encoder(model);
+  core::SurrogateBatchScorer scorer(
+      model, lambda::ConfigGrid::small().enumerate(), precision);
+  RuntimeOptions ropts;
+  ropts.shards = shards;
+  Runtime runtime(&encoder, ropts);
+  runtime.set_scorer(&scorer);
+  std::vector<std::unique_ptr<core::DeepBatController>> controllers;
+  for (const TenantDef& def : defs) {
+    controllers.push_back(
+        std::make_unique<core::DeepBatController>(model, opts));
+    TenantSpec spec;
+    spec.name = "tenant";
+    spec.trace = &def.trace;
+    spec.controller = controllers.back().get();
+    spec.model = &lm;
+    spec.initial_config = {1024, 1, 0.0};
+    spec.options.control_interval_s = def.interval;
+    runtime.add_tenant(std::move(spec));
+  }
+  const auto merged = runtime.run();
+
+  ASSERT_EQ(merged.size(), defs.size());
+  for (std::size_t i = 0; i < defs.size(); ++i) {
+    SCOPED_TRACE("tenant " + std::to_string(i));
+    expect_bit_identical(solo[i], merged[i]);
+  }
+
+  // The fused scorer actually ran: every non-bypassed control tick's grid
+  // landed in a batched score call.
+  const RuntimeStats& stats = runtime.stats();
+  EXPECT_EQ(stats.scored_rows + stats.bypassed_ticks, stats.control_ticks);
+  EXPECT_GT(stats.score_calls, 0u);
+  EXPECT_LE(stats.score_calls, stats.scored_rows);
+  EXPECT_EQ(scorer.rows_scored(), stats.scored_rows);
+  EXPECT_EQ(scorer.calls(), stats.score_calls);
+}
+
+TEST(RuntimeBatchedScoring, FusedFp32BitIdenticalToSoloRuns) {
+  expect_batched_scoring_invariant(core::ScoringPrecision::kFp32, 1);
+  expect_batched_scoring_invariant(core::ScoringPrecision::kFp32, 2);
+}
+
+TEST(RuntimeBatchedScoring, QuantizedScoringStaysShardInvariant) {
+  expect_batched_scoring_invariant(core::ScoringPrecision::kFp16, 2);
+  expect_batched_scoring_invariant(core::ScoringPrecision::kInt8, 3);
+}
+
 TEST(RuntimeTest, AddTenantValidates) {
   Runtime runtime;
   const workload::Trace trace({0.0, 1.0});
