@@ -31,6 +31,13 @@ cmake --build build -j"$(nproc)"
 echo "== tier-1: ctest =="
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
+echo "== fleet smoke =="
+# Heterogeneous fleet gate (DESIGN.md §13): grouped multi-SLO provisioning
+# must beat per-tenant CPU DeepBAT on cost at no-worse attainment, stay
+# bit-identical across {1,2,5} shards and reruns, and the CPU backend
+# wrapper must replay bit-identically to the legacy model path.
+./build/bench/fleet --hours 0.25 --fleet 8 --groups 2 --shards 2
+
 if [[ "$FAST" == "1" ]]; then
   echo "== skipping sanitizer passes (--fast) =="
   exit 0
@@ -41,11 +48,11 @@ cmake -B build-asan -S . -DDEEPBAT_SANITIZE=address -DDEEPBAT_NATIVE=OFF \
   >/dev/null
 cmake --build build-asan -j"$(nproc)" --target \
   test_nn_kernels test_nn_tensor test_nn_autograd test_nn_modules test_obs \
-  test_common test_sim test_runtime
+  test_common test_sim test_runtime test_lambda test_fleet
 
 echo "== asan: run =="
 for t in test_nn_kernels test_nn_tensor test_nn_autograd test_nn_modules \
-         test_obs test_common test_sim test_runtime; do
+         test_obs test_common test_sim test_runtime test_lambda test_fleet; do
   ./build-asan/tests/"$t"
 done
 
@@ -53,12 +60,15 @@ echo "== tsan: build =="
 cmake -B build-tsan -S . -DDEEPBAT_SANITIZE=thread -DDEEPBAT_NATIVE=OFF \
   >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target test_obs test_common \
-  test_runtime test_nn_kernels
+  test_runtime test_nn_kernels test_fleet
 
 echo "== tsan: run =="
 ./build-tsan/tests/test_obs
 OMP_NUM_THREADS=1 ./build-tsan/tests/test_common
 OMP_NUM_THREADS=1 ./build-tsan/tests/test_runtime
+# Fleet tests drive mixed CPU/GPU tenants through the sharded runtime —
+# the heterogeneous-backend dispatch path under TSan.
+OMP_NUM_THREADS=1 ./build-tsan/tests/test_fleet
 # Covers the golden quant-GEMM tests (gemm_s8 / quantize_rows_s8 / gemm_f16w)
 # under TSan's runtime. Filtered: the bit-identity suites set OMP thread
 # counts internally, and libgomp's barriers are opaque to TSan (same false

@@ -9,6 +9,7 @@ DecisionEngineOptions engine_options(const DeepBatControllerOptions& options) {
   eo.slo_s = options.slo_s;
   eo.gamma = options.gamma;
   eo.grid = options.grid;
+  eo.backend = options.backend;
   eo.pad_gap_s = options.pad_gap_s;
   eo.encoder_cache_capacity = options.encoder_cache_capacity;
   eo.guard = options.guard;

@@ -15,6 +15,9 @@ struct DeepBatControllerOptions {
   double slo_s = 0.1;
   double gamma = 0.0;  // penalty factor (see §III-D); set after fine-tuning
   lambda::ConfigGrid grid = lambda::ConfigGrid::standard();
+  /// Heterogeneous serving backend: when set its config_grid() overrides
+  /// `grid` (DecisionEngineOptions::backend). Borrowed.
+  const lambda::Backend* backend = nullptr;
   /// Gap value used to left-pad windows with fewer arrivals than l
   /// (paper §III-A: "techniques for padding ... can be used"). A large gap
   /// reads as "no traffic".

@@ -176,9 +176,22 @@ void GridScorer::calibrate(std::span<const float> windows, std::size_t count) {
 
 // ---------------------------------------------------------------- engine --
 
+namespace {
+
+/// Backend override (DESIGN.md §13): an engine bound to a backend scores
+/// that backend's own grid, never the generic CPU one.
+DecisionEngineOptions resolve_grid(DecisionEngineOptions options) {
+  if (options.backend != nullptr) {
+    options.grid = options.backend->config_grid();
+  }
+  return options;
+}
+
+}  // namespace
+
 DecisionEngine::DecisionEngine(const Surrogate& surrogate,
                                DecisionEngineOptions options)
-    : options_(std::move(options)),
+    : options_(resolve_grid(std::move(options))),
       parser_(static_cast<std::size_t>(surrogate.config().sequence_length),
               options_.pad_gap_s),
       encoder_(surrogate, options_.encoder_cache_capacity),

@@ -173,6 +173,12 @@ struct DecisionEngineOptions {
   double slo_s = 0.1;
   double gamma = 0.0;  // penalty factor (see §III-D); set after fine-tuning
   lambda::ConfigGrid grid = lambda::ConfigGrid::standard();
+  /// Heterogeneous serving backend (DESIGN.md §13). When set it WINS over
+  /// `grid`: the engine scores this backend's own config_grid(), so a
+  /// GPU-tier engine never scores CPU configs — the capacity knob means
+  /// vCPU-share MB on one backend and SM% on the other. Borrowed; the
+  /// caller keeps it alive for the engine's lifetime.
+  const lambda::Backend* backend = nullptr;
   /// Gap value used to left-pad windows with fewer arrivals than l
   /// (paper §III-A: "techniques for padding ... can be used"). A large gap
   /// reads as "no traffic".

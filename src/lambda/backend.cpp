@@ -1,0 +1,175 @@
+#include "lambda/backend.hpp"
+
+#include <cmath>
+
+namespace deepbat::lambda {
+
+const char* to_string(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kCpuLambda:
+      return "cpu-lambda";
+    case BackendKind::kGpuServerless:
+      return "gpu-serverless";
+  }
+  return "?";
+}
+
+std::optional<BackendKind> parse_backend_kind(std::string_view name) {
+  if (name == "cpu" || name == "cpu-lambda") return BackendKind::kCpuLambda;
+  if (name == "gpu" || name == "gpu-serverless") {
+    return BackendKind::kGpuServerless;
+  }
+  return std::nullopt;
+}
+
+double Backend::cost_per_request(const Config& config,
+                                 std::int64_t batch_size) const {
+  return invocation_cost(config, service_time(config, batch_size)) /
+         static_cast<double>(batch_size);
+}
+
+void Backend::validate(const Config& config) const {
+  const BackendCapabilities& caps = capabilities();
+  ConfigBounds bounds;
+  bounds.min_capacity = caps.min_capacity;
+  bounds.max_capacity = caps.max_capacity;
+  bounds.max_batch_size = caps.max_batch_size;
+  bounds.max_timeout_s = caps.max_timeout_s;
+  if (auto err = config.validate(bounds)) {
+    throw Error(caps.name + ": " + err->what());
+  }
+}
+
+// ------------------------------------------------------ CpuLambdaBackend --
+
+CpuLambdaBackend::CpuLambdaBackend(const LambdaModel& model) : model_(&model) {
+  capabilities_.kind = BackendKind::kCpuLambda;
+  capabilities_.name = "cpu-lambda";
+  capabilities_.capacity_unit = "MB";
+  capabilities_.min_capacity = model.params().min_memory_mb;
+  capabilities_.max_capacity = model.params().max_memory_mb;
+  capabilities_.max_batch_size = 1024;
+  capabilities_.max_timeout_s = 900.0;
+  capabilities_.typical_cold_start_s = model.params().cold_start_penalty_s;
+}
+
+double CpuLambdaBackend::service_time(const Config& config,
+                                      std::int64_t batch_size) const {
+  return model_->service_time(config.memory_mb, batch_size);
+}
+
+double CpuLambdaBackend::invocation_cost(const Config& config,
+                                         double duration_s) const {
+  return model_->invocation_cost(config.memory_mb, duration_s);
+}
+
+double CpuLambdaBackend::cold_start(const Config&) const {
+  return model_->params().cold_start_penalty_s;
+}
+
+double CpuLambdaBackend::cold_start_probability() const {
+  return model_->params().cold_start_probability;
+}
+
+ConfigGrid CpuLambdaBackend::config_grid() const {
+  return ConfigGrid::standard();
+}
+
+void CpuLambdaBackend::validate(const Config& config) const {
+  // Defer to LambdaModel::validate verbatim: identical checks, identical
+  // messages — the legacy simulator path is byte-stable through here.
+  model_->validate(config);
+}
+
+// -------------------------------------------------- GpuServerlessBackend --
+
+GpuServerlessBackend::GpuServerlessBackend(GpuBackendParams params)
+    : params_(params) {
+  DEEPBAT_CHECK(params_.min_sm_pct >= 1 &&
+                    params_.min_sm_pct <= params_.max_sm_pct &&
+                    params_.max_sm_pct <= 100,
+                "GpuServerlessBackend: bad SM percentage range");
+  DEEPBAT_CHECK(
+      params_.parallel_fraction >= 0.0 && params_.parallel_fraction < 1.0,
+      "GpuServerlessBackend: parallel_fraction must be in [0, 1)");
+  DEEPBAT_CHECK(params_.batch_exponent > 0.0 && params_.batch_exponent <= 1.0,
+                "GpuServerlessBackend: batch_exponent must be in (0, 1]");
+  DEEPBAT_CHECK(params_.cold_start_probability >= 0.0 &&
+                    params_.cold_start_probability <= 1.0,
+                "GpuServerlessBackend: cold_start_probability in [0, 1]");
+  capabilities_.kind = BackendKind::kGpuServerless;
+  capabilities_.name = "gpu-serverless";
+  capabilities_.capacity_unit = "SM%";
+  capabilities_.min_capacity = params_.min_sm_pct;
+  capabilities_.max_capacity = params_.max_sm_pct;
+  capabilities_.max_batch_size = params_.max_batch_size;
+  capabilities_.max_timeout_s = 900.0;
+  capabilities_.typical_cold_start_s = params_.cold_start_penalty_s;
+}
+
+double GpuServerlessBackend::sm_fraction(std::int64_t sm_pct) const {
+  return static_cast<double>(sm_pct) / 100.0;
+}
+
+double GpuServerlessBackend::speedup(std::int64_t sm_pct) const {
+  const double p = params_.parallel_fraction;
+  return 1.0 / ((1.0 - p) + p / sm_fraction(sm_pct));
+}
+
+double GpuServerlessBackend::service_time(const Config& config,
+                                          std::int64_t batch_size) const {
+  DEEPBAT_CHECK(batch_size >= 1, "service_time: batch size must be >= 1");
+  const double work =
+      params_.c_invoke_s +
+      params_.c_request_s *
+          std::pow(static_cast<double>(batch_size), params_.batch_exponent);
+  return params_.t_fixed_s + work / speedup(config.memory_mb);
+}
+
+double GpuServerlessBackend::invocation_cost(const Config& config,
+                                             double duration_s) const {
+  DEEPBAT_CHECK(duration_s >= 0.0, "invocation_cost: negative duration");
+  const double billed = std::ceil(duration_s / params_.billing_quantum_s) *
+                        params_.billing_quantum_s;
+  return params_.usd_per_invocation +
+         billed * sm_fraction(config.memory_mb) * params_.usd_per_gpu_second;
+}
+
+double GpuServerlessBackend::cold_start(const Config&) const {
+  return params_.cold_start_penalty_s;
+}
+
+double GpuServerlessBackend::cold_start_probability() const {
+  return params_.cold_start_probability;
+}
+
+ConfigGrid GpuServerlessBackend::config_grid() const {
+  ConfigGrid grid;
+  // SM percentages (fractional GPU allocation), batch sizes up to the
+  // GPU's deep batching headroom, and the same timeout ladder as the CPU
+  // tier so timeout decisions compare like for like.
+  for (std::int64_t pct = params_.min_sm_pct; pct <= params_.max_sm_pct;
+       pct += 10) {
+    grid.memories_mb.push_back(pct);
+  }
+  for (std::int64_t b = 1; b <= params_.max_batch_size; b *= 2) {
+    grid.batch_sizes.push_back(b);
+  }
+  grid.timeouts_s = ConfigGrid::standard().timeouts_s;
+  return grid;
+}
+
+// ------------------------------------------------------------- factory ----
+
+std::unique_ptr<Backend> make_backend(BackendKind kind,
+                                      const LambdaModel& cpu_model) {
+  switch (kind) {
+    case BackendKind::kCpuLambda:
+      return std::make_unique<CpuLambdaBackend>(cpu_model);
+    case BackendKind::kGpuServerless:
+      return std::make_unique<GpuServerlessBackend>();
+  }
+  DEEPBAT_FAIL("make_backend: unknown backend kind");
+}
+
+}  // namespace deepbat::lambda

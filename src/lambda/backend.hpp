@@ -1,0 +1,194 @@
+#pragma once
+// Heterogeneous serverless backend abstraction (DESIGN.md §13).
+//
+// DeepBAT's original cost/latency model is a calibrated CPU-Lambda
+// (lambda::LambdaModel). HarmonyBatch (arXiv:2405.05633) shows that the
+// real fleet-level cost win comes from provisioning tenant *groups* onto
+// heterogeneous function pools — CPU functions for light/loose traffic,
+// GPU functions for aggregated tight-SLO traffic — so every layer that
+// used to assume one cost model now talks to this interface instead:
+//
+//   * CpuLambdaBackend    — a bit-identical wrapper over LambdaModel.
+//                           Pre-existing replays stay byte-stable
+//                           (tests/lambda/test_backend.cpp pins bitwise
+//                           parity across the full config grid).
+//   * GpuServerlessBackend— a GPU function tier calibrated to the shapes
+//                           HAS-GPU (arXiv:2505.01968) reports: a much
+//                           higher fixed cost per second, strongly
+//                           SUB-linear batch scaling (gamma_gpu <<
+//                           gamma_cpu), fractional SM allocation as the
+//                           capacity knob, and a far larger cold start.
+//
+// The decision variables stay lambda::Config, but the capacity knob
+// `memory_mb` is interpreted per backend: a memory size (vCPU share) on
+// CPU-Lambda, an SM percentage in [10, 100] on the GPU tier. Each backend
+// therefore publishes its own ConfigGrid — optimizers must never score one
+// backend's grid against another's model.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "lambda/model.hpp"
+
+namespace deepbat::lambda {
+
+enum class BackendKind { kCpuLambda, kGpuServerless };
+
+const char* to_string(BackendKind kind);
+/// Parse "cpu" / "gpu" (also accepts the full names above).
+std::optional<BackendKind> parse_backend_kind(std::string_view name);
+
+/// Static capability descriptor: what the capacity knob means on this
+/// backend and the ranges a Config must respect (Eq. 10e generalized).
+struct BackendCapabilities {
+  BackendKind kind = BackendKind::kCpuLambda;
+  std::string name;           // "cpu-lambda" | "gpu-serverless"
+  std::string capacity_unit;  // "MB" | "SM%"
+  std::int64_t min_capacity = 128;    // Config::memory_mb lower bound
+  std::int64_t max_capacity = 10240;  // Config::memory_mb upper bound
+  std::int64_t max_batch_size = 64;
+  double max_timeout_s = 900.0;
+  /// Typical cold-start penalty at a mid-grid config (planning hint; the
+  /// authoritative per-config value is Backend::cold_start()).
+  double typical_cold_start_s = 0.0;
+};
+
+/// The pluggable cost/latency model every layer above lambda/ talks to.
+/// Implementations must be deterministic pure functions of (config, batch)
+/// so that replays stay bit-reproducible and shard-invariant.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual const BackendCapabilities& capabilities() const = 0;
+
+  /// Deterministic service time (seconds) of a batch of `batch_size`
+  /// requests under `config` (no cold start).
+  virtual double service_time(const Config& config,
+                              std::int64_t batch_size) const = 0;
+
+  /// Monetary cost (USD) of one invocation running `duration_s` under
+  /// `config`.
+  virtual double invocation_cost(const Config& config,
+                                 double duration_s) const = 0;
+
+  /// Cold-start penalty (seconds) added to an affected invocation.
+  virtual double cold_start(const Config& config) const = 0;
+
+  /// Probability an invocation pays cold_start() (the simulator's draw).
+  virtual double cold_start_probability() const = 0;
+
+  /// The discrete (M, B, T) search space of this backend. M is in this
+  /// backend's capacity unit (see capabilities()).
+  virtual ConfigGrid config_grid() const = 0;
+
+  /// Steady-state cost per request when full batches of `batch_size` are
+  /// served under `config`.
+  double cost_per_request(const Config& config, std::int64_t batch_size) const;
+
+  /// Range-check `config` against this backend's capabilities; throws
+  /// deepbat::Error on violation. CpuLambdaBackend overrides this to defer
+  /// to LambdaModel::validate so messages (and replays that depend on the
+  /// throw) stay byte-identical to the legacy path.
+  virtual void validate(const Config& config) const;
+};
+
+/// Bit-identical Backend view of the legacy LambdaModel: every virtual
+/// delegates to the exact LambdaModel member the pre-backend simulator
+/// called, so a replay through this wrapper is byte-stable with one through
+/// the model directly (golden parity test in tests/lambda/test_backend.cpp).
+class CpuLambdaBackend final : public Backend {
+ public:
+  /// Borrows `model`; the caller keeps it alive.
+  explicit CpuLambdaBackend(const LambdaModel& model);
+
+  const LambdaModel& model() const { return *model_; }
+
+  const BackendCapabilities& capabilities() const override {
+    return capabilities_;
+  }
+  double service_time(const Config& config,
+                      std::int64_t batch_size) const override;
+  double invocation_cost(const Config& config,
+                         double duration_s) const override;
+  double cold_start(const Config& config) const override;
+  double cold_start_probability() const override;
+  ConfigGrid config_grid() const override;
+  void validate(const Config& config) const override;
+
+ private:
+  const LambdaModel* model_;
+  BackendCapabilities capabilities_;
+};
+
+/// GPU serverless function tier, calibrated to the qualitative shapes of
+/// HAS-GPU (arXiv:2505.01968):
+///
+///   * capacity = SM fraction. Config::memory_mb holds the SM percentage
+///     (10..100); fine-grained fractional GPU allocation is the paper's
+///     core knob.
+///   * service_time(f, B) = t_fixed + (c_invoke + c_request * B^gamma_gpu)
+///     / amdahl(f) with gamma_gpu = 0.30 — batches ride the GPU's data
+///     parallelism, so doubling B barely moves the kernel time (HAS-GPU
+///     Fig. 5: near-flat latency-vs-batch until SM saturation).
+///   * cost: a GPU-second costs ~40x a CPU GB-second and is billed
+///     proportional to the SM fraction held, plus a 10x per-invocation fee
+///     — the "high fixed cost" end of the HarmonyBatch trade-off.
+///   * cold starts load model + runtime onto the device: seconds, not
+///     hundreds of milliseconds.
+struct GpuBackendParams {
+  // --- performance (full-GPU reference, SM fraction f = 1.0) ---
+  double t_fixed_s = 0.004;         // dispatch + runtime overhead
+  double c_invoke_s = 0.008;        // kernel launch / weight touch
+  double c_request_s = 0.0045;      // marginal per-request work
+  double batch_exponent = 0.30;     // gamma_gpu << gamma_cpu (0.85)
+  double parallel_fraction = 0.92;  // Amdahl across the SM slice
+  // --- pricing ---
+  double usd_per_gpu_second = 6.5e-4;  // full-GPU rate; billed * f
+  double usd_per_invocation = 2.0e-6;  // 10x the Lambda fee
+  double billing_quantum_s = 0.001;
+  // --- cold starts ---
+  double cold_start_probability = 0.0;
+  double cold_start_penalty_s = 5.0;
+  // --- capacity limits ---
+  std::int64_t min_sm_pct = 10;
+  std::int64_t max_sm_pct = 100;
+  std::int64_t max_batch_size = 128;
+};
+
+class GpuServerlessBackend final : public Backend {
+ public:
+  explicit GpuServerlessBackend(GpuBackendParams params = {});
+
+  const GpuBackendParams& params() const { return params_; }
+
+  /// SM fraction in (0, 1] encoded by a config's capacity knob.
+  double sm_fraction(std::int64_t sm_pct) const;
+  /// Amdahl speedup relative to the full GPU.
+  double speedup(std::int64_t sm_pct) const;
+
+  const BackendCapabilities& capabilities() const override {
+    return capabilities_;
+  }
+  double service_time(const Config& config,
+                      std::int64_t batch_size) const override;
+  double invocation_cost(const Config& config,
+                         double duration_s) const override;
+  double cold_start(const Config& config) const override;
+  double cold_start_probability() const override;
+  ConfigGrid config_grid() const override;
+
+ private:
+  GpuBackendParams params_;
+  BackendCapabilities capabilities_;
+};
+
+/// Factory for CLI-style construction (`--backend cpu|gpu`). The CPU
+/// backend borrows `cpu_model`; the GPU backend uses default calibration.
+std::unique_ptr<Backend> make_backend(BackendKind kind,
+                                      const LambdaModel& cpu_model);
+
+}  // namespace deepbat::lambda

@@ -14,6 +14,26 @@ std::string Config::to_string() const {
   return os.str();
 }
 
+std::optional<Error> Config::validate(const ConfigBounds& bounds) const {
+  if (memory_mb < bounds.min_capacity || memory_mb > bounds.max_capacity) {
+    return Error("config: capacity out of range [" +
+                 std::to_string(bounds.min_capacity) + ", " +
+                 std::to_string(bounds.max_capacity) +
+                 "]: " + to_string());
+  }
+  if (batch_size < 1 || batch_size > bounds.max_batch_size) {
+    return Error("config: batch size out of range [1, " +
+                 std::to_string(bounds.max_batch_size) + "]: " + to_string());
+  }
+  if (!(timeout_s >= 0.0) || timeout_s > bounds.max_timeout_s) {
+    std::ostringstream os;
+    os << "config: timeout out of range [0, " << bounds.max_timeout_s
+       << "]: " << to_string();
+    return Error(os.str());
+  }
+  return std::nullopt;
+}
+
 LambdaModel::LambdaModel(LambdaModelParams params) : params_(params) {
   DEEPBAT_CHECK(params_.mb_per_vcpu > 0.0, "LambdaModel: bad mb_per_vcpu");
   DEEPBAT_CHECK(

@@ -20,10 +20,24 @@
 // GB-seconds of billed duration (rounded up to 1 ms).
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
+
 namespace deepbat::lambda {
+
+/// Range limits a Config must respect. Defaults are the CPU-Lambda
+/// platform limits (Eq. 10); heterogeneous backends substitute their own
+/// capability ranges (lambda::Backend::validate, DESIGN.md §13) — on the
+/// GPU tier the capacity knob is an SM percentage in [10, 100], not MB.
+struct ConfigBounds {
+  std::int64_t min_capacity = 128;    // Config::memory_mb lower bound
+  std::int64_t max_capacity = 10240;  // Config::memory_mb upper bound
+  std::int64_t max_batch_size = 1024;
+  double max_timeout_s = 900.0;  // AWS Lambda's function timeout ceiling
+};
 
 /// A serverless batching configuration — the decision variables of Eq. 10.
 struct Config {
@@ -33,6 +47,14 @@ struct Config {
 
   bool operator==(const Config&) const = default;
   std::string to_string() const;
+
+  /// Bounds check without throwing: nullopt when the config is in range,
+  /// otherwise an Error naming the violated bound. Out-of-range values
+  /// used to pass silently into the models until a downstream
+  /// DEEPBAT_CHECK (or nothing) caught them; parse boundaries —
+  /// sim::Runtime::add_tenant, bench/example CLIs — call this instead so
+  /// bad inputs fail at the edge with a bound-specific message.
+  std::optional<Error> validate(const ConfigBounds& bounds = {}) const;
 };
 
 struct LambdaModelParams {

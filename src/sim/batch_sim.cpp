@@ -42,8 +42,24 @@ BatchSimulator::BatchSimulator(const lambda::LambdaModel& model,
                                std::optional<std::uint64_t> cold_start_seed,
                                const FaultPlan* faults,
                                std::uint64_t fault_stream)
-    : model_(model), config_(config) {
-  model_.validate(config_);
+    : config_(config) {
+  owned_cpu_.emplace(model);
+  init(cold_start_seed, faults, fault_stream);
+}
+
+BatchSimulator::BatchSimulator(const lambda::Backend& backend,
+                               lambda::Config config,
+                               std::optional<std::uint64_t> cold_start_seed,
+                               const FaultPlan* faults,
+                               std::uint64_t fault_stream)
+    : backend_(&backend), config_(config) {
+  init(cold_start_seed, faults, fault_stream);
+}
+
+void BatchSimulator::init(std::optional<std::uint64_t> cold_start_seed,
+                          const FaultPlan* faults,
+                          std::uint64_t fault_stream) {
+  be().validate(config_);
   if (cold_start_seed.has_value()) {
     cold_rng_.emplace(mix_stream_seed(*cold_start_seed, fault_stream));
   }
@@ -53,7 +69,7 @@ BatchSimulator::BatchSimulator(const lambda::LambdaModel& model,
 }
 
 void BatchSimulator::set_config(const lambda::Config& config) {
-  model_.validate(config);
+  be().validate(config);
   config_ = config;
 }
 
@@ -91,14 +107,12 @@ void BatchSimulator::dispatch(double time) {
     return;
   }
   const auto batch = static_cast<std::int64_t>(open_arrivals_.size());
-  double service = model_.service_time(config_.memory_mb, batch);
-  if (cold_rng_.has_value() &&
-      model_.params().cold_start_probability > 0.0 &&
-      cold_rng_->uniform() < model_.params().cold_start_probability) {
-    service += model_.params().cold_start_penalty_s;
+  double service = be().service_time(config_, batch);
+  const double p_cold = be().cold_start_probability();
+  if (cold_rng_.has_value() && p_cold > 0.0 && cold_rng_->uniform() < p_cold) {
+    service += be().cold_start(config_);
   }
-  const double invocation_cost =
-      model_.invocation_cost(config_.memory_mb, service);
+  const double invocation_cost = be().invocation_cost(config_, service);
   for (double arrival : open_arrivals_) {
     RequestRecord rec;
     rec.arrival = arrival;
@@ -128,16 +142,16 @@ void BatchSimulator::dispatch_faulted(double time) {
   double start = faults.admit(time);
   for (std::int64_t attempt = 1; attempt <= max_attempts; ++attempt) {
     if (attempt == 1) first_dispatch = start;
-    double service = model_.service_time(config_.memory_mb, batch);
-    if (cold_rng_.has_value() &&
-        model_.params().cold_start_probability > 0.0 &&
-        cold_rng_->uniform() < model_.params().cold_start_probability) {
-      service += model_.params().cold_start_penalty_s;
+    double service = be().service_time(config_, batch);
+    const double p_cold = be().cold_start_probability();
+    if (cold_rng_.has_value() && p_cold > 0.0 &&
+        cold_rng_->uniform() < p_cold) {
+      service += be().cold_start(config_);
     }
     const auto outcome = faults.on_attempt(start);
     service = service * outcome.service_multiplier + outcome.extra_service_s;
     completion = start + service;
-    batch_cost += model_.invocation_cost(config_.memory_mb, service);
+    batch_cost += be().invocation_cost(config_, service);
     ++result_.invocations;
     faults.on_completion(completion);
     if (!outcome.failed) {
@@ -177,6 +191,18 @@ SimResult simulate_trace(std::span<const double> arrivals,
                          const FaultPlan* faults,
                          std::uint64_t fault_stream) {
   BatchSimulator sim(model, config, cold_start_seed, faults, fault_stream);
+  for (double t : arrivals) sim.offer(t);
+  sim.finalize();
+  return sim.result();
+}
+
+SimResult simulate_trace(std::span<const double> arrivals,
+                         const lambda::Config& config,
+                         const lambda::Backend& backend,
+                         std::optional<std::uint64_t> cold_start_seed,
+                         const FaultPlan* faults,
+                         std::uint64_t fault_stream) {
+  BatchSimulator sim(backend, config, cold_start_seed, faults, fault_stream);
   for (double t : arrivals) sim.offer(t);
   sim.finalize();
   return sim.result();

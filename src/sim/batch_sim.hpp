@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "lambda/backend.hpp"
 #include "lambda/model.hpp"
 #include "sim/faults.hpp"
 
@@ -74,7 +75,19 @@ class BatchSimulator {
   /// (plan.seed, fault_stream); the legacy i.i.d. cold-start stream is
   /// likewise re-seeded per tenant via mix_stream_seed(cold_start_seed,
   /// fault_stream) — stream 0 keeps today's exact sequence.
+  ///
+  /// This legacy constructor wraps `model` in an internal CpuLambdaBackend
+  /// whose every call delegates to the exact LambdaModel member the
+  /// pre-backend simulator used — replays through it are byte-stable.
   BatchSimulator(const lambda::LambdaModel& model, lambda::Config config,
+                 std::optional<std::uint64_t> cold_start_seed = std::nullopt,
+                 const FaultPlan* faults = nullptr,
+                 std::uint64_t fault_stream = 0);
+
+  /// Heterogeneous-backend constructor (DESIGN.md §13): dispatching,
+  /// cold-start draws, and billing all go through `backend`; the caller
+  /// keeps it alive for the simulator's lifetime.
+  BatchSimulator(const lambda::Backend& backend, lambda::Config config,
                  std::optional<std::uint64_t> cold_start_seed = std::nullopt,
                  const FaultPlan* faults = nullptr,
                  std::uint64_t fault_stream = 0);
@@ -102,8 +115,17 @@ class BatchSimulator {
  private:
   void dispatch(double time);
   void dispatch_faulted(double time);
+  void init(std::optional<std::uint64_t> cold_start_seed,
+            const FaultPlan* faults, std::uint64_t fault_stream);
+  /// The serving backend: the external one, or the owned CPU wrapper from
+  /// the legacy constructor. Resolved per call (never cached as a
+  /// self-pointer) so the simulator stays safely copyable.
+  const lambda::Backend& be() const {
+    return owned_cpu_.has_value() ? *owned_cpu_ : *backend_;
+  }
 
-  const lambda::LambdaModel& model_;
+  const lambda::Backend* backend_ = nullptr;
+  std::optional<lambda::CpuLambdaBackend> owned_cpu_;
   lambda::Config config_;
   std::optional<Rng> cold_rng_;
   std::optional<FaultInjector> faults_;
@@ -118,6 +140,15 @@ class BatchSimulator {
 SimResult simulate_trace(std::span<const double> arrivals,
                          const lambda::Config& config,
                          const lambda::LambdaModel& model,
+                         std::optional<std::uint64_t> cold_start_seed =
+                             std::nullopt,
+                         const FaultPlan* faults = nullptr,
+                         std::uint64_t fault_stream = 0);
+
+/// Same, dispatching through an arbitrary backend.
+SimResult simulate_trace(std::span<const double> arrivals,
+                         const lambda::Config& config,
+                         const lambda::Backend& backend,
                          std::optional<std::uint64_t> cold_start_seed =
                              std::nullopt,
                          const FaultPlan* faults = nullptr,

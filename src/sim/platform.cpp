@@ -26,4 +26,21 @@ PlatformRun run_platform(const workload::Trace& trace, Controller& controller,
   return std::move(runs.front());
 }
 
+PlatformRun run_platform(const workload::Trace& trace, Controller& controller,
+                         const lambda::Backend& backend,
+                         lambda::Config initial_config,
+                         const PlatformOptions& options) {
+  Runtime runtime(nullptr, RuntimeOptions{.shards = 1, .overlap_encode = false});
+  TenantSpec spec;
+  spec.name = controller.name();
+  spec.trace = &trace;
+  spec.controller = &controller;
+  spec.backend = &backend;
+  spec.initial_config = initial_config;
+  spec.options = options;
+  runtime.add_tenant(std::move(spec));
+  auto runs = runtime.run();
+  return std::move(runs.front());
+}
+
 }  // namespace deepbat::sim

@@ -65,6 +65,11 @@ struct ControlDecision {
 struct PlatformRun {
   SimResult result;
   std::vector<ControlDecision> decisions;
+  /// Fleet metadata (DESIGN.md §13): the function-group id this tenant was
+  /// provisioned under by core::FleetOptimizer (-1 = solo / ungrouped) and
+  /// the name of the backend that served it.
+  std::int64_t group_id = -1;
+  std::string backend = "cpu-lambda";
 };
 
 /// Replay `trace` through the batching buffer; the controller re-decides the
@@ -73,6 +78,12 @@ struct PlatformRun {
 /// before the trace start.
 PlatformRun run_platform(const workload::Trace& trace, Controller& controller,
                          const lambda::LambdaModel& model,
+                         lambda::Config initial_config,
+                         const PlatformOptions& options = {});
+
+/// Same, serving through an arbitrary heterogeneous backend.
+PlatformRun run_platform(const workload::Trace& trace, Controller& controller,
+                         const lambda::Backend& backend,
                          lambda::Config initial_config,
                          const PlatformOptions& options = {});
 

@@ -16,9 +16,18 @@ void Runtime::add_tenant(TenantSpec spec) {
   DEEPBAT_CHECK(spec.trace != nullptr, "Runtime: tenant trace is null");
   DEEPBAT_CHECK(spec.controller != nullptr,
                 "Runtime: tenant controller is null");
-  DEEPBAT_CHECK(spec.model != nullptr, "Runtime: tenant lambda model is null");
+  DEEPBAT_CHECK(spec.model != nullptr || spec.backend != nullptr,
+                "Runtime: tenant needs a lambda model or a backend");
   DEEPBAT_CHECK(spec.options.control_interval_s > 0.0,
                 "Runtime: control interval must be positive");
+  // Parse-boundary config validation (DESIGN.md §13): reject out-of-range
+  // initial configs here, with a bound-specific message, instead of letting
+  // them surface from deep inside the replay.
+  if (spec.backend != nullptr) {
+    spec.backend->validate(spec.initial_config);
+  } else if (auto err = spec.initial_config.validate()) {
+    throw *err;
+  }
   tenants_.push_back(std::move(spec));
 }
 

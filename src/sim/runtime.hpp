@@ -189,6 +189,13 @@ struct TenantSpec {
   Controller* controller = nullptr;
   /// Lambda cost/latency model serving this tenant (tenants may differ).
   const lambda::LambdaModel* model = nullptr;
+  /// Heterogeneous serving backend (DESIGN.md §13). When set it wins over
+  /// `model` (which may then be null); at least one of the two must be
+  /// non-null. The caller keeps the backend alive across run().
+  const lambda::Backend* backend = nullptr;
+  /// Fleet function-group id assigned by core::FleetOptimizer; -1 means
+  /// ungrouped (solo tenant). Copied verbatim into PlatformRun::group_id.
+  std::int64_t group_id = -1;
   lambda::Config initial_config;
   PlatformOptions options;  // per-tenant control interval + cold-start seed
 };
@@ -227,6 +234,13 @@ struct RuntimeStats {
   std::size_t scored_rows = 0;
   std::size_t score_calls = 0;
   double score_seconds = 0.0;
+  /// Heterogeneous-fleet accounting (DESIGN.md §13): tenants replayed with
+  /// a fleet group id (group_id >= 0) and billed invocations split by
+  /// serving backend. Tenants without an explicit backend count as CPU —
+  /// the legacy model path IS the CPU backend.
+  std::size_t fleet_groups = 0;
+  std::size_t cpu_invocations = 0;
+  std::size_t gpu_invocations = 0;
 
   double cache_hit_rate() const {
     const std::size_t probes = cache_hits + cache_misses;
@@ -250,6 +264,9 @@ struct RuntimeStats {
     scored_rows += other.scored_rows;
     score_calls += other.score_calls;
     score_seconds += other.score_seconds;
+    fleet_groups += other.fleet_groups;
+    cpu_invocations += other.cpu_invocations;
+    gpu_invocations += other.gpu_invocations;
   }
 };
 

@@ -34,6 +34,9 @@ RuntimeShard::RuntimeShard(Options options, BatchEncoder* encoder,
   c_bypassed_ = &registry.counter("sim.runtime.bypassed_tick");
   c_scored_rows_ = &registry.counter("sim.runtime.scored_row");
   c_score_calls_ = &registry.counter("sim.runtime.score_call");
+  c_fleet_groups_ = &registry.counter("sim.runtime.fleet_group");
+  c_cpu_invocations_ = &registry.counter("sim.runtime.cpu_invocation");
+  c_gpu_invocations_ = &registry.counter("sim.runtime.gpu_invocation");
   h_encode_ = &registry.histogram("sim.runtime.batch_encode_seconds");
   h_score_ = &registry.histogram("sim.runtime.batch_score_seconds");
   h_group_ = &registry.histogram("sim.runtime.tick_group_seconds");
@@ -52,9 +55,15 @@ void RuntimeShard::add_tenant(const TenantSpec& spec, PlatformRun* out) {
   st.out = out;
   const bool empty = spec.trace->empty();
   if (!empty) {
-    st.sim.emplace(*spec.model, spec.initial_config,
-                   spec.options.cold_start_seed, &spec.options.faults,
-                   spec.options.fault_stream);
+    if (spec.backend != nullptr) {
+      st.sim.emplace(*spec.backend, spec.initial_config,
+                     spec.options.cold_start_seed, &spec.options.faults,
+                     spec.options.fault_stream);
+    } else {
+      st.sim.emplace(*spec.model, spec.initial_config,
+                     spec.options.cold_start_seed, &spec.options.faults,
+                     spec.options.fault_stream);
+    }
     st.split = encoder_ != nullptr
                    ? dynamic_cast<SplitController*>(spec.controller)
                    : nullptr;
@@ -266,6 +275,28 @@ void RuntimeShard::run() {
     }
     st.sim->finalize();
     st.out->result = st.sim->result();
+    // Fleet metadata + per-backend accounting (DESIGN.md §13). Tenant
+    // identity, not layout: group ids and backend kinds travel with the
+    // spec, so these totals are shard-invariant by construction.
+    st.out->group_id = st.spec->group_id;
+    const lambda::Backend* backend = st.spec->backend;
+    st.out->backend =
+        backend != nullptr ? backend->capabilities().name : "cpu-lambda";
+    const std::size_t invocations = st.sim->result().invocations;
+    const bool gpu = backend != nullptr &&
+                     backend->capabilities().kind ==
+                         lambda::BackendKind::kGpuServerless;
+    if (gpu) {
+      stats_.gpu_invocations += invocations;
+      c_gpu_invocations_->add(invocations);
+    } else {
+      stats_.cpu_invocations += invocations;
+      c_cpu_invocations_->add(invocations);
+    }
+    if (st.spec->group_id >= 0) {
+      ++stats_.fleet_groups;
+      c_fleet_groups_->add();
+    }
   }
 }
 

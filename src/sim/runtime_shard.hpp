@@ -101,6 +101,9 @@ class RuntimeShard {
   obs::Counter* c_bypassed_;
   obs::Counter* c_scored_rows_;
   obs::Counter* c_score_calls_;
+  obs::Counter* c_fleet_groups_;
+  obs::Counter* c_cpu_invocations_;
+  obs::Counter* c_gpu_invocations_;
   obs::Histogram* h_encode_;
   obs::Histogram* h_score_;
   obs::Histogram* h_group_;

@@ -98,6 +98,29 @@ Trace Trace::load(const std::string& path) {
   return Trace(std::move(times));
 }
 
+Trace merge_traces(std::span<const Trace* const> traces) {
+  std::size_t total = 0;
+  for (const Trace* t : traces) {
+    DEEPBAT_CHECK(t != nullptr, "merge_traces: null trace");
+    total += t->size();
+  }
+  std::vector<double> merged;
+  merged.reserve(total);
+  std::vector<std::size_t> cursor(traces.size(), 0);
+  while (merged.size() < total) {
+    std::size_t best = traces.size();
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      if (cursor[i] >= traces[i]->size()) continue;
+      if (best == traces.size() ||
+          (*traces[i])[cursor[i]] < (*traces[best])[cursor[best]]) {
+        best = i;  // strict < keeps equal timestamps input-ordered (stable)
+      }
+    }
+    merged.push_back((*traces[best])[cursor[best]++]);
+  }
+  return Trace(std::move(merged));
+}
+
 Trace trace_from_interarrivals(std::span<const double> gaps,
                                double start_time) {
   std::vector<double> times;

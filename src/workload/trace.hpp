@@ -60,4 +60,10 @@ class Trace {
 Trace trace_from_interarrivals(std::span<const double> gaps,
                                double start_time = 0.0);
 
+/// Merge-sort several traces into one superposed arrival stream — the
+/// aggregated trace a fleet function group serves (core::FleetOptimizer).
+/// Deterministic: a k-way stable merge; equal timestamps keep the order of
+/// the input traces.
+Trace merge_traces(std::span<const Trace* const> traces);
+
 }  // namespace deepbat::workload

@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "lambda/backend.hpp"
+#include "lambda/model.hpp"
+
+namespace deepbat::lambda {
+namespace {
+
+// ------------------------------------------------- CpuLambdaBackend parity --
+//
+// The backend refactor must leave every pre-existing replay byte-stable, so
+// the CPU wrapper is pinned BITWISE (exact double ==, no tolerance) against
+// the legacy LambdaModel across the full standard grid.
+
+TEST(CpuBackendParity, ServiceTimeBitIdenticalAcrossStandardGrid) {
+  LambdaModel model;
+  CpuLambdaBackend backend(model);
+  for (const Config& cfg : ConfigGrid::standard().enumerate()) {
+    for (std::int64_t b : {std::int64_t{1}, cfg.batch_size,
+                           std::int64_t{3}, std::int64_t{64}}) {
+      const double legacy = model.service_time(cfg.memory_mb, b);
+      const double via_backend = backend.service_time(cfg, b);
+      EXPECT_EQ(legacy, via_backend)
+          << cfg.to_string() << " batch=" << b;
+    }
+  }
+}
+
+TEST(CpuBackendParity, InvocationCostBitIdenticalAcrossStandardGrid) {
+  LambdaModel model;
+  CpuLambdaBackend backend(model);
+  for (const Config& cfg : ConfigGrid::standard().enumerate()) {
+    // Durations straddling the billing quantum, plus the config's own
+    // service time (the value the simulator actually bills).
+    for (double dur : {0.0001, 0.001, 0.0375,
+                       model.service_time(cfg.memory_mb, cfg.batch_size)}) {
+      EXPECT_EQ(model.invocation_cost(cfg.memory_mb, dur),
+                backend.invocation_cost(cfg, dur))
+          << cfg.to_string() << " dur=" << dur;
+    }
+    EXPECT_EQ(model.cost_per_request(cfg.memory_mb, cfg.batch_size),
+              backend.cost_per_request(cfg, cfg.batch_size))
+        << cfg.to_string();
+  }
+}
+
+TEST(CpuBackendParity, ColdStartAndValidationMatchModel) {
+  LambdaModelParams params;
+  params.cold_start_probability = 0.25;
+  params.cold_start_penalty_s = 0.8;
+  LambdaModel model(params);
+  CpuLambdaBackend backend(model);
+  EXPECT_EQ(backend.cold_start({}), 0.8);
+  EXPECT_EQ(backend.cold_start_probability(), 0.25);
+
+  // validate() defers to LambdaModel::validate: identical messages.
+  const Config bad{.memory_mb = 64, .batch_size = 1, .timeout_s = 0.1};
+  std::string model_msg, backend_msg;
+  try {
+    model.validate(bad);
+  } catch (const Error& e) {
+    model_msg = e.what();
+  }
+  try {
+    backend.validate(bad);
+  } catch (const Error& e) {
+    backend_msg = e.what();
+  }
+  ASSERT_FALSE(model_msg.empty());
+  EXPECT_EQ(model_msg, backend_msg);
+}
+
+TEST(CpuBackendParity, GridIsTheStandardGrid) {
+  LambdaModel model;
+  CpuLambdaBackend backend(model);
+  const ConfigGrid expected = ConfigGrid::standard();
+  const ConfigGrid got = backend.config_grid();
+  EXPECT_EQ(got.memories_mb, expected.memories_mb);
+  EXPECT_EQ(got.batch_sizes, expected.batch_sizes);
+  EXPECT_EQ(got.timeouts_s, expected.timeouts_s);
+}
+
+// ----------------------------------------------------- Config::validate ----
+
+bool rejected(const Config& cfg, const ConfigBounds& bounds = {}) {
+  return cfg.validate(bounds).has_value();
+}
+
+TEST(ConfigValidate, InRangeConfigPasses) {
+  EXPECT_FALSE(
+      rejected({.memory_mb = 1024, .batch_size = 8, .timeout_s = 0.1}));
+  // Boundary values are inclusive.
+  EXPECT_FALSE(
+      rejected({.memory_mb = 128, .batch_size = 1, .timeout_s = 0.0}));
+  EXPECT_FALSE(
+      rejected({.memory_mb = 10240, .batch_size = 1024, .timeout_s = 900.0}));
+}
+
+TEST(ConfigValidate, CapacityBelowMinimum) {
+  const auto err =
+      Config{.memory_mb = 127, .batch_size = 1, .timeout_s = 0.1}.validate();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(std::string(err->what()).find("capacity"), std::string::npos);
+}
+
+TEST(ConfigValidate, CapacityAboveMaximum) {
+  EXPECT_TRUE(
+      rejected({.memory_mb = 10241, .batch_size = 1, .timeout_s = 0.1}));
+}
+
+TEST(ConfigValidate, BatchSizeBounds) {
+  EXPECT_TRUE(rejected({.memory_mb = 1024, .batch_size = 0, .timeout_s = 0.1}));
+  EXPECT_TRUE(
+      rejected({.memory_mb = 1024, .batch_size = -4, .timeout_s = 0.1}));
+  EXPECT_TRUE(
+      rejected({.memory_mb = 1024, .batch_size = 1025, .timeout_s = 0.1}));
+}
+
+TEST(ConfigValidate, TimeoutBounds) {
+  EXPECT_TRUE(
+      rejected({.memory_mb = 1024, .batch_size = 1, .timeout_s = -0.001}));
+  EXPECT_TRUE(
+      rejected({.memory_mb = 1024, .batch_size = 1, .timeout_s = 901.0}));
+  // NaN must not sneak through a `>= 0` comparison.
+  EXPECT_TRUE(
+      rejected({.memory_mb = 1024, .batch_size = 1,
+                .timeout_s = std::numeric_limits<double>::quiet_NaN()}));
+}
+
+TEST(ConfigValidate, CustomBoundsAreRespected) {
+  // GPU-tier style bounds: SM% in [10, 100].
+  const ConfigBounds gpu_bounds{.min_capacity = 10,
+                                .max_capacity = 100,
+                                .max_batch_size = 128,
+                                .max_timeout_s = 900.0};
+  EXPECT_FALSE(rejected({.memory_mb = 50, .batch_size = 64, .timeout_s = 0.05},
+                        gpu_bounds));
+  EXPECT_TRUE(rejected({.memory_mb = 512, .batch_size = 1, .timeout_s = 0.05},
+                       gpu_bounds));
+  EXPECT_TRUE(rejected({.memory_mb = 50, .batch_size = 256, .timeout_s = 0.05},
+                       gpu_bounds));
+}
+
+// -------------------------------------------------- GpuServerlessBackend ---
+
+TEST(GpuBackend, BatchScalingIsMuchFlatterThanCpu) {
+  LambdaModel cpu_model;
+  GpuServerlessBackend gpu;
+  const Config full{.memory_mb = 100, .batch_size = 64, .timeout_s = 0.1};
+  const double g1 = gpu.service_time(full, 1);
+  const double g64 = gpu.service_time(full, 64);
+  const double c1 = cpu_model.service_time(10240, 1);
+  const double c64 = cpu_model.service_time(10240, 64);
+  // HAS-GPU Fig. 5 shape: near-flat latency vs batch. 64x the requests
+  // costs the GPU < 2x the time but the CPU > 10x.
+  EXPECT_LT(g64 / g1, 2.0);
+  EXPECT_GT(c64 / c1, 10.0);
+  // Still monotone increasing.
+  EXPECT_GT(g64, g1);
+}
+
+TEST(GpuBackend, CostScalesWithSmFractionHeld) {
+  GpuServerlessBackend gpu;
+  const Config half{.memory_mb = 50, .batch_size = 1, .timeout_s = 0.0};
+  const Config full{.memory_mb = 100, .batch_size = 1, .timeout_s = 0.0};
+  const double fee = gpu.params().usd_per_invocation;
+  const double c_half = gpu.invocation_cost(half, 1.0) - fee;
+  const double c_full = gpu.invocation_cost(full, 1.0) - fee;
+  EXPECT_NEAR(c_full, 2.0 * c_half, 1e-15);
+  EXPECT_NEAR(c_full, gpu.params().usd_per_gpu_second, 1e-15);
+}
+
+TEST(GpuBackend, BillingRoundsUpToQuantum) {
+  GpuServerlessBackend gpu;
+  const Config full{.memory_mb = 100, .batch_size = 1, .timeout_s = 0.0};
+  EXPECT_EQ(gpu.invocation_cost(full, 0.0001),
+            gpu.invocation_cost(full, 0.001));
+  EXPECT_GT(gpu.invocation_cost(full, 0.0011), gpu.invocation_cost(full, 0.001));
+}
+
+TEST(GpuBackend, ColdStartIsSecondsNotMilliseconds) {
+  GpuServerlessBackend gpu;
+  LambdaModel cpu_model;
+  EXPECT_EQ(gpu.cold_start({}), gpu.params().cold_start_penalty_s);
+  EXPECT_GT(gpu.cold_start({}), 5.0 * cpu_model.params().cold_start_penalty_s);
+}
+
+TEST(GpuBackend, SpeedupIsAmdahlOverSmSlice) {
+  GpuServerlessBackend gpu;
+  EXPECT_NEAR(gpu.speedup(100), 1.0, 1e-12);  // full GPU is the reference
+  EXPECT_LT(gpu.speedup(10), gpu.speedup(50));
+  EXPECT_LT(gpu.speedup(50), gpu.speedup(100));
+  const double p = gpu.params().parallel_fraction;
+  EXPECT_NEAR(gpu.speedup(50), 1.0 / ((1.0 - p) + p / 0.5), 1e-12);
+}
+
+TEST(GpuBackend, GridStaysWithinCapabilities) {
+  GpuServerlessBackend gpu;
+  const BackendCapabilities& caps = gpu.capabilities();
+  EXPECT_EQ(caps.kind, BackendKind::kGpuServerless);
+  EXPECT_EQ(caps.capacity_unit, "SM%");
+  const ConfigGrid grid = gpu.config_grid();
+  ASSERT_FALSE(grid.memories_mb.empty());
+  ASSERT_FALSE(grid.batch_sizes.empty());
+  ASSERT_FALSE(grid.timeouts_s.empty());
+  for (const Config& cfg : grid.enumerate()) {
+    EXPECT_NO_THROW(gpu.validate(cfg)) << cfg.to_string();
+    EXPECT_GE(cfg.memory_mb, caps.min_capacity);
+    EXPECT_LE(cfg.memory_mb, caps.max_capacity);
+    EXPECT_LE(cfg.batch_size, caps.max_batch_size);
+  }
+}
+
+TEST(GpuBackend, ValidateRejectsCpuScaleCapacity) {
+  GpuServerlessBackend gpu;
+  // 1024 is a fine CPU memory size but an impossible SM percentage.
+  const Config cpu_cfg{.memory_mb = 1024, .batch_size = 1, .timeout_s = 0.1};
+  EXPECT_THROW(gpu.validate(cpu_cfg), Error);
+  const Config sm{.memory_mb = 50, .batch_size = 4, .timeout_s = 0.1};
+  EXPECT_NO_THROW(gpu.validate(sm));
+}
+
+TEST(GpuBackend, RejectsBadCalibration) {
+  GpuBackendParams bad;
+  bad.min_sm_pct = 0;
+  EXPECT_THROW(GpuServerlessBackend{bad}, Error);
+  GpuBackendParams bad2;
+  bad2.parallel_fraction = 1.0;
+  EXPECT_THROW(GpuServerlessBackend{bad2}, Error);
+  GpuBackendParams bad3;
+  bad3.batch_exponent = 0.0;
+  EXPECT_THROW(GpuServerlessBackend{bad3}, Error);
+}
+
+// ------------------------------------------------------- kind + factory ----
+
+TEST(BackendKindTest, ParseAcceptsShortAndFullNames) {
+  EXPECT_EQ(parse_backend_kind("cpu"), BackendKind::kCpuLambda);
+  EXPECT_EQ(parse_backend_kind("cpu-lambda"), BackendKind::kCpuLambda);
+  EXPECT_EQ(parse_backend_kind("gpu"), BackendKind::kGpuServerless);
+  EXPECT_EQ(parse_backend_kind("gpu-serverless"), BackendKind::kGpuServerless);
+  EXPECT_FALSE(parse_backend_kind("tpu").has_value());
+  EXPECT_FALSE(parse_backend_kind("").has_value());
+}
+
+TEST(BackendKindTest, ToStringRoundTrips) {
+  for (BackendKind kind :
+       {BackendKind::kCpuLambda, BackendKind::kGpuServerless}) {
+    EXPECT_EQ(parse_backend_kind(to_string(kind)), kind);
+  }
+}
+
+TEST(BackendFactory, MakesTheRequestedKind) {
+  LambdaModel model;
+  auto cpu = make_backend(BackendKind::kCpuLambda, model);
+  auto gpu = make_backend(BackendKind::kGpuServerless, model);
+  ASSERT_NE(cpu, nullptr);
+  ASSERT_NE(gpu, nullptr);
+  EXPECT_EQ(cpu->capabilities().kind, BackendKind::kCpuLambda);
+  EXPECT_EQ(gpu->capabilities().kind, BackendKind::kGpuServerless);
+  // The CPU product is the bit-stable wrapper around the borrowed model.
+  const Config cfg{.memory_mb = 2048, .batch_size = 4, .timeout_s = 0.05};
+  EXPECT_EQ(cpu->service_time(cfg, 4), model.service_time(2048, 4));
+}
+
+}  // namespace
+}  // namespace deepbat::lambda

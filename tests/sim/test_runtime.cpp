@@ -293,6 +293,9 @@ TEST(RuntimeStatsTest, MergeSumsCountsAndRecomputesHitRate) {
   a.cache_misses = 1;
   a.bypassed_ticks = 2;
   a.encode_seconds = 0.25;
+  a.fleet_groups = 1;
+  a.cpu_invocations = 40;
+  a.gpu_invocations = 0;
   RuntimeStats b;
   b.tick_groups = 4;
   b.control_ticks = 11;
@@ -302,6 +305,9 @@ TEST(RuntimeStatsTest, MergeSumsCountsAndRecomputesHitRate) {
   b.cache_misses = 10;
   b.bypassed_ticks = 3;
   b.encode_seconds = 0.5;
+  b.fleet_groups = 2;
+  b.cpu_invocations = 5;
+  b.gpu_invocations = 13;
 
   a.merge(b);
   EXPECT_EQ(a.tick_groups, 7u);
@@ -312,6 +318,10 @@ TEST(RuntimeStatsTest, MergeSumsCountsAndRecomputesHitRate) {
   EXPECT_EQ(a.cache_misses, 11u);
   EXPECT_EQ(a.bypassed_ticks, 5u);
   EXPECT_DOUBLE_EQ(a.encode_seconds, 0.75);
+  // Fleet counters (DESIGN.md §13) fold as plain sums across shards.
+  EXPECT_EQ(a.fleet_groups, 3u);
+  EXPECT_EQ(a.cpu_invocations, 45u);
+  EXPECT_EQ(a.gpu_invocations, 13u);
   // The folded hit rate comes from the summed counts (9 / 20), NOT the
   // mean of the per-shard rates (0.9 and 0.0 would average to 0.45 too —
   // so check a second, asymmetric fold where the two disagree).
