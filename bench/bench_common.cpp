@@ -225,7 +225,8 @@ ReplayArgs parse_replay_args(int argc, const char* const* argv,
     const CliFlags flags(argc, argv);
     flags.check_known(
         {"slo", "hours", "interval", "cold-seed", "shards", "faults",
-         "fault-seed", "precision", "json", "metrics"});
+         "fault-seed", "precision", "retrain", "retrain-seed", "json",
+         "metrics"});
     defaults.slo_s = flags.get_double("slo", defaults.slo_s);
     defaults.hours = flags.get_double("hours", defaults.hours);
     defaults.control_interval_s =
@@ -243,6 +244,9 @@ ReplayArgs parse_replay_args(int argc, const char* const* argv,
     DEEPBAT_CHECK(parsed.has_value(),
                   "replay args: --precision must be fp32, fp16, or int8");
     defaults.scoring_precision = *parsed;
+    defaults.retrain = flags.get_bool("retrain", defaults.retrain);
+    defaults.retrain_seed = static_cast<std::uint64_t>(flags.get_int(
+        "retrain-seed", static_cast<std::int64_t>(defaults.retrain_seed)));
     defaults.json_path = flags.get("json", defaults.json_path);
     defaults.metrics_path = flags.get("metrics", defaults.metrics_path);
     if (!defaults.fault_scenario.empty()) {
@@ -260,6 +264,7 @@ ReplayArgs parse_replay_args(int argc, const char* const* argv,
                  "[--cold-seed N] [--shards N] "
                  "[--faults calm|coldburst|flaky|throttled|chaos] "
                  "[--fault-seed N] [--precision fp32|fp16|int8] "
+                 "[--retrain] [--retrain-seed N] "
                  "[--json PATH] [--metrics PATH]\n",
                  e.what(), argc > 0 ? argv[0] : "bench");
     std::exit(2);
@@ -308,6 +313,14 @@ void JsonReport::add_scalar(const std::string& key, double value) {
   scalars_.emplace_back(key, value);
 }
 
+void JsonReport::add_run(const std::string& key, const sim::PlatformRun& run) {
+  RunProvenance p;
+  p.key = key;
+  p.fault_stream = run.fault_stream;
+  p.swaps.assign(run.swaps.begin(), run.swaps.end());
+  runs_.push_back(std::move(p));
+}
+
 void JsonReport::set_metrics(const obs::MetricsSnapshot& snapshot) {
   metrics_json_ = obs::to_json(snapshot, obs::recent_spans());
 }
@@ -332,6 +345,23 @@ void JsonReport::write(const std::string& path) const {
     json_table(os, *tables_[i].second);
   }
   os << "}";
+  if (!runs_.empty()) {
+    os << ",\n \"runs\": {";
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+      if (i > 0) os << ",\n   ";
+      const RunProvenance& p = runs_[i];
+      json_string(os, p.key);
+      os << ": {\"fault_stream\": " << p.fault_stream << ", \"swaps\": [";
+      for (std::size_t s = 0; s < p.swaps.size(); ++s) {
+        if (s > 0) os << ", ";
+        os << "{\"time\": " << p.swaps[s].time
+           << ", \"from_version\": " << p.swaps[s].from_version
+           << ", \"to_version\": " << p.swaps[s].to_version << "}";
+      }
+      os << "]}";
+    }
+    os << "}";
+  }
   if (!metrics_json_.empty()) {
     os << ",\n \"metrics\": " << metrics_json_;
   }

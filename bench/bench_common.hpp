@@ -20,6 +20,7 @@
 #include "common/table.hpp"
 #include "core/deepbat.hpp"
 #include "obs/export.hpp"
+#include "sim/platform.hpp"
 
 namespace deepbat::bench {
 
@@ -104,6 +105,10 @@ void preamble(const std::string& figure, const std::string& description);
 ///   --fault-seed <n>     FaultPlan seed for --faults (default 7)
 ///   --precision <p>      grid-scoring arithmetic (fp32|fp16|int8, default
 ///                        fp32 — the bit-exact replay; see DESIGN.md §12)
+///   --retrain            enable the online harvest/retrain/shadow/hot-swap
+///                        loop on the DeepBAT tenant (DESIGN.md §14)
+///   --retrain-seed <n>   seed for the harvest reservoir and the retrain
+///                        shuffle (part of the replay identity; default 17)
 ///   --json <path>        also emit the bench's tables as one JSON document
 ///   --metrics <path>     dump an obs registry snapshot (JSON) after the run
 struct ReplayArgs {
@@ -116,6 +121,9 @@ struct ReplayArgs {
   std::string fault_scenario;
   std::uint64_t fault_seed = 7;
   core::ScoringPrecision scoring_precision = core::ScoringPrecision::kFp32;
+  /// Online retraining (learn::AdaptiveController) on the DeepBAT tenant.
+  bool retrain = false;
+  std::uint64_t retrain_seed = 17;
   std::string json_path;
   std::string metrics_path;
 };
@@ -145,6 +153,12 @@ class JsonReport {
   void add(const std::string& key, const Table& table);
   void add_scalar(const std::string& key, double value);
 
+  /// Record a replay's reproducibility provenance: the tenant's fault
+  /// stream id and its surrogate hot-swap history TOGETHER (a retrained
+  /// replay is only byte-comparable across reruns and shard counts when
+  /// both match). Serialized under a "runs" key.
+  void add_run(const std::string& key, const sim::PlatformRun& run);
+
   /// Embed an observability snapshot (serialized immediately) so the bench
   /// document carries its metrics under a "metrics" key.
   void set_metrics(const obs::MetricsSnapshot& snapshot);
@@ -154,9 +168,16 @@ class JsonReport {
   void write(const std::string& path) const;
 
  private:
+  struct RunProvenance {
+    std::string key;
+    std::uint64_t fault_stream = 0;
+    std::vector<sim::SwapEvent> swaps;
+  };
+
   std::string bench_;
   std::vector<std::pair<std::string, double>> scalars_;
   std::vector<std::pair<std::string, const Table*>> tables_;
+  std::vector<RunProvenance> runs_;
   std::string metrics_json_;
 };
 

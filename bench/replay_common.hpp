@@ -11,10 +11,12 @@
 
 #include <algorithm>
 #include <iostream>
+#include <optional>
 
 #include "bench_common.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "learn/adaptive_controller.hpp"
 
 namespace deepbat::bench {
 
@@ -36,7 +38,35 @@ struct Replay {
   // fair-weather replays.
   std::size_t deepbat_fallbacks = 0;
   std::size_t deepbat_breaker_trips = 0;
+  // Online-learning counters (learn::AdaptiveController, DESIGN.md §14);
+  // only populated when ReplayArgs::retrain was set. The swap history
+  // itself travels inside deepbat.swaps.
+  bool retrain = false;
+  std::size_t retrain_runs = 0;
+  std::size_t shadow_wins = 0;
+  std::size_t shadow_losses = 0;
+  std::size_t drift_trips = 0;
+  std::size_t samples_harvested = 0;
+  /// Tick times of every DeepBAT fallback decision (the decay gate's input).
+  std::vector<double> deepbat_fallback_times;
 };
+
+/// Learner configuration for the retrain benches: seeded from
+/// ReplayArgs::retrain_seed (replay identity), sized for short chaos
+/// replays — a flaky fault phase (mttr 90 s at a 30 s control interval)
+/// spans ~3 ticks, so the drift trip, the fallback trigger, and the shadow
+/// holdout minimum all have to fit inside a few intervals.
+inline learn::AdaptiveControllerOptions adaptive_controller_options(
+    const Fixture& fx, double slo, double gamma, const ReplayArgs& args) {
+  learn::AdaptiveControllerOptions o;
+  o.controller = fx.controller_options(slo, gamma);
+  o.learn.harvest.seed = args.retrain_seed;
+  o.learn.harvest.holdout_every = 3;
+  o.learn.retrain.shuffle_seed = args.retrain_seed + 1;
+  o.learn.shadow.min_holdout = 2;
+  o.learn.min_train_samples = 8;
+  return o;
+}
 
 /// Replay `trace` (already sliced to the serving horizon) under both
 /// systems, merged into one multi-tenant runtime. `deepbat_model` should be
@@ -51,8 +81,24 @@ inline Replay run_head_to_head(Fixture& fx, const workload::Trace& trace,
   obs::clear_spans();
 
   Replay replay;
-  core::DeepBatController deepbat(deepbat_model,
-                                  fx.controller_options(slo, gamma));
+  replay.retrain = args.retrain;
+  // With --retrain the DeepBAT tenant runs the full online-learning loop
+  // (harvest -> drift -> retrain -> shadow -> hot-swap); training runs on a
+  // single-worker pool so the control loop overlaps it wall-clock, while
+  // the fixed-tick join keeps results bit-identical to inline training.
+  std::optional<WorkerPool> retrain_pool;
+  std::optional<core::DeepBatController> plain;
+  std::optional<learn::AdaptiveController> adaptive;
+  if (args.retrain) {
+    auto aopts = adaptive_controller_options(fx, slo, gamma, args);
+    retrain_pool.emplace(1);
+    aopts.learn.retrain.pool = &*retrain_pool;
+    adaptive.emplace(deepbat_model, aopts);
+  } else {
+    plain.emplace(deepbat_model, fx.controller_options(slo, gamma));
+  }
+  core::DeepBatController& deepbat =
+      args.retrain ? static_cast<core::DeepBatController&>(*adaptive) : *plain;
   batchlib::BatchController batch(fx.model(), fx.batch_options(slo));
   core::SurrogateBatchEncoder encoder(deepbat_model);
   sim::RuntimeOptions ropts;
@@ -77,10 +123,12 @@ inline Replay run_head_to_head(Fixture& fx, const workload::Trace& trace,
   spec.name = deepbat.name();
   spec.controller = &deepbat;
   spec.options.fault_stream = 0;
+  if (args.retrain) spec.options.observer = &*adaptive;
   runtime.add_tenant(spec);
   spec.name = batch.name();
   spec.controller = &batch;
   spec.options.fault_stream = 1;
+  spec.options.observer = nullptr;
   runtime.add_tenant(spec);
 
   std::printf("[replay] DeepBAT + BATCH (shared runtime) over %.1f h...\n",
@@ -95,6 +143,14 @@ inline Replay run_head_to_head(Fixture& fx, const workload::Trace& trace,
   replay.cache_misses = replay.runtime_stats.cache_misses;
   replay.deepbat_fallbacks = deepbat.fallback_decisions();
   replay.deepbat_breaker_trips = deepbat.breaker_trips();
+  if (args.retrain) {
+    replay.retrain_runs = adaptive->retrain_runs();
+    replay.shadow_wins = adaptive->shadow_wins();
+    replay.shadow_losses = adaptive->shadow_losses();
+    replay.drift_trips = adaptive->drift_trips();
+    replay.samples_harvested = adaptive->harvester().harvested();
+    replay.deepbat_fallback_times = adaptive->fallback_times();
+  }
 
   if (deepbat.decision_count() > 0) {
     replay.deepbat_ms_per_decision =

@@ -38,6 +38,13 @@ echo "== fleet smoke =="
 # wrapper must replay bit-identically to the legacy model path.
 ./build/bench/fleet --hours 0.25 --fleet 8 --groups 2 --shards 2
 
+echo "== retrain chaos smoke =="
+# Online-learning gate (DESIGN.md §14): under flaky faults with --retrain
+# the adaptive controller must drift-trip, retrain, shadow-win, and
+# hot-swap — and the post-swap fallback rate must DROP — while the replay
+# stays bit-identical solo vs sharded and across reruns (exit 1 otherwise).
+./build/bench/chaos_replay --hours 0.25 --faults flaky --retrain --shards 2
+
 if [[ "$FAST" == "1" ]]; then
   echo "== skipping sanitizer passes (--fast) =="
   exit 0
@@ -48,11 +55,12 @@ cmake -B build-asan -S . -DDEEPBAT_SANITIZE=address -DDEEPBAT_NATIVE=OFF \
   >/dev/null
 cmake --build build-asan -j"$(nproc)" --target \
   test_nn_kernels test_nn_tensor test_nn_autograd test_nn_modules test_obs \
-  test_common test_sim test_runtime test_lambda test_fleet
+  test_common test_sim test_runtime test_lambda test_fleet test_learn
 
 echo "== asan: run =="
 for t in test_nn_kernels test_nn_tensor test_nn_autograd test_nn_modules \
-         test_obs test_common test_sim test_runtime test_lambda test_fleet; do
+         test_obs test_common test_sim test_runtime test_lambda test_fleet \
+         test_learn; do
   ./build-asan/tests/"$t"
 done
 
@@ -60,7 +68,7 @@ echo "== tsan: build =="
 cmake -B build-tsan -S . -DDEEPBAT_SANITIZE=thread -DDEEPBAT_NATIVE=OFF \
   >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target test_obs test_common \
-  test_runtime test_nn_kernels test_fleet
+  test_runtime test_nn_kernels test_fleet test_learn
 
 echo "== tsan: run =="
 ./build-tsan/tests/test_obs
@@ -69,6 +77,10 @@ OMP_NUM_THREADS=1 ./build-tsan/tests/test_runtime
 # Fleet tests drive mixed CPU/GPU tenants through the sharded runtime —
 # the heterogeneous-backend dispatch path under TSan.
 OMP_NUM_THREADS=1 ./build-tsan/tests/test_fleet
+# Online-learning loop (DESIGN.md §14): the versioned-store swap-while-
+# scoring stress and the background-pool retrainer are the new concurrency
+# surfaces; the adaptive E2E tests ride along.
+OMP_NUM_THREADS=1 ./build-tsan/tests/test_learn
 # Covers the golden quant-GEMM tests (gemm_s8 / quantize_rows_s8 / gemm_f16w)
 # under TSan's runtime. Filtered: the bit-identity suites set OMP thread
 # counts internally, and libgomp's barriers are opaque to TSan (same false

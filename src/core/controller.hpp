@@ -66,6 +66,16 @@ class DeepBatController : public sim::SplitController {
   void set_gamma(double gamma) { engine_.set_gamma(gamma); }
   double gamma() const { return engine_.gamma(); }
 
+  /// Hot-swap the engine's surrogate (learn/ online retraining loop,
+  /// DESIGN.md §14); see DecisionEngine::rebind_surrogate. Only between
+  /// decisions.
+  void swap_surrogate(const Surrogate& surrogate) {
+    engine_.rebind_surrogate(surrogate);
+  }
+  /// External staleness trip from an observed-drift monitor
+  /// (learn::DriftMonitor); see DecisionEngine::report_staleness.
+  void report_staleness() { engine_.report_staleness(); }
+
   // --- instrumentation (speedup experiment, §IV-F) ---
   std::size_t decision_count() const { return decisions_; }
   double total_predict_seconds() const { return predict_seconds_; }

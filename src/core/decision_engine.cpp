@@ -44,7 +44,7 @@ std::span<const float> WindowParser::parse(const workload::Trace& history,
 
 SequenceEncoder::SequenceEncoder(const Surrogate& surrogate,
                                  std::size_t cache_capacity)
-    : surrogate_(surrogate),
+    : surrogate_(&surrogate),
       capacity_(std::max<std::size_t>(cache_capacity, 1)) {
   auto& registry = obs::MetricsRegistry::instance();
   hit_counter_ = &registry.counter("core.encoder.cache_hit");
@@ -68,11 +68,11 @@ std::size_t SequenceEncoder::KeyHash::operator()(
 }
 
 std::size_t SequenceEncoder::window_length() const {
-  return static_cast<std::size_t>(surrogate_.config().sequence_length);
+  return static_cast<std::size_t>(surrogate_->config().sequence_length);
 }
 
 std::size_t SequenceEncoder::encoding_dim() const {
-  return static_cast<std::size_t>(surrogate_.config().model_dim);
+  return static_cast<std::size_t>(surrogate_->config().model_dim);
 }
 
 void SequenceEncoder::touch(Entry& entry) {
@@ -134,10 +134,22 @@ void SequenceEncoder::forward_single(std::span<const float> window,
                 "SequenceEncoder: output dimension mismatch");
   nn::NoGradGuard no_grad;
   nn::arena::Scope arena_scope;
-  nn::Tensor seq({1, surrogate_.config().sequence_length, 1});
+  nn::Tensor seq({1, surrogate_->config().sequence_length, 1});
   std::copy(window.begin(), window.end(), seq.data());
-  const nn::Tensor e1 = surrogate_.encode_sequence(seq);
+  const nn::Tensor e1 = surrogate_->encode_sequence(seq);
   std::copy(e1.data(), e1.data() + out.size(), out.begin());
+}
+
+void SequenceEncoder::rebind(const Surrogate& surrogate) {
+  DEEPBAT_CHECK(
+      surrogate.config().sequence_length ==
+              surrogate_->config().sequence_length &&
+          surrogate.config().model_dim == surrogate_->config().model_dim,
+      "SequenceEncoder: rebound surrogate changes the encoder dimensions");
+  surrogate_ = &surrogate;
+  cache_.clear();
+  lru_.clear();
+  size_gauge_->set(0.0);
 }
 
 // ---------------------------------------------------------------- scorer --
@@ -145,16 +157,16 @@ void SequenceEncoder::forward_single(std::span<const float> window,
 GridScorer::GridScorer(const Surrogate& surrogate,
                        std::vector<lambda::Config> configs,
                        ScoringPrecision precision)
-    : surrogate_(surrogate), configs_(std::move(configs)) {
+    : surrogate_(&surrogate), configs_(std::move(configs)) {
   DEEPBAT_CHECK(!configs_.empty(), "GridScorer: empty config grid");
   // Feature branch + head-weight slices (+ quantized images) are computed
   // once here; score() only runs the per-tick fused pass.
-  cache_ = surrogate_.make_scoring_cache(configs_, precision);
+  cache_ = surrogate_->make_scoring_cache(configs_, precision);
 }
 
 std::span<const PredictionTarget> GridScorer::score(
     std::span<const float> e1) const {
-  surrogate_.predict_grid_from_e1_batch(e1, 1, cache_, scored_);
+  surrogate_->predict_grid_from_e1_batch(e1, 1, cache_, scored_);
   return scored_;
 }
 
@@ -171,7 +183,14 @@ std::span<const PredictionTarget> GridScorer::unpack(
 }
 
 void GridScorer::calibrate(std::span<const float> windows, std::size_t count) {
-  surrogate_.calibrate_scoring_cache(cache_, windows, count);
+  surrogate_->calibrate_scoring_cache(cache_, windows, count);
+}
+
+void GridScorer::rebind(const Surrogate& surrogate) {
+  DEEPBAT_CHECK(surrogate.config().model_dim == surrogate_->config().model_dim,
+                "GridScorer: rebound surrogate changes the encoding dim");
+  surrogate_ = &surrogate;
+  cache_ = surrogate_->make_scoring_cache(configs_, cache_.precision());
 }
 
 // ---------------------------------------------------------------- engine --
@@ -259,6 +278,27 @@ void DecisionEngine::set_gamma(double gamma) {
   DEEPBAT_CHECK(gamma >= 0.0 && gamma < 1.0,
                 "DecisionEngine: gamma out of [0, 1)");
   options_.gamma = gamma;
+}
+
+void DecisionEngine::rebind_surrogate(const Surrogate& surrogate) {
+  DEEPBAT_CHECK(!pending_,
+                "DecisionEngine: rebind_surrogate() between begin()/finish()");
+  DEEPBAT_CHECK(static_cast<std::size_t>(surrogate.config().sequence_length) ==
+                    parser_.window_length(),
+                "DecisionEngine: rebound surrogate changes the window length");
+  encoder_.rebind(surrogate);
+  scorer_.rebind(surrogate);
+  // HalfOpen, not Closed: the next decision probes the new model once; the
+  // guard either confirms it (breaker closes, reset counted) or re-trips.
+  breaker_ = BreakerState::kHalfOpen;
+  cooldown_left_ = 0;
+}
+
+void DecisionEngine::report_staleness() {
+  DEEPBAT_CHECK(!pending_,
+                "DecisionEngine: report_staleness() between begin()/finish()");
+  if (!options_.guard.enabled || breaker_ != BreakerState::kClosed) return;
+  trip_breaker();
 }
 
 DecisionEngine::Prepared DecisionEngine::begin(const workload::Trace& history,

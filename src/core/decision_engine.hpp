@@ -74,6 +74,13 @@ class SequenceEncoder {
   void forward_single(std::span<const float> window,
                       std::span<float> out) const;
 
+  /// Point the encoder at a new surrogate version (learn/ hot-swap,
+  /// DESIGN.md §14). Every cached E_1 row was computed by the old weights,
+  /// so the cache is dropped wholesale; the cumulative hit/miss/evict
+  /// counters survive — they describe the tenant, not the model. The new
+  /// surrogate must share sequence_length and model_dim with the old one.
+  void rebind(const Surrogate& surrogate);
+
   std::size_t window_length() const;
   std::size_t encoding_dim() const;
   std::size_t cache_hits() const { return hits_; }
@@ -95,7 +102,7 @@ class SequenceEncoder {
 
   void touch(Entry& entry);  // move to most-recently-used
 
-  const Surrogate& surrogate_;
+  const Surrogate* surrogate_;  // rebindable (hot-swap); never null
   std::size_t capacity_;
   std::unordered_map<std::vector<float>, Entry, KeyHash> cache_;
   std::list<const std::vector<float>*> lru_;  // front = most recent
@@ -133,12 +140,18 @@ class GridScorer {
   /// Surrogate::calibrate_scoring_cache). No-op observable effect at fp32.
   void calibrate(std::span<const float> windows, std::size_t count);
 
+  /// Point the scorer at a new surrogate version (learn/ hot-swap): the
+  /// precomputed feature branch / head slices / quantized images all came
+  /// from the old weights, so the scoring cache is rebuilt from scratch at
+  /// the same precision. Any int8 calibration is recomputed implicitly.
+  void rebind(const Surrogate& surrogate);
+
   const std::vector<lambda::Config>& configs() const { return configs_; }
   ScoringPrecision precision() const { return cache_.precision(); }
   const GridScoringCache& cache() const { return cache_; }
 
  private:
-  const Surrogate& surrogate_;
+  const Surrogate* surrogate_;  // rebindable (hot-swap); never null
   std::vector<lambda::Config> configs_;
   GridScoringCache cache_;
   mutable std::vector<PredictionTarget> scored_;  // reused across ticks
@@ -265,6 +278,23 @@ class DecisionEngine {
                                           predictions.size()),
         guard);
   }
+
+  /// Hot-swap the surrogate behind the engine (learn/ versioned store,
+  /// DESIGN.md §14): the encoder drops its now-stale window cache, the
+  /// scorer rebuilds its precomputed grid cache from the new weights, and
+  /// the breaker moves to HalfOpen — the swap is an assertion that the new
+  /// model is better, not proof, so the very next decision probes it once
+  /// before it is fully trusted. Must not be called between begin() and
+  /// finish(); the new surrogate must match the old one's dimensions.
+  void rebind_surrogate(const Surrogate& surrogate);
+
+  /// External staleness signal (learn::DriftMonitor): observed outcomes
+  /// persistently diverge from the surrogate's predictions. Structural
+  /// guard_ok() cannot see that kind of failure — the predictions are
+  /// well-formed, just wrong — so drift trips the breaker through this
+  /// entry instead. No-op when the guard layer is disabled or the breaker
+  /// is already open; must not be called between begin() and finish().
+  void report_staleness();
 
   // --- breaker observability ---
   bool breaker_open() const { return breaker_ != BreakerState::kClosed; }

@@ -432,6 +432,35 @@ std::vector<PredictionTarget> Surrogate::predict_grid(
       configs);
 }
 
+std::unique_ptr<Surrogate> Surrogate::clone() const {
+  // Constructing with the standard grid only seeds the feature
+  // standardizer, which is overwritten right after — the clone serves
+  // whatever grid its caller scores, exactly like the original.
+  auto copy =
+      std::make_unique<Surrogate>(config_, lambda::ConfigGrid::standard());
+  copy->standardizer_ = standardizer_;
+  copy->copy_parameters_from(*this);
+  copy->set_training(false);
+  return copy;
+}
+
+void Surrogate::copy_parameters_from(const Surrogate& other) {
+  const auto dst = named_parameters();
+  const auto src = other.named_parameters();
+  DEEPBAT_CHECK(dst.size() == src.size(),
+                "Surrogate: parameter count mismatch in copy_parameters_from");
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    DEEPBAT_CHECK(dst[i].first == src[i].first,
+                  "Surrogate: parameter name mismatch in copy_parameters_from");
+    nn::Tensor& d = dst[i].second->value;
+    const nn::Tensor& s = src[i].second->value;
+    DEEPBAT_CHECK(
+        d.shape() == s.shape(),
+        "Surrogate: parameter shape mismatch in copy_parameters_from");
+    std::copy(s.data(), s.data() + s.numel(), d.data());
+  }
+}
+
 void Surrogate::set_record_attention(bool record) {
   if (config_.encoder == EncoderType::kLstm) return;  // no attention maps
   for (std::int64_t i = 0; i < encoder_.num_layers(); ++i) {

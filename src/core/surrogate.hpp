@@ -199,6 +199,18 @@ class Surrogate : public nn::Module {
       std::span<const float> encoded_window,
       std::span<const lambda::Config> configs) const;
 
+  /// Deep copy for the online retrainer (learn/, DESIGN.md §14): a freshly
+  /// constructed module with identical config, feature standardizer, and
+  /// parameter values, returned in eval mode. The clone owns its weights,
+  /// so fine-tuning it never perturbs the incumbent it was copied from.
+  std::unique_ptr<Surrogate> clone() const;
+
+  /// Overwrite every named parameter with `other`'s values. Module
+  /// registration order is deterministic, so the parameter lists are
+  /// checked pairwise by name and shape. Requires an identical
+  /// architecture (same SurrogateConfig dimensions).
+  void copy_parameters_from(const Surrogate& other);
+
   /// Record encoder self-attention of the last forward (paper Fig. 14).
   void set_record_attention(bool record);
   /// Aggregated attention received by each sequence position, averaged over

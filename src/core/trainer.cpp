@@ -126,6 +126,11 @@ TrainResult fine_tune(Surrogate& model, const nn::Dataset& dataset,
   return train_impl(model, dataset, options);
 }
 
+TrainResult fine_tune(Surrogate& model, const nn::Dataset& dataset,
+                      const TrainOptions& options) {
+  return train_impl(model, dataset, options);
+}
+
 double evaluate_mape(Surrogate& model, const nn::Dataset& dataset) {
   DEEPBAT_CHECK(!dataset.empty(), "evaluate_mape: empty dataset");
   model.set_training(false);

@@ -55,6 +55,12 @@ TrainResult fine_tune(Surrogate& model, const nn::Dataset& dataset,
                       int epochs = 15, float learning_rate = 5e-4F,
                       double slo_s = 0.1);
 
+/// fine_tune with full control over the loop. The online learn::Retrainer
+/// uses this form: it threads its own shuffle seed through so background
+/// retraining stays bit-deterministic and pool-vs-inline identical.
+TrainResult fine_tune(Surrogate& model, const nn::Dataset& dataset,
+                      const TrainOptions& options);
+
 /// Mean MAPE (%) of the model's predictions over a dataset — the
 /// prediction-accuracy metric of paper Fig. 13.
 double evaluate_mape(Surrogate& model, const nn::Dataset& dataset);

@@ -1,0 +1,159 @@
+#pragma once
+// The full online-learning loop wrapped around the DeepBAT controller
+// (DESIGN.md §14): harvest -> drift -> retrain -> shadow -> hot-swap.
+//
+// AdaptiveController is a DeepBatController that also implements
+// sim::TenantObserver. The runtime delivers each control interval's
+// observed outcomes (on_tick, strictly before the tick's decision), and
+// the controller:
+//
+//   1. harvests the (window, applied config) -> observed (cost, latency)
+//      tuple into a seeded reservoir (SampleHarvester);
+//   2. feeds observed-vs-predicted p95 to the DriftMonitor; a sustained
+//      divergence trips the engine breaker via report_staleness() — the
+//      structural guard cannot see fault-induced staleness because faults
+//      perturb outcomes, not arrival windows;
+//   3. once fallback activity accumulates (or an optional sample budget
+//      fills), clones the live surrogate and fine-tunes the clone on a
+//      background WorkerPool task (Retrainer);
+//   4. joins the training at a FIXED logical tick (launch + delay), shadow-
+//      scores candidate vs incumbent on held-out samples, and on a win
+//      adopts it in the VersionedSurrogateStore and hot-swaps the engine.
+//
+// Determinism contract: every learner step runs in tenant-tick order, the
+// reservoir and training shuffles are seeded, training is bit-deterministic
+// (pool and inline produce the same candidate), and the join happens at a
+// logical tick rather than "when training finished" — so retrained replays
+// are bit-reproducible and shard-invariant, and swap ticks recorded in
+// PlatformRun::swaps compare bytewise across reruns. With no observer
+// wired (or zero fault pressure) the learner never engages and the replay
+// is byte-identical to a plain DeepBatController run.
+
+#include <optional>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "learn/drift.hpp"
+#include "learn/harvester.hpp"
+#include "learn/retrainer.hpp"
+#include "learn/shadow.hpp"
+#include "learn/store.hpp"
+#include "sim/platform.hpp"
+
+namespace deepbat::learn {
+
+struct LearnOptions {
+  HarvestOptions harvest;
+  DriftOptions drift;        // slo_s is overwritten from the controller's
+  RetrainerOptions retrain;  // slo_s likewise
+  ShadowOptions shadow;
+  /// Reservoir samples required before any retrain can launch.
+  std::size_t min_train_samples = 12;
+  /// Fallback-activity trigger: launch when at least this many fallback
+  /// decisions landed within the last fallback_window_ticks control ticks
+  /// (0 disables the trigger).
+  std::size_t fallback_trigger = 2;
+  std::size_t fallback_window_ticks = 12;
+  /// Sample-budget trigger: launch whenever this many new samples arrived
+  /// since the last launch. 0 (default) disables it — with only the
+  /// fallback trigger armed, a fault-free replay never retrains and stays
+  /// byte-identical to the plain controller.
+  std::size_t sample_budget = 0;
+  /// Logical ticks between launching a retrain and joining it. The
+  /// background task gets this much wall-clock to overlap the control
+  /// loop; the join blocks if training is genuinely slower.
+  std::size_t retrain_delay_ticks = 3;
+  /// Cap on retrain launches per replay (0 = unlimited).
+  std::size_t max_retrains = 4;
+};
+
+struct AdaptiveControllerOptions {
+  core::DeepBatControllerOptions controller;
+  LearnOptions learn;
+};
+
+class AdaptiveController : public core::DeepBatController,
+                           public sim::TenantObserver {
+ public:
+  /// The incumbent surrogate is borrowed as version 0; retrained versions
+  /// are owned by the internal store.
+  AdaptiveController(const core::Surrogate& incumbent,
+                     AdaptiveControllerOptions options);
+
+  // --- sim::Controller / sim::SplitController ---
+  lambda::Config decide(const workload::Trace& history, double now) override;
+  TickRequest begin_tick(const workload::Trace& history, double now) override;
+  lambda::Config finish_tick(std::span<const float> encoding) override;
+  /// The runtime's shared batch encoder/scorer hold the ORIGINAL weights;
+  /// after a hot-swap their rows would be stale. The adaptive controller
+  /// therefore never joins the fused scoring pass, and post-swap it
+  /// self-encodes through its own (rebound) engine encoder.
+  bool supports_batched_scoring() const override { return false; }
+
+  // --- sim::TenantObserver ---
+  void on_tick(double now, const sim::SimResult& result) override;
+  std::span<const sim::SwapEvent> swaps() const override {
+    return store_.swaps();
+  }
+
+  // --- learning-loop observability ---
+  const VersionedSurrogateStore& store() const { return store_; }
+  const SampleHarvester& harvester() const { return harvester_; }
+  const DriftMonitor& drift() const { return drift_; }
+  std::size_t retrain_runs() const { return retrainer_.runs(); }
+  std::size_t shadow_wins() const { return shadow_wins_; }
+  std::size_t shadow_losses() const { return shadow_losses_; }
+  std::size_t drift_trips() const { return drift_trips_; }
+  const std::vector<ShadowReport>& shadow_reports() const {
+    return shadow_reports_;
+  }
+  /// Tick times of every fallback decision (the bench's decay gate).
+  const std::vector<double>& fallback_times() const { return fallback_times_; }
+
+ private:
+  /// Shared tail of decide()/finish_tick(): fallback bookkeeping plus the
+  /// (window, config, prediction) snapshot the NEXT on_tick pairs with its
+  /// observed outcomes.
+  lambda::Config after_decision(lambda::Config config, double now,
+                                std::size_t fallbacks_before);
+  void step_learner(double now);
+
+  AdaptiveControllerOptions options_;
+  core::WindowParser parser_;  // own parse: harvest needs bypassed ticks too
+  VersionedSurrogateStore store_;
+  SampleHarvester harvester_;
+  DriftMonitor drift_;
+  Retrainer retrainer_;
+  ShadowEvaluator shadow_;
+
+  // Last applied decision, awaiting its interval's observed outcomes.
+  std::vector<float> last_window_;
+  lambda::Config last_config_{};
+  double last_pred_p95_s_ = -1.0;  // < 0: fallback tick, nothing to compare
+  bool have_last_ = false;
+
+  // Per-tick scratch.
+  std::vector<float> window_scratch_;
+  std::vector<float> self_e1_;
+  bool self_encode_ = false;
+  double tick_now_ = 0.0;
+
+  // Learner state (all advanced in tenant-tick order).
+  std::size_t seen_requests_ = 0;
+  std::size_t tick_index_ = 0;
+  std::optional<std::size_t> join_at_tick_;
+  std::size_t samples_at_launch_ = 0;
+  std::size_t fallbacks_at_last_tick_ = 0;
+  std::vector<std::size_t> fallback_ring_;  // per-tick deltas, last W ticks
+  std::size_t ring_pos_ = 0;
+  std::size_t ring_sum_ = 0;
+
+  std::size_t shadow_wins_ = 0;
+  std::size_t shadow_losses_ = 0;
+  std::size_t drift_trips_ = 0;
+  std::vector<double> fallback_times_;
+  std::vector<ShadowReport> shadow_reports_;
+  obs::Counter* drift_counter_;  // core.retrain.drift_trip
+};
+
+}  // namespace deepbat::learn

@@ -1,0 +1,22 @@
+#include "learn/drift.hpp"
+
+namespace deepbat::learn {
+
+bool DriftMonitor::observe(double predicted_p95_s, double observed_p95_s,
+                           std::size_t served_requests) {
+  if (!options_.enabled || served_requests < options_.min_requests) {
+    return false;
+  }
+  const bool stale_tick =
+      observed_p95_s > options_.slo_s &&
+      observed_p95_s > options_.ratio * predicted_p95_s + options_.margin_s;
+  if (stale_tick) {
+    ++streak_;
+    ++stale_total_;
+  } else {
+    streak_ = 0;
+  }
+  return stale_tick;
+}
+
+}  // namespace deepbat::learn

@@ -1,0 +1,66 @@
+#pragma once
+// Observed-drift monitor (DESIGN.md §14). The engine's structural guard
+// (DecisionEngine::guard_ok) catches malformed predictions — NaN, negative
+// cost, broken percentile curves — but a surrogate that went stale under
+// fault weather emits perfectly well-formed predictions that are simply
+// WRONG: faults perturb service outcomes, not arrival windows, so the
+// window-driven control plane never notices on its own. The DriftMonitor
+// closes that gap from the outcome side: it compares each interval's
+// observed p95 against the prediction the controller acted on, and after
+// `trip_after` consecutive stale intervals the adaptive controller trips
+// the engine breaker (DecisionEngine::report_staleness) — creating the
+// fallback activity that triggers retraining.
+
+#include <cstddef>
+
+namespace deepbat::learn {
+
+struct DriftOptions {
+  bool enabled = true;
+  /// An interval is stale when observed p95 exceeds BOTH the SLO (drift
+  /// that costs nothing is not worth a trip) and
+  /// ratio * predicted p95 + margin_s.
+  double ratio = 2.0;
+  double margin_s = 0.05;
+  /// Intervals with fewer served requests are ignored — their tail
+  /// percentiles are noise.
+  std::size_t min_requests = 6;
+  /// Consecutive stale intervals before stale() reports true. Kept small:
+  /// a flaky fault phase (mttr 90 s at a 30 s control interval) only spans
+  /// ~3 ticks, and the trip must land inside it.
+  std::size_t trip_after = 2;
+  /// The tenant's latency SLO; the adaptive controller overwrites this
+  /// with its own slo_s.
+  double slo_s = 0.1;
+};
+
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(const DriftOptions& options) : options_(options) {}
+
+  /// Record one interval where the controller acted on a fresh (non-
+  /// fallback) prediction. Returns true when the interval counted as stale.
+  /// Fallback intervals have no prediction to compare and are simply not
+  /// observed — the streak carries across them.
+  bool observe(double predicted_p95_s, double observed_p95_s,
+               std::size_t served_requests);
+
+  /// True when the stale streak has reached trip_after.
+  bool stale() const {
+    return options_.enabled && streak_ >= options_.trip_after;
+  }
+  std::size_t streak() const { return streak_; }
+  std::size_t stale_intervals() const { return stale_total_; }
+
+  /// Consume the streak (after a breaker trip or a hot-swap).
+  void reset() { streak_ = 0; }
+
+  const DriftOptions& options() const { return options_; }
+
+ private:
+  DriftOptions options_;
+  std::size_t streak_ = 0;
+  std::size_t stale_total_ = 0;
+};
+
+}  // namespace deepbat::learn

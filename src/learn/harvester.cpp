@@ -1,0 +1,93 @@
+#include "learn/harvester.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace deepbat::learn {
+
+core::PredictionTarget observed_target(
+    std::span<const sim::RequestRecord> requests) {
+  DEEPBAT_CHECK(!requests.empty(), "observed_target: empty interval");
+  core::PredictionTarget target;
+  double cost = 0.0;
+  std::vector<double> latencies;
+  latencies.reserve(requests.size());
+  for (const sim::RequestRecord& r : requests) {
+    cost += r.cost_share;
+    latencies.push_back(r.latency());
+  }
+  target.cost_usd_per_request = cost / static_cast<double>(requests.size());
+  std::sort(latencies.begin(), latencies.end());
+  for (std::size_t i = 0; i < core::kPercentiles.size(); ++i) {
+    target.latency_s[i] = quantile_sorted(latencies, core::kPercentiles[i]);
+  }
+  return target;
+}
+
+SampleHarvester::SampleHarvester(HarvestOptions options)
+    : options_(options), rng_(options.seed) {
+  DEEPBAT_CHECK(options_.capacity > 0,
+                "SampleHarvester: reservoir capacity must be > 0");
+  DEEPBAT_CHECK(options_.holdout_every == 0 || options_.holdout_capacity > 0,
+                "SampleHarvester: holdout ring capacity must be > 0");
+  reservoir_.reserve(options_.capacity);
+  harvested_counter_ =
+      &obs::MetricsRegistry::instance().counter("core.retrain.sample_harvested");
+}
+
+void SampleHarvester::add(std::span<const float> window,
+                          const lambda::Config& config,
+                          const core::PredictionTarget& observed) {
+  nn::Sample sample;
+  sample.sequence.assign(window.begin(), window.end());
+  sample.features = core::encode_features(config);
+  sample.target = core::pack_target(observed);
+  ++harvested_;
+  harvested_counter_->add();
+
+  const bool to_holdout =
+      options_.holdout_every > 0 && harvested_ % options_.holdout_every == 0;
+  if (to_holdout) {
+    if (holdout_.size() < options_.holdout_capacity) {
+      holdout_.push_back(std::move(sample));
+    } else {
+      holdout_[holdout_next_] = std::move(sample);
+    }
+    holdout_next_ = (holdout_next_ + 1) % options_.holdout_capacity;
+    return;
+  }
+
+  ++reservoir_seen_;
+  if (reservoir_.size() < options_.capacity) {
+    reservoir_.push_back(std::move(sample));
+    return;
+  }
+  // Algorithm R: the new sample replaces a uniformly drawn slot with
+  // probability capacity / seen; otherwise it is dropped. One draw per
+  // sample keeps the retained set a pure function of (seed, stream).
+  const auto j = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(reservoir_seen_) - 1));
+  if (j < options_.capacity) reservoir_[j] = std::move(sample);
+}
+
+nn::Dataset SampleHarvester::train_dataset() const {
+  nn::Dataset dataset;
+  dataset.reserve(reservoir_.size());
+  for (const nn::Sample& sample : reservoir_) dataset.add(sample);
+  return dataset;
+}
+
+std::vector<nn::Sample> SampleHarvester::holdout() const {
+  if (holdout_.size() < options_.holdout_capacity) return holdout_;
+  // Full ring: oldest entry sits at the write position.
+  std::vector<nn::Sample> ordered;
+  ordered.reserve(holdout_.size());
+  for (std::size_t i = 0; i < holdout_.size(); ++i) {
+    ordered.push_back(holdout_[(holdout_next_ + i) % holdout_.size()]);
+  }
+  return ordered;
+}
+
+}  // namespace deepbat::learn

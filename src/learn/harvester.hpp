@@ -1,0 +1,84 @@
+#pragma once
+// Stage 1 of the online-learning loop (DESIGN.md §14): capture live
+// (window, config) -> (observed cost, latency percentiles) tuples from the
+// tenant's own dispatch results. Two bounded pools are kept per tenant:
+//
+//   train reservoir — Vitter's algorithm R over the harvested stream,
+//                     seeded, so the retained set is a pure function of
+//                     (seed, stream) and replays are bit-reproducible;
+//   holdout ring    — every holdout_every-th sample is diverted to a FIFO
+//                     ring the retrainer NEVER trains on; the shadow
+//                     evaluator scores candidate vs incumbent on it.
+//
+// Observed targets use exactly the offline DatasetBuilder's encoding
+// (core/dataset_builder.cpp simulate_target): mean per-request cost share
+// plus the kPercentiles latency quantiles — so a harvested sample is
+// drop-in compatible with the existing Adam/Huber trainer.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/encoding.hpp"
+#include "nn/data.hpp"
+#include "obs/metrics.hpp"
+#include "sim/batch_sim.hpp"
+
+namespace deepbat::learn {
+
+/// Observed ground truth of one control interval over its served requests:
+/// the live counterpart of the offline simulate_target recipe.
+core::PredictionTarget observed_target(
+    std::span<const sim::RequestRecord> requests);
+
+struct HarvestOptions {
+  /// Training-reservoir capacity (algorithm R keeps a uniform sample of the
+  /// whole stream once it overflows).
+  std::size_t capacity = 256;
+  /// Every holdout_every-th harvested sample goes to the held-out ring
+  /// instead of the reservoir (0 = no holdout).
+  std::size_t holdout_every = 4;
+  /// Held-out ring capacity; once full the oldest entry is overwritten, so
+  /// shadow evaluation scores recent weather.
+  std::size_t holdout_capacity = 64;
+  /// Intervals with fewer served requests than this are skipped — tail
+  /// percentiles over a handful of requests are noise, not signal.
+  std::size_t min_requests = 4;
+  /// Reservoir-sampling stream seed (part of the tenant's replay identity).
+  std::uint64_t seed = 0x5EEDBA7ULL;
+};
+
+class SampleHarvester {
+ public:
+  explicit SampleHarvester(HarvestOptions options);
+
+  /// Record one live (window, config) -> observed tuple. The window is the
+  /// encoded arrival window the decision saw; `config` is what was applied
+  /// over the observed interval.
+  void add(std::span<const float> window, const lambda::Config& config,
+           const core::PredictionTarget& observed);
+
+  const HarvestOptions& options() const { return options_; }
+  /// Total samples accepted (reservoir + holdout), before any eviction.
+  std::size_t harvested() const { return harvested_; }
+  std::size_t train_size() const { return reservoir_.size(); }
+  std::size_t holdout_size() const { return holdout_.size(); }
+
+  /// Snapshot of the training reservoir as a trainer-ready dataset.
+  nn::Dataset train_dataset() const;
+  /// The held-out samples, oldest first.
+  std::vector<nn::Sample> holdout() const;
+
+ private:
+  HarvestOptions options_;
+  Rng rng_;
+  std::vector<nn::Sample> reservoir_;
+  std::vector<nn::Sample> holdout_;  // ring; write position holdout_next_
+  std::size_t holdout_next_ = 0;
+  std::size_t harvested_ = 0;
+  std::size_t reservoir_seen_ = 0;  // stream length behind the reservoir
+  obs::Counter* harvested_counter_;  // core.retrain.sample_harvested
+};
+
+}  // namespace deepbat::learn

@@ -1,0 +1,65 @@
+#include "learn/retrainer.hpp"
+
+#include "common/error.hpp"
+
+namespace deepbat::learn {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+Retrainer::Retrainer(const RetrainerOptions& options) : options_(options) {
+  auto& registry = obs::MetricsRegistry::instance();
+  run_counter_ = &registry.counter("core.retrain.run");
+  wall_hist_ = &registry.histogram("core.retrain.wall_seconds");
+}
+
+void Retrainer::launch(const core::Surrogate& incumbent, nn::Dataset dataset) {
+  DEEPBAT_CHECK(!pending_, "Retrainer: launch() while a run is pending");
+  DEEPBAT_CHECK(!dataset.empty(), "Retrainer: empty training dataset");
+  pending_ = true;
+  ++runs_;
+  run_counter_->add();
+  candidate_ = incumbent.clone();
+  dataset_ = std::move(dataset);
+
+  const auto task = [this] {
+    const auto start = std::chrono::steady_clock::now();
+    core::TrainOptions topt;
+    topt.epochs = options_.epochs;
+    topt.batch_size = options_.batch_size;
+    topt.learning_rate = options_.learning_rate;
+    topt.validation_fraction = options_.validation_fraction;
+    topt.slo_s = options_.slo_s;
+    topt.slo_violation_weight = options_.slo_violation_weight;
+    topt.shuffle_seed = options_.shuffle_seed;
+    candidate_->set_training(true);
+    result_ = core::fine_tune(*candidate_, dataset_, topt);
+    candidate_->set_training(false);
+    wall_seconds_ = seconds_since(start);
+  };
+  if (options_.pool != nullptr) {
+    handle_ = options_.pool->submit(task);
+  } else {
+    task();
+  }
+}
+
+Retrainer::Outcome Retrainer::join() {
+  DEEPBAT_CHECK(pending_, "Retrainer: join() without a pending launch()");
+  if (handle_.has_value()) {
+    handle_->rethrow();  // waits, then surfaces any training exception
+    handle_.reset();
+  }
+  pending_ = false;
+  wall_hist_->observe(wall_seconds_);
+  return Outcome{std::move(candidate_), std::move(result_), wall_seconds_};
+}
+
+}  // namespace deepbat::learn

@@ -1,0 +1,69 @@
+#pragma once
+// Background retrainer (DESIGN.md §14, the tentpole's part 2): clone the
+// incumbent surrogate and fine-tune the clone on the harvester's reservoir
+// with the existing Adam/Huber trainer. With a WorkerPool the fine-tune
+// runs as a background task so the control loop keeps ticking wall-clock
+// concurrently; join() blocks on completion. Training is deterministic —
+// seeded shuffle, deterministic kernels, and a private clone — so pool and
+// inline execution produce bit-identical candidates, which is what lets
+// the adaptive controller schedule the JOIN at a fixed logical tick and
+// keep replays reproducible regardless of how long training really took.
+
+#include <chrono>
+#include <memory>
+#include <optional>
+
+#include "common/parallel.hpp"
+#include "core/trainer.hpp"
+#include "nn/data.hpp"
+#include "obs/metrics.hpp"
+
+namespace deepbat::learn {
+
+struct RetrainerOptions {
+  int epochs = 20;
+  float learning_rate = 1e-3F;
+  std::int64_t batch_size = 8;
+  double validation_fraction = 0.1;
+  /// Tenant SLO, for the trainer's SLO-violation sample weighting; the
+  /// adaptive controller overwrites this with its own slo_s.
+  double slo_s = 0.1;
+  float slo_violation_weight = 3.0F;
+  /// Shuffle seed for the fine-tune DataLoader (replay identity).
+  std::uint64_t shuffle_seed = 0xF17EULL;
+  /// Background pool; nullptr trains inline in launch(). Borrowed.
+  WorkerPool* pool = nullptr;
+};
+
+class Retrainer {
+ public:
+  explicit Retrainer(const RetrainerOptions& options);
+
+  struct Outcome {
+    std::unique_ptr<core::Surrogate> candidate;
+    core::TrainResult result;
+    double wall_seconds = 0.0;
+  };
+
+  /// Clone `incumbent` and start fine-tuning the clone on `dataset`.
+  void launch(const core::Surrogate& incumbent, nn::Dataset dataset);
+  /// True between launch() and join().
+  bool pending() const { return pending_; }
+  std::size_t runs() const { return runs_; }
+  /// Block until the fine-tune finishes and hand over the candidate.
+  Outcome join();
+
+ private:
+  RetrainerOptions options_;
+  bool pending_ = false;
+  std::size_t runs_ = 0;
+  std::unique_ptr<core::Surrogate> candidate_;
+  nn::Dataset dataset_;
+  core::TrainResult result_;
+  double wall_seconds_ = 0.0;
+  std::optional<WorkerPool::Handle> handle_;
+  obs::Counter* run_counter_;   // core.retrain.run
+  obs::Histogram* wall_hist_;   // core.retrain.wall_seconds
+};
+
+}  // namespace deepbat::learn

@@ -1,0 +1,97 @@
+#include "learn/shadow.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "nn/arena.hpp"
+#include "nn/autograd.hpp"
+
+namespace deepbat::learn {
+
+namespace {
+
+struct SampleScore {
+  double mape_pct = 0.0;       // MAPE of the target vector, in percent
+  std::size_t argmin_ix = 0;   // cheapest-predicted grid config
+};
+
+/// One model, one held-out sample: encode the window once, then run the
+/// head twice — against the sample's own features (MAPE vs ground truth)
+/// and against the whole grid (argmin diagnostic). Same eps convention as
+/// nn::mape_loss.
+SampleScore score_sample(const core::Surrogate& model, const nn::Sample& s,
+                         std::span<const lambda::Config> grid) {
+  nn::NoGradGuard no_grad;
+  nn::arena::Scope arena_scope;
+  const auto l = static_cast<std::int64_t>(s.sequence.size());
+  nn::Tensor seq({1, l, 1});
+  std::copy(s.sequence.begin(), s.sequence.end(), seq.data());
+  const nn::Tensor e1 = model.encode_sequence(seq);
+
+  nn::Tensor feats({1, static_cast<std::int64_t>(s.features.size())});
+  std::copy(s.features.begin(), s.features.end(), feats.data());
+  const nn::Tensor pred = model.predict_with_features(e1, feats);
+
+  SampleScore score;
+  constexpr float kEps = 1e-6F;  // nn::mape_loss denominator floor
+  double total = 0.0;
+  for (std::size_t i = 0; i < s.target.size(); ++i) {
+    const float t = s.target[i];
+    const float p = pred.data()[i];
+    total += std::abs(p - t) / std::max(std::abs(t), kEps);
+  }
+  score.mape_pct = 100.0 * total / static_cast<double>(s.target.size());
+
+  const auto predictions = model.predict_grid_from_e1(
+      {e1.data(), static_cast<std::size_t>(e1.numel())}, grid);
+  double best = predictions[0].cost_usd_per_request;
+  for (std::size_t i = 1; i < predictions.size(); ++i) {
+    if (predictions[i].cost_usd_per_request < best) {
+      best = predictions[i].cost_usd_per_request;
+      score.argmin_ix = i;
+    }
+  }
+  return score;
+}
+
+}  // namespace
+
+ShadowEvaluator::ShadowEvaluator(ShadowOptions options,
+                                 std::vector<lambda::Config> grid)
+    : options_(options), grid_(std::move(grid)) {
+  DEEPBAT_CHECK(!grid_.empty(), "ShadowEvaluator: empty config grid");
+  auto& registry = obs::MetricsRegistry::instance();
+  win_counter_ = &registry.counter("core.retrain.shadow_win");
+  loss_counter_ = &registry.counter("core.retrain.shadow_loss");
+}
+
+ShadowReport ShadowEvaluator::evaluate(
+    const core::Surrogate& incumbent, const core::Surrogate& candidate,
+    std::span<const nn::Sample> holdout) const {
+  ShadowReport report;
+  report.holdout_size = holdout.size();
+  std::size_t agreements = 0;
+  for (const nn::Sample& sample : holdout) {
+    const SampleScore inc = score_sample(incumbent, sample, grid_);
+    const SampleScore cand = score_sample(candidate, sample, grid_);
+    report.incumbent_mape_pct += inc.mape_pct;
+    report.candidate_mape_pct += cand.mape_pct;
+    if (inc.argmin_ix == cand.argmin_ix) ++agreements;
+  }
+  if (!holdout.empty()) {
+    const auto n = static_cast<double>(holdout.size());
+    report.incumbent_mape_pct /= n;
+    report.candidate_mape_pct /= n;
+    report.argmin_agreement = static_cast<double>(agreements) / n;
+  }
+  // Conservative verdict: a thin holdout or a tie keeps the incumbent.
+  report.candidate_wins =
+      holdout.size() >= options_.min_holdout &&
+      report.candidate_mape_pct + options_.min_mape_gain_pct <
+          report.incumbent_mape_pct;
+  (report.candidate_wins ? win_counter_ : loss_counter_)->add();
+  return report;
+}
+
+}  // namespace deepbat::learn

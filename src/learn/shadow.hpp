@@ -1,0 +1,59 @@
+#pragma once
+// Shadow evaluation (DESIGN.md §14, the tentpole's part 3): score a
+// retrained candidate against the incumbent on the harvester's held-out
+// ticks WITHOUT touching live decisions. Two lenses:
+//
+//   MAPE             — mean absolute percentage error of the full target
+//                      vector (cost + percentiles) against the observed
+//                      ground truth, mirroring core::evaluate_mape but
+//                      const-safe (encode_sequence + predict_with_features,
+//                      no autograd forward);
+//   argmin agreement — fraction of held-out windows where both models pick
+//                      the same cheapest-predicted grid config; a diagnostic
+//                      for how much the swap would change live decisions.
+//
+// The verdict is deliberately conservative: the candidate must BEAT the
+// incumbent's MAPE by min_mape_gain_pct — on a tie (e.g. a candidate
+// cloned but never improved) the incumbent stays, so shadow evaluation is
+// deterministic and never swaps without evidence.
+
+#include <span>
+#include <vector>
+
+#include "core/surrogate.hpp"
+#include "nn/data.hpp"
+#include "obs/metrics.hpp"
+
+namespace deepbat::learn {
+
+struct ShadowOptions {
+  /// Below this many held-out samples there is no verdict: incumbent wins.
+  std::size_t min_holdout = 4;
+  /// MAPE percentage points the candidate must improve by; ties lose.
+  double min_mape_gain_pct = 0.0;
+};
+
+struct ShadowReport {
+  std::size_t holdout_size = 0;
+  double incumbent_mape_pct = 0.0;
+  double candidate_mape_pct = 0.0;
+  double argmin_agreement = 0.0;
+  bool candidate_wins = false;
+};
+
+class ShadowEvaluator {
+ public:
+  ShadowEvaluator(ShadowOptions options, std::vector<lambda::Config> grid);
+
+  ShadowReport evaluate(const core::Surrogate& incumbent,
+                        const core::Surrogate& candidate,
+                        std::span<const nn::Sample> holdout) const;
+
+ private:
+  ShadowOptions options_;
+  std::vector<lambda::Config> grid_;
+  obs::Counter* win_counter_;   // core.retrain.shadow_win
+  obs::Counter* loss_counter_;  // core.retrain.shadow_loss
+};
+
+}  // namespace deepbat::learn

@@ -1,0 +1,30 @@
+#include "learn/store.hpp"
+
+#include "common/error.hpp"
+
+namespace deepbat::learn {
+
+VersionedSurrogateStore::VersionedSurrogateStore(
+    const core::Surrogate* incumbent)
+    : current_(incumbent) {
+  DEEPBAT_CHECK(incumbent != nullptr,
+                "VersionedSurrogateStore: null incumbent");
+  swap_counter_ = &obs::MetricsRegistry::instance().counter("core.retrain.swap");
+}
+
+const core::Surrogate* VersionedSurrogateStore::adopt(
+    std::unique_ptr<const core::Surrogate> candidate, double time) {
+  DEEPBAT_CHECK(candidate != nullptr, "VersionedSurrogateStore: null adopt");
+  const std::lock_guard<std::mutex> lock(adopt_mu_);
+  const core::Surrogate* next = candidate.get();
+  // Retain, never free: readers holding the previous pointer stay valid.
+  owned_.push_back(std::move(candidate));
+  const std::uint64_t from = version_.load(std::memory_order_relaxed);
+  swaps_.push_back(sim::SwapEvent{time, from, from + 1});
+  version_.store(from + 1, std::memory_order_release);
+  current_.store(next, std::memory_order_release);
+  swap_counter_->add();
+  return next;
+}
+
+}  // namespace deepbat::learn

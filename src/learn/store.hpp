@@ -1,0 +1,63 @@
+#pragma once
+// Versioned surrogate registry with atomic hot-swap (DESIGN.md §14, the
+// tentpole's part 4). current() is a single acquire-load, safe from any
+// thread at any time: a scorer may keep predicting through version k while
+// another thread adopts k+1, because superseded versions are RETAINED for
+// the store's lifetime — never freed, so no reader can dangle. A replay
+// performs a handful of swaps, so the retained set stays tiny.
+//
+// Writes are serialized by a mutex, but the intended discipline is
+// single-writer anyway: only the tenant's own control loop adopts, strictly
+// between decisions, which is what keeps swap ticks deterministic and
+// shard-invariant (sim::SwapEvent records them into PlatformRun).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/surrogate.hpp"
+#include "obs/metrics.hpp"
+#include "sim/platform.hpp"
+
+namespace deepbat::learn {
+
+class VersionedSurrogateStore {
+ public:
+  /// Version 0 is the borrowed incumbent (trained offline); the caller
+  /// keeps it alive for the store's lifetime.
+  explicit VersionedSurrogateStore(const core::Surrogate* incumbent);
+
+  VersionedSurrogateStore(const VersionedSurrogateStore&) = delete;
+  VersionedSurrogateStore& operator=(const VersionedSurrogateStore&) = delete;
+
+  /// The live model. Lock-free; never null.
+  const core::Surrogate* current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+  /// Version number of current() (0 = the original incumbent).
+  std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Adopt `candidate` as the new current version at control tick `time`,
+  /// recording the swap event. Returns the now-live model.
+  const core::Surrogate* adopt(
+      std::unique_ptr<const core::Surrogate> candidate, double time);
+
+  /// Swap history, oldest first. Read from the control loop or after the
+  /// run (not concurrently with adopt()).
+  std::span<const sim::SwapEvent> swaps() const { return swaps_; }
+
+ private:
+  std::vector<std::unique_ptr<const core::Surrogate>> owned_;
+  std::vector<sim::SwapEvent> swaps_;
+  std::atomic<const core::Surrogate*> current_;
+  std::atomic<std::uint64_t> version_{0};
+  std::mutex adopt_mu_;
+  obs::Counter* swap_counter_;  // core.retrain.swap
+};
+
+}  // namespace deepbat::learn

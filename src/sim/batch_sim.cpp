@@ -37,6 +37,12 @@ double SimResult::mean_batch_size() const {
          static_cast<double>(invocations);
 }
 
+std::span<const RequestRecord> SimResult::requests_since(
+    std::size_t seen) const {
+  if (seen >= requests.size()) return {};
+  return std::span<const RequestRecord>(requests).subspan(seen);
+}
+
 BatchSimulator::BatchSimulator(const lambda::LambdaModel& model,
                                lambda::Config config,
                                std::optional<std::uint64_t> cold_start_seed,

@@ -61,6 +61,12 @@ struct SimResult {
   /// or every request dropped).
   std::optional<double> latency_quantile(double q) const;
   double mean_batch_size() const;
+
+  /// Served requests appended since a cursor-style reader's last visit: the
+  /// suffix [seen, size). Records land in dispatch order and are never
+  /// reordered, so an observer advancing `seen` to size() each tick sees
+  /// every request exactly once (src/learn/ sample harvesting).
+  std::span<const RequestRecord> requests_since(std::size_t seen) const;
 };
 
 /// Streaming simulator whose configuration can be switched between

@@ -125,6 +125,14 @@ void RuntimeShard::run() {
     for (const std::size_t i : group) {
       TenantState& st = tenants_[i];
       process_events(st, t);
+      if (st.spec->options.observer != nullptr) {
+        // Observed outcomes up to t, delivered BEFORE the controller
+        // decides — the learn/ harvest-drift-retrain loop runs here. The
+        // observer may trip the engine breaker or hot-swap the surrogate;
+        // both happen strictly between decisions, in tenant-tick order, so
+        // the replay stays deterministic and shard-invariant.
+        st.spec->options.observer->on_tick(t, st.sim->result());
+      }
       if (st.split != nullptr) {
         st.request = st.split->begin_tick(*st.spec->trace, t);
         if (st.request.needs_encoding) {
@@ -275,6 +283,14 @@ void RuntimeShard::run() {
     }
     st.sim->finalize();
     st.out->result = st.sim->result();
+    // Retraining provenance (DESIGN.md §14): the fault stream and the
+    // observer's swap history travel with the run so retrained replays are
+    // byte-comparable across reruns and shard counts.
+    st.out->fault_stream = st.spec->options.fault_stream;
+    if (st.spec->options.observer != nullptr) {
+      const auto swaps = st.spec->options.observer->swaps();
+      st.out->swaps.assign(swaps.begin(), swaps.end());
+    }
     // Fleet metadata + per-backend accounting (DESIGN.md §13). Tenant
     // identity, not layout: group ids and backend kinds travel with the
     // spec, so these totals are shard-invariant by construction.
