@@ -45,6 +45,14 @@ echo "== retrain chaos smoke =="
 # stays bit-identical solo vs sharded and across reruns (exit 1 otherwise).
 ./build/bench/chaos_replay --hours 0.25 --faults flaky --retrain --shards 2
 
+echo "== runtime scale smoke =="
+# Million-tenant runtime gate (DESIGN.md §15) at smoke size: a 10k-tenant
+# Zipf population through the calendar-queue scheduler and work-stealing
+# shards. Exits 1 if per-tick scheduler cost grows with the fleet (the
+# pre-calendar O(tenants) scan) or if any 2-shard stolen run diverges from
+# the 1-shard replay.
+./build/bench/runtime_scale --max-tenants 10000 --out /tmp/deepbat_scale.json
+
 if [[ "$FAST" == "1" ]]; then
   echo "== skipping sanitizer passes (--fast) =="
   exit 0
@@ -73,6 +81,9 @@ cmake --build build-tsan -j"$(nproc)" --target test_obs test_common \
 echo "== tsan: run =="
 ./build-tsan/tests/test_obs
 OMP_NUM_THREADS=1 ./build-tsan/tests/test_common
+# test_runtime carries the work-stealing surface: the steal-stress case
+# (6 shards, short quanta, claims changing hands) plus the stealing
+# on/off shard-invariance and faulted-replay matrices.
 OMP_NUM_THREADS=1 ./build-tsan/tests/test_runtime
 # Fleet tests drive mixed CPU/GPU tenants through the sharded runtime —
 # the heterogeneous-backend dispatch path under TSan.

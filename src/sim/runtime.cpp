@@ -22,11 +22,19 @@ void Runtime::add_tenant(TenantSpec spec) {
                 "Runtime: control interval must be positive");
   // Parse-boundary config validation (DESIGN.md §13): reject out-of-range
   // initial configs here, with a bound-specific message, instead of letting
-  // them surface from deep inside the replay.
-  if (spec.backend != nullptr) {
-    spec.backend->validate(spec.initial_config);
-  } else if (auto err = spec.initial_config.validate()) {
-    throw *err;
+  // them surface from deep inside the replay. The (backend, config) pair is
+  // memoized — bulk registrations reuse one pair, and a million tenants
+  // must not redo the identical bounds work per call.
+  if (spec.backend != validated_backend_ ||
+      !validated_config_.has_value() ||
+      !(spec.initial_config == *validated_config_)) {
+    if (spec.backend != nullptr) {
+      spec.backend->validate(spec.initial_config);
+    } else if (auto err = spec.initial_config.validate()) {
+      throw *err;
+    }
+    validated_backend_ = spec.backend;
+    validated_config_ = spec.initial_config;
   }
   tenants_.push_back(std::move(spec));
 }
@@ -81,32 +89,102 @@ std::vector<PlatformRun> Runtime::run() {
     sopts.pool = pool.has_value() ? &*pool : nullptr;
     shards.push_back(std::make_unique<RuntimeShard>(sopts, encoder, scorer));
   }
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    shards[s]->reserve(tenants_.size() / shard_count + 1);
+  }
   for (std::size_t i = 0; i < tenants_.size(); ++i) {
     shards[i % shard_count]->add_tenant(tenants_[i], &runs[i]);
   }
 
-  // Shards 1..S-1 run as pool tasks; shard 0 runs on the calling thread
-  // (the helping wait in WorkerPool would pull it onto this thread
-  // anyway). Wait for every shard before rethrowing so no shard is left
-  // touching its PlatformRuns when an error unwinds.
-  std::vector<WorkerPool::Handle> handles;
-  handles.reserve(shard_count > 0 ? shard_count - 1 : 0);
-  for (std::size_t s = 1; s < shard_count; ++s) {
-    handles.push_back(pool->submit([shard = shards[s].get()] { shard->run(); }));
-  }
+  const bool stealing = options_.work_stealing && shard_count > 1;
   std::exception_ptr error;
-  try {
-    shards[0]->run();
-  } catch (...) {
-    error = std::current_exception();
-  }
-  for (WorkerPool::Handle& h : handles) h.wait();
-  for (WorkerPool::Handle& h : handles) {
-    if (error != nullptr) break;
+  if (!stealing) {
+    // Static schedule: shards 1..S-1 run as pool tasks; shard 0 runs on
+    // the calling thread (the helping wait in WorkerPool would pull it
+    // onto this thread anyway). Wait for every shard before rethrowing so
+    // no shard is left touching its PlatformRuns when an error unwinds.
+    std::vector<WorkerPool::Handle> handles;
+    handles.reserve(shard_count > 0 ? shard_count - 1 : 0);
+    for (std::size_t s = 1; s < shard_count; ++s) {
+      handles.push_back(
+          pool->submit([shard = shards[s].get()] { shard->run(); }));
+    }
     try {
-      h.rethrow();
+      shards[0]->run();
     } catch (...) {
       error = std::current_exception();
+    }
+    for (WorkerPool::Handle& h : handles) h.wait();
+    for (WorkerPool::Handle& h : handles) {
+      if (error != nullptr) break;
+      try {
+        h.rethrow();
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+  } else {
+    // Work stealing (DESIGN.md §15): S executors over S claimable shards.
+    // Each executor scans from its home shard, claims the first unclaimed
+    // unfinished shard it meets, and executes ONE tick group (or the final
+    // drain) under the claim. A shard's groups therefore run in the same
+    // serial order as run() — only the executing thread varies — which is
+    // what keeps stolen runs bit-identical to the static schedule.
+    //
+    // Termination: an executor retires when every shard is finished, or
+    // when a full scan claimed nothing while every unfinished shard was
+    // claimed by some other executor. The latter rule matters for
+    // liveness: an executor can be SUSPENDED holding a claim (its
+    // overlapped encode's helping wait may run another executor task
+    // nested on the same stack), and anyone spinning on its shard would
+    // deadlock the stack beneath. An executor that just released a claim
+    // always rescans before retiring, so the last holder of an unfinished
+    // shard either finishes it or hands it to a live executor.
+    auto execute = [&shards, shard_count](std::size_t home) {
+      for (;;) {
+        bool all_finished = true;
+        bool progressed = false;
+        for (std::size_t k = 0; k < shard_count; ++k) {
+          RuntimeShard* shard = shards[(home + k) % shard_count].get();
+          if (shard->finished()) continue;
+          all_finished = false;
+          if (!shard->try_claim()) continue;
+          // Re-check under the claim: the previous holder may have
+          // finalized (or failed) the shard just before releasing.
+          if (shard->finished()) {
+            shard->release_claim();
+            continue;
+          }
+          if (k != 0) shard->count_steal();
+          try {
+            if (!shard->run_quantum()) shard->finalize_run();
+          } catch (...) {
+            shard->fail(std::current_exception());
+          }
+          progressed = true;
+          shard->release_claim();
+        }
+        if (all_finished) return;
+        if (!progressed) {
+          // Claimed nothing: every unfinished shard is being driven (or
+          // held) by another executor — retire rather than spin against a
+          // possibly-suspended holder.
+          return;
+        }
+      }
+    };
+    std::vector<WorkerPool::Handle> handles;
+    handles.reserve(shard_count - 1);
+    for (std::size_t e = 1; e < shard_count; ++e) {
+      handles.push_back(pool->submit([&execute, e] { execute(e); }));
+    }
+    execute(0);
+    for (WorkerPool::Handle& h : handles) h.wait();
+    for (const auto& shard : shards) {
+      if (shard->error() != nullptr) {
+        error = shard->error();
+        break;
+      }
     }
   }
   if (error != nullptr) std::rethrow_exception(error);

@@ -30,6 +30,7 @@
 // N independent run_platform() replays. run_platform() itself is a
 // single-tenant, single-shard, non-overlapped wrapper over this loop.
 
+#include <algorithm>
 #include <cstddef>
 #include <atomic>
 #include <functional>
@@ -241,6 +242,14 @@ struct RuntimeStats {
   std::size_t fleet_groups = 0;
   std::size_t cpu_invocations = 0;
   std::size_t gpu_invocations = 0;
+  /// Work-stealing accounting (DESIGN.md §15): tick-group claims taken by
+  /// an executor other than the shard's home executor (mirrored into the
+  /// sim.runtime.steals counter), and the high-water mark of pending live
+  /// tenant slots observed on any single shard (sim.runtime.queue_depth
+  /// gauge). Both depend on thread timing, so — unlike every other field —
+  /// they are NOT reproducible run over run; per-tenant results are.
+  std::size_t steals = 0;
+  std::size_t max_queue_depth = 0;
 
   double cache_hit_rate() const {
     const std::size_t probes = cache_hits + cache_misses;
@@ -250,7 +259,8 @@ struct RuntimeStats {
   }
 
   /// Fold another shard's stats into this one: every count and every
-  /// seconds total SUMS; derived rates (cache_hit_rate) recompute from the
+  /// seconds total SUMS, except max_queue_depth — a high-water mark, which
+  /// merges as the MAX; derived rates (cache_hit_rate) recompute from the
   /// summed counts — they are never averaged across shards.
   void merge(const RuntimeStats& other) {
     tick_groups += other.tick_groups;
@@ -267,6 +277,8 @@ struct RuntimeStats {
     fleet_groups += other.fleet_groups;
     cpu_invocations += other.cpu_invocations;
     gpu_invocations += other.gpu_invocations;
+    steals += other.steals;
+    max_queue_depth = std::max(max_queue_depth, other.max_queue_depth);
   }
 };
 
@@ -281,6 +293,16 @@ struct RuntimeOptions {
   /// it can help — a shard with at least two tenants and a batch encoder.
   /// Results are bit-identical either way.
   bool overlap_encode = true;
+  /// Work-stealing execution (DESIGN.md §15): instead of pinning shard k to
+  /// executor k for its whole replay, every executor scans for a claimable
+  /// shard (home shard first) and executes ONE tick group per claim, so an
+  /// executor whose own shards drained keeps driving the lagging ones. A
+  /// shard's groups still run in strict serial order — the claim hands the
+  /// shard state between executors with acquire/release ordering — so
+  /// per-tenant results stay bit-identical to the static schedule at every
+  /// shard count; only the steals / queue-depth stats are timing-dependent.
+  /// No effect at 1 shard.
+  bool work_stealing = true;
 };
 
 /// The sharded executor. With a batch encoder, all SplitController tenants
@@ -317,6 +339,10 @@ class Runtime {
     scorer_factory_ = std::move(factory);
   }
 
+  /// Size hint for bulk registration: reserves the tenant table once so a
+  /// million add_tenant() calls don't pay geometric regrowth copies.
+  void reserve(std::size_t tenants) { tenants_.reserve(tenants); }
+
   void add_tenant(TenantSpec spec);
   std::size_t tenant_count() const { return tenants_.size(); }
 
@@ -337,6 +363,11 @@ class Runtime {
   ScorerFactory scorer_factory_;
   std::vector<TenantSpec> tenants_;
   RuntimeStats stats_;
+  // Config-validation memo (add_tenant): bulk registrations overwhelmingly
+  // reuse one (backend, initial config) pair, so remember the last pair
+  // that validated clean and skip the re-validation for repeats.
+  const lambda::Backend* validated_backend_ = nullptr;
+  std::optional<lambda::Config> validated_config_;
 };
 
 }  // namespace deepbat::sim

@@ -1,30 +1,45 @@
 #pragma once
-// One execution unit of the sharded multi-tenant runtime (DESIGN.md §10).
-// A RuntimeShard owns a subset of tenants end-to-end: their batching
-// simulators, their controllers (and therefore each controller's
-// DecisionEngine / SequenceEncoder cache — single-writer by construction,
-// since a tenant belongs to exactly one shard), a TickScheduler over that
-// subset, and a BatchEncoder view for the shard's batched forwards.
+// One execution unit of the sharded multi-tenant runtime (DESIGN.md §10,
+// §15). A RuntimeShard owns a subset of tenants end-to-end: their batching
+// simulators (arena-pooled, so a million-tenant shard is a handful of chunk
+// allocations instead of per-tenant heap churn), their controllers (and
+// therefore each controller's DecisionEngine / SequenceEncoder cache —
+// single-writer by construction, since a tenant belongs to exactly one
+// shard), a TickScheduler over that subset, and a BatchEncoder view for the
+// shard's batched forwards.
 //
-// run() replays the shard to completion with double-buffered tick groups:
-// while tick group k's batched encode() forward runs as a WorkerPool task,
-// the shard pre-advances every NON-member tenant's arrival events up to
-// the next tick instant (TickScheduler::next_instant_after). That horizon
-// is safe because no configuration can change before it; pre-advanced
-// tenants see exactly the offer()/advance_to() sequence — under exactly
-// the same configs — that the synchronous loop would replay later, so
-// results stay bit-identical with overlap on or off.
+// Two ways to drive a shard:
+//
+//  * run() — replay to completion on one thread (the static schedule).
+//  * the stepwise API — run_quantum() executes exactly ONE tick group and
+//    finalize_run() drains the tail; the work-stealing coordinator in
+//    Runtime::run() interleaves quanta of lagging shards across executors.
+//    A shard's quanta still execute in strict serial order: ONE executor at
+//    a time holds the shard's ShardClaim, and the claim's acquire/release
+//    ordering hands the shard's (unsynchronized) state from executor to
+//    executor. The executing thread changes; the computation does not — so
+//    per-tenant results stay bit-identical to run().
+//
+// Within a quantum, tick groups are double-buffered exactly as before:
+// while the group's batched encode() forward runs as a WorkerPool task, the
+// shard pre-advances every NON-member tenant's arrival events up to the
+// next tick instant (TickScheduler::next_instant_after). That horizon is
+// safe because no configuration can change before it.
 //
 // Instrumentation: spans and sim.runtime.* metrics tick as before; a
 // multi-shard run additionally records sim.runtime.shard<k>.* histogram
 // variants and tags every span completed inside the shard with its id
-// (obs::ShardScope), all without hot-path locks.
+// (obs::ShardScope), all without hot-path locks. Stealing adds the
+// sim.runtime.steals counter and the sim.runtime.queue_depth high-water
+// gauge.
 
 #include <cstddef>
-#include <optional>
+#include <atomic>
+#include <exception>
 #include <string>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/parallel.hpp"
 #include "obs/metrics.hpp"
 #include "sim/batch_sim.hpp"
@@ -52,16 +67,47 @@ class RuntimeShard {
   RuntimeShard(Options options, BatchEncoder* encoder,
                BatchScorer* scorer = nullptr);
 
+  /// Size hint for bulk registration: reserves the tenant table and the
+  /// scheduler's slot table once, up front.
+  void reserve(std::size_t tenants);
+
   /// Register one tenant; `out` receives its PlatformRun (decisions +
-  /// result) and must stay valid until run() returns. Specs are assumed
-  /// validated by Runtime::add_tenant.
+  /// result) and must stay valid until the replay finishes. Specs are
+  /// assumed validated by Runtime::add_tenant.
   void add_tenant(const TenantSpec& spec, PlatformRun* out);
 
   std::size_t tenant_count() const { return tenants_.size(); }
 
-  /// Replay every owned tenant to the end of its trace. Called at most
-  /// once, from exactly one thread (the pool worker or the caller).
+  /// Replay every owned tenant to the end of its trace on the calling
+  /// thread. Equivalent to run_quantum() until exhausted + finalize_run().
   void run();
+
+  // ---- Stepwise API (work-stealing coordinator, DESIGN.md §15) ----
+  // None of these take locks: the caller serializes access by holding the
+  // shard's claim. finished() alone may be read without the claim (it is
+  // the coordinator's scan predicate).
+
+  bool try_claim() { return claim_.try_acquire(); }
+  void release_claim() { claim_.release(); }
+
+  /// Execute exactly one tick group. False when no pending group remains
+  /// (the caller should finalize_run() under the same claim).
+  bool run_quantum();
+
+  /// Drain every tenant's remaining arrivals, finalize simulators, and fill
+  /// the PlatformRuns; marks the shard finished (release order).
+  void finalize_run();
+
+  /// Record the error and retire the shard so no executor re-claims it. The
+  /// shard's PlatformRuns are left as-is (partially filled).
+  void fail(std::exception_ptr error);
+
+  bool finished() const { return finished_.load(std::memory_order_acquire); }
+  std::exception_ptr error() const { return error_; }
+
+  /// Record one quantum executed by a non-home executor (caller holds the
+  /// claim, so the plain counter bump is safe).
+  void count_steal();
 
   const RuntimeStats& stats() const { return stats_; }
 
@@ -69,7 +115,7 @@ class RuntimeShard {
   struct TenantState {
     const TenantSpec* spec = nullptr;
     PlatformRun* out = nullptr;
-    std::optional<BatchSimulator> sim;
+    BatchSimulator* sim = nullptr;  // arena-pooled; null for empty traces
     SplitController* split = nullptr;
     std::size_t next_arrival = 0;
     SplitController::TickRequest request;  // valid within one tick group
@@ -78,6 +124,10 @@ class RuntimeShard {
     bool scored = false;                   // member of this tick's scoring
   };
 
+  /// One-time derived state (overlap eligibility, encoder dims), computed
+  /// lazily on the first quantum so registration stays allocation-only.
+  void prepare();
+
   /// Deliver arrivals up to `t` and fire any batch deadline that elapsed.
   void process_events(TenantState& st, double t);
 
@@ -85,8 +135,33 @@ class RuntimeShard {
   BatchEncoder* encoder_;
   BatchScorer* scorer_;
   TickScheduler scheduler_;
+  /// Per-shard arena holding every tenant's BatchSimulator: registering a
+  /// tenant is a pointer bump, and one shard's simulators stay contiguous.
+  MonotonicArena arena_;
   std::vector<TenantState> tenants_;
   RuntimeStats stats_;
+
+  // Steal-mode coordination. claim_ is the shard's ownership token;
+  // finished_ flips once (under the final claim) when finalize_run or
+  // fail retires the shard.
+  ShardClaim claim_;
+  std::atomic<bool> finished_{false};
+  std::exception_ptr error_;
+
+  // Derived by prepare(); stable for the rest of the replay.
+  bool prepared_ = false;
+  bool overlap_ = false;
+  std::uint32_t shard_tag_ = 0;
+  std::size_t encoding_dim_ = 0;
+  std::size_t score_row_floats_ = 0;  // grid_size * target_dim per scored row
+
+  // Per-quantum scratch, reused across tick groups (no steady-state
+  // allocation once the high-water sizes are reached).
+  std::vector<std::size_t> group_;
+  std::vector<float> batch_windows_;
+  std::vector<float> batch_out_;
+  std::vector<float> score_in_;
+  std::vector<float> score_out_;
 
   // Registry mirrors (sim.runtime.*); resolved once at construction, off
   // the hot path. Counters are global across shards (their writes are
@@ -104,6 +179,8 @@ class RuntimeShard {
   obs::Counter* c_fleet_groups_;
   obs::Counter* c_cpu_invocations_;
   obs::Counter* c_gpu_invocations_;
+  obs::Counter* c_steals_;
+  obs::Gauge* g_queue_depth_;
   obs::Histogram* h_encode_;
   obs::Histogram* h_score_;
   obs::Histogram* h_group_;

@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "common/stats.hpp"
 
 namespace deepbat::workload {
@@ -31,6 +32,43 @@ Map bursty_segment(double mean_rate, double burst_ratio, double sojourn_s) {
 }
 
 }  // namespace
+
+std::vector<Trace> zipf_population(const ZipfPopulationParams& p,
+                                   std::uint64_t seed) {
+  DEEPBAT_CHECK(p.tenants > 0, "zipf_population: need at least one tenant");
+  DEEPBAT_CHECK(p.horizon_s > 0.0 && p.top_rate > 0.0,
+                "zipf_population: horizon and top rate must be positive");
+  DEEPBAT_CHECK(p.exponent >= 0.0 && p.min_rate >= 0.0,
+                "zipf_population: exponent and rate floor must be >= 0");
+  // Popularity rank -> tenant index. The shuffle draws from its own stream
+  // so per-tenant arrival sequences do not depend on whether it is on.
+  std::vector<std::size_t> tenant_of_rank;
+  if (p.shuffle) {
+    Rng shuffle_rng(SplitMix64(seed).next());
+    tenant_of_rank = shuffle_rng.permutation(p.tenants);
+  } else {
+    tenant_of_rank.resize(p.tenants);
+    for (std::size_t r = 0; r < p.tenants; ++r) tenant_of_rank[r] = r;
+  }
+  std::vector<Trace> out(p.tenants);
+  SplitMix64 stream_seeds(seed);
+  for (std::size_t r = 0; r < p.tenants; ++r) {
+    const double rate = std::max(
+        p.top_rate / std::pow(static_cast<double>(r + 1), p.exponent),
+        p.min_rate);
+    // Independent per-rank stream: the population is reproducible at any
+    // size (growing it appends tenants without perturbing existing ones).
+    Rng rng(stream_seeds.next());
+    std::vector<double> times;
+    times.reserve(static_cast<std::size_t>(rate * p.horizon_s) + 1);
+    for (double t = rng.exponential(rate); t < p.horizon_s;
+         t += rng.exponential(rate)) {
+      times.push_back(t);
+    }
+    out[tenant_of_rank[r]] = Trace(std::move(times));
+  }
+  return out;
+}
 
 Trace azure_like(const AzureLikeParams& p, std::uint64_t seed) {
   DEEPBAT_CHECK(p.hours > 0.0, "azure_like: hours must be positive");

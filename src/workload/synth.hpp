@@ -67,6 +67,32 @@ struct SyntheticMapParams {
   double off_time_hi_s = 400.0;
 };
 
+/// Heavy-tailed multi-tenant population (DESIGN.md §15): tenant of
+/// popularity rank r gets Poisson arrivals at top_rate / r^exponent req/s —
+/// the Zipf-like skew serverless platform studies report for function
+/// invocation counts (a few hot functions, a long cold tail). With
+/// min_rate = 0 the deep tail's expected arrivals fall below one per
+/// horizon and those tenants come out EMPTY (the runtime retires them at
+/// birth as never_ticks slots); a positive min_rate floors the tail so
+/// every tenant stays live.
+struct ZipfPopulationParams {
+  std::size_t tenants = 1000;
+  double horizon_s = 600.0;  // each tenant's trace spans [0, horizon_s)
+  double exponent = 1.1;     // skew; 0 = uniform rates, >1 = heavy head
+  double top_rate = 50.0;    // req/s of the rank-1 tenant
+  double min_rate = 0.0;     // rate floor for the tail (0 = pure Zipf)
+  /// Deterministically shuffle rank -> tenant index, so popularity is not
+  /// correlated with registration order (and therefore not with the
+  /// runtime's home-shard assignment).
+  bool shuffle = true;
+};
+
+/// One trace per tenant, indexed by tenant. Per-tenant arrival streams are
+/// independently seeded, so the population is stable under reordering and
+/// reproducible at any size.
+std::vector<Trace> zipf_population(const ZipfPopulationParams& params,
+                                   std::uint64_t seed);
+
 Trace azure_like(const AzureLikeParams& params, std::uint64_t seed);
 Trace twitter_like(const TwitterLikeParams& params, std::uint64_t seed);
 Trace alibaba_like(const AlibabaLikeParams& params, std::uint64_t seed);

@@ -14,6 +14,8 @@
 #include "common/error.hpp"
 #include "batchlib/controller.hpp"
 #include "core/controller.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "sim/runtime.hpp"
 #include "workload/synth.hpp"
 
@@ -65,13 +67,15 @@ struct ShardCase {
   std::size_t shards;
   bool shared_encoder;
   bool overlap;
+  bool stealing = true;
 };
 
 std::string shard_case_name(const ::testing::TestParamInfo<ShardCase>& info) {
   const ShardCase& c = info.param;
   return "Shards" + std::to_string(c.shards) +
          (c.shared_encoder ? "_Encoder" : "_NoEncoder") +
-         (c.overlap ? "_Overlap" : "_Sync");
+         (c.overlap ? "_Overlap" : "_Sync") +
+         (c.stealing ? "" : "_NoSteal");
 }
 
 class RuntimeShardInvariance : public ::testing::TestWithParam<ShardCase> {};
@@ -109,6 +113,7 @@ TEST_P(RuntimeShardInvariance, BitIdenticalToSoloRuns) {
   RuntimeOptions ropts;
   ropts.shards = c.shards;
   ropts.overlap_encode = c.overlap;
+  ropts.work_stealing = c.stealing;
   Runtime runtime(c.shared_encoder ? &encoder : nullptr, ropts);
   std::vector<std::unique_ptr<core::DeepBatController>> controllers;
   for (const TenantDef& def : defs) {
@@ -152,7 +157,13 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(ShardCase{1, true, true}, ShardCase{1, true, false},
                       ShardCase{2, true, true}, ShardCase{2, true, false},
                       ShardCase{2, false, true}, ShardCase{5, true, true},
-                      ShardCase{5, true, false}, ShardCase{5, false, true}),
+                      ShardCase{5, true, false}, ShardCase{5, false, true},
+                      // Work-stealing OFF (static tenant->shard schedule):
+                      // the claim coordinator must be a pure execution-
+                      // layout detail — same bits either way.
+                      ShardCase{2, true, true, false},
+                      ShardCase{5, true, true, false},
+                      ShardCase{5, false, true, false}),
     shard_case_name);
 
 // Shard invariance must survive the fault layer: the fault stream id lives
@@ -160,10 +171,15 @@ INSTANTIATE_TEST_SUITE_P(
 // chaos-scenario replay at any shard count stays bit-identical — including
 // retries, drops, and throttle-delayed dispatches — to the tenant's solo
 // run_platform() with the same options.
-class FaultedShardInvariance : public ::testing::TestWithParam<std::size_t> {};
+struct FaultCase {
+  std::size_t shards;
+  bool stealing;
+};
+
+class FaultedShardInvariance : public ::testing::TestWithParam<FaultCase> {};
 
 TEST_P(FaultedShardInvariance, ChaosReplayBitIdenticalToSolo) {
-  const std::size_t shards = GetParam();
+  const std::size_t shards = GetParam().shards;
   core::Surrogate model(tiny_config(), lambda::ConfigGrid::small());
   model.set_training(false);
   const lambda::LambdaModel lm;
@@ -194,6 +210,7 @@ TEST_P(FaultedShardInvariance, ChaosReplayBitIdenticalToSolo) {
   RuntimeOptions ropts;
   ropts.shards = shards;
   ropts.overlap_encode = true;
+  ropts.work_stealing = GetParam().stealing;
   Runtime runtime(&encoder, ropts);
   std::vector<std::unique_ptr<core::DeepBatController>> controllers;
   for (std::size_t i = 0; i < traces.size(); ++i) {
@@ -217,12 +234,15 @@ TEST_P(FaultedShardInvariance, ChaosReplayBitIdenticalToSolo) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(ShardCounts, FaultedShardInvariance,
-                         ::testing::Values(std::size_t{1}, std::size_t{2},
-                                           std::size_t{5}),
-                         [](const ::testing::TestParamInfo<std::size_t>& info) {
-                           return "Shards" + std::to_string(info.param);
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    ShardCounts, FaultedShardInvariance,
+    ::testing::Values(FaultCase{1, true}, FaultCase{2, true},
+                      FaultCase{5, true}, FaultCase{2, false},
+                      FaultCase{5, false}),
+    [](const ::testing::TestParamInfo<FaultCase>& info) {
+      return "Shards" + std::to_string(info.param.shards) +
+             (info.param.stealing ? "" : "_NoSteal");
+    });
 
 // TSan target (scripts/check.sh): 8 tenants over 4 shards with overlapped
 // encodes, once with per-shard encoder instances (factory) and once with a
@@ -281,6 +301,117 @@ TEST(RuntimeTest, ConcurrentShardsStressMatchesSolo) {
   }
 }
 
+// TSan target (scripts/check.sh): the work-stealing coordinator under
+// contention. More shards than pool executors would ever stay pinned to,
+// tiny control intervals so quanta are short and claims change hands
+// often. Results must still be bit-identical to solo replays — stealing
+// moves WHERE a tick group runs, never WHAT it computes — and the steal /
+// queue-depth telemetry must land in RuntimeStats and the process metrics
+// registry.
+TEST(RuntimeTest, WorkStealingStressMatchesSolo) {
+  core::Surrogate model(tiny_config(), lambda::ConfigGrid::small());
+  model.set_training(false);
+  const lambda::LambdaModel lm;
+
+  std::vector<workload::Trace> traces;
+  std::vector<double> intervals;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    traces.push_back(seed % 2 == 0
+                         ? workload::azure_like({.hours = 0.03}, seed)
+                         : workload::twitter_like({.hours = 0.03}, seed));
+    intervals.push_back(5.0 + static_cast<double>(seed % 3) * 2.5);
+  }
+  std::vector<PlatformRun> solo;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    core::DeepBatController ctl(model, controller_options());
+    PlatformOptions popts;
+    popts.control_interval_s = intervals[i];
+    solo.push_back(run_platform(traces[i], ctl, lm, {1024, 1, 0.0}, popts));
+  }
+
+  const std::uint64_t steals_before =
+      obs::MetricsRegistry::instance().counter("sim.runtime.steals").value();
+
+  core::SurrogateBatchEncoder encoder(model);
+  RuntimeOptions ropts;
+  ropts.shards = 6;
+  ropts.overlap_encode = true;
+  ropts.work_stealing = true;
+  Runtime runtime(&encoder, ropts);
+  std::vector<std::unique_ptr<core::DeepBatController>> controllers;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    controllers.push_back(std::make_unique<core::DeepBatController>(
+        model, controller_options()));
+    TenantSpec spec;
+    spec.name = "tenant";
+    spec.trace = &traces[i];
+    spec.controller = controllers.back().get();
+    spec.model = &lm;
+    spec.initial_config = {1024, 1, 0.0};
+    spec.options.control_interval_s = intervals[i];
+    runtime.add_tenant(std::move(spec));
+  }
+  const auto merged = runtime.run();
+  ASSERT_EQ(merged.size(), traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    SCOPED_TRACE("tenant " + std::to_string(i));
+    expect_bit_identical(solo[i], merged[i]);
+  }
+
+  // Telemetry: every shard saw at least one pending slot, so the queue
+  // high-water mark is positive; steals are timing-dependent (may be zero
+  // on a lightly loaded run) but RuntimeStats and the registry counter
+  // must agree on this run's contribution.
+  const RuntimeStats& stats = runtime.stats();
+  EXPECT_GT(stats.max_queue_depth, 0u);
+  const std::uint64_t steals_after =
+      obs::MetricsRegistry::instance().counter("sim.runtime.steals").value();
+  EXPECT_EQ(steals_after - steals_before, stats.steals);
+}
+
+// The steal / queue-depth metrics ride the generic exporters: after any
+// sharded run both names appear in the JSON document and the Prometheus
+// exposition (counter family gets the _total suffix).
+TEST(RuntimeTest, StealMetricsAppearInExporters) {
+  core::Surrogate model(tiny_config(), lambda::ConfigGrid::small());
+  model.set_training(false);
+  const lambda::LambdaModel lm;
+  const workload::Trace trace = workload::twitter_like({.hours = 0.02}, 5);
+  core::DeepBatController a(model, controller_options());
+  core::DeepBatController b(model, controller_options());
+  core::SurrogateBatchEncoder encoder(model);
+  RuntimeOptions ropts;
+  ropts.shards = 2;
+  Runtime runtime(&encoder, ropts);
+  TenantSpec spec;
+  spec.trace = &trace;
+  spec.model = &lm;
+  spec.initial_config = {1024, 1, 0.0};
+  spec.options.control_interval_s = 30.0;
+  spec.name = "a";
+  spec.controller = &a;
+  runtime.add_tenant(spec);
+  spec.name = "b";
+  spec.controller = &b;
+  runtime.add_tenant(spec);
+  runtime.run();
+
+  const obs::MetricsSnapshot snap =
+      obs::MetricsRegistry::instance().snapshot();
+  ASSERT_NE(snap.counter("sim.runtime.steals"), nullptr);
+  ASSERT_NE(snap.gauge("sim.runtime.queue_depth"), nullptr);
+  EXPECT_GT(snap.gauge("sim.runtime.queue_depth")->value, 0.0);
+
+  const std::string json = obs::to_json(snap);
+  EXPECT_NE(json.find("\"sim.runtime.steals\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim.runtime.queue_depth\""), std::string::npos);
+  const std::string prom = obs::to_prometheus(snap);
+  EXPECT_NE(prom.find("deepbat_sim_runtime_steals_total"),
+            std::string::npos);
+  EXPECT_NE(prom.find("deepbat_sim_runtime_queue_depth"),
+            std::string::npos);
+}
+
 // ---------------------------------------------------- stats folding ------
 
 TEST(RuntimeStatsTest, MergeSumsCountsAndRecomputesHitRate) {
@@ -296,6 +427,8 @@ TEST(RuntimeStatsTest, MergeSumsCountsAndRecomputesHitRate) {
   a.fleet_groups = 1;
   a.cpu_invocations = 40;
   a.gpu_invocations = 0;
+  a.steals = 4;
+  a.max_queue_depth = 100;
   RuntimeStats b;
   b.tick_groups = 4;
   b.control_ticks = 11;
@@ -308,6 +441,8 @@ TEST(RuntimeStatsTest, MergeSumsCountsAndRecomputesHitRate) {
   b.fleet_groups = 2;
   b.cpu_invocations = 5;
   b.gpu_invocations = 13;
+  b.steals = 9;
+  b.max_queue_depth = 60;
 
   a.merge(b);
   EXPECT_EQ(a.tick_groups, 7u);
@@ -322,6 +457,10 @@ TEST(RuntimeStatsTest, MergeSumsCountsAndRecomputesHitRate) {
   EXPECT_EQ(a.fleet_groups, 3u);
   EXPECT_EQ(a.cpu_invocations, 45u);
   EXPECT_EQ(a.gpu_invocations, 13u);
+  // Steals fold as a sum; the queue high-water mark folds as a MAX (a
+  // fleet-wide depth is the deepest any shard ever got, not their total).
+  EXPECT_EQ(a.steals, 13u);
+  EXPECT_EQ(a.max_queue_depth, 100u);
   // The folded hit rate comes from the summed counts (9 / 20), NOT the
   // mean of the per-shard rates (0.9 and 0.0 would average to 0.45 too —
   // so check a second, asymmetric fold where the two disagree).

@@ -104,6 +104,125 @@ TEST(Synth, BinnedRateMatchesMeanRate) {
   EXPECT_NEAR(mean(rates), t.mean_rate(), 0.1 * t.mean_rate());
 }
 
+// --------------------------------------------- Zipf tenant population ----
+
+TEST(Synth, ZipfPopulationIsDeterministicPerSeed) {
+  ZipfPopulationParams p;
+  p.tenants = 200;
+  p.horizon_s = 100.0;
+  const auto a = zipf_population(p, 42);
+  const auto b = zipf_population(p, 42);
+  ASSERT_EQ(a.size(), 200u);
+  ASSERT_EQ(b.size(), 200u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size()) << "tenant " << i;
+    for (std::size_t k = 0; k < a[i].size(); ++k) {
+      ASSERT_EQ(a[i][k], b[i][k]) << "tenant " << i;
+    }
+  }
+  const auto c = zipf_population(p, 43);
+  std::size_t total_a = 0, total_c = 0;
+  for (const auto& t : a) total_a += t.size();
+  for (const auto& t : c) total_c += t.size();
+  EXPECT_NE(total_a, total_c);
+}
+
+TEST(Synth, ZipfPopulationIsStableUnderGrowth) {
+  // Per-rank arrival streams are independent: growing the population
+  // appends tenants without perturbing existing ones (shuffle off so rank
+  // == tenant index).
+  ZipfPopulationParams small;
+  small.tenants = 50;
+  small.horizon_s = 200.0;
+  small.shuffle = false;
+  ZipfPopulationParams big = small;
+  big.tenants = 150;
+  const auto a = zipf_population(small, 7);
+  const auto b = zipf_population(big, 7);
+  for (std::size_t i = 0; i < small.tenants; ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size()) << "rank " << i;
+    for (std::size_t k = 0; k < a[i].size(); ++k) {
+      ASSERT_EQ(a[i][k], b[i][k]) << "rank " << i;
+    }
+  }
+}
+
+TEST(Synth, ZipfRatesFollowTheTail) {
+  // With shuffle off, rank r's expected arrivals are top_rate / (r+1)^s *
+  // horizon: the head must dominate the tail by roughly the Zipf ratio.
+  ZipfPopulationParams p;
+  p.tenants = 1000;
+  p.horizon_s = 400.0;
+  p.exponent = 2.0;
+  p.top_rate = 20.0;
+  p.shuffle = false;
+  const auto pop = zipf_population(p, 11);
+  const double head = static_cast<double>(pop[0].size());
+  const double mid = static_cast<double>(pop[99].size());
+  EXPECT_NEAR(head, p.top_rate * p.horizon_s, 4.0 * std::sqrt(head));
+  // Rank 100 runs at 1/10000th the head rate.
+  EXPECT_GT(head, 20.0 * std::max(mid, 1.0));
+  // The deep tail is sparse enough that some tenants never arrive at all —
+  // these become the runtime's never_ticks slots.
+  std::size_t empty = 0;
+  for (const auto& t : pop) empty += t.empty() ? 1 : 0;
+  EXPECT_GT(empty, 0u);
+}
+
+TEST(Synth, ZipfMinRateFloorsTheTail) {
+  ZipfPopulationParams p;
+  p.tenants = 500;
+  p.horizon_s = 300.0;
+  p.exponent = 1.5;
+  p.top_rate = 10.0;
+  p.min_rate = 0.5;
+  p.shuffle = false;
+  const auto pop = zipf_population(p, 3);
+  // Every tail tenant runs at >= min_rate: expected 150 arrivals each;
+  // zero arrivals would be a ~e^-150 event.
+  for (std::size_t i = 400; i < 500; ++i) {
+    EXPECT_GT(pop[i].size(), 50u) << "rank " << i;
+  }
+}
+
+TEST(Synth, ZipfShuffleIsAPermutationOfTheRankStreams) {
+  ZipfPopulationParams p;
+  p.tenants = 100;
+  p.horizon_s = 150.0;
+  p.shuffle = false;
+  ZipfPopulationParams ps = p;
+  ps.shuffle = true;
+  const auto by_rank = zipf_population(p, 21);
+  const auto shuffled = zipf_population(ps, 21);
+  // Same multiset of per-tenant sizes, same grand total, different order.
+  std::vector<std::size_t> sa, sb;
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    sa.push_back(by_rank[i].size());
+    sb.push_back(shuffled[i].size());
+    if (by_rank[i].size() != shuffled[i].size()) ++moved;
+  }
+  EXPECT_GT(moved, 50u) << "shuffle should actually move tenants";
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(Synth, ZipfRejectsBadParameters) {
+  ZipfPopulationParams p;
+  p.tenants = 0;
+  EXPECT_THROW(zipf_population(p, 1), Error);
+  p.tenants = 10;
+  p.horizon_s = 0.0;
+  EXPECT_THROW(zipf_population(p, 1), Error);
+  p.horizon_s = 10.0;
+  p.top_rate = 0.0;
+  EXPECT_THROW(zipf_population(p, 1), Error);
+  p.top_rate = 1.0;
+  p.exponent = -0.1;
+  EXPECT_THROW(zipf_population(p, 1), Error);
+}
+
 TEST(Synth, RejectsNonPositiveHours) {
   EXPECT_THROW(azure_like({.hours = 0.0}, 1), Error);
   EXPECT_THROW(twitter_like({.hours = -1.0}, 1), Error);
