@@ -4,9 +4,11 @@
 #include <cstdlib>
 #include <fstream>
 #include <ostream>
+#include <sstream>
 
 #include "common/cli.hpp"
 #include "common/error.hpp"
+#include "common/fileio.hpp"
 #include "nn/serialize.hpp"
 #include "sim/faults.hpp"
 
@@ -327,8 +329,9 @@ void JsonReport::set_metrics(const obs::MetricsSnapshot& snapshot) {
 
 void JsonReport::write(const std::string& path) const {
   if (path.empty()) return;
-  std::ofstream os(path);
-  DEEPBAT_CHECK(os.good(), "JsonReport: cannot open " + path);
+  // Assemble in memory and land atomically: a crash mid-report must never
+  // leave a truncated BENCH_*.json for a downstream parser.
+  std::ostringstream os;
   os << "{\"bench\": ";
   json_string(os, bench_);
   os << ",\n \"scalars\": {";
@@ -366,6 +369,7 @@ void JsonReport::write(const std::string& path) const {
     os << ",\n \"metrics\": " << metrics_json_;
   }
   os << "}\n";
+  write_file_atomic(path, os.str());
   std::printf("[json] wrote %s\n", path.c_str());
 }
 

@@ -14,53 +14,24 @@
 //     run_platform() replay, or
 //   * the faulted replay at shards {1, 2, 5} diverges from 1 shard.
 #include <cmath>
-#include <fstream>
+#include <sstream>
 #include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/fileio.hpp"
 #include "replay_common.hpp"
 
 using namespace deepbat;
 
 namespace {
 
-// Full request-level bit-identity (the tests' expect_bit_identical, as a
-// predicate): decisions, served requests, drops, retries, cost — plus the
-// retraining provenance (fault stream id and surrogate swap ticks), so a
-// retrained replay only counts as reproducible when it swapped at the SAME
-// ticks between the SAME versions.
+// One shared definition of run identity (bench::run_identical in
+// replay_common.hpp) keeps this gate and the crash-recovery gate honest
+// about the same fields.
 bool identical(const sim::PlatformRun& a, const sim::PlatformRun& b) {
-  if (a.fault_stream != b.fault_stream) return false;
-  if (a.swaps.size() != b.swaps.size()) return false;
-  for (std::size_t k = 0; k < a.swaps.size(); ++k) {
-    if (!(a.swaps[k] == b.swaps[k])) return false;
-  }
-  if (a.decisions.size() != b.decisions.size()) return false;
-  for (std::size_t k = 0; k < a.decisions.size(); ++k) {
-    const auto& x = a.decisions[k];
-    const auto& y = b.decisions[k];
-    if (x.time != y.time || !(x.config == y.config)) return false;
-  }
-  const sim::SimResult& ra = a.result;
-  const sim::SimResult& rb = b.result;
-  if (ra.requests.size() != rb.requests.size() ||
-      ra.invocations != rb.invocations || ra.total_cost != rb.total_cost ||
-      ra.retries != rb.retries || ra.dropped != rb.dropped ||
-      ra.dropped_arrivals != rb.dropped_arrivals) {
-    return false;
-  }
-  for (std::size_t k = 0; k < ra.requests.size(); ++k) {
-    const auto& x = ra.requests[k];
-    const auto& y = rb.requests[k];
-    if (x.arrival != y.arrival || x.dispatch != y.dispatch ||
-        x.completion != y.completion || x.batch_actual != y.batch_actual ||
-        x.cost_share != y.cost_share) {
-      return false;
-    }
-  }
-  return true;
+  return bench::run_identical(a, b);
 }
 
 struct SystemStats {
@@ -389,7 +360,7 @@ int main(int argc, char** argv) {
 
   const bool retrain_ok = retrain_decay_ok && calm_retrain_identical;
   {
-    std::ofstream out("BENCH_chaos.json");
+    std::ostringstream out;
     out << "{\n  \"bench\": \"chaos_replay\",\n  \"hours\": " << hours
         << ",\n  \"slo_s\": " << args.slo_s << ",\n  \"fault_seed\": "
         << args.fault_seed << ",\n  \"accounting_ok\": "
@@ -436,6 +407,7 @@ int main(int argc, char** argv) {
       out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
+    write_file_atomic("BENCH_chaos.json", out.str());
   }
   std::printf("\n[chaos] wrote BENCH_chaos.json (accounting=%s, "
               "unexpected_drops=%s, solo=%s, shards=%s%s)\n",

@@ -28,13 +28,14 @@
 #include <cmath>
 #include <cstdio>
 #include <optional>
-#include <fstream>
+#include <sstream>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "common/fileio.hpp"
 #include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -359,7 +360,7 @@ int main(int argc, char** argv) {
   }
 
   {
-    std::ofstream out("BENCH_fleet.json");
+    std::ostringstream out;
     out << "{\n  \"bench\": \"fleet\",\n  \"tenants\": " << fleet_n
         << ",\n  \"hours\": " << hours
         << ",\n  \"groups\": " << plan.groups.size()
@@ -377,6 +378,7 @@ int main(int argc, char** argv) {
         << ",\n  \"deterministic\": " << (deterministic ? "true" : "false")
         << ",\n  \"cpu_backend_parity\": " << (parity ? "true" : "false")
         << "\n}\n";
+    write_file_atomic("BENCH_fleet.json", out.str());
   }
   std::printf("[fleet] wrote BENCH_fleet.json (savings %.1f%%)\n",
               solo_per_1k > 0.0

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fileio.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "core/surrogate.hpp"
@@ -327,7 +328,7 @@ void bench_grid_scoring(const std::vector<int>& thread_counts,
 
 void write_json(const std::string& path, double speedup, double seed_1t,
                 double opt_1t) {
-  std::ofstream out(path);
+  std::ostringstream out;
   out << "{\n  \"schema\": \"deepbat.bench.kernels.v1\",\n";
   out << "  \"hardware_threads\": " << hardware_threads() << ",\n";
   out << "  \"results\": [\n";
@@ -365,6 +366,7 @@ void write_json(const std::string& path, double speedup, double seed_1t,
   out << "    \"surrogate_forward_optimized_ns_1t\": " << opt_1t << ",\n";
   out << "    \"surrogate_forward_speedup_1t\": " << speedup << "\n";
   out << "  }\n}\n";
+  write_file_atomic(path, out.str());
 }
 
 /// Pull "key": <number> out of a baseline JSON (the files this bench

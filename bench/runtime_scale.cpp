@@ -20,13 +20,14 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 #include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "common/fileio.hpp"
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
@@ -277,7 +278,7 @@ int main(int argc, char** argv) {
   t.print(std::cout);
 
   {
-    std::ofstream out(out_path);
+    std::ostringstream out;
     out << "{\n  \"bench\": \"runtime_scale\",\n"
         << "  \"hardware_concurrency\": " << hardware << ",\n"
         << "  \"work_stealing\": true,\n"
@@ -307,6 +308,7 @@ int main(int argc, char** argv) {
           << (i + 1 < points.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
+    write_file_atomic(out_path, out.str());
   }
   std::printf("[scale] wrote %s (flat=%s, invariant=%s)\n", out_path.c_str(),
               cost_flat ? "yes" : "NO", shard_invariant ? "yes" : "NO");

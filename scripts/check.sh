@@ -45,6 +45,14 @@ echo "== retrain chaos smoke =="
 # stays bit-identical solo vs sharded and across reruns (exit 1 otherwise).
 ./build/bench/chaos_replay --hours 0.25 --faults flaky --retrain --shards 2
 
+echo "== crash recovery smoke =="
+# Durability gate (DESIGN.md §16): replay a flaky+retraining run, kill the
+# process at a seeded mid-run tick, restore from the checkpoint, and require
+# the stitched result to be bit-identical to the uninterrupted reference at
+# {1,2,5} shards; truncated / bit-flipped / version-skewed snapshots must be
+# rejected with typed errors (exit 1 on any violation).
+./build/bench/crash_recovery --hours 0.25 --faults flaky
+
 echo "== runtime scale smoke =="
 # Million-tenant runtime gate (DESIGN.md §15) at smoke size: a 10k-tenant
 # Zipf population through the calendar-queue scheduler and work-stealing
@@ -71,6 +79,22 @@ for t in test_nn_kernels test_nn_tensor test_nn_autograd test_nn_modules \
          test_learn; do
   ./build-asan/tests/"$t"
 done
+
+echo "== ubsan: build =="
+# UBSan over the corruption paths (DESIGN.md §16): the checkpoint and weight
+# loaders chew on truncated / bit-flipped / hand-crafted-overflow inputs in
+# test_sim, test_runtime, and the serialize fuzz tests — every rejection
+# must be a typed error with zero UB behind it (-fno-sanitize-recover=all
+# turns any finding into a hard failure).
+cmake -B build-ubsan -S . -DDEEPBAT_SANITIZE=undefined -DDEEPBAT_NATIVE=OFF \
+  >/dev/null
+cmake --build build-ubsan -j"$(nproc)" --target \
+  test_sim test_runtime test_nn_training
+
+echo "== ubsan: run =="
+./build-ubsan/tests/test_sim
+./build-ubsan/tests/test_runtime
+./build-ubsan/tests/test_nn_training
 
 echo "== tsan: build =="
 cmake -B build-tsan -S . -DDEEPBAT_SANITIZE=thread -DDEEPBAT_NATIVE=OFF \

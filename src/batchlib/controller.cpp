@@ -40,4 +40,25 @@ lambda::Config BatchController::decide(const workload::Trace& history,
   return *current_;
 }
 
+void BatchController::save_state(sim::CheckpointWriter& w) const {
+  w.boolean(current_.has_value());
+  if (current_.has_value()) sim::save_config(w, *current_);
+  w.f64(last_refit_);
+  w.u64(refit_count_);
+  w.u64(insufficient_);
+  w.f64(fit_seconds_);
+  w.f64(solve_seconds_);
+}
+
+void BatchController::restore_state(sim::CheckpointReader& r) {
+  current_.reset();
+  if (r.boolean()) current_ = sim::restore_config(r);
+  last_refit_ = r.f64();
+  refit_count_ = static_cast<std::size_t>(r.u64());
+  insufficient_ = static_cast<std::size_t>(r.u64());
+  fit_seconds_ = r.f64();
+  solve_seconds_ = r.f64();
+  last_fit_.reset();
+}
+
 }  // namespace deepbat::batchlib

@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "batchlib/analytic.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/platform.hpp"
 #include "workload/map_fit.hpp"
 
@@ -26,13 +27,20 @@ struct BatchControllerOptions {
   lambda::Config bootstrap_config{1024, 1, 0.0};
 };
 
-class BatchController : public sim::Controller {
+class BatchController : public sim::Controller, public sim::Checkpointable {
  public:
   BatchController(const lambda::LambdaModel& model,
                   BatchControllerOptions options = {});
 
   lambda::Config decide(const workload::Trace& history, double now) override;
   std::string name() const override { return "BATCH"; }
+
+  /// sim::Checkpointable (DESIGN.md §16): the held configuration, the refit
+  /// clock, and the cumulative instrumentation. last_fit() is diagnostics
+  /// only — decide() never reads it — so it is not serialized and resets to
+  /// empty on restore.
+  void save_state(sim::CheckpointWriter& w) const override;
+  void restore_state(sim::CheckpointReader& r) override;
 
   // --- instrumentation used by the speedup experiment (§IV-F) ---
   std::size_t refit_count() const { return refit_count_; }

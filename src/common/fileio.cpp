@@ -1,0 +1,27 @@
+#include "common/fileio.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace deepbat {
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  // The temp file must live on the same filesystem as the target for the
+  // rename to be atomic; a sibling suffix guarantees that.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    DEEPBAT_CHECK(os.good(), "write_file_atomic: cannot open " + tmp);
+    os.write(content.data(), static_cast<std::streamsize>(content.size()));
+    os.flush();
+    DEEPBAT_CHECK(os.good(), "write_file_atomic: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    DEEPBAT_FAIL("write_file_atomic: cannot rename " + tmp + " -> " + path);
+  }
+}
+
+}  // namespace deepbat

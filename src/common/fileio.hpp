@@ -1,0 +1,17 @@
+#pragma once
+// Atomic file writes. Every report/snapshot writer in the repo (BENCH_*.json,
+// --metrics dumps, serialized weights, runtime checkpoints) goes through
+// write_file_atomic so a crash or kill mid-write never leaves a truncated
+// file behind for the next reader to choke on: the content lands in a
+// sibling temp file first and is renamed over the target only once fully
+// written (rename(2) is atomic within a filesystem).
+
+#include <string>
+
+namespace deepbat {
+
+/// Write `content` to `path` via a write-temp-then-rename. Throws
+/// deepbat::Error when the temp file cannot be created, written, or renamed.
+void write_file_atomic(const std::string& path, const std::string& content);
+
+}  // namespace deepbat

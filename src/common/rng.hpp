@@ -59,6 +59,26 @@ class Rng {
   /// Derive an independent child stream (for per-worker determinism).
   Rng split();
 
+  /// Complete generator state (xoshiro words + the Box-Muller cache) for
+  /// checkpoint/restore: set_state(state()) resumes the exact stream.
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+  State state() const {
+    State st;
+    for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+    st.cached_normal = cached_normal_;
+    st.has_cached_normal = has_cached_normal_;
+    return st;
+  }
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    cached_normal_ = st.cached_normal;
+    has_cached_normal_ = st.has_cached_normal;
+  }
+
  private:
   std::uint64_t s_[4];
   double cached_normal_ = 0.0;

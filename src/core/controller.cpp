@@ -59,4 +59,21 @@ lambda::Config DeepBatController::finish_tick_scored(
   return record(engine_.finish_scored(encoding, raw_predictions));
 }
 
+void DeepBatController::save_state(sim::CheckpointWriter& w) const {
+  engine_.save_state(w);
+  w.u64(decisions_);
+  w.f64(predict_seconds_);
+  w.f64(search_seconds_);
+}
+
+void DeepBatController::restore_state(sim::CheckpointReader& r) {
+  engine_.restore_state(r);
+  decisions_ = static_cast<std::size_t>(r.u64());
+  // Wall-clock totals restore for report continuity; they never feed back
+  // into decisions, so they cannot perturb the replay.
+  predict_seconds_ = r.f64();
+  search_seconds_ = r.f64();
+  last_outcome_.reset();
+}
+
 }  // namespace deepbat::core

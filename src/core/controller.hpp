@@ -31,7 +31,8 @@ struct DeepBatControllerOptions {
   ScoringPrecision scoring_precision = ScoringPrecision::kFp32;
 };
 
-class DeepBatController : public sim::SplitController {
+class DeepBatController : public sim::SplitController,
+                          public sim::Checkpointable {
  public:
   /// The controller borrows the surrogate (trained/fine-tuned elsewhere);
   /// inference runs under NoGradGuard, so a const reference suffices.
@@ -91,6 +92,13 @@ class DeepBatController : public sim::SplitController {
   std::size_t breaker_trips() const { return engine_.breaker_trips(); }
 
   const DecisionEngine& engine() const { return engine_; }
+
+  /// sim::Checkpointable (DESIGN.md §16): the engine's cache + breaker
+  /// state plus the controller's cumulative instrumentation. last_outcome_
+  /// is intra-tick diagnostics and is not serialized (it resets on the next
+  /// decision either way).
+  void save_state(sim::CheckpointWriter& w) const override;
+  void restore_state(sim::CheckpointReader& r) override;
 
  private:
   lambda::Config record(EngineDecision decision);

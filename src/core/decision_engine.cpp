@@ -152,6 +152,54 @@ void SequenceEncoder::rebind(const Surrogate& surrogate) {
   size_gauge_->set(0.0);
 }
 
+void SequenceEncoder::save_state(sim::CheckpointWriter& w) const {
+  w.u64(cache_.size());
+  // Most-recently-used first: lru_ front to back.
+  for (const std::vector<float>* key : lru_) {
+    const auto it = cache_.find(*key);
+    w.floats(*key);
+    w.floats(it->second.e1);
+  }
+  w.u64(hits_);
+  w.u64(misses_);
+  w.u64(evictions_);
+}
+
+void SequenceEncoder::restore_state(sim::CheckpointReader& r) {
+  cache_.clear();
+  lru_.clear();
+  const std::uint64_t n = r.u64();
+  DEEPBAT_CHECK(n <= capacity_,
+                "SequenceEncoder: checkpoint cache exceeds this encoder's "
+                "capacity");
+  std::vector<std::pair<std::vector<float>, std::vector<float>>> entries;
+  entries.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    // Two reads in declared order (a single emplace_back(r.floats(),
+    // r.floats()) would leave the order unspecified).
+    std::vector<float> window = r.floats();
+    std::vector<float> e1 = r.floats();
+    DEEPBAT_CHECK(window.size() == window_length() &&
+                      e1.size() == encoding_dim(),
+                  "SequenceEncoder: checkpoint entry dimensions do not match "
+                  "this encoder's surrogate");
+    entries.emplace_back(std::move(window), std::move(e1));
+  }
+  // Oldest first, so push_front rebuilds the saved recency order exactly.
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    auto [pos, inserted] = cache_.emplace(
+        std::move(it->first), Entry{std::move(it->second), lru_.end()});
+    DEEPBAT_CHECK(inserted,
+                  "SequenceEncoder: duplicate window in checkpoint cache");
+    lru_.push_front(&pos->first);
+    pos->second.lru_pos = lru_.begin();
+  }
+  hits_ = static_cast<std::size_t>(r.u64());
+  misses_ = static_cast<std::size_t>(r.u64());
+  evictions_ = static_cast<std::size_t>(r.u64());
+  size_gauge_->set(static_cast<double>(cache_.size()));
+}
+
 // ---------------------------------------------------------------- scorer --
 
 GridScorer::GridScorer(const Surrogate& surrogate,
@@ -427,6 +475,35 @@ EngineDecision DecisionEngine::complete(
   decision.predictions.assign(scored.begin(), scored.end());
   last_good_ = decision.choice.config;
   return decision;
+}
+
+void DecisionEngine::save_state(sim::CheckpointWriter& w) const {
+  DEEPBAT_CHECK(!pending_,
+                "DecisionEngine: save_state() between begin()/finish()");
+  encoder_.save_state(w);
+  w.u8(static_cast<std::uint8_t>(breaker_));
+  w.u64(cooldown_left_);
+  w.boolean(last_good_.has_value());
+  if (last_good_.has_value()) sim::save_config(w, *last_good_);
+  w.u64(breaker_trips_);
+  w.u64(breaker_resets_);
+  w.u64(fallback_decisions_);
+}
+
+void DecisionEngine::restore_state(sim::CheckpointReader& r) {
+  DEEPBAT_CHECK(!pending_,
+                "DecisionEngine: restore_state() between begin()/finish()");
+  encoder_.restore_state(r);
+  const std::uint8_t breaker = r.u8();
+  DEEPBAT_CHECK(breaker <= static_cast<std::uint8_t>(BreakerState::kHalfOpen),
+                "DecisionEngine: corrupt breaker state in checkpoint");
+  breaker_ = static_cast<BreakerState>(breaker);
+  cooldown_left_ = static_cast<std::size_t>(r.u64());
+  last_good_.reset();
+  if (r.boolean()) last_good_ = sim::restore_config(r);
+  breaker_trips_ = static_cast<std::size_t>(r.u64());
+  breaker_resets_ = static_cast<std::size_t>(r.u64());
+  fallback_decisions_ = static_cast<std::size_t>(r.u64());
 }
 
 EngineDecision DecisionEngine::decide(const workload::Trace& history,

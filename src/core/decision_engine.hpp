@@ -81,6 +81,13 @@ class SequenceEncoder {
   /// surrogate must share sequence_length and model_dim with the old one.
   void rebind(const Surrogate& surrogate);
 
+  /// Checkpoint the cache contents and cumulative probe counters
+  /// (DESIGN.md §16). Entries are written most-recently-used first;
+  /// restore_state() rebuilds the identical recency order (and therefore
+  /// the identical future eviction sequence) by re-inserting oldest-first.
+  void save_state(sim::CheckpointWriter& w) const;
+  void restore_state(sim::CheckpointReader& r);
+
   std::size_t window_length() const;
   std::size_t encoding_dim() const;
   std::size_t cache_hits() const { return hits_; }
@@ -311,6 +318,15 @@ class DecisionEngine {
     options_.guard = guard;
   }
   const DecisionEngineOptions& options() const { return options_; }
+
+  /// Checkpoint the engine's replay-relevant state: the encoder cache, the
+  /// circuit breaker (state, cooldown, last-known-good config), and the
+  /// cumulative breaker counters. The surrogate weights are NOT serialized
+  /// here — the owner restores the engine against the same (or the learn/
+  /// store's restored) surrogate. Must not be called between begin() and
+  /// finish().
+  void save_state(sim::CheckpointWriter& w) const;
+  void restore_state(sim::CheckpointReader& r);
 
   std::size_t window_length() const { return parser_.window_length(); }
   std::size_t encoding_dim() const { return encoder_.encoding_dim(); }

@@ -180,4 +180,95 @@ void AdaptiveController::step_learner(double now) {
   join_at_tick_ = tick_index_ + learn.retrain_delay_ticks;
 }
 
+void AdaptiveController::save_state(sim::CheckpointWriter& w) const {
+  store_.save_state(w);
+  core::DeepBatController::save_state(w);
+  harvester_.save_state(w);
+  drift_.save_state(w);
+  retrainer_.save_state(w);
+  w.floats(last_window_);
+  sim::save_config(w, last_config_);
+  w.f64(last_pred_p95_s_);
+  w.boolean(have_last_);
+  w.u64(seen_requests_);
+  w.u64(tick_index_);
+  w.boolean(join_at_tick_.has_value());
+  if (join_at_tick_.has_value()) w.u64(*join_at_tick_);
+  w.u64(samples_at_launch_);
+  w.u64(fallbacks_at_last_tick_);
+  for (std::size_t delta : fallback_ring_) w.u64(delta);
+  w.u64(ring_pos_);
+  w.u64(ring_sum_);
+  w.u64(shadow_wins_);
+  w.u64(shadow_losses_);
+  w.u64(drift_trips_);
+  w.doubles(fallback_times_);
+  w.u64(shadow_reports_.size());
+  for (const ShadowReport& report : shadow_reports_) {
+    w.u64(report.holdout_size);
+    w.f64(report.incumbent_mape_pct);
+    w.f64(report.candidate_mape_pct);
+    w.f64(report.argmin_agreement);
+    w.boolean(report.candidate_wins);
+  }
+}
+
+void AdaptiveController::restore_state(sim::CheckpointReader& r) {
+  store_.restore_state(r);
+  if (store_.version() > 0) {
+    // Rebind the engine to the restored incumbent before the base restore:
+    // the rebind drops the encoder cache and half-opens the breaker, and
+    // the base restore then overwrites both with the checkpointed state.
+    swap_surrogate(*store_.current());
+  }
+  core::DeepBatController::restore_state(r);
+  harvester_.restore_state(r);
+  drift_.restore_state(r);
+  retrainer_.restore_state(r, *store_.current());
+  last_window_ = r.floats();
+  last_config_ = sim::restore_config(r);
+  last_pred_p95_s_ = r.f64();
+  have_last_ = r.boolean();
+  seen_requests_ = static_cast<std::size_t>(r.u64());
+  tick_index_ = static_cast<std::size_t>(r.u64());
+  join_at_tick_.reset();
+  if (r.boolean()) join_at_tick_ = static_cast<std::size_t>(r.u64());
+  DEEPBAT_CHECK(join_at_tick_.has_value() == retrainer_.pending(),
+                "AdaptiveController: checkpoint join tick does not match the "
+                "pending retrain");
+  samples_at_launch_ = static_cast<std::size_t>(r.u64());
+  fallbacks_at_last_tick_ = static_cast<std::size_t>(r.u64());
+  // The ring's length is an option, not state; the checkpoint stores
+  // exactly one delta per slot.
+  for (std::size_t& delta : fallback_ring_) {
+    delta = static_cast<std::size_t>(r.u64());
+  }
+  ring_pos_ = static_cast<std::size_t>(r.u64());
+  DEEPBAT_CHECK(ring_pos_ < fallback_ring_.size(),
+                "AdaptiveController: checkpoint ring cursor out of range");
+  ring_sum_ = static_cast<std::size_t>(r.u64());
+  shadow_wins_ = static_cast<std::size_t>(r.u64());
+  shadow_losses_ = static_cast<std::size_t>(r.u64());
+  drift_trips_ = static_cast<std::size_t>(r.u64());
+  fallback_times_ = r.doubles();
+  const std::uint64_t report_count = r.u64();
+  // 33 payload bytes per report; reject a corrupt count before reserving.
+  DEEPBAT_CHECK(report_count <= r.remaining() / 33,
+                "AdaptiveController: checkpoint report count exceeds payload");
+  shadow_reports_.clear();
+  shadow_reports_.reserve(report_count);
+  for (std::uint64_t i = 0; i < report_count; ++i) {
+    ShadowReport report;
+    report.holdout_size = static_cast<std::size_t>(r.u64());
+    report.incumbent_mape_pct = r.f64();
+    report.candidate_mape_pct = r.f64();
+    report.argmin_agreement = r.f64();
+    report.candidate_wins = r.boolean();
+    shadow_reports_.push_back(report);
+  }
+  // Intra-tick scratch never rides in a checkpoint (saves land strictly
+  // between ticks).
+  self_encode_ = false;
+}
+
 }  // namespace deepbat::learn

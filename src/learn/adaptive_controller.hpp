@@ -110,6 +110,18 @@ class AdaptiveController : public core::DeepBatController,
   /// Tick times of every fallback decision (the bench's decay gate).
   const std::vector<double>& fallback_times() const { return fallback_times_; }
 
+  /// sim::Checkpointable (DESIGN.md §16), overriding the base controller's
+  /// layout with [store][base DeepBatController][learner]. Restore order is
+  /// load-bearing: the store installs a restored incumbent first, the
+  /// engine is rebound to it (swap_surrogate), and only THEN does the base
+  /// restore overwrite the engine's cache and breaker with the checkpointed
+  /// values — the rebind resets the breaker to HalfOpen, which must not
+  /// survive. An interrupted background retrain is re-launched from its
+  /// serialized (incumbent, dataset) inputs; deterministic training makes
+  /// the re-run's candidate bit-identical by the scheduled join tick.
+  void save_state(sim::CheckpointWriter& w) const override;
+  void restore_state(sim::CheckpointReader& r) override;
+
  private:
   /// Shared tail of decide()/finish_tick(): fallback bookkeeping plus the
   /// (window, config, prediction) snapshot the NEXT on_tick pairs with its

@@ -13,6 +13,8 @@
 
 #include <cstddef>
 
+#include "sim/checkpoint.hpp"
+
 namespace deepbat::learn {
 
 struct DriftOptions {
@@ -54,6 +56,16 @@ class DriftMonitor {
 
   /// Consume the streak (after a breaker trip or a hot-swap).
   void reset() { streak_ = 0; }
+
+  /// Checkpoint the stale streak and lifetime total (DESIGN.md §16).
+  void save_state(sim::CheckpointWriter& w) const {
+    w.u64(streak_);
+    w.u64(stale_total_);
+  }
+  void restore_state(sim::CheckpointReader& r) {
+    streak_ = static_cast<std::size_t>(r.u64());
+    stale_total_ = static_cast<std::size_t>(r.u64());
+  }
 
   const DriftOptions& options() const { return options_; }
 

@@ -26,6 +26,22 @@ core::PredictionTarget observed_target(
   return target;
 }
 
+void save_sample(sim::CheckpointWriter& w, const nn::Sample& sample) {
+  w.floats(sample.sequence);
+  w.floats(sample.features);
+  w.floats(sample.target);
+}
+
+nn::Sample restore_sample(sim::CheckpointReader& r) {
+  // Three separate statements: brace-init would leave the read order to the
+  // compiler.
+  nn::Sample sample;
+  sample.sequence = r.floats();
+  sample.features = r.floats();
+  sample.target = r.floats();
+  return sample;
+}
+
 SampleHarvester::SampleHarvester(HarvestOptions options)
     : options_(options), rng_(options.seed) {
   DEEPBAT_CHECK(options_.capacity > 0,
@@ -88,6 +104,49 @@ std::vector<nn::Sample> SampleHarvester::holdout() const {
     ordered.push_back(holdout_[(holdout_next_ + i) % holdout_.size()]);
   }
   return ordered;
+}
+
+void SampleHarvester::save_state(sim::CheckpointWriter& w) const {
+  save_rng(w, rng_);
+  w.u64(reservoir_.size());
+  for (const nn::Sample& sample : reservoir_) save_sample(w, sample);
+  w.u64(holdout_.size());
+  for (const nn::Sample& sample : holdout_) save_sample(w, sample);
+  w.u64(holdout_next_);
+  w.u64(harvested_);
+  w.u64(reservoir_seen_);
+}
+
+void SampleHarvester::restore_state(sim::CheckpointReader& r) {
+  restore_rng(r, rng_);
+  const std::uint64_t train_count = r.u64();
+  DEEPBAT_CHECK(train_count <= options_.capacity,
+                "SampleHarvester: checkpoint reservoir exceeds capacity");
+  // A sample's three length prefixes alone take 24 payload bytes; reject a
+  // corrupt count before reserving for it.
+  DEEPBAT_CHECK(train_count <= r.remaining() / 24,
+                "SampleHarvester: checkpoint reservoir exceeds payload");
+  reservoir_.clear();
+  reservoir_.reserve(options_.capacity);
+  for (std::uint64_t i = 0; i < train_count; ++i) {
+    reservoir_.push_back(restore_sample(r));
+  }
+  const std::uint64_t holdout_count = r.u64();
+  DEEPBAT_CHECK(holdout_count <= options_.holdout_capacity,
+                "SampleHarvester: checkpoint holdout exceeds capacity");
+  DEEPBAT_CHECK(holdout_count <= r.remaining() / 24,
+                "SampleHarvester: checkpoint holdout exceeds payload");
+  holdout_.clear();
+  holdout_.reserve(holdout_count);
+  for (std::uint64_t i = 0; i < holdout_count; ++i) {
+    holdout_.push_back(restore_sample(r));
+  }
+  holdout_next_ = static_cast<std::size_t>(r.u64());
+  DEEPBAT_CHECK(options_.holdout_every == 0 ||
+                    holdout_next_ < options_.holdout_capacity,
+                "SampleHarvester: checkpoint holdout cursor out of range");
+  harvested_ = static_cast<std::size_t>(r.u64());
+  reservoir_seen_ = static_cast<std::size_t>(r.u64());
 }
 
 }  // namespace deepbat::learn

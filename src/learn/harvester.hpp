@@ -24,6 +24,7 @@
 #include "nn/data.hpp"
 #include "obs/metrics.hpp"
 #include "sim/batch_sim.hpp"
+#include "sim/checkpoint.hpp"
 
 namespace deepbat::learn {
 
@@ -31,6 +32,11 @@ namespace deepbat::learn {
 /// the live counterpart of the offline simulate_target recipe.
 core::PredictionTarget observed_target(
     std::span<const sim::RequestRecord> requests);
+
+/// Checkpoint one harvested (sequence, features, target) sample — shared by
+/// the harvester's pools and the retrainer's in-flight training dataset.
+void save_sample(sim::CheckpointWriter& w, const nn::Sample& sample);
+nn::Sample restore_sample(sim::CheckpointReader& r);
 
 struct HarvestOptions {
   /// Training-reservoir capacity (algorithm R keeps a uniform sample of the
@@ -69,6 +75,14 @@ class SampleHarvester {
   nn::Dataset train_dataset() const;
   /// The held-out samples, oldest first.
   std::vector<nn::Sample> holdout() const;
+
+  /// Checkpoint the reservoir-sampling RNG position, both sample pools, and
+  /// the stream counters (DESIGN.md §16) — together they make the future
+  /// harvest sequence a pure continuation of the interrupted one.
+  /// restore_state must run on a freshly constructed harvester with the
+  /// same options.
+  void save_state(sim::CheckpointWriter& w) const;
+  void restore_state(sim::CheckpointReader& r);
 
  private:
   HarvestOptions options_;

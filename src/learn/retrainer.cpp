@@ -1,6 +1,7 @@
 #include "learn/retrainer.hpp"
 
 #include "common/error.hpp"
+#include "learn/harvester.hpp"
 
 namespace deepbat::learn {
 
@@ -60,6 +61,38 @@ Retrainer::Outcome Retrainer::join() {
   pending_ = false;
   wall_hist_->observe(wall_seconds_);
   return Outcome{std::move(candidate_), std::move(result_), wall_seconds_};
+}
+
+void Retrainer::save_state(sim::CheckpointWriter& w) const {
+  w.u64(runs_);
+  w.boolean(pending_);
+  if (pending_) {
+    w.u64(dataset_.size());
+    for (std::size_t i = 0; i < dataset_.size(); ++i) {
+      save_sample(w, dataset_[i]);
+    }
+  }
+}
+
+void Retrainer::restore_state(sim::CheckpointReader& r,
+                              const core::Surrogate& incumbent) {
+  DEEPBAT_CHECK(!pending_ && runs_ == 0,
+                "Retrainer: restore into a used retrainer");
+  const std::uint64_t runs = r.u64();
+  if (r.boolean()) {
+    const std::uint64_t count = r.u64();
+    DEEPBAT_CHECK(count > 0,
+                  "Retrainer: pending checkpoint carries an empty dataset");
+    // Each sample's three length prefixes alone take 24 payload bytes.
+    DEEPBAT_CHECK(count <= r.remaining() / 24,
+                  "Retrainer: checkpoint dataset exceeds payload");
+    nn::Dataset dataset;
+    dataset.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) dataset.add(restore_sample(r));
+    launch(incumbent, std::move(dataset));
+  }
+  // launch() counted the re-run; the replay-visible count is the saved one.
+  runs_ = static_cast<std::size_t>(runs);
 }
 
 }  // namespace deepbat::learn

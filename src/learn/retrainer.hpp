@@ -17,6 +17,7 @@
 #include "core/trainer.hpp"
 #include "nn/data.hpp"
 #include "obs/metrics.hpp"
+#include "sim/checkpoint.hpp"
 
 namespace deepbat::learn {
 
@@ -52,6 +53,20 @@ class Retrainer {
   std::size_t runs() const { return runs_; }
   /// Block until the fine-tune finishes and hand over the candidate.
   Outcome join();
+
+  /// Checkpoint the run count and — when a fine-tune is in flight — its
+  /// full training dataset (DESIGN.md §16). The candidate itself is NOT
+  /// serialized: training is bit-deterministic, so restore_state simply
+  /// re-launches from the same (incumbent, dataset) inputs and the re-run
+  /// reproduces the original candidate bit-for-bit by join time. Safe to
+  /// call while a background task runs — the task never touches the
+  /// dataset's container or the counters this writes.
+  void save_state(sim::CheckpointWriter& w) const;
+  /// Restore onto a fresh retrainer; `incumbent` must be the same model the
+  /// interrupted launch cloned (the store's current surrogate — no swap can
+  /// land while a retrain is pending).
+  void restore_state(sim::CheckpointReader& r,
+                     const core::Surrogate& incumbent);
 
  private:
   RetrainerOptions options_;

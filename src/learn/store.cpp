@@ -1,5 +1,7 @@
 #include "learn/store.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace deepbat::learn {
@@ -25,6 +27,71 @@ const core::Surrogate* VersionedSurrogateStore::adopt(
   current_.store(next, std::memory_order_release);
   swap_counter_->add();
   return next;
+}
+
+void VersionedSurrogateStore::save_state(sim::CheckpointWriter& w) const {
+  const std::uint64_t version = version_.load(std::memory_order_acquire);
+  w.u64(version);
+  w.u64(swaps_.size());
+  for (const sim::SwapEvent& s : swaps_) {
+    w.f64(s.time);
+    w.u64(s.from_version);
+    w.u64(s.to_version);
+  }
+  if (version > 0) {
+    const auto params = current()->named_parameters();
+    w.u64(params.size());
+    for (const auto& [name, var] : params) {
+      w.str(name);
+      w.floats(std::span<const float>(
+          var->value.data(), static_cast<std::size_t>(var->value.numel())));
+    }
+  }
+}
+
+void VersionedSurrogateStore::restore_state(sim::CheckpointReader& r) {
+  DEEPBAT_CHECK(version_.load(std::memory_order_acquire) == 0 &&
+                    owned_.empty() && swaps_.empty(),
+                "VersionedSurrogateStore: restore into a used store");
+  const std::uint64_t version = r.u64();
+  const std::uint64_t swap_count = r.u64();
+  // Each swap record is 24 payload bytes; a corrupt count must fail before
+  // the reserve, not during it.
+  DEEPBAT_CHECK(swap_count <= r.remaining() / 24,
+                "VersionedSurrogateStore: checkpoint swap count exceeds "
+                "payload");
+  swaps_.reserve(swap_count);
+  for (std::uint64_t i = 0; i < swap_count; ++i) {
+    sim::SwapEvent s;
+    s.time = r.f64();
+    s.from_version = r.u64();
+    s.to_version = r.u64();
+    swaps_.push_back(s);
+  }
+  if (version > 0) {
+    std::unique_ptr<core::Surrogate> incumbent = current()->clone();
+    auto params = incumbent->named_parameters();
+    const std::uint64_t count = r.u64();
+    DEEPBAT_CHECK(count == params.size(),
+                  "VersionedSurrogateStore: checkpoint parameter count "
+                  "mismatch");
+    for (auto& [name, var] : params) {
+      const std::string saved_name = r.str();
+      DEEPBAT_CHECK(saved_name == name,
+                    "VersionedSurrogateStore: checkpoint parameter order "
+                    "mismatch at " + name);
+      const std::vector<float> values = r.floats();
+      DEEPBAT_CHECK(static_cast<std::int64_t>(values.size()) ==
+                        var->value.numel(),
+                    "VersionedSurrogateStore: parameter size mismatch for " +
+                        name);
+      std::copy(values.begin(), values.end(), var->value.data());
+    }
+    const core::Surrogate* next = incumbent.get();
+    owned_.push_back(std::move(incumbent));
+    current_.store(next, std::memory_order_release);
+  }
+  version_.store(version, std::memory_order_release);
 }
 
 }  // namespace deepbat::learn

@@ -20,6 +20,7 @@
 
 #include "core/surrogate.hpp"
 #include "obs/metrics.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/platform.hpp"
 
 namespace deepbat::learn {
@@ -50,6 +51,17 @@ class VersionedSurrogateStore {
   /// Swap history, oldest first. Read from the control loop or after the
   /// run (not concurrently with adopt()).
   std::span<const sim::SwapEvent> swaps() const { return swaps_; }
+
+  /// Checkpoint the version counter, the swap history, and — when a
+  /// retrained version is live — the current surrogate's parameter tensors
+  /// (DESIGN.md §16). restore_state must run on a FRESH store whose
+  /// version-0 incumbent has the same architecture: a retrained incumbent
+  /// is rebuilt by cloning version 0 and overwriting its parameters, then
+  /// installed WITHOUT recording a new swap (the history is restored, not
+  /// replayed). Superseded intermediate versions are not reconstructed —
+  /// no reader can still hold them across a process restart.
+  void save_state(sim::CheckpointWriter& w) const;
+  void restore_state(sim::CheckpointReader& r);
 
  private:
   std::vector<std::unique_ptr<const core::Surrogate>> owned_;

@@ -3,8 +3,10 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <sstream>
 
 #include "common/error.hpp"
+#include "common/fileio.hpp"
 
 namespace deepbat::nn {
 
@@ -12,14 +14,17 @@ namespace {
 
 constexpr char kMagic[4] = {'D', 'B', 'A', 'T'};
 constexpr std::uint32_t kVersion = 1;
+// A parameter path ("encoder.layer0.attn.wq.weight") is tens of bytes; a
+// length beyond this is a corrupt or hostile file, not a long name.
+constexpr std::uint32_t kMaxNameLen = 4096;
 
 template <typename T>
-void write_pod(std::ofstream& os, const T& value) {
+void write_pod(std::ostream& os, const T& value) {
   os.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
 template <typename T>
-T read_pod(std::ifstream& is) {
+T read_pod(std::istream& is) {
   T value{};
   is.read(reinterpret_cast<char*>(&value), sizeof(T));
   DEEPBAT_CHECK(is.good(), "serialize: truncated file");
@@ -30,8 +35,7 @@ T read_pod(std::ifstream& is) {
 
 void save_tensors(const std::string& path,
                   const std::vector<std::pair<std::string, Tensor>>& entries) {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  DEEPBAT_CHECK(os.is_open(), "serialize: cannot open for writing: " + path);
+  std::ostringstream os(std::ios::binary);
   os.write(kMagic, sizeof(kMagic));
   write_pod(os, kVersion);
   write_pod(os, static_cast<std::uint64_t>(entries.size()));
@@ -44,6 +48,9 @@ void save_tensors(const std::string& path,
              static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
   }
   DEEPBAT_CHECK(os.good(), "serialize: write failed: " + path);
+  // Temp-then-rename: a crash mid-save never leaves a truncated weight file
+  // where the previous good one stood.
+  write_file_atomic(path, os.str());
 }
 
 std::vector<std::pair<std::string, Tensor>> load_tensors(
@@ -58,16 +65,27 @@ std::vector<std::pair<std::string, Tensor>> load_tensors(
   DEEPBAT_CHECK(version == kVersion, "serialize: unsupported version");
   const auto count = read_pod<std::uint64_t>(is);
   std::vector<std::pair<std::string, Tensor>> entries;
-  entries.reserve(count);
   for (std::uint64_t e = 0; e < count; ++e) {
     const auto name_len = read_pod<std::uint32_t>(is);
+    DEEPBAT_CHECK(name_len <= kMaxNameLen, "serialize: implausible name length");
     std::string name(name_len, '\0');
     is.read(name.data(), name_len);
     DEEPBAT_CHECK(is.good(), "serialize: truncated name");
     const auto ndim = read_pod<std::uint32_t>(is);
     DEEPBAT_CHECK(ndim <= 8, "serialize: implausible rank");
     Shape shape(ndim);
-    for (auto& d : shape) d = read_pod<std::int64_t>(is);
+    // Validate each dimension and the running element count BEFORE the
+    // Tensor allocation: a bit-flipped dim must become a typed error, not a
+    // negative/overflowed allocation size.
+    std::uint64_t numel = 1;
+    for (auto& d : shape) {
+      d = read_pod<std::int64_t>(is);
+      DEEPBAT_CHECK(d >= 0, "serialize: negative dimension for " + name);
+      constexpr std::uint64_t kMaxElems = std::uint64_t{1} << 32;
+      DEEPBAT_CHECK(d == 0 || numel <= kMaxElems / static_cast<std::uint64_t>(d),
+                    "serialize: element count overflow for " + name);
+      numel *= static_cast<std::uint64_t>(d);
+    }
     Tensor t(shape);
     is.read(reinterpret_cast<char*>(t.data()),
             static_cast<std::streamsize>(t.numel() * sizeof(float)));

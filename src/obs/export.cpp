@@ -1,11 +1,11 @@
 #include "obs/export.hpp"
 
 #include <cmath>
-#include <fstream>
 #include <ostream>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/fileio.hpp"
 
 namespace deepbat::obs {
 
@@ -145,11 +145,12 @@ std::string to_prometheus(const MetricsSnapshot& snap) {
 
 bool dump_snapshot_json(const std::string& path) {
   if (path.empty()) return false;
-  std::ofstream os(path);
-  DEEPBAT_CHECK(os.good(), "obs: cannot open metrics path " + path);
   const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
   const std::vector<SpanRecord> spans = recent_spans();
+  std::ostringstream os;
   write_json(snap, os, spans);
+  // Temp-then-rename so a kill mid-dump never leaves a truncated snapshot.
+  write_file_atomic(path, os.str());
   return true;
 }
 

@@ -190,6 +190,72 @@ void BatchSimulator::dispatch_faulted(double time) {
   open_arrivals_.clear();
 }
 
+void BatchSimulator::save_state(CheckpointWriter& w) const {
+  save_config(w, config_);
+  w.doubles(open_arrivals_);
+  w.f64(open_deadline_);
+  w.i64(open_batch_limit_);
+  w.f64(last_time_);
+  w.u64(result_.requests.size());
+  for (const RequestRecord& rec : result_.requests) {
+    w.f64(rec.arrival);
+    w.f64(rec.dispatch);
+    w.f64(rec.completion);
+    w.i64(rec.batch_actual);
+    w.f64(rec.cost_share);
+  }
+  w.u64(result_.invocations);
+  w.f64(result_.total_cost);
+  w.doubles(result_.dropped_arrivals);
+  w.u64(result_.retries);
+  w.u64(result_.dropped);
+  w.boolean(cold_rng_.has_value());
+  if (cold_rng_.has_value()) save_rng(w, *cold_rng_);
+  w.boolean(faults_.has_value());
+  if (faults_.has_value()) faults_->save_state(w);
+}
+
+void BatchSimulator::restore_state(CheckpointReader& r) {
+  const lambda::Config config = restore_config(r);
+  be().validate(config);
+  config_ = config;
+  open_arrivals_ = r.doubles();
+  open_deadline_ = r.f64();
+  open_batch_limit_ = r.i64();
+  last_time_ = r.f64();
+  result_ = SimResult{};
+  const std::uint64_t served = r.u64();
+  // 40 payload bytes per record; a count the remaining payload cannot hold
+  // is corruption — reject before reserving.
+  DEEPBAT_CHECK(served <= r.remaining() / 40,
+                "BatchSimulator: checkpoint request count exceeds payload");
+  result_.requests.reserve(static_cast<std::size_t>(served));
+  for (std::uint64_t i = 0; i < served; ++i) {
+    RequestRecord rec;
+    rec.arrival = r.f64();
+    rec.dispatch = r.f64();
+    rec.completion = r.f64();
+    rec.batch_actual = r.i64();
+    rec.cost_share = r.f64();
+    result_.requests.push_back(rec);
+  }
+  result_.invocations = static_cast<std::size_t>(r.u64());
+  result_.total_cost = r.f64();
+  result_.dropped_arrivals = r.doubles();
+  result_.retries = static_cast<std::size_t>(r.u64());
+  result_.dropped = static_cast<std::size_t>(r.u64());
+  const bool had_cold = r.boolean();
+  DEEPBAT_CHECK(had_cold == cold_rng_.has_value(),
+                "BatchSimulator: checkpoint cold-start layer does not match "
+                "this simulator's construction");
+  if (had_cold) restore_rng(r, *cold_rng_);
+  const bool had_faults = r.boolean();
+  DEEPBAT_CHECK(had_faults == faults_.has_value(),
+                "BatchSimulator: checkpoint fault layer does not match this "
+                "simulator's construction");
+  if (had_faults) faults_->restore_state(r);
+}
+
 SimResult simulate_trace(std::span<const double> arrivals,
                          const lambda::Config& config,
                          const lambda::LambdaModel& model,

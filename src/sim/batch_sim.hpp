@@ -118,6 +118,15 @@ class BatchSimulator {
   /// Number of requests waiting in the open batch.
   std::size_t pending() const { return open_arrivals_.size(); }
 
+  /// Checkpoint the simulator's dynamic state — active config, the open
+  /// batch (arrivals, deadline, captured limit), accumulated results, and
+  /// the cold-start / fault RNG positions (sim/checkpoint.hpp). The backend
+  /// and fault plan are static construction inputs: the owner rebuilds the
+  /// simulator from the same spec and then restores into it; restore_state
+  /// checks that the presence of the cold-start and fault layers matches.
+  void save_state(CheckpointWriter& w) const;
+  void restore_state(CheckpointReader& r);
+
  private:
   void dispatch(double time);
   void dispatch_faulted(double time);

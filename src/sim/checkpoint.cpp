@@ -1,0 +1,233 @@
+#include "sim/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <type_traits>
+
+#include "common/error.hpp"
+#include "common/fileio.hpp"
+
+namespace deepbat::sim {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'B', 'C', 'P'};
+// A string longer than this inside a checkpoint means corruption, not a
+// tenant name; reject before attempting a multi-gigabyte allocation.
+constexpr std::uint64_t kMaxStringLen = 1ULL << 20;
+// Element cap for float/double arrays (weights, traces-in-flight): 2^32
+// floats = 16 GiB, far beyond any real snapshot section.
+constexpr std::uint64_t kMaxArrayLen = 1ULL << 32;
+
+// Stored little-endian: byte i is bits [8i, 8i+8) of the value image.
+template <typename T>
+void put(std::vector<std::uint8_t>& buf, T v) {
+  static_assert(std::is_unsigned_v<T>);
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+template <typename T>
+T get(std::span<const std::uint8_t> data, std::size_t pos) {
+  std::uint64_t bits = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    bits |= static_cast<std::uint64_t>(data[pos + i]) << (8 * i);
+  }
+  T v;
+  std::memcpy(&v, &bits, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- writer --
+
+void CheckpointWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+void CheckpointWriter::u32(std::uint32_t v) { put(buf_, v); }
+void CheckpointWriter::u64(std::uint64_t v) { put(buf_, v); }
+void CheckpointWriter::i64(std::int64_t v) {
+  put(buf_, static_cast<std::uint64_t>(v));
+}
+void CheckpointWriter::f32(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put(buf_, bits);
+}
+void CheckpointWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put(buf_, bits);
+}
+
+void CheckpointWriter::str(const std::string& s) {
+  u64(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void CheckpointWriter::floats(std::span<const float> v) {
+  u64(v.size());
+  for (const float x : v) f32(x);
+}
+
+void CheckpointWriter::doubles(std::span<const double> v) {
+  u64(v.size());
+  for (const double x : v) f64(x);
+}
+
+// ---------------------------------------------------------------- reader --
+
+void CheckpointReader::need(std::size_t n) const {
+  DEEPBAT_CHECK(n <= data_.size() - pos_,
+                "checkpoint: truncated payload (short read)");
+}
+
+std::uint8_t CheckpointReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+std::uint32_t CheckpointReader::u32() {
+  need(4);
+  const auto v = get<std::uint32_t>(data_, pos_);
+  pos_ += 4;
+  return v;
+}
+std::uint64_t CheckpointReader::u64() {
+  need(8);
+  const auto v = get<std::uint64_t>(data_, pos_);
+  pos_ += 8;
+  return v;
+}
+std::int64_t CheckpointReader::i64() {
+  return static_cast<std::int64_t>(u64());
+}
+float CheckpointReader::f32() {
+  need(4);
+  const auto bits = get<std::uint32_t>(data_, pos_);
+  pos_ += 4;
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+double CheckpointReader::f64() {
+  need(8);
+  const auto bits = get<std::uint64_t>(data_, pos_);
+  pos_ += 8;
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string CheckpointReader::str() {
+  const std::uint64_t n = u64();
+  DEEPBAT_CHECK(n <= kMaxStringLen, "checkpoint: corrupt string length");
+  need(static_cast<std::size_t>(n));
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_),
+                static_cast<std::size_t>(n));
+  pos_ += static_cast<std::size_t>(n);
+  return s;
+}
+
+std::vector<float> CheckpointReader::floats() {
+  const std::uint64_t n = u64();
+  DEEPBAT_CHECK(n <= kMaxArrayLen, "checkpoint: corrupt array length");
+  need(static_cast<std::size_t>(n) * 4);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = f32();
+  return v;
+}
+
+std::vector<double> CheckpointReader::doubles() {
+  const std::uint64_t n = u64();
+  DEEPBAT_CHECK(n <= kMaxArrayLen, "checkpoint: corrupt array length");
+  need(static_cast<std::size_t>(n) * 8);
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = f64();
+  return v;
+}
+
+// ------------------------------------------------------------------- rng --
+
+void save_rng(CheckpointWriter& w, const Rng& rng) {
+  const Rng::State st = rng.state();
+  for (int i = 0; i < 4; ++i) w.u64(st.s[i]);
+  w.f64(st.cached_normal);
+  w.boolean(st.has_cached_normal);
+}
+
+void restore_rng(CheckpointReader& r, Rng& rng) {
+  Rng::State st;
+  for (int i = 0; i < 4; ++i) st.s[i] = r.u64();
+  st.cached_normal = r.f64();
+  st.has_cached_normal = r.boolean();
+  rng.set_state(st);
+}
+
+void save_config(CheckpointWriter& w, const lambda::Config& config) {
+  w.i64(config.memory_mb);
+  w.i64(config.batch_size);
+  w.f64(config.timeout_s);
+}
+
+lambda::Config restore_config(CheckpointReader& r) {
+  lambda::Config config;
+  config.memory_mb = r.i64();
+  config.batch_size = r.i64();
+  config.timeout_s = r.f64();
+  return config;
+}
+
+// -------------------------------------------------------------- envelope --
+
+std::uint64_t checkpoint_checksum(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void write_checkpoint_file(const std::string& path,
+                           std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> file;
+  file.reserve(payload.size() + 24);
+  file.insert(file.end(), kMagic, kMagic + 4);
+  put(file, kCheckpointVersion);
+  put(file, static_cast<std::uint64_t>(payload.size()));
+  file.insert(file.end(), payload.begin(), payload.end());
+  put(file, checkpoint_checksum(payload));
+  write_file_atomic(
+      path, std::string(reinterpret_cast<const char*>(file.data()),
+                        file.size()));
+}
+
+std::vector<std::uint8_t> read_checkpoint_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  DEEPBAT_CHECK(is.good(), "checkpoint: cannot open " + path);
+  std::vector<std::uint8_t> file((std::istreambuf_iterator<char>(is)),
+                                 std::istreambuf_iterator<char>());
+  DEEPBAT_CHECK(file.size() >= 24,
+                "checkpoint: " + path + " is too short to be a snapshot");
+  DEEPBAT_CHECK(std::memcmp(file.data(), kMagic, 4) == 0,
+                "checkpoint: " + path + " has a bad magic header");
+  const auto version = get<std::uint32_t>(file, 4);
+  DEEPBAT_CHECK(version == kCheckpointVersion,
+                "checkpoint: " + path + " has format version " +
+                    std::to_string(version) + ", expected " +
+                    std::to_string(kCheckpointVersion));
+  const auto payload_len = get<std::uint64_t>(file, 8);
+  DEEPBAT_CHECK(payload_len == file.size() - 24,
+                "checkpoint: " + path +
+                    " is truncated or carries trailing bytes");
+  const std::span<const std::uint8_t> payload(file.data() + 16,
+                                              static_cast<std::size_t>(
+                                                  payload_len));
+  const auto stored = get<std::uint64_t>(file, 16 + payload_len);
+  DEEPBAT_CHECK(stored == checkpoint_checksum(payload),
+                "checkpoint: " + path + " failed its checksum (bit rot?)");
+  return std::vector<std::uint8_t>(payload.begin(), payload.end());
+}
+
+}  // namespace deepbat::sim

@@ -214,4 +214,37 @@ void FaultInjector::record_drop(std::size_t requests) {
   c_drop_->add(requests);
 }
 
+void FaultInjector::save_state(CheckpointWriter& w) const {
+  save_rng(w, draw_rng_);
+  save_rng(w, phase_rng_);
+  w.doubles(phase_bounds_);
+  // Drain a copy of the min-heap; restoring pushes the ascending sequence
+  // back, reproducing an equivalent heap.
+  auto inflight = inflight_;
+  w.u64(inflight.size());
+  while (!inflight.empty()) {
+    w.f64(inflight.top());
+    inflight.pop();
+  }
+  w.boolean(first_dispatch_);
+  w.f64(last_dispatch_);
+  w.f64(burst_until_);
+  w.boolean(in_burst_);
+}
+
+void FaultInjector::restore_state(CheckpointReader& r) {
+  restore_rng(r, draw_rng_);
+  restore_rng(r, phase_rng_);
+  phase_bounds_ = r.doubles();
+  while (!inflight_.empty()) inflight_.pop();
+  const std::uint64_t inflight_count = r.u64();
+  for (std::uint64_t i = 0; i < inflight_count; ++i) {
+    inflight_.push(r.f64());
+  }
+  first_dispatch_ = r.boolean();
+  last_dispatch_ = r.f64();
+  burst_until_ = r.f64();
+  in_burst_ = r.boolean();
+}
+
 }  // namespace deepbat::sim

@@ -39,6 +39,7 @@
 
 #include "common/rng.hpp"
 #include "obs/metrics.hpp"
+#include "sim/checkpoint.hpp"
 
 namespace deepbat::sim {
 
@@ -158,6 +159,14 @@ class FaultInjector {
 
   /// Account a dropped batch (requests that exhausted max_attempts).
   void record_drop(std::size_t requests);
+
+  /// Checkpoint the injector's dynamic state — RNG stream positions, the
+  /// lazily extended phase schedule, in-flight completion times, and the
+  /// cold-burst bookkeeping — so a restored replay resumes the exact draw
+  /// sequence (sim/checkpoint.hpp). The plan itself is reconstructed by the
+  /// owner, not serialized.
+  void save_state(CheckpointWriter& w) const;
+  void restore_state(CheckpointReader& r);
 
  private:
   bool flaky_at(double t);

@@ -40,9 +40,12 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "sim/platform.hpp"
 
 namespace deepbat::sim {
+
+class RuntimeShard;
 
 /// Shared encoding service implemented over the surrogate (core layer).
 /// Kept abstract here so sim/ stays free of the nn dependency: the currency
@@ -311,9 +314,10 @@ struct RuntimeOptions {
 /// per shard).
 class Runtime {
  public:
+  // Both out-of-line: shards_ holds the forward-declared RuntimeShard.
   explicit Runtime(BatchEncoder* shared_encoder = nullptr,
-                   RuntimeOptions options = {})
-      : encoder_(shared_encoder), options_(options) {}
+                   RuntimeOptions options = {});
+  ~Runtime();
 
   /// Per-shard encoder instances: when set (and non-null per call), each
   /// shard encodes through its own factory-made instance, keeping even the
@@ -348,14 +352,50 @@ class Runtime {
 
   const RuntimeOptions& options() const { return options_; }
 
-  /// Replay every tenant to the end of its trace. Returns one PlatformRun
-  /// per tenant, in add_tenant() order. Each tenant's run is bit-identical
-  /// to a solo run_platform() with the same spec, for every shard count.
+  /// Replay every tenant to the end of its trace (resuming from wherever
+  /// run_until() or restore_checkpoint() left the replay). Returns one
+  /// PlatformRun per tenant, in add_tenant() order, and is terminal: the
+  /// runs are moved out, so call it once. Each tenant's run is bit-identical
+  /// to a solo run_platform() with the same spec, for every shard count —
+  /// and for every save/restore split (DESIGN.md §16).
   std::vector<PlatformRun> run();
 
+  /// Advance the replay through every tick group with instant <= `limit`
+  /// seconds, sequentially on the calling thread, and stop at that
+  /// tick-group boundary — no tenant is finalized. Determinism makes the
+  /// schedule irrelevant to results, so a partial sequential advance
+  /// followed by run() is bit-identical to a single run() at any shard
+  /// count. This is the checkpoint hook: call save_checkpoint() between
+  /// run_until() and run().
+  void run_until(double limit);
+
+  /// Snapshot the complete replay state — scheduler progress, simulator
+  /// traces-in-flight, fault/cold RNG positions, accumulated decisions, and
+  /// each tenant's controller/observer state — into a versioned, checksummed
+  /// file (sim/checkpoint.hpp; written atomically). Every tenant's
+  /// controller (and observer, when set) must implement sim::Checkpointable;
+  /// throws deepbat::Error otherwise. Call at a tick-group boundary
+  /// (after run_until()).
+  void save_checkpoint(const std::string& path);
+
+  /// Resume a replay from a snapshot: must be called on a FRESH runtime
+  /// (before any run_until()/run()) populated with the same tenants in the
+  /// same order — names and fault streams are verified. The shard count may
+  /// differ from the saving runtime's: the checkpoint is laid out in global
+  /// tenant order, never by shard. Throws deepbat::Error on any mismatch or
+  /// on a corrupt/version-skewed snapshot file, leaving no partial state
+  /// behind UB — a failed restore leaves the runtime unusable but defined.
+  void restore_checkpoint(const std::string& path);
+
+  /// Fleet totals. After run(): the completed replay's stats, including
+  /// everything accumulated before a restore (stitched via merge()).
   const RuntimeStats& stats() const { return stats_; }
 
  private:
+  /// Build the execution state once: partition tenants over shards, build
+  /// the worker pool and per-shard encoder/scorer instances. Idempotent.
+  void start();
+
   BatchEncoder* encoder_;
   BatchScorer* scorer_ = nullptr;
   RuntimeOptions options_;
@@ -368,6 +408,19 @@ class Runtime {
   // that validated clean and skip the re-validation for repeats.
   const lambda::Backend* validated_backend_ = nullptr;
   std::optional<lambda::Config> validated_config_;
+
+  // Execution state, persistent across run_until()/run() so a replay can be
+  // advanced stepwise, checkpointed, and resumed. Built by start().
+  bool started_ = false;
+  std::size_t shard_count_ = 1;
+  std::optional<WorkerPool> pool_;
+  std::vector<std::unique_ptr<BatchEncoder>> owned_encoders_;
+  std::vector<std::unique_ptr<BatchScorer>> owned_scorers_;
+  std::vector<std::unique_ptr<RuntimeShard>> shards_;
+  std::vector<PlatformRun> runs_;
+  /// Stats carried over from before a restore (zero for fresh runs); the
+  /// final stats_ merges this with the live shards' post-restore stats.
+  RuntimeStats base_stats_;
 };
 
 }  // namespace deepbat::sim

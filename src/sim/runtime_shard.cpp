@@ -113,13 +113,19 @@ void RuntimeShard::prepare() {
 }
 
 bool RuntimeShard::run_quantum() {
+  return run_quantum(std::numeric_limits<double>::infinity()) ==
+         Quantum::kRan;
+}
+
+RuntimeShard::Quantum RuntimeShard::run_quantum(double limit) {
   if (!prepared_) prepare();
   obs::ShardScope shard_scope(shard_tag_);
   const std::size_t d = encoding_dim_;
 
   const std::optional<double> t_opt = scheduler_.next_group(group_);
-  if (!t_opt.has_value()) return false;
+  if (!t_opt.has_value()) return Quantum::kExhausted;
   const double t = *t_opt;
+  if (t > limit) return Quantum::kDeferred;
 
   // Queue-depth high-water: tenants whose replay is still pending on this
   // shard. live() only shrinks during a run, so the first quantum sets it.
@@ -289,7 +295,7 @@ bool RuntimeShard::run_quantum() {
   // batched forward. Under overlap the two run concurrently, so this is
   // the non-hidden remainder — exactly what double-buffering shrinks.
   h_tenant_->observe(std::max(group_seconds - encode_seconds, 0.0));
-  return true;
+  return Quantum::kRan;
 }
 
 void RuntimeShard::finalize_run() {
@@ -352,5 +358,33 @@ void RuntimeShard::run() {
   }
   finalize_run();
 }
+
+void RuntimeShard::save_tenant(std::size_t local, CheckpointWriter& w) const {
+  DEEPBAT_CHECK(local < tenants_.size(),
+                "RuntimeShard: save_tenant index out of range");
+  const TenantState& st = tenants_[local];
+  w.i64(scheduler_.tick_index(local));
+  w.boolean(scheduler_.done(local));
+  w.u64(st.next_arrival);
+  w.boolean(st.sim != nullptr);
+  if (st.sim != nullptr) st.sim->save_state(w);
+}
+
+void RuntimeShard::restore_tenant(std::size_t local, CheckpointReader& r) {
+  DEEPBAT_CHECK(local < tenants_.size(),
+                "RuntimeShard: restore_tenant index out of range");
+  TenantState& st = tenants_[local];
+  const std::int64_t tick_index = r.i64();
+  const bool done = r.boolean();
+  scheduler_.restore_slot(local, tick_index, done);
+  st.next_arrival = static_cast<std::size_t>(r.u64());
+  const bool had_sim = r.boolean();
+  DEEPBAT_CHECK(had_sim == (st.sim != nullptr),
+                "RuntimeShard: checkpoint tenant has a different trace shape "
+                "(simulator presence mismatch)");
+  if (st.sim != nullptr) st.sim->restore_state(r);
+}
+
+void RuntimeShard::finish_restore() { scheduler_.reset_calendar(); }
 
 }  // namespace deepbat::sim

@@ -94,6 +94,20 @@ class RuntimeShard {
   /// (the caller should finalize_run() under the same claim).
   bool run_quantum();
 
+  /// Outcome of a limit-bounded quantum (Runtime::run_until).
+  enum class Quantum {
+    kRan,       // one tick group executed
+    kDeferred,  // next group lies beyond the limit; nothing executed
+    kExhausted  // no pending group remains
+  };
+
+  /// Execute exactly one tick group whose instant is <= `limit`. Peeking a
+  /// group beyond the limit is free: next_group() is idempotent until the
+  /// group's complete_tick() calls, so a deferred group is re-formed intact
+  /// by the next quantum (or by a restored replay — the calendar is derived
+  /// state).
+  Quantum run_quantum(double limit);
+
   /// Drain every tenant's remaining arrivals, finalize simulators, and fill
   /// the PlatformRuns; marks the shard finished (release order).
   void finalize_run();
@@ -110,6 +124,25 @@ class RuntimeShard {
   void count_steal();
 
   const RuntimeStats& stats() const { return stats_; }
+
+  // ---- Checkpoint support (sim/checkpoint.hpp, DESIGN.md §16) ----
+  // The shard serializes only what it owns per tenant: the scheduler slot's
+  // progress, the arrival cursor, and the simulator's dynamic state.
+  // Controllers, observers, and accumulated decisions are serialized by
+  // Runtime (which owns the specs and the PlatformRuns).
+
+  /// Serialize tenant `local` (this shard's index, not the global one).
+  void save_tenant(std::size_t local, CheckpointWriter& w) const;
+
+  /// Restore tenant `local` from a checkpoint section written by
+  /// save_tenant(). The tenant must have been registered from the same spec
+  /// (same trace, same fault plan) — presence of the simulator and its
+  /// fault/cold layers is checked, throwing deepbat::Error on mismatch.
+  void restore_tenant(std::size_t local, CheckpointReader& r);
+
+  /// Drop the scheduler's derived calendar after the last restore_tenant();
+  /// the next quantum rebuilds it from the restored slots.
+  void finish_restore();
 
  private:
   struct TenantState {

@@ -240,4 +240,29 @@ void TickScheduler::complete_tick(std::size_t i) {
   }
 }
 
+void TickScheduler::restore_slot(std::size_t i, std::int64_t tick_index,
+                                 bool done) {
+  DEEPBAT_CHECK(i < slots_.size(),
+                "TickScheduler: restore_slot index out of range");
+  slots_[i].tick_index = tick_index;
+  slots_[i].done = done;
+}
+
+void TickScheduler::reset_calendar() {
+  buckets_.clear();
+  bucket_mask_ = 0;
+  width_ = 1.0;
+  cursor_ = 0;
+  lap_end_ = 0;
+  overflow_.clear();
+  overflow_min_ = 0.0;
+  live_ = 0;
+  rate_sum_ = 0.0;
+  for (const Slot& s : slots_) {
+    if (s.done) continue;
+    ++live_;
+    rate_sum_ += 1.0 / s.interval;
+  }
+}
+
 }  // namespace deepbat::sim

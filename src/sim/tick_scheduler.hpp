@@ -59,6 +59,12 @@ class TickScheduler {
 
   bool done(std::size_t i) const { return slots_[i].done; }
 
+  /// Next tick index of slot i (checkpoint save: the slot's whole progress
+  /// is this index plus the `done` flag).
+  std::int64_t tick_index(std::size_t i) const {
+    return slots_[i].tick_index;
+  }
+
   /// Form the next tick group: the earliest pending tick instant across
   /// all live slots, and every slot whose next tick is bitwise-equal to
   /// it. `group` is overwritten, in slot order. Returns std::nullopt when
@@ -78,6 +84,19 @@ class TickScheduler {
   /// Slot i ticked at its current grid point: advance to the next one and
   /// retire the slot once that passes its trace end.
   void complete_tick(std::size_t i);
+
+  /// Checkpoint restore (sim/checkpoint.hpp): overwrite slot i's progress —
+  /// the next tick index and the retirement flag — with saved state. The
+  /// slot must already be registered via add() with its original
+  /// interval/end/never_ticks; call reset_calendar() once after the last
+  /// restore_slot() and before the next next_group().
+  void restore_slot(std::size_t i, std::int64_t tick_index, bool done);
+
+  /// Drop the calendar and recompute the live population from the slot
+  /// table. The calendar (geometry, cursor, overflow) is derived state —
+  /// none of it is observable through next_group()'s contract — so the next
+  /// next_group() simply rebuilds it lazily from the restored slots.
+  void reset_calendar();
 
  private:
   struct Slot {
